@@ -1,0 +1,70 @@
+// Ablation: LSR-Forest level choice. Forces every level of one silo's
+// forest on a fixed local workload and reports per-level error/latency,
+// then shows where Lemma 1 lands for the default (eps, delta). Validates
+// the design decision that the level formula balances the two.
+
+#include <cstdio>
+
+#include "core/lsr_forest.h"
+#include "data/generator.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "util/timer.h"
+
+int main() {
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = 400000;
+  data_options.seed = 1;
+  auto dataset = fra::GenerateMobilityData(data_options).ValueOrDie();
+
+  // One silo's partition: company 0.
+  const fra::ObjectSet& partition = dataset.company_partitions[0];
+  const fra::LsrForest forest = fra::LsrForest::Build(partition);
+
+  fra::WorkloadOptions workload;
+  workload.num_queries = 200;
+  workload.radius_km = 2.0;
+  workload.seed = 5;
+  const auto queries =
+      fra::GenerateQueries({partition}, workload).ValueOrDie();
+
+  // Exact local answers from T_0.
+  std::vector<double> exact(queries.size());
+  double mean_exact = 0.0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    exact[i] = static_cast<double>(
+        forest.ExactRangeAggregate(queries[i].range).count);
+    mean_exact += exact[i];
+  }
+  mean_exact /= static_cast<double>(queries.size());
+
+  std::printf("\n=== Ablation: forced LSR level vs Lemma 1 ===\n");
+  std::printf("silo size n=%zu, levels=%d, workload: %zu circular COUNT "
+              "queries (r=2km)\n",
+              partition.size(), forest.num_levels(), queries.size());
+  std::printf("%-8s %12s %14s %14s %12s\n", "level", "MRE(%)", "time(ms)",
+              "us/query", "tree size");
+
+  for (int level = 0; level < forest.num_levels(); ++level) {
+    fra::MreAccumulator mre;
+    fra::Timer timer;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const auto estimate = forest.AggregateAtLevel(queries[i].range, level);
+      mre.Add(exact[i], static_cast<double>(estimate.count));
+    }
+    const double elapsed_ms = timer.ElapsedMillis();
+    std::printf("%-8d %12.3f %14.3f %14.2f %12zu\n", level, mre.Mre() * 100.0,
+                elapsed_ms,
+                elapsed_ms * 1000.0 / static_cast<double>(queries.size()),
+                forest.tree(level).size());
+  }
+
+  for (double epsilon : {0.05, 0.10, 0.25}) {
+    const int chosen = fra::LsrForest::SelectLevel(
+        epsilon, 0.01, mean_exact, forest.max_level());
+    std::printf("Lemma 1 picks level %d for eps=%.2f, delta=0.01 "
+                "(sum0=mean exact=%.0f)\n",
+                chosen, epsilon, mean_exact);
+  }
+  return 0;
+}

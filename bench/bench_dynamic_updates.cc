@@ -1,0 +1,115 @@
+// Extension study: streaming ingest. Real bike-share federations ingest
+// new records continuously; this bench measures (a) silo ingest + auto-
+// compaction throughput, (b) local query latency as the uncompacted delta
+// grows (the LSM-style read path), and (c) delta-sync communication vs a
+// full Alg. 1 grid re-ship.
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "federation/federation.h"
+#include "tests/test_util.h"
+#include "util/timer.h"
+
+int main() {
+  const fra::Rect domain{{0, 0}, {145, 276}};
+
+  // (a) Ingest throughput with auto-compaction.
+  {
+    fra::Silo::Options options;
+    options.grid_spec.domain = domain;
+    options.grid_spec.cell_length = 1.5;
+    options.compact_fraction = 0.02;
+    auto silo = fra::Silo::Create(
+                    0, fra::testing::RandomObjects(500000, domain, 1),
+                    options)
+                    .ValueOrDie();
+    const fra::ObjectSet stream =
+        fra::testing::RandomObjects(100000, domain, 2);
+    fra::Timer timer;
+    constexpr size_t kBatch = 1000;
+    for (size_t begin = 0; begin < stream.size(); begin += kBatch) {
+      const fra::ObjectSet batch(
+          stream.begin() + begin,
+          stream.begin() + std::min(stream.size(), begin + kBatch));
+      silo->Ingest(batch);
+    }
+    const double elapsed = timer.ElapsedSeconds();
+    std::printf("\n=== Streaming ingest (500k base, 100k stream, 2%% "
+                "auto-compaction) ===\n");
+    std::printf("ingest throughput: %.0f objects/s (total %.2f s, final "
+                "size %zu)\n",
+                100000.0 / elapsed, elapsed, silo->size());
+  }
+
+  // (b) Query latency vs pending delta size (no auto-compaction).
+  {
+    fra::Silo::Options options;
+    options.grid_spec.domain = domain;
+    options.grid_spec.cell_length = 1.5;
+    options.compact_fraction = 0.0;
+    auto silo = fra::Silo::Create(
+                    0, fra::testing::RandomObjects(500000, domain, 3),
+                    options)
+                    .ValueOrDie();
+    std::printf("\n%-14s %16s\n", "delta size", "query (us)");
+    const fra::QueryRange range = fra::QueryRange::MakeCircle({70, 140}, 2);
+    fra::Rng rng(4);
+    size_t delta = 0;
+    for (size_t target : {0UL, 1000UL, 5000UL, 20000UL, 50000UL}) {
+      if (target > delta) {
+        silo->Ingest(
+            fra::testing::RandomObjects(target - delta, domain, 5 + target));
+        delta = target;
+      }
+      constexpr int kQueries = 2000;
+      volatile uint64_t sink = 0;
+      fra::Timer timer;
+      for (int q = 0; q < kQueries; ++q) {
+        sink = sink + silo->ExactRangeAggregate(range).count;
+      }
+      std::printf("%-14zu %16.2f\n", target,
+                  timer.ElapsedMicros() / kQueries);
+    }
+    fra::Timer compact_timer;
+    silo->Compact();
+    std::printf("compaction of 50k delta over 500k base: %.1f ms\n",
+                compact_timer.ElapsedMillis());
+  }
+
+  // (c) Delta sync cost vs full grid re-ship.
+  {
+    std::vector<fra::ObjectSet> partitions(6);
+    const fra::ObjectSet all =
+        fra::testing::RandomObjects(300000, domain, 6);
+    for (size_t i = 0; i < all.size(); ++i) {
+      partitions[i % 6].push_back(all[i]);
+    }
+    fra::FederationOptions options;
+    options.silo.grid_spec.domain = domain;
+    options.silo.grid_spec.cell_length = 1.5;
+    auto federation =
+        fra::Federation::Create(std::move(partitions), options).ValueOrDie();
+    fra::ServiceProvider& provider = federation->provider();
+    const uint64_t full_ship =
+        provider.merged_grid().num_cells() *
+        fra::AggregateSummary::kWireSize * 6;
+
+    std::printf("\n%-14s %16s %18s\n", "batch size", "sync bytes",
+                "vs full re-ship");
+    for (size_t batch : {10UL, 100UL, 1000UL, 10000UL}) {
+      federation->silo(0).Ingest(
+          fra::testing::RandomObjects(batch, domain, 7 + batch));
+      const fra::CommStats::Snapshot before = provider.comm();
+      FRA_CHECK_OK(provider.SyncGrids());
+      const uint64_t bytes = (provider.comm() - before).TotalBytes();
+      std::printf("%-14zu %16llu %17.1fx\n", batch,
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<double>(full_ship) /
+                      static_cast<double>(bytes));
+    }
+    std::printf("(full Alg. 1 re-ship of all 6 grids would be %llu bytes)\n",
+                static_cast<unsigned long long>(full_ship));
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Paper Sec. 7 extensions: AVG and STDEV, derived from COUNT / SUM /
+// SUM_SQR. Complexity and communication match COUNT/SUM (our wire format
+// ships all three components in one 40-byte summary, so the "larger
+// constant factor" the paper mentions is already folded in); accuracy
+// stays bounded.
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (fra::AggregateKind kind :
+       {fra::AggregateKind::kAvg, fra::AggregateKind::kStdev}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.kind = kind;
+    points.push_back({fra::AggregateKindToString(kind), config});
+  }
+  return fra::bench::RunFigure("Extensions: AVG / STDEV (Sec. 7)", "F",
+                               points);
+}

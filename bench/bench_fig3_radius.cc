@@ -1,0 +1,17 @@
+// Paper Fig. 3: impact of the query radius r on MRE, running time,
+// communication cost and index memory (COUNT queries).
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (double r : {1.0, 1.5, 2.0, 2.5, 3.0}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.radius_km = r;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", r);
+    points.push_back({label, config});
+  }
+  return fra::bench::RunFigure("Fig. 3: impact of query radius r (COUNT)",
+                               "r (km)", points);
+}

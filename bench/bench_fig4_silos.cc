@@ -1,0 +1,15 @@
+// Paper Fig. 4: impact of the number of data silos m (COUNT queries).
+// Each company's records are equally split into m/3 silos (Sec. 8.1).
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (size_t m : {3UL, 6UL, 9UL, 12UL, 15UL}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.num_silos = m;
+    points.push_back({std::to_string(m), config});
+  }
+  return fra::bench::RunFigure("Fig. 4: impact of number of silos m (COUNT)",
+                               "m", points);
+}

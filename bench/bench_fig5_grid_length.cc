@@ -1,0 +1,17 @@
+// Paper Fig. 5: impact of the grid cell length L (COUNT queries). Larger
+// cells mean coarser sum_0 / per-cell estimates and higher MRE.
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (double length : {0.5, 1.0, 1.5, 2.0, 2.5}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.grid_length_km = length;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", length);
+    points.push_back({label, config});
+  }
+  return fra::bench::RunFigure("Fig. 5: impact of grid length L (COUNT)",
+                               "L (km)", points);
+}

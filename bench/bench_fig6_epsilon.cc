@@ -1,0 +1,18 @@
+// Paper Fig. 6: impact of the LSR-Forest approximation ratio epsilon.
+// Only the +LSR variants are sensitive: larger epsilon -> higher LSR
+// levels -> faster local queries, slightly higher MRE.
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (double epsilon : {0.05, 0.10, 0.15, 0.20, 0.25}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.epsilon = epsilon;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.2f", epsilon);
+    points.push_back({label, config});
+  }
+  return fra::bench::RunFigure("Fig. 6: impact of approximate ratio eps",
+                               "eps", points);
+}

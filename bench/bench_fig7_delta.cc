@@ -1,0 +1,18 @@
+// Paper Fig. 7: impact of the LSR-Forest failure bound delta. The level
+// formula depends on delta only through ln(2/delta), so effects are mild
+// (the paper reports marginal changes).
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (double delta : {0.01, 0.02, 0.03, 0.04, 0.05}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.delta = delta;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.2f", delta);
+    points.push_back({label, config});
+  }
+  return fra::bench::RunFigure("Fig. 7: impact of least upper bound delta",
+                               "delta", points);
+}

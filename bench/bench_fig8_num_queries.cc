@@ -1,0 +1,16 @@
+// Paper Fig. 8: impact of the number of queries nQ arriving in one
+// second. Running time grows linearly for everyone, but the single-silo
+// algorithms spread the batch across silos (Alg. 4) and stay real-time.
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (size_t n : {50UL, 100UL, 150UL, 200UL, 250UL}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.num_queries = n;
+    points.push_back({std::to_string(n), config});
+  }
+  return fra::bench::RunFigure("Fig. 8: impact of number of queries nQ",
+                               "nQ", points);
+}

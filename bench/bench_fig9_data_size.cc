@@ -1,0 +1,27 @@
+// Paper Fig. 9: impact of the federation size |P|. The paper sweeps 1M-5M
+// records; locally we sweep 100k-500k so the suite finishes in minutes,
+// and FRA_BENCH_SCALE=paper restores the paper's scale (see
+// EXPERIMENTS.md).
+
+#include "bench/fig_common.h"
+
+int main() {
+  const char* env = std::getenv("FRA_BENCH_SCALE");
+  const bool paper_scale = env != nullptr && std::string(env) == "paper";
+  const size_t unit = paper_scale ? 1'000'000 : 100'000;
+
+  std::vector<fra::bench::SweepPoint> points;
+  for (size_t k : {1UL, 2UL, 3UL, 4UL, 5UL}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.total_objects = k * unit;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zuk",
+                  config.total_objects / 1000);
+    points.push_back({label, config});
+  }
+  // Bypass ApplyEnvScale's default override by clearing the variable: the
+  // sweep sets total_objects explicitly.
+  ::unsetenv("FRA_BENCH_SCALE");
+  return fra::bench::RunFigure("Fig. 9: impact of federation size |P|",
+                               "|P|", points);
+}

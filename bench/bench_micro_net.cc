@@ -1,0 +1,120 @@
+// Micro-benchmarks for the network substrate: message codec throughput,
+// grid serialisation, and transport round-trip latency (in-process vs
+// real loopback TCP) — quantifying what the in-process substrate
+// abstracts away.
+
+#include <benchmark/benchmark.h>
+
+#include "index/grid_index.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "net/tcp_network.h"
+#include "util/random.h"
+
+namespace fra {
+namespace {
+
+class EchoEndpoint : public SiloEndpoint {
+ public:
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) override {
+    return request;
+  }
+};
+
+void BM_EncodeAggregateRequest(benchmark::State& state) {
+  AggregateRequest request;
+  request.range = QueryRange::MakeCircle({70, 140}, 2.0);
+  request.mode = LocalQueryMode::kLsr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(request.Encode());
+  }
+}
+BENCHMARK(BM_EncodeAggregateRequest);
+
+void BM_DecodeAggregateRequest(benchmark::State& state) {
+  AggregateRequest request;
+  request.range = QueryRange::MakeCircle({70, 140}, 2.0);
+  const std::vector<uint8_t> encoded = request.Encode();
+  for (auto _ : state) {
+    BinaryReader reader(encoded);
+    benchmark::DoNotOptimize(AggregateRequest::Decode(&reader));
+  }
+}
+BENCHMARK(BM_DecodeAggregateRequest);
+
+void BM_EncodeDecodeCellVector(benchmark::State& state) {
+  std::vector<CellContribution> cells(
+      static_cast<size_t>(state.range(0)));
+  Rng rng(1);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    cells[i].cell_id = static_cast<uint32_t>(i);
+    cells[i].summary.Add(rng.NextDouble(0, 4));
+  }
+  for (auto _ : state) {
+    const std::vector<uint8_t> encoded = EncodeCellVectorResponse(cells);
+    benchmark::DoNotOptimize(DecodeCellVectorResponse(encoded));
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(cells.size() *
+                           (4 + AggregateSummary::kWireSize)));
+}
+BENCHMARK(BM_EncodeDecodeCellVector)->Arg(16)->Arg(256);
+
+void BM_GridSerializeDeserialize(benchmark::State& state) {
+  GridIndex::GridSpec spec;
+  spec.domain = Rect{{0, 0}, {145, 276}};
+  spec.cell_length = 1.5;  // ~18k cells, the default city grid
+  Rng rng(2);
+  ObjectSet objects;
+  for (int i = 0; i < 100000; ++i) {
+    objects.push_back({{rng.NextDouble(0, 145), rng.NextDouble(0, 276)},
+                       static_cast<double>(rng.NextInt64(0, 4))});
+  }
+  const GridIndex grid = GridIndex::Build(objects, spec).ValueOrDie();
+  for (auto _ : state) {
+    BinaryWriter writer;
+    grid.Serialize(&writer);
+    BinaryReader reader(writer.buffer());
+    GridIndex decoded;
+    benchmark::DoNotOptimize(GridIndex::Deserialize(&reader, &decoded));
+  }
+}
+BENCHMARK(BM_GridSerializeDeserialize)->Unit(benchmark::kMillisecond);
+
+void BM_InProcessRoundTrip(benchmark::State& state) {
+  static EchoEndpoint* endpoint = new EchoEndpoint();
+  static InProcessNetwork* network = [] {
+    auto* n = new InProcessNetwork();
+    FRA_CHECK_OK(n->RegisterSilo(1, endpoint));
+    return n;
+  }();
+  const std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network->Call(1, payload));
+  }
+}
+BENCHMARK(BM_InProcessRoundTrip)->Arg(64)->Arg(4096);
+
+void BM_TcpLoopbackRoundTrip(benchmark::State& state) {
+  static EchoEndpoint* endpoint = new EchoEndpoint();
+  static TcpSiloServer* server =
+      TcpSiloServer::Start(endpoint).ValueOrDie().release();
+  static TcpNetwork* network = [] {
+    auto* n = new TcpNetwork();
+    FRA_CHECK_OK(n->AddSilo(1, server->port()));
+    return n;
+  }();
+  const std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(network->Call(1, payload));
+  }
+}
+BENCHMARK(BM_TcpLoopbackRoundTrip)->Arg(64)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fra
+
+BENCHMARK_MAIN();

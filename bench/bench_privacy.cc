@@ -1,0 +1,76 @@
+// Extension study: the privacy/accuracy frontier of the DP mechanism
+// (the paper's stated future direction, Sec. 9.1). Sweeps the per-
+// statistic privacy parameter and reports the MRE of each algorithm —
+// showing which estimators degrade gracefully under silo-side noise.
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/centralized.h"
+#include "data/generator.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "federation/federation.h"
+
+int main() {
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = 600000;
+  data_options.seed = 41;
+  data_options.non_iid = true;
+  const auto dataset = fra::GenerateMobilityData(data_options).ValueOrDie();
+  auto partitions =
+      fra::SplitIntoSilos(dataset.company_partitions, 6, 1).ValueOrDie();
+  const fra::CentralizedRTree truth(partitions);
+
+  fra::WorkloadOptions workload;
+  workload.num_queries = 100;
+  workload.radius_km = 2.0;
+  workload.seed = 42;
+  const auto queries =
+      fra::GenerateQueries(partitions, workload).ValueOrDie();
+  std::vector<double> exact(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    exact[i] =
+        truth.Aggregate(queries[i].range, queries[i].kind).ValueOrDie();
+  }
+
+  std::printf("\n=== Privacy/accuracy frontier (Laplace mechanism, COUNT) "
+              "===\n");
+  std::printf("%-10s %12s %12s %16s %16s\n", "dp eps", "EXACT", "OPTA",
+              "IID-est+LSR", "NonIID-est+LSR");
+
+  for (double dp_epsilon : {0.0, 10.0, 1.0, 0.5, 0.1}) {
+    fra::FederationOptions options;
+    options.silo.grid_spec.domain = dataset.domain;
+    options.silo.grid_spec.cell_length = 1.5;
+    options.silo.dp.epsilon = dp_epsilon;
+    auto federation =
+        fra::Federation::Create(partitions, options).ValueOrDie();
+    fra::ServiceProvider& provider = federation->provider();
+
+    double mres[4];
+    const fra::FraAlgorithm algorithms[4] = {
+        fra::FraAlgorithm::kExact, fra::FraAlgorithm::kOpta,
+        fra::FraAlgorithm::kIidEstLsr, fra::FraAlgorithm::kNonIidEstLsr};
+    for (int a = 0; a < 4; ++a) {
+      const auto answers =
+          provider.ExecuteBatch(queries, algorithms[a]).ValueOrDie();
+      fra::MreAccumulator mre;
+      for (size_t i = 0; i < answers.size(); ++i) {
+        mre.Add(exact[i], answers[i]);
+      }
+      mres[a] = mre.Mre();
+    }
+    const std::string label =
+        dp_epsilon == 0.0 ? "off" : std::to_string(dp_epsilon).substr(0, 4);
+    std::printf("%-10s %11.2f%% %11.2f%% %15.2f%% %15.2f%%\n", label.c_str(),
+                mres[0] * 100.0, mres[1] * 100.0, mres[2] * 100.0,
+                mres[3] * 100.0);
+  }
+  std::printf(
+      "\nEXACT degrades least (it sums m independent noise draws over the\n"
+      "largest true values); NonIID-est pays per-boundary-cell noise, so\n"
+      "its advantage narrows as eps shrinks. Composition accounting across\n"
+      "queries is out of scope (see DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Range-shape study: the paper's Def. 2 allows circular and rectangular
+// ranges. The evaluation uses circles; this bench runs the default
+// configuration under both shapes (square side = 2r for equal extent) to
+// confirm the estimators behave identically on rectangles — where the
+// grid fast path is even cheaper (one O(1) prefix-sum block).
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (bool rect : {false, true}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.rect_ranges = rect;
+    points.push_back({rect ? "rect" : "circle", config});
+  }
+  return fra::bench::RunFigure("Range shape: circle vs rectangle (Def. 2)",
+                               "shape", points);
+}

@@ -1,0 +1,17 @@
+// Paper Sec. 8.2 note: "The results for SUM query have the same trend" as
+// COUNT. This bench runs the default configuration under both aggregation
+// functions so the trend can be compared side by side.
+
+#include "bench/fig_common.h"
+
+int main() {
+  std::vector<fra::bench::SweepPoint> points;
+  for (fra::AggregateKind kind :
+       {fra::AggregateKind::kCount, fra::AggregateKind::kSum}) {
+    fra::ExperimentConfig config = fra::ExperimentConfig::Defaults();
+    config.kind = kind;
+    points.push_back({fra::AggregateKindToString(kind), config});
+  }
+  return fra::bench::RunFigure("SUM vs COUNT at defaults (Sec. 8.2 note)",
+                               "F", points);
+}

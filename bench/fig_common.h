@@ -1,0 +1,64 @@
+#ifndef FRA_BENCH_FIG_COMMON_H_
+#define FRA_BENCH_FIG_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace fra {
+namespace bench {
+
+/// One sweep point of a paper figure: a display label for the swept
+/// parameter plus the full configuration to run.
+struct SweepPoint {
+  std::string label;
+  ExperimentConfig config;
+};
+
+inline std::vector<FraAlgorithm> AllAlgorithms() {
+  return {FraAlgorithm::kExact,     FraAlgorithm::kOpta,
+          FraAlgorithm::kIidEst,    FraAlgorithm::kIidEstLsr,
+          FraAlgorithm::kNonIidEst, FraAlgorithm::kNonIidEstLsr};
+}
+
+/// Runs every sweep point against every algorithm and prints the paper-
+/// style table (panels a-d of the figure as columns). Returns a process
+/// exit code.
+inline int RunFigure(const std::string& title, const std::string& param_name,
+                     const std::vector<SweepPoint>& points,
+                     const std::vector<FraAlgorithm>& algorithms =
+                         AllAlgorithms()) {
+  ExperimentTable table(title, param_name);
+  for (const SweepPoint& point : points) {
+    ExperimentRunner runner(ApplyEnvScale(point.config));
+    std::fprintf(stderr, "[%s] preparing %s = %s ...\n", title.c_str(),
+                 param_name.c_str(), point.label.c_str());
+    const Status prepared = runner.Prepare();
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   prepared.ToString().c_str());
+      return 1;
+    }
+    for (FraAlgorithm algorithm : algorithms) {
+      auto result = runner.RunAlgorithm(algorithm);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n",
+                     FraAlgorithmToString(algorithm),
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow(point.label, *result);
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace fra
+
+#endif  // FRA_BENCH_FIG_COMMON_H_

@@ -1,0 +1,86 @@
+// Bike-share monitor: the paper's motivating application (Sec. 1).
+//
+// A real-time service ("how many shared bikes within r km of this subway
+// station?") receives bursts of ~150 queries per second in rush hour. This
+// example replays one simulated rush-hour second per algorithm and reports
+// whether each algorithm sustains real-time response, reproducing the
+// paper's claim that single-silo sampling + LSR-Forest exceeds 250 q/s
+// while exact fan-out saturates far earlier.
+//
+//   ./build/examples/bike_share_monitor [num_objects]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/generator.h"
+#include "eval/workload.h"
+#include "federation/federation.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  size_t num_objects = 400000;
+  if (argc > 1) num_objects = static_cast<size_t>(std::atoll(argv[1]));
+
+  std::printf("Simulating a federation of 6 bike-share silos over %zu "
+              "bikes...\n", num_objects);
+
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = num_objects;
+  data_options.seed = 7;
+  data_options.non_iid = true;
+  auto dataset = fra::GenerateMobilityData(data_options).ValueOrDie();
+  auto partitions =
+      fra::SplitIntoSilos(dataset.company_partitions, 6, 11).ValueOrDie();
+
+  fra::FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;
+  // A realistic metropolitan-network round trip: ~200 microseconds.
+  options.latency.fixed_micros = 200.0;
+  auto federation =
+      fra::Federation::Create(std::move(partitions), options).ValueOrDie();
+  fra::ServiceProvider& provider = federation->provider();
+
+  // One rush-hour second: 150 "bikes near the station" queries, centers
+  // drawn from real bike locations, radius 2 km.
+  fra::WorkloadOptions workload;
+  workload.num_queries = 150;
+  workload.radius_km = 2.0;
+  workload.kind = fra::AggregateKind::kCount;
+  workload.seed = 99;
+  const auto queries =
+      fra::GenerateQueries(dataset.company_partitions, workload).ValueOrDie();
+
+  std::printf("\nReplaying %zu queries (one rush-hour second, paper [14])\n",
+              queries.size());
+  std::printf("%-16s %10s %12s %14s %10s\n", "algorithm", "time(s)",
+              "queries/s", "real-time?", "avg msgs");
+
+  for (fra::FraAlgorithm algorithm :
+       {fra::FraAlgorithm::kExact, fra::FraAlgorithm::kOpta,
+        fra::FraAlgorithm::kIidEstLsr, fra::FraAlgorithm::kNonIidEstLsr}) {
+    const fra::CommStats::Snapshot before = provider.comm();
+    fra::Timer timer;
+    auto results = provider.ExecuteBatch(queries, algorithm);
+    const double elapsed = timer.ElapsedSeconds();
+    if (!results.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n",
+                   fra::FraAlgorithmToString(algorithm),
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    const fra::CommStats::Snapshot comm = provider.comm() - before;
+    const double qps = static_cast<double>(queries.size()) / elapsed;
+    std::printf("%-16s %10.3f %12.1f %14s %10.1f\n",
+                fra::FraAlgorithmToString(algorithm), elapsed, qps,
+                qps >= 150.0 ? "yes (>150/s)" : "NO",
+                static_cast<double>(comm.messages) /
+                    static_cast<double>(queries.size()));
+  }
+
+  std::printf(
+      "\nThe sampling algorithms answer each query from ONE silo, so the\n"
+      "150-query burst spreads across all 6 silos in parallel; EXACT\n"
+      "occupies every silo for every query and pays 6x the round trips.\n");
+  return 0;
+}

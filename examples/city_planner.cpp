@@ -1,0 +1,109 @@
+// City planner: district-level statistics over a non-IID federation.
+//
+// A mobility-planning team wants, for every district of the city, the
+// vehicle density and the AVG / STDEV of carried passengers — without any
+// company revealing its raw trips. This exercises rectangular ranges, the
+// Sec. 7 AVG/STDEV extensions, and NonIID-est on skewed company data.
+//
+//   ./build/examples/city_planner
+
+#include <cstdio>
+
+#include "baseline/brute_force.h"
+#include "data/generator.h"
+#include "federation/federation.h"
+
+int main() {
+  // Companies with strongly different district focus (non-IID).
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = 300000;
+  data_options.seed = 2024;
+  data_options.non_iid = true;
+  data_options.non_iid_skew = 2.0;
+  auto dataset = fra::GenerateMobilityData(data_options).ValueOrDie();
+  const fra::BruteForceAggregator truth(dataset.company_partitions);
+
+  fra::FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;
+  auto federation =
+      fra::Federation::Create(std::move(dataset.company_partitions), options)
+          .ValueOrDie();
+  fra::ServiceProvider& provider = federation->provider();
+
+  // Divide the city into a 3x3 grid of planning districts.
+  constexpr int kDistricts = 3;
+  const fra::Rect domain = dataset.domain;
+  const double dw = domain.Width() / kDistricts;
+  const double dh = domain.Height() / kDistricts;
+
+  std::printf("District survey via NonIID-est (federated, 1 silo/query)\n");
+  std::printf("%-10s %12s %12s %12s %12s\n", "district", "vehicles",
+              "err(%)", "AVG pax", "STDEV pax");
+
+  for (int row = 0; row < kDistricts; ++row) {
+    for (int col = 0; col < kDistricts; ++col) {
+      const fra::QueryRange district = fra::QueryRange::MakeRect(
+          {domain.min.x + col * dw, domain.min.y + row * dh},
+          {domain.min.x + (col + 1) * dw, domain.min.y + (row + 1) * dh});
+
+      const double count =
+          provider
+              .Execute({district, fra::AggregateKind::kCount},
+                       fra::FraAlgorithm::kNonIidEst)
+              .ValueOrDie();
+      const double avg =
+          provider
+              .Execute({district, fra::AggregateKind::kAvg},
+                       fra::FraAlgorithm::kNonIidEst)
+              .ValueOrDie();
+      const double stdev =
+          provider
+              .Execute({district, fra::AggregateKind::kStdev},
+                       fra::FraAlgorithm::kNonIidEst)
+              .ValueOrDie();
+      const double exact_count =
+          truth.Aggregate(district, fra::AggregateKind::kCount).ValueOrDie();
+      const double error =
+          exact_count > 0
+              ? 100.0 * std::abs(count - exact_count) / exact_count
+              : 0.0;
+
+      char name[16];
+      std::snprintf(name, sizeof(name), "D%d-%d", row + 1, col + 1);
+      std::printf("%-10s %12.0f %12.2f %12.3f %12.3f\n", name, count, error,
+                  avg, stdev);
+    }
+  }
+
+  // Compare aggregate accuracy: IID-est vs NonIID-est on the hotspots.
+  std::printf("\nWhy NonIID-est? On skewed company data, global rescaling\n"
+              "(IID-est) mis-extrapolates the sampled silo:\n\n");
+  std::printf("%-24s %14s %14s %14s\n", "hotspot query", "exact",
+              "IID-est", "NonIID-est");
+  for (int q = 0; q < 5; ++q) {
+    // Probe around the densest areas.
+    const fra::Point center{
+        domain.min.x + domain.Width() * (0.3 + 0.1 * q),
+        domain.min.y + domain.Height() * (0.35 + 0.08 * q)};
+    const fra::QueryRange range = fra::QueryRange::MakeCircle(center, 3.0);
+    const double exact =
+        truth.Aggregate(range, fra::AggregateKind::kCount).ValueOrDie();
+    if (exact < 50) continue;
+    const double iid =
+        provider
+            .ExecuteWithSilo({range, fra::AggregateKind::kCount},
+                             fra::FraAlgorithm::kIidEst, q % 3)
+            .ValueOrDie();
+    const double non_iid =
+        provider
+            .ExecuteWithSilo({range, fra::AggregateKind::kCount},
+                             fra::FraAlgorithm::kNonIidEst, q % 3)
+            .ValueOrDie();
+    char label[32];
+    std::snprintf(label, sizeof(label), "circle@(%.0f,%.0f) r=3", center.x,
+                  center.y);
+    std::printf("%-24s %14.0f %14.0f %14.0f\n", label, exact, iid, non_iid);
+  }
+  return 0;
+}

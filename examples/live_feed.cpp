@@ -1,0 +1,81 @@
+// Live feed: a federation under continuous ingest.
+//
+// Simulates a morning in a bike-share federation: every "minute" each
+// company's silo ingests a batch of fresh records (new trips around the
+// stations), the provider periodically pulls grid deltas, and a monitoring
+// query tracks the fleet density around the central station in near real
+// time — showing the estimator catching up with the stream after each
+// sync.
+//
+//   ./build/examples/live_feed
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "federation/federation.h"
+#include "util/random.h"
+
+int main() {
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = 150000;
+  data_options.seed = 88;
+  data_options.non_iid = true;
+  auto dataset = fra::GenerateMobilityData(data_options).ValueOrDie();
+  const fra::Point station = dataset.domain.Center();
+
+  fra::FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;
+  options.silo.compact_fraction = 0.05;
+  auto federation =
+      fra::Federation::Create(std::move(dataset.company_partitions), options)
+          .ValueOrDie();
+  fra::ServiceProvider& provider = federation->provider();
+
+  const fra::FraQuery monitor{fra::QueryRange::MakeCircle(station, 2.0),
+                              fra::AggregateKind::kCount};
+
+  std::printf("monitoring bikes within 2 km of the central station\n");
+  std::printf("%-8s %12s %14s %14s %12s\n", "minute", "exact",
+              "estimate", "stale est.", "sync bytes");
+
+  fra::Rng rng(99);
+  for (int minute = 1; minute <= 10; ++minute) {
+    // Each company receives a burst of new trips near the station area.
+    for (size_t s = 0; s < federation->num_silos(); ++s) {
+      fra::ObjectSet batch;
+      const size_t arrivals = 200 + rng.NextUint64(400);
+      for (size_t i = 0; i < arrivals; ++i) {
+        batch.push_back(
+            {{rng.NextGaussian(station.x, 1.2),
+              rng.NextGaussian(station.y, 1.2)},
+             static_cast<double>(rng.NextInt64(0, 4))});
+      }
+      federation->silo(s).Ingest(batch);
+    }
+
+    // Estimate BEFORE syncing: the provider's grids are stale, so the
+    // single-silo estimator lags the stream...
+    const double stale =
+        provider.Execute(monitor, fra::FraAlgorithm::kNonIidEst)
+            .ValueOrDie();
+
+    // ...then pull the grid deltas and estimate again.
+    const fra::CommStats::Snapshot before = provider.comm();
+    FRA_CHECK_OK(provider.SyncGrids());
+    const uint64_t sync_bytes = (provider.comm() - before).TotalBytes();
+    const double fresh =
+        provider.Execute(monitor, fra::FraAlgorithm::kNonIidEst)
+            .ValueOrDie();
+    const double exact =
+        provider.Execute(monitor, fra::FraAlgorithm::kExact).ValueOrDie();
+
+    std::printf("%-8d %12.0f %14.0f %14.0f %12llu\n", minute, exact, fresh,
+                stale, static_cast<unsigned long long>(sync_bytes));
+  }
+
+  std::printf("\nEach sync ships only the grid cells the new trips touched;\n"
+              "silos auto-compact their tree indexes in the background\n"
+              "(threshold: 5%% of the base partition).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: build a 3-silo federation over synthetic city data and
+// answer one FRA query with each of the paper's six algorithms.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "baseline/brute_force.h"
+#include "data/generator.h"
+#include "federation/federation.h"
+
+int main() {
+  // 1. Synthesise a small shared-mobility corpus: three companies holding
+  //    data in 1:1:2 proportion over a Beijing-like extent.
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = 200000;
+  data_options.seed = 42;
+  data_options.non_iid = true;  // companies focus on different districts
+  auto dataset_result = fra::GenerateMobilityData(data_options);
+  if (!dataset_result.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 dataset_result.status().ToString().c_str());
+    return 1;
+  }
+  fra::FederationDataset dataset = std::move(dataset_result).ValueOrDie();
+
+  // Keep a pooled copy for ground truth (a real federation could not!).
+  const fra::BruteForceAggregator truth(dataset.company_partitions);
+
+  // 2. Assemble the federation: one silo per company, a simulated network
+  //    that meters every byte, and the service provider (which runs
+  //    Alg. 1 to collect and merge the silo grid indices).
+  fra::FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;  // km
+  options.provider.epsilon = 0.1;
+  options.provider.delta = 0.01;
+  auto federation_result =
+      fra::Federation::Create(std::move(dataset.company_partitions), options);
+  if (!federation_result.ok()) {
+    std::fprintf(stderr, "federation setup failed: %s\n",
+                 federation_result.status().ToString().c_str());
+    return 1;
+  }
+  auto federation = std::move(federation_result).ValueOrDie();
+  fra::ServiceProvider& provider = federation->provider();
+
+  // 3. "How many vehicles are within 2 km of the city center?"
+  const fra::FraQuery query{
+      fra::QueryRange::MakeCircle(dataset.domain.Center(), 2.0),
+      fra::AggregateKind::kCount};
+  const double exact_answer =
+      truth.Aggregate(query.range, query.kind).ValueOrDie();
+  std::printf("ground truth (pooled data): %.0f vehicles\n\n", exact_answer);
+
+  std::printf("%-16s %12s %10s %10s %10s\n", "algorithm", "answer",
+              "error", "msgs", "bytes");
+  for (fra::FraAlgorithm algorithm :
+       {fra::FraAlgorithm::kExact, fra::FraAlgorithm::kOpta,
+        fra::FraAlgorithm::kIidEst, fra::FraAlgorithm::kIidEstLsr,
+        fra::FraAlgorithm::kNonIidEst, fra::FraAlgorithm::kNonIidEstLsr}) {
+    const fra::CommStats::Snapshot before = provider.comm();
+    auto answer = provider.Execute(query, algorithm);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n",
+                   fra::FraAlgorithmToString(algorithm),
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+    const fra::CommStats::Snapshot comm = provider.comm() - before;
+    std::printf("%-16s %12.1f %9.2f%% %10llu %10llu\n",
+                fra::FraAlgorithmToString(algorithm), *answer,
+                100.0 * std::abs(*answer - exact_answer) / exact_answer,
+                static_cast<unsigned long long>(comm.messages),
+                static_cast<unsigned long long>(comm.TotalBytes()));
+  }
+
+  std::printf(
+      "\nNote how the single-silo estimators answer with 1 message while\n"
+      "EXACT/OPTA contact every silo, and how NonIID-est stays accurate on\n"
+      "this skewed (non-IID) federation.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// TCP federation: the paper's deployment shape on one machine.
+//
+// Spins up three silo servers on real loopback sockets (in production
+// each would be a separate process on the data provider's machine),
+// points a TcpNetwork-backed service provider at them, and answers
+// queries over actual TCP round trips — demonstrating that the provider
+// stack is transport agnostic.
+//
+//   ./build/examples/tcp_federation
+
+#include <cstdio>
+
+#include "data/generator.h"
+#include "federation/service_provider.h"
+#include "federation/silo.h"
+#include "net/tcp_network.h"
+#include "util/timer.h"
+
+int main() {
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = 150000;
+  data_options.seed = 17;
+  data_options.non_iid = true;
+  auto dataset = fra::GenerateMobilityData(data_options).ValueOrDie();
+
+  fra::Silo::Options silo_options;
+  silo_options.grid_spec.domain = dataset.domain;
+  silo_options.grid_spec.cell_length = 1.5;
+
+  // Launch one TCP server per company silo.
+  std::vector<std::unique_ptr<fra::Silo>> silos;
+  std::vector<std::unique_ptr<fra::TcpSiloServer>> servers;
+  fra::TcpNetwork network;
+  for (size_t s = 0; s < dataset.company_partitions.size(); ++s) {
+    auto silo = fra::Silo::Create(static_cast<int>(s),
+                                  std::move(dataset.company_partitions[s]),
+                                  silo_options)
+                    .ValueOrDie();
+    auto server = fra::TcpSiloServer::Start(silo.get()).ValueOrDie();
+    std::printf("silo %zu serving %zu objects on 127.0.0.1:%u\n", s,
+                silo->size(), server->port());
+    FRA_CHECK_OK(network.AddSilo(static_cast<int>(s), server->port()));
+    silos.push_back(std::move(silo));
+    servers.push_back(std::move(server));
+  }
+
+  // Alg. 1 (grid collection) now happens over the wire.
+  fra::Timer setup_timer;
+  auto provider = fra::ServiceProvider::Create(&network).ValueOrDie();
+  const fra::CommStats::Snapshot setup_comm = provider->comm();
+  std::printf("provider ready in %.1f ms; Alg. 1 transferred %.1f KB over "
+              "TCP\n\n",
+              setup_timer.ElapsedMillis(),
+              static_cast<double>(setup_comm.TotalBytes()) / 1024.0);
+
+  const fra::FraQuery query{
+      fra::QueryRange::MakeCircle(dataset.domain.Center(), 2.5),
+      fra::AggregateKind::kCount};
+  std::printf("%-16s %12s %10s %12s\n", "algorithm", "answer", "msgs",
+              "round-trip");
+  for (fra::FraAlgorithm algorithm :
+       {fra::FraAlgorithm::kExact, fra::FraAlgorithm::kIidEstLsr,
+        fra::FraAlgorithm::kNonIidEstLsr}) {
+    const fra::CommStats::Snapshot before = provider->comm();
+    fra::Timer timer;
+    const double answer = provider->Execute(query, algorithm).ValueOrDie();
+    const double ms = timer.ElapsedMillis();
+    const fra::CommStats::Snapshot comm = provider->comm() - before;
+    std::printf("%-16s %12.0f %10llu %10.2fms\n",
+                fra::FraAlgorithmToString(algorithm), answer,
+                static_cast<unsigned long long>(comm.messages), ms);
+  }
+
+  uint64_t served = 0;
+  for (const auto& server : servers) served += server->requests_served();
+  std::printf("\ntotal requests served over TCP: %llu\n",
+              static_cast<unsigned long long>(served));
+  return 0;
+}

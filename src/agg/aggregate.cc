@@ -1,0 +1,104 @@
+#include "agg/aggregate.h"
+
+#include <cmath>
+
+namespace fra {
+
+const char* AggregateKindToString(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+      return "COUNT";
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kSumSqr:
+      return "SUM_SQR";
+    case AggregateKind::kAvg:
+      return "AVG";
+    case AggregateKind::kStdev:
+      return "STDEV";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kMax:
+      return "MAX";
+  }
+  return "UNKNOWN";
+}
+
+bool IsEstimable(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kCount:
+    case AggregateKind::kSum:
+    case AggregateKind::kSumSqr:
+    case AggregateKind::kAvg:
+    case AggregateKind::kStdev:
+      return true;
+    case AggregateKind::kMin:
+    case AggregateKind::kMax:
+      return false;
+  }
+  return false;
+}
+
+Status AggregateSummary::Finalize(AggregateKind kind, double* out) const {
+  switch (kind) {
+    case AggregateKind::kCount:
+      *out = static_cast<double>(count);
+      return Status::OK();
+    case AggregateKind::kSum:
+      *out = sum;
+      return Status::OK();
+    case AggregateKind::kSumSqr:
+      *out = sum_sqr;
+      return Status::OK();
+    case AggregateKind::kAvg:
+      *out = count == 0 ? 0.0 : sum / static_cast<double>(count);
+      return Status::OK();
+    case AggregateKind::kStdev: {
+      if (count == 0) {
+        *out = 0.0;
+        return Status::OK();
+      }
+      const double n = static_cast<double>(count);
+      const double mean = sum / n;
+      // Population standard deviation, per the paper's Sec. 7 formula
+      // STDEV = sqrt(SUM_SQR / |P| - AVG^2); clamp to guard rounding.
+      *out = std::sqrt(std::max(0.0, sum_sqr / n - mean * mean));
+      return Status::OK();
+    }
+    case AggregateKind::kMin:
+      // Infinite sentinels mean the extremum was never tracked (empty
+      // set) or was deliberately withheld (DP perturbation).
+      if (count == 0 || !std::isfinite(min)) {
+        return Status::InvalidArgument("MIN unavailable for this summary");
+      }
+      *out = min;
+      return Status::OK();
+    case AggregateKind::kMax:
+      if (count == 0 || !std::isfinite(max)) {
+        return Status::InvalidArgument("MAX unavailable for this summary");
+      }
+      *out = max;
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown aggregate kind");
+}
+
+void AggregateSummary::Serialize(BinaryWriter* writer) const {
+  writer->WriteU64(count);
+  writer->WriteDouble(sum);
+  writer->WriteDouble(sum_sqr);
+  writer->WriteDouble(min);
+  writer->WriteDouble(max);
+}
+
+Status AggregateSummary::Deserialize(BinaryReader* reader,
+                                     AggregateSummary* out) {
+  FRA_RETURN_NOT_OK(reader->ReadU64(&out->count));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&out->sum));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&out->sum_sqr));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&out->min));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&out->max));
+  return Status::OK();
+}
+
+}  // namespace fra

@@ -1,0 +1,109 @@
+#ifndef FRA_AGG_AGGREGATE_H_
+#define FRA_AGG_AGGREGATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "agg/spatial_object.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace fra {
+
+/// Aggregation functions supported by FRA queries. COUNT and SUM are the
+/// paper's primary targets (Sec. 2); AVG / STDEV / SUM_SQR are the Sec. 7
+/// extensions; MIN / MAX are supported by exact queries only (extrema are
+/// not estimable by rescaled sampling).
+enum class AggregateKind : uint8_t {
+  kCount = 0,
+  kSum = 1,
+  kSumSqr = 2,
+  kAvg = 3,
+  kStdev = 4,
+  kMin = 5,
+  kMax = 6,
+};
+
+/// Stable display name, e.g. "COUNT".
+const char* AggregateKindToString(AggregateKind kind);
+
+/// True for aggregates whose value can be estimated by sampling + linear
+/// rescaling (COUNT, SUM, SUM_SQR and the derived AVG, STDEV).
+bool IsEstimable(AggregateKind kind);
+
+/// The decomposable sketch of a set of measures: every supported aggregate
+/// is derivable from it, and two summaries merge losslessly. Grid cells,
+/// R-tree nodes, and network responses all carry one of these.
+struct AggregateSummary {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double sum_sqr = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// Folds one measure into the summary.
+  void Add(double measure) {
+    ++count;
+    sum += measure;
+    sum_sqr += measure * measure;
+    if (measure < min) min = measure;
+    if (measure > max) max = measure;
+  }
+
+  void Add(const SpatialObject& o) { Add(o.measure); }
+
+  /// Combines with another summary (set union of disjoint inputs).
+  void Merge(const AggregateSummary& other) {
+    count += other.count;
+    sum += other.sum;
+    sum_sqr += other.sum_sqr;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+
+  bool empty() const { return count == 0; }
+
+  /// Rescales the linear components by `factor` (level-sampling estimate:
+  /// counts, sums and sums of squares scale; extrema are left untouched
+  /// and must not be read from a scaled summary).
+  AggregateSummary Scaled(double factor) const {
+    AggregateSummary out = *this;
+    out.count = static_cast<uint64_t>(static_cast<double>(count) * factor + 0.5);
+    out.sum = sum * factor;
+    out.sum_sqr = sum_sqr * factor;
+    return out;
+  }
+
+  /// Final value of `kind` over the summarised set. Empty sets yield 0
+  /// for COUNT/SUM/SUM_SQR/AVG/STDEV and an error for MIN/MAX.
+  Status Finalize(AggregateKind kind, double* out) const;
+
+  /// Serialised wire size in bytes (fixed).
+  static constexpr size_t kWireSize = sizeof(uint64_t) + 4 * sizeof(double);
+
+  void Serialize(BinaryWriter* writer) const;
+  static Status Deserialize(BinaryReader* reader, AggregateSummary* out);
+
+  friend bool operator==(const AggregateSummary& a, const AggregateSummary& b) {
+    return a.count == b.count && a.sum == b.sum && a.sum_sqr == b.sum_sqr &&
+           a.min == b.min && a.max == b.max;
+  }
+};
+
+/// Brute-force reference: summary of all objects of `objects` lying inside
+/// the given predicate. Used as ground truth by tests and the EXACT
+/// baseline's correctness checks.
+template <typename RangePredicate>
+AggregateSummary SummarizeIf(const ObjectSet& objects,
+                             const RangePredicate& contains) {
+  AggregateSummary summary;
+  for (const SpatialObject& o : objects) {
+    if (contains(o.location)) summary.Add(o);
+  }
+  return summary;
+}
+
+}  // namespace fra
+
+#endif  // FRA_AGG_AGGREGATE_H_

@@ -1,0 +1,28 @@
+#ifndef FRA_AGG_SPATIAL_OBJECT_H_
+#define FRA_AGG_SPATIAL_OBJECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace fra {
+
+/// A spatial object o = (l_o, a_o): a location plus a scalar measure
+/// attribute (paper Def. 1). The measure is application specific — e.g.
+/// carried passengers for the paper's shared-mobility records.
+struct SpatialObject {
+  Point location;
+  double measure = 0.0;
+
+  friend bool operator==(const SpatialObject& a, const SpatialObject& b) {
+    return a.location == b.location && a.measure == b.measure;
+  }
+};
+
+/// A silo's horizontal partition P_{s_i} of the federation's objects.
+using ObjectSet = std::vector<SpatialObject>;
+
+}  // namespace fra
+
+#endif  // FRA_AGG_SPATIAL_OBJECT_H_

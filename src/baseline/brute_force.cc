@@ -1,0 +1,31 @@
+#include "baseline/brute_force.h"
+
+namespace fra {
+
+BruteForceAggregator::BruteForceAggregator(
+    const std::vector<ObjectSet>& partitions) {
+  size_t total = 0;
+  for (const ObjectSet& partition : partitions) total += partition.size();
+  objects_.reserve(total);
+  for (const ObjectSet& partition : partitions) {
+    objects_.insert(objects_.end(), partition.begin(), partition.end());
+  }
+}
+
+BruteForceAggregator::BruteForceAggregator(ObjectSet objects)
+    : objects_(std::move(objects)) {}
+
+AggregateSummary BruteForceAggregator::Summarize(
+    const QueryRange& range) const {
+  return SummarizeIf(objects_,
+                     [&range](const Point& p) { return range.Contains(p); });
+}
+
+Result<double> BruteForceAggregator::Aggregate(const QueryRange& range,
+                                               AggregateKind kind) const {
+  double value = 0.0;
+  FRA_RETURN_NOT_OK(Summarize(range).Finalize(kind, &value));
+  return value;
+}
+
+}  // namespace fra

@@ -1,0 +1,38 @@
+#ifndef FRA_BASELINE_BRUTE_FORCE_H_
+#define FRA_BASELINE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/spatial_object.h"
+#include "geo/range.h"
+#include "util/result.h"
+
+namespace fra {
+
+/// Linear-scan ground truth over raw object sets, outside the federation
+/// abstraction entirely. Tests and the evaluation harness use it to
+/// compute the exact answers that relative errors are measured against
+/// (Sec. 8.1's RE definition needs the true result).
+class BruteForceAggregator {
+ public:
+  /// Keeps a flattened copy of all partitions.
+  explicit BruteForceAggregator(const std::vector<ObjectSet>& partitions);
+  explicit BruteForceAggregator(ObjectSet objects);
+
+  /// Summary of all objects inside `range` by exhaustive scan.
+  AggregateSummary Summarize(const QueryRange& range) const;
+
+  /// Final aggregate value of `kind` inside `range`.
+  Result<double> Aggregate(const QueryRange& range, AggregateKind kind) const;
+
+  size_t size() const { return objects_.size(); }
+  const ObjectSet& objects() const { return objects_; }
+
+ private:
+  ObjectSet objects_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_BASELINE_BRUTE_FORCE_H_

@@ -1,0 +1,28 @@
+#include "baseline/centralized.h"
+
+namespace fra {
+
+CentralizedRTree::CentralizedRTree(const std::vector<ObjectSet>& partitions,
+                                   const RTree::Options& options) {
+  ObjectSet all;
+  size_t total = 0;
+  for (const ObjectSet& partition : partitions) total += partition.size();
+  all.reserve(total);
+  for (const ObjectSet& partition : partitions) {
+    all.insert(all.end(), partition.begin(), partition.end());
+  }
+  tree_ = RTree::Build(std::move(all), options);
+}
+
+AggregateSummary CentralizedRTree::Summarize(const QueryRange& range) const {
+  return tree_.RangeAggregate(range);
+}
+
+Result<double> CentralizedRTree::Aggregate(const QueryRange& range,
+                                           AggregateKind kind) const {
+  double value = 0.0;
+  FRA_RETURN_NOT_OK(Summarize(range).Finalize(kind, &value));
+  return value;
+}
+
+}  // namespace fra

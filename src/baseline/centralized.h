@@ -1,0 +1,38 @@
+#ifndef FRA_BASELINE_CENTRALIZED_H_
+#define FRA_BASELINE_CENTRALIZED_H_
+
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/spatial_object.h"
+#include "geo/range.h"
+#include "index/rtree.h"
+#include "util/result.h"
+
+namespace fra {
+
+/// The "no federation constraint" reference: one aggregate R-tree over
+/// the pooled union of all partitions, as a conventional centralised
+/// spatial database would build. Federated deployments cannot do this
+/// (raw rows may not leave their silos — the constraint motivating the
+/// whole paper), but it provides the performance ceiling that DESIGN.md's
+/// discussion and the throughput bench compare against.
+class CentralizedRTree {
+ public:
+  explicit CentralizedRTree(const std::vector<ObjectSet>& partitions,
+                            const RTree::Options& options = RTree::Options());
+
+  AggregateSummary Summarize(const QueryRange& range) const;
+  Result<double> Aggregate(const QueryRange& range, AggregateKind kind) const;
+
+  size_t size() const { return tree_.size(); }
+  size_t MemoryUsage() const { return tree_.MemoryUsage(); }
+  const RTree& tree() const { return tree_; }
+
+ private:
+  RTree tree_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_BASELINE_CENTRALIZED_H_

@@ -1,0 +1,76 @@
+#include "data/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace fra {
+
+Status WriteCsv(const std::string& path,
+                const std::vector<ObjectSet>& partitions) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  out << std::setprecision(17);  // round-trip doubles exactly
+  out << "silo,x,y,measure\n";
+  for (size_t silo = 0; silo < partitions.size(); ++silo) {
+    for (const SpatialObject& o : partitions[silo]) {
+      out << silo << ',' << o.location.x << ',' << o.location.y << ','
+          << o.measure << '\n';
+    }
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write to " + path + " failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<ObjectSet>> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IOError(path + " is empty");
+  }
+  if (line.rfind("silo,x,y,measure", 0) != 0) {
+    return Status::InvalidArgument(path +
+                                   ": expected header 'silo,x,y,measure'");
+  }
+
+  std::vector<ObjectSet> partitions;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    unsigned long silo = 0;
+    SpatialObject object;
+    char trailing = 0;
+    const int fields =
+        std::sscanf(line.c_str(), "%lu,%lf,%lf,%lf%c", &silo,
+                    &object.location.x, &object.location.y, &object.measure,
+                    &trailing);
+    if (fields != 4) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_number) +
+                                     ": malformed row '" + line + "'");
+    }
+    if (silo >= partitions.size()) partitions.resize(silo + 1);
+    partitions[silo].push_back(object);
+  }
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    if (partitions[i].empty()) {
+      return Status::InvalidArgument(
+          path + ": silo indices must be contiguous; silo " +
+          std::to_string(i) + " has no rows");
+    }
+  }
+  return partitions;
+}
+
+}  // namespace fra

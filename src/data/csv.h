@@ -1,0 +1,27 @@
+#ifndef FRA_DATA_CSV_H_
+#define FRA_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/spatial_object.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace fra {
+
+/// Writes partitions as CSV with header "silo,x,y,measure" — one row per
+/// spatial object, `silo` being the partition index. Lets users round-trip
+/// real datasets (e.g. public bike-share dumps projected to km) through
+/// the federation.
+Status WriteCsv(const std::string& path,
+                const std::vector<ObjectSet>& partitions);
+
+/// Reads partitions written by WriteCsv (or hand-made files with the same
+/// header). Rows may appear in any order; partition indices must be
+/// contiguous from 0.
+Result<std::vector<ObjectSet>> ReadCsv(const std::string& path);
+
+}  // namespace fra
+
+#endif  // FRA_DATA_CSV_H_

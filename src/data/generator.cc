@@ -1,0 +1,177 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace fra {
+namespace {
+
+struct Hotspot {
+  Point center;
+  double stddev;
+  double weight;  // global popularity
+};
+
+// Discrete "carried passengers" distribution: mostly 0-2, tail to 4.
+double SampleMeasure(Rng* rng) {
+  static constexpr double kWeights[] = {0.35, 0.30, 0.20, 0.10, 0.05};
+  double u = rng->NextDouble();
+  for (int v = 0; v < 5; ++v) {
+    if (u < kWeights[v]) return static_cast<double>(v);
+    u -= kWeights[v];
+  }
+  return 4.0;
+}
+
+Point SampleLocation(const Rect& domain, const std::vector<Hotspot>& hotspots,
+                     const std::vector<double>& cumulative_weights,
+                     double background_fraction, Rng* rng) {
+  if (rng->NextBernoulli(background_fraction) || hotspots.empty()) {
+    return Point{rng->NextDouble(domain.min.x, domain.max.x),
+                 rng->NextDouble(domain.min.y, domain.max.y)};
+  }
+  // Pick a hotspot by weight, then draw a truncated Gaussian around it.
+  const double u = rng->NextDouble() * cumulative_weights.back();
+  const size_t h = static_cast<size_t>(
+      std::lower_bound(cumulative_weights.begin(), cumulative_weights.end(),
+                       u) -
+      cumulative_weights.begin());
+  const Hotspot& hotspot = hotspots[std::min(h, hotspots.size() - 1)];
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const Point p{rng->NextGaussian(hotspot.center.x, hotspot.stddev),
+                  rng->NextGaussian(hotspot.center.y, hotspot.stddev)};
+    if (domain.Contains(p)) return p;
+  }
+  // Hotspot hugs the boundary and rejection keeps failing: clamp.
+  return Point{std::clamp(hotspot.center.x, domain.min.x, domain.max.x),
+               std::clamp(hotspot.center.y, domain.min.y, domain.max.y)};
+}
+
+}  // namespace
+
+Result<FederationDataset> GenerateMobilityData(
+    const MobilityDataOptions& options) {
+  if (options.num_objects == 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  if (!options.domain.IsValid() || options.domain.Area() <= 0.0) {
+    return Status::InvalidArgument("domain must have positive area");
+  }
+  if (options.company_proportions.empty()) {
+    return Status::InvalidArgument("need at least one company");
+  }
+  for (double p : options.company_proportions) {
+    if (p <= 0.0) {
+      return Status::InvalidArgument("company proportions must be positive");
+    }
+  }
+  if (options.background_fraction < 0.0 || options.background_fraction > 1.0) {
+    return Status::InvalidArgument("background_fraction must be in [0, 1]");
+  }
+
+  Rng rng(options.seed);
+
+  // Hotspots: centers biased toward the middle half of the domain.
+  std::vector<Hotspot> hotspots(options.num_hotspots);
+  const Point center = options.domain.Center();
+  for (Hotspot& hotspot : hotspots) {
+    hotspot.center.x = std::clamp(
+        rng.NextGaussian(center.x, options.domain.Width() / 6.0),
+        options.domain.min.x, options.domain.max.x);
+    hotspot.center.y = std::clamp(
+        rng.NextGaussian(center.y, options.domain.Height() / 6.0),
+        options.domain.min.y, options.domain.max.y);
+    hotspot.stddev = options.hotspot_stddev_km * rng.NextDouble(0.5, 2.0);
+    hotspot.weight = rng.NextDouble(0.5, 2.0);
+  }
+
+  // Object counts per company, respecting proportions exactly up to
+  // rounding (remainder goes to the last company).
+  const double proportion_total =
+      std::accumulate(options.company_proportions.begin(),
+                      options.company_proportions.end(), 0.0);
+  const size_t num_companies = options.company_proportions.size();
+  std::vector<size_t> counts(num_companies);
+  size_t assigned = 0;
+  for (size_t c = 0; c + 1 < num_companies; ++c) {
+    counts[c] = static_cast<size_t>(
+        std::llround(static_cast<double>(options.num_objects) *
+                     options.company_proportions[c] / proportion_total));
+    assigned += counts[c];
+  }
+  counts[num_companies - 1] =
+      options.num_objects > assigned ? options.num_objects - assigned : 0;
+
+  FederationDataset dataset;
+  dataset.domain = options.domain;
+  dataset.company_partitions.resize(num_companies);
+
+  for (size_t c = 0; c < num_companies; ++c) {
+    Rng company_rng = rng.Fork(c + 1);
+
+    // Company-specific hotspot weights: identical in the IID regime,
+    // multiplicatively skewed per company otherwise.
+    std::vector<double> cumulative(hotspots.size());
+    double acc = 0.0;
+    for (size_t h = 0; h < hotspots.size(); ++h) {
+      double w = hotspots[h].weight;
+      if (options.non_iid) {
+        w *= std::exp(options.non_iid_skew *
+                      company_rng.NextDouble(-1.0, 1.0));
+      }
+      acc += w;
+      cumulative[h] = acc;
+    }
+
+    ObjectSet& partition = dataset.company_partitions[c];
+    partition.reserve(counts[c]);
+    for (size_t i = 0; i < counts[c]; ++i) {
+      SpatialObject object;
+      object.location =
+          SampleLocation(options.domain, hotspots, cumulative,
+                         options.background_fraction, &company_rng);
+      object.measure = SampleMeasure(&company_rng);
+      partition.push_back(object);
+    }
+  }
+  return dataset;
+}
+
+Result<std::vector<ObjectSet>> SplitIntoSilos(
+    const std::vector<ObjectSet>& company_partitions, size_t num_silos,
+    uint64_t seed) {
+  const size_t num_companies = company_partitions.size();
+  if (num_companies == 0) {
+    return Status::InvalidArgument("no company partitions");
+  }
+  if (num_silos == 0 || num_silos % num_companies != 0) {
+    return Status::InvalidArgument(
+        "num_silos must be a positive multiple of the company count (" +
+        std::to_string(num_companies) + ")");
+  }
+  const size_t per_company = num_silos / num_companies;
+
+  std::vector<ObjectSet> silos(num_silos);
+  Rng rng(seed);
+  for (size_t c = 0; c < num_companies; ++c) {
+    ObjectSet shuffled = company_partitions[c];
+    // Fisher-Yates: a uniformly random equal split preserves the
+    // company's spatial distribution in every derived silo.
+    for (size_t i = shuffled.size(); i > 1; --i) {
+      std::swap(shuffled[i - 1], shuffled[rng.NextUint64(i)]);
+    }
+    const size_t n = shuffled.size();
+    for (size_t s = 0; s < per_company; ++s) {
+      const size_t begin = n * s / per_company;
+      const size_t end = n * (s + 1) / per_company;
+      ObjectSet& silo = silos[c * per_company + s];
+      silo.assign(shuffled.begin() + begin, shuffled.begin() + end);
+    }
+  }
+  return silos;
+}
+
+}  // namespace fra

@@ -1,0 +1,78 @@
+#ifndef FRA_DATA_GENERATOR_H_
+#define FRA_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/spatial_object.h"
+#include "geo/rect.h"
+#include "util/result.h"
+
+namespace fra {
+
+/// Parameters of the synthetic shared-mobility workload.
+///
+/// The paper evaluates on 2013 Beijing shared-mobility records held by
+/// three companies in 1:1:2 proportion, spanning 39.5-42.0N / 115.5-117.2E
+/// (~145 km x 276 km projected). That corpus is proprietary, so we
+/// synthesise its relevant structure instead: city data is heavily
+/// clustered (hotspots: stations, malls, CBD) over a thin uniform
+/// background, and companies either share the spatial distribution (IID
+/// across silos) or focus on different districts (Non-IID) — the two
+/// regimes the paper's estimators distinguish. The measure attribute
+/// mimics "carried passengers" (small non-negative integers).
+struct MobilityDataOptions {
+  size_t num_objects = 1'000'000;
+  uint64_t seed = 201306;
+
+  /// Projected city extent in km (defaults to the paper's Beijing bbox).
+  Rect domain = Rect{{0.0, 0.0}, {145.0, 276.0}};
+
+  /// Gaussian mixture hotspots. Centers concentrate in the middle half of
+  /// the domain (the urban core); per-hotspot sigma is drawn in
+  /// [0.5, 2.0] x hotspot_stddev_km.
+  size_t num_hotspots = 24;
+  double hotspot_stddev_km = 2.5;
+
+  /// Fraction of objects drawn uniformly over the whole domain.
+  double background_fraction = 0.15;
+
+  /// Relative data volume per company (the paper's three companies hold
+  /// 1:1:2). One partition is produced per entry.
+  std::vector<double> company_proportions = {0.25, 0.25, 0.5};
+
+  /// false: every company samples the same spatial mixture (IID across
+  /// silos). true: each company re-weights the hotspot mixture with its
+  /// own multiplicative skew (different strategic focus; Non-IID).
+  bool non_iid = false;
+  /// Strength of the per-company hotspot re-weighting (log-scale).
+  double non_iid_skew = 1.5;
+};
+
+/// A generated federation corpus: one partition per company plus the
+/// generating domain.
+struct FederationDataset {
+  std::vector<ObjectSet> company_partitions;
+  Rect domain;
+
+  size_t TotalObjects() const {
+    size_t n = 0;
+    for (const ObjectSet& p : company_partitions) n += p.size();
+    return n;
+  }
+};
+
+/// Generates the synthetic corpus. Deterministic given options.seed.
+Result<FederationDataset> GenerateMobilityData(
+    const MobilityDataOptions& options);
+
+/// The paper's silo-count protocol (Sec. 8.1): each company's records are
+/// split uniformly at random into num_silos / companies equal silos.
+/// Fails unless num_silos is a positive multiple of the company count.
+Result<std::vector<ObjectSet>> SplitIntoSilos(
+    const std::vector<ObjectSet>& company_partitions, size_t num_silos,
+    uint64_t seed);
+
+}  // namespace fra
+
+#endif  // FRA_DATA_GENERATOR_H_

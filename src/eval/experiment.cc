@@ -1,0 +1,128 @@
+#include "eval/experiment.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "baseline/centralized.h"
+#include "data/generator.h"
+#include "eval/metrics.h"
+#include "util/timer.h"
+
+namespace fra {
+
+ExperimentConfig ExperimentConfig::Defaults() { return ExperimentConfig(); }
+
+ExperimentConfig ApplyEnvScale(ExperimentConfig config) {
+  const char* scale = std::getenv("FRA_BENCH_SCALE");
+  if (scale == nullptr) return config;
+  const std::string value(scale);
+  if (value == "paper") {
+    // Paper Tab. 2 default federation size.
+    config.total_objects = 3'000'000;
+  } else if (value == "smoke") {
+    config.total_objects = 30'000;
+    config.num_queries = std::min<size_t>(config.num_queries, 30);
+  }
+  return config;
+}
+
+Status ExperimentRunner::Prepare() {
+  // 1. Synthesise the corpus (three companies, 1:1:2) and split silos.
+  MobilityDataOptions data_options;
+  data_options.num_objects = config_.total_objects;
+  data_options.seed = config_.seed;
+  data_options.non_iid = config_.non_iid;
+  FederationDataset dataset;
+  {
+    FRA_ASSIGN_OR_RETURN(dataset, GenerateMobilityData(data_options));
+  }
+  std::vector<ObjectSet> partitions;
+  {
+    FRA_ASSIGN_OR_RETURN(partitions,
+                         SplitIntoSilos(dataset.company_partitions,
+                                        config_.num_silos, config_.seed + 1));
+  }
+
+  // 2. Queries with centers sampled from the data.
+  WorkloadOptions workload;
+  workload.num_queries = config_.num_queries;
+  workload.radius_km = config_.radius_km;
+  workload.rect_ranges = config_.rect_ranges;
+  workload.kind = config_.kind;
+  workload.seed = config_.seed + 2;
+  FRA_ASSIGN_OR_RETURN(queries_, GenerateQueries(partitions, workload));
+
+  // 3. Ground truth from a centralized aggregate R-tree (exact).
+  const CentralizedRTree truth(partitions);
+  exact_answers_.clear();
+  exact_answers_.reserve(queries_.size());
+  for (const FraQuery& query : queries_) {
+    FRA_ASSIGN_OR_RETURN(const double answer,
+                         truth.Aggregate(query.range, query.kind));
+    exact_answers_.push_back(answer);
+  }
+
+  // 4. Assemble the federation.
+  FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = config_.grid_length_km;
+  options.provider.epsilon = config_.epsilon;
+  options.provider.delta = config_.delta;
+  options.provider.seed = config_.seed + 3;
+  FRA_ASSIGN_OR_RETURN(federation_,
+                       Federation::Create(std::move(partitions), options));
+  memory_ = federation_->MemoryUsage();
+  return Status::OK();
+}
+
+Result<AlgorithmResult> ExperimentRunner::RunAlgorithm(
+    FraAlgorithm algorithm) {
+  if (federation_ == nullptr) {
+    return Status::Internal("ExperimentRunner::Prepare was not called");
+  }
+  ServiceProvider& provider = federation_->provider();
+
+  const CommStats::Snapshot comm_before = provider.comm();
+  Timer timer;
+  FRA_ASSIGN_OR_RETURN(std::vector<double> answers,
+                       provider.ExecuteBatch(queries_, algorithm));
+  const double elapsed = timer.ElapsedSeconds();
+  const CommStats::Snapshot comm =
+      provider.comm() - comm_before;
+
+  MreAccumulator mre;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    mre.Add(exact_answers_[i], answers[i]);
+  }
+
+  AlgorithmResult result;
+  result.algorithm = algorithm;
+  result.mre = mre.Mre();
+  result.total_time_seconds = elapsed;
+  result.throughput_qps =
+      elapsed > 0.0 ? static_cast<double>(queries_.size()) / elapsed : 0.0;
+  result.comm_bytes = comm.TotalBytes();
+  result.comm_messages = comm.messages;
+  result.index_memory_bytes = IndexMemoryFor(algorithm);
+  return result;
+}
+
+size_t ExperimentRunner::IndexMemoryFor(FraAlgorithm algorithm) const {
+  switch (algorithm) {
+    case FraAlgorithm::kExact:
+      return memory_.rtree_bytes;
+    case FraAlgorithm::kOpta:
+      return memory_.histogram_bytes;
+    case FraAlgorithm::kIidEst:
+    case FraAlgorithm::kNonIidEst:
+      return memory_.rtree_bytes + memory_.provider_grid_bytes +
+             memory_.silo_grid_bytes;
+    case FraAlgorithm::kIidEstLsr:
+    case FraAlgorithm::kNonIidEstLsr:
+      return memory_.rtree_bytes + memory_.provider_grid_bytes +
+             memory_.silo_grid_bytes + memory_.lsr_extra_bytes;
+  }
+  return 0;
+}
+
+}  // namespace fra

@@ -1,0 +1,90 @@
+#ifndef FRA_EVAL_EXPERIMENT_H_
+#define FRA_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/centralized.h"
+#include "eval/workload.h"
+#include "federation/federation.h"
+#include "util/result.h"
+
+namespace fra {
+
+/// One evaluation configuration — the knobs of paper Tab. 2 plus the data
+/// regime. Defaults() matches the paper's bold defaults, with |P| scaled
+/// down (see EXPERIMENTS.md) so the whole suite runs in minutes;
+/// FRA_BENCH_SCALE=paper in the environment restores 3M objects.
+struct ExperimentConfig {
+  size_t total_objects = 1'000'000;       // paper default: 3,000,000
+  size_t num_silos = 6;                   // paper: 3..15, default 6
+  double radius_km = 2.0;                 // paper: 1..3, default 2
+  size_t num_queries = 150;               // paper: 50..250, default 150
+  double epsilon = 0.10;                  // paper: 0.05..0.25, default 0.10
+  double delta = 0.01;                    // paper: 0.01..0.05, default 0.01
+  double grid_length_km = 1.5;            // paper: 0.5..2.5 km
+  bool non_iid = true;                    // companies with skewed focus
+  bool rect_ranges = false;               // circular ranges by default
+  AggregateKind kind = AggregateKind::kCount;
+  uint64_t seed = 201306;
+
+  static ExperimentConfig Defaults();
+};
+
+/// Per-algorithm measurements for one configuration — exactly the four
+/// panels every figure of Sec. 8.2 reports.
+struct AlgorithmResult {
+  FraAlgorithm algorithm = FraAlgorithm::kExact;
+  double mre = 0.0;                 // (a) mean relative error
+  double total_time_seconds = 0.0;  // (b) total running time of the batch
+  double throughput_qps = 0.0;      //     derived: nQ / time
+  uint64_t comm_bytes = 0;          // (c) total communication cost
+  uint64_t comm_messages = 0;
+  size_t index_memory_bytes = 0;    // (d) memory of the indices it uses
+};
+
+/// Builds one dataset + federation per configuration and runs algorithms
+/// over a shared query stream, measuring the paper's four metrics.
+///
+/// Ground-truth answers come from a centralized aggregate R-tree over the
+/// pooled data (exact; equivalence with brute force is covered by tests).
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const ExperimentConfig& config)
+      : config_(config) {}
+
+  /// Generates data, splits silos, assembles the federation, generates
+  /// queries and precomputes exact answers. Must be called once before
+  /// RunAlgorithm.
+  Status Prepare();
+
+  /// Runs `algorithm` over the whole query stream via ExecuteBatch
+  /// (Alg. 4) and returns its measurements.
+  Result<AlgorithmResult> RunAlgorithm(FraAlgorithm algorithm);
+
+  const ExperimentConfig& config() const { return config_; }
+  const std::vector<FraQuery>& queries() const { return queries_; }
+  const std::vector<double>& exact_answers() const { return exact_answers_; }
+  Federation& federation() { return *federation_; }
+
+  /// Index memory attributable to `algorithm` (paper panel d): EXACT uses
+  /// the silo R-trees; OPTA its histograms; the estimators add the grid
+  /// indices; the +LSR variants add the upper forest levels.
+  size_t IndexMemoryFor(FraAlgorithm algorithm) const;
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<Federation> federation_;
+  std::vector<FraQuery> queries_;
+  std::vector<double> exact_answers_;
+  Federation::MemoryReport memory_;
+};
+
+/// Applies FRA_BENCH_SCALE=paper (full 3M-object runs) or
+/// FRA_BENCH_SCALE=smoke (tiny CI-sized runs) to a config's data volume.
+ExperimentConfig ApplyEnvScale(ExperimentConfig config);
+
+}  // namespace fra
+
+#endif  // FRA_EVAL_EXPERIMENT_H_

@@ -1,0 +1,16 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace fra {
+
+double RelativeError(double exact, double approx) {
+  if (exact == 0.0) return approx == 0.0 ? 0.0 : 1.0;
+  return std::abs(exact - approx) / std::abs(exact);
+}
+
+void MreAccumulator::Add(double exact, double approx) {
+  stat_.Add(RelativeError(exact, approx));
+}
+
+}  // namespace fra

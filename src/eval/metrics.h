@@ -1,0 +1,34 @@
+#ifndef FRA_EVAL_METRICS_H_
+#define FRA_EVAL_METRICS_H_
+
+#include <cstddef>
+
+#include "util/stats.h"
+
+namespace fra {
+
+/// Relative error |exact - approx| / exact (paper Eq. 2). When the exact
+/// result is zero the error is 0 if the approximation is also zero and 1
+/// otherwise (a bounded convention so empty-range queries cannot blow up
+/// the mean).
+double RelativeError(double exact, double approx);
+
+/// Accumulates relative errors over a query set and reports the paper's
+/// Mean Relative Error (Eq. 3) plus distribution tails.
+class MreAccumulator {
+ public:
+  void Add(double exact, double approx);
+
+  size_t count() const { return stat_.count(); }
+  /// Mean relative error over all added queries.
+  double Mre() const { return stat_.mean(); }
+  double MaxRe() const { return stat_.max(); }
+  double StddevRe() const { return stat_.stddev(); }
+
+ private:
+  RunningStat stat_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_EVAL_METRICS_H_

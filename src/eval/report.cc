@@ -1,0 +1,50 @@
+#include "eval/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace fra {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buffer[32];
+  if (bytes >= 1024ULL * 1024ULL * 1024ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f GB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ULL * 1024ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f MB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f KB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64 " B", bytes);
+  }
+  return buffer;
+}
+
+ExperimentTable::ExperimentTable(std::string title, std::string param_name)
+    : title_(std::move(title)), param_name_(std::move(param_name)) {}
+
+void ExperimentTable::AddRow(const std::string& param_value,
+                             const AlgorithmResult& result) {
+  rows_.push_back(Row{param_value, result});
+}
+
+void ExperimentTable::Print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  std::printf("%-10s %-16s %9s %12s %12s %10s %12s %12s\n",
+              param_name_.c_str(), "algorithm", "MRE(%)", "time(s)",
+              "qps", "msgs", "comm", "index mem");
+  std::printf("%s\n", std::string(100, '-').c_str());
+  for (const Row& row : rows_) {
+    const AlgorithmResult& r = row.result;
+    std::printf("%-10s %-16s %9.3f %12.4f %12.1f %10" PRIu64 " %12s %12s\n",
+                row.param_value.c_str(), FraAlgorithmToString(r.algorithm),
+                r.mre * 100.0, r.total_time_seconds, r.throughput_qps,
+                r.comm_messages, FormatBytes(r.comm_bytes).c_str(),
+                FormatBytes(r.index_memory_bytes).c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace fra

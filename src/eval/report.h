@@ -1,0 +1,42 @@
+#ifndef FRA_EVAL_REPORT_H_
+#define FRA_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace fra {
+
+/// Formats bytes as a human-readable string ("1.4 MB").
+std::string FormatBytes(uint64_t bytes);
+
+/// Prints one experiment table in the paper's layout: a header naming the
+/// swept parameter, then one row per (parameter value, algorithm) with
+/// the four Sec. 8.2 panels as columns — MRE, running time, communication
+/// cost, index memory.
+class ExperimentTable {
+ public:
+  /// `title` e.g. "Fig. 3: impact of query radius r (COUNT)",
+  /// `param_name` e.g. "r (km)".
+  ExperimentTable(std::string title, std::string param_name);
+
+  /// Adds the results of one sweep point.
+  void AddRow(const std::string& param_value, const AlgorithmResult& result);
+
+  /// Writes the table to stdout.
+  void Print() const;
+
+ private:
+  struct Row {
+    std::string param_value;
+    AlgorithmResult result;
+  };
+  std::string title_;
+  std::string param_name_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_EVAL_REPORT_H_

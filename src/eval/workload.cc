@@ -1,0 +1,48 @@
+#include "eval/workload.h"
+
+#include "util/random.h"
+
+namespace fra {
+
+Result<std::vector<FraQuery>> GenerateQueries(
+    const std::vector<ObjectSet>& partitions, const WorkloadOptions& options) {
+  size_t total = 0;
+  for (const ObjectSet& partition : partitions) total += partition.size();
+  if (total == 0) {
+    return Status::InvalidArgument("cannot sample query centers: no objects");
+  }
+  if (options.radius_km <= 0.0) {
+    return Status::InvalidArgument("query radius must be positive");
+  }
+
+  Rng rng(options.seed);
+  std::vector<FraQuery> queries;
+  queries.reserve(options.num_queries);
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    // Index into the virtual concatenation of all partitions.
+    uint64_t pick = rng.NextUint64(total);
+    const SpatialObject* center_object = nullptr;
+    for (const ObjectSet& partition : partitions) {
+      if (pick < partition.size()) {
+        center_object = &partition[pick];
+        break;
+      }
+      pick -= partition.size();
+    }
+    const Point center = center_object->location;
+
+    FraQuery query;
+    query.kind = options.kind;
+    if (options.rect_ranges) {
+      query.range = QueryRange::MakeRect(
+          Point{center.x - options.radius_km, center.y - options.radius_km},
+          Point{center.x + options.radius_km, center.y + options.radius_km});
+    } else {
+      query.range = QueryRange::MakeCircle(center, options.radius_km);
+    }
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+}  // namespace fra

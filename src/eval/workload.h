@@ -1,0 +1,32 @@
+#ifndef FRA_EVAL_WORKLOAD_H_
+#define FRA_EVAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/spatial_object.h"
+#include "federation/query.h"
+#include "util/result.h"
+
+namespace fra {
+
+/// Parameters of a synthetic query stream (paper Sec. 8.1 "Queries").
+struct WorkloadOptions {
+  size_t num_queries = 150;
+  /// Circular ranges of this radius; ignored when rect_ranges is true.
+  double radius_km = 2.0;
+  /// Generate square ranges of side 2 * radius_km instead of circles.
+  bool rect_ranges = false;
+  AggregateKind kind = AggregateKind::kCount;
+  uint64_t seed = 777;
+};
+
+/// Generates FRA queries whose centers are locations sampled uniformly
+/// from the dataset (so queries land where data is, as the paper does).
+/// Fails if all partitions are empty.
+Result<std::vector<FraQuery>> GenerateQueries(
+    const std::vector<ObjectSet>& partitions, const WorkloadOptions& options);
+
+}  // namespace fra
+
+#endif  // FRA_EVAL_WORKLOAD_H_

@@ -1,0 +1,72 @@
+#include "federation/federation.h"
+
+#include <utility>
+
+namespace fra {
+
+Rect DomainOf(const std::vector<ObjectSet>& partitions) {
+  Rect domain = Rect::Empty();
+  for (const ObjectSet& partition : partitions) {
+    for (const SpatialObject& o : partition) {
+      domain.ExpandToInclude(o.location);
+    }
+  }
+  return domain;
+}
+
+Result<std::unique_ptr<Federation>> Federation::Create(
+    std::vector<ObjectSet> partitions, FederationOptions options) {
+  if (partitions.empty()) {
+    return Status::InvalidArgument("federation needs at least one partition");
+  }
+  if (!options.silo.grid_spec.domain.IsValid() ||
+      options.silo.grid_spec.domain.Area() <= 0.0) {
+    Rect domain = DomainOf(partitions);
+    if (!domain.IsValid()) {
+      return Status::InvalidArgument(
+          "cannot infer a grid domain from empty partitions");
+    }
+    // Pad degenerate extents so the domain has positive area.
+    const double kMinExtent = 1e-6;
+    if (domain.Width() <= 0.0) domain.max.x = domain.min.x + kMinExtent;
+    if (domain.Height() <= 0.0) domain.max.y = domain.min.y + kMinExtent;
+    options.silo.grid_spec.domain = domain;
+  }
+
+  auto federation = std::unique_ptr<Federation>(new Federation());
+  federation->network_ =
+      std::make_unique<InProcessNetwork>(options.latency);
+
+  for (size_t i = 0; i < partitions.size(); ++i) {
+    Silo::Options silo_options = options.silo;
+    // Give each silo an independent level-sampling stream.
+    silo_options.lsr_seed = options.silo.lsr_seed + i * 0x9E3779B97F4A7C15ULL;
+    FRA_ASSIGN_OR_RETURN(
+        std::unique_ptr<Silo> silo,
+        Silo::Create(static_cast<int>(i), std::move(partitions[i]),
+                     silo_options));
+    FRA_RETURN_NOT_OK(
+        federation->network_->RegisterSilo(silo->id(), silo.get()));
+    federation->silos_.push_back(std::move(silo));
+  }
+
+  FRA_ASSIGN_OR_RETURN(
+      federation->provider_,
+      ServiceProvider::Create(federation->network_.get(), options.provider));
+  return federation;
+}
+
+Federation::MemoryReport Federation::MemoryUsage() const {
+  MemoryReport report;
+  report.provider_grid_bytes = provider_->GridMemoryUsage();
+  for (const auto& silo : silos_) {
+    const Silo::IndexMemory memory = silo->MemoryUsage();
+    report.silo_grid_bytes += memory.grid_bytes;
+    report.rtree_bytes += memory.rtree_bytes;
+    report.lsr_extra_bytes += memory.lsr_extra_bytes;
+    report.histogram_bytes += memory.histogram_bytes;
+  }
+  return report;
+}
+
+}  // namespace fra

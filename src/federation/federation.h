@@ -1,0 +1,84 @@
+#ifndef FRA_FEDERATION_FEDERATION_H_
+#define FRA_FEDERATION_FEDERATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "federation/service_provider.h"
+#include "federation/silo.h"
+#include "net/network.h"
+#include "util/result.h"
+
+namespace fra {
+
+/// Configuration for assembling a complete federation in process.
+struct FederationOptions {
+  Silo::Options silo;
+  ServiceProvider::Options provider;
+  InProcessNetwork::LatencyModel latency;
+};
+
+/// Owns a full in-process federation: one simulated network, m silos
+/// (one per partition), and the service provider that indexed them via
+/// Alg. 1. This is the top-level entry point of the library:
+///
+///   auto federation = Federation::Create(std::move(partitions), options);
+///   double answer = federation->provider().Execute(
+///       {QueryRange::MakeCircle({10, 20}, 2.0), AggregateKind::kCount},
+///       FraAlgorithm::kNonIidEstLsr).ValueOrDie();
+class Federation {
+ public:
+  /// Builds a silo per partition and constructs the provider. If
+  /// `options.silo.grid_spec.domain` is invalid (the default), the domain
+  /// is computed as the bounding box of all partitions.
+  static Result<std::unique_ptr<Federation>> Create(
+      std::vector<ObjectSet> partitions, FederationOptions options);
+
+  ServiceProvider& provider() { return *provider_; }
+
+  /// Streaming-ingest convenience: feeds a batch into one silo and pulls
+  /// the grid deltas into the provider (see ServiceProvider::SyncGrids).
+  Status IngestAndSync(size_t silo_index, const ObjectSet& batch) {
+    if (silo_index >= silos_.size()) {
+      return Status::InvalidArgument("silo index out of range");
+    }
+    silos_[silo_index]->Ingest(batch);
+    return provider_->SyncGrids();
+  }
+  const ServiceProvider& provider() const { return *provider_; }
+  InProcessNetwork& network() { return *network_; }
+  size_t num_silos() const { return silos_.size(); }
+  Silo& silo(size_t index) { return *silos_[index]; }
+  const Silo& silo(size_t index) const { return *silos_[index]; }
+
+  /// Index memory across the whole federation, bucketed by structure —
+  /// the paper's "memory of indices" metric.
+  struct MemoryReport {
+    size_t provider_grid_bytes = 0;  // g_0 + retained g_i at the provider
+    size_t silo_grid_bytes = 0;      // each silo's own g_i
+    size_t rtree_bytes = 0;          // level-0 aggregate R-trees
+    size_t lsr_extra_bytes = 0;      // LSR-Forest levels above T_0
+    size_t histogram_bytes = 0;      // OPTA histograms
+
+    size_t TotalBytes() const {
+      return provider_grid_bytes + silo_grid_bytes + rtree_bytes +
+             lsr_extra_bytes + histogram_bytes;
+    }
+  };
+  MemoryReport MemoryUsage() const;
+
+ private:
+  Federation() = default;
+
+  std::unique_ptr<InProcessNetwork> network_;
+  std::vector<std::unique_ptr<Silo>> silos_;
+  std::unique_ptr<ServiceProvider> provider_;
+};
+
+/// Bounding box of every object across `partitions`; !IsValid() when all
+/// partitions are empty.
+Rect DomainOf(const std::vector<ObjectSet>& partitions);
+
+}  // namespace fra
+
+#endif  // FRA_FEDERATION_FEDERATION_H_

@@ -1,0 +1,32 @@
+#include "federation/privacy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fra {
+
+AggregateSummary LaplaceMechanism::Perturb(const AggregateSummary& summary) {
+  if (!enabled()) return summary;
+  const double eps = options_.epsilon;
+  const double bound = std::max(1e-9, options_.measure_bound);
+
+  double count_noise = 0.0;
+  double sum_noise = 0.0;
+  double sum_sqr_noise = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_noise = rng_.NextLaplace(1.0 / eps);
+    sum_noise = rng_.NextLaplace(bound / eps);
+    sum_sqr_noise = rng_.NextLaplace(bound * bound / eps);
+  }
+
+  AggregateSummary noisy;  // extrema stay at their empty sentinels
+  const double noisy_count =
+      std::max(0.0, static_cast<double>(summary.count) + count_noise);
+  noisy.count = static_cast<uint64_t>(std::llround(noisy_count));
+  noisy.sum = summary.sum + sum_noise;
+  noisy.sum_sqr = std::max(0.0, summary.sum_sqr + sum_sqr_noise);
+  return noisy;
+}
+
+}  // namespace fra

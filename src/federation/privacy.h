@@ -1,0 +1,59 @@
+#ifndef FRA_FEDERATION_PRIVACY_H_
+#define FRA_FEDERATION_PRIVACY_H_
+
+#include <mutex>
+
+#include "agg/aggregate.h"
+#include "util/random.h"
+
+namespace fra {
+
+/// Differential-privacy configuration for a silo's published statistics.
+///
+/// The paper leaves privacy preservation on spatial data federations as
+/// future work (Sec. 9.1); this extension implements the standard
+/// epsilon-DP Laplace mechanism at the silo boundary: every aggregate the
+/// silo publishes (scalar answers, per-cell vectors, grid indices, grid
+/// deltas) is perturbed with Laplace noise calibrated to the query
+/// sensitivity before it leaves the silo.
+///
+/// Scope note: this protects individual records within each *published
+/// statistic* (one record changes COUNT by 1, SUM by at most
+/// measure_bound, SUM_SQR by at most measure_bound^2). Composition
+/// accounting across repeated publications — the full privacy-budget
+/// bookkeeping of a production deployment — is intentionally out of
+/// scope and called out in DESIGN.md.
+struct DpOptions {
+  /// Privacy parameter per published statistic; 0 disables the mechanism
+  /// (the paper's non-private setting).
+  double epsilon = 0.0;
+  /// Upper bound on |measure| used for SUM/SUM_SQR sensitivity. The
+  /// bundled generator produces passenger counts in [0, 4].
+  double measure_bound = 4.0;
+};
+
+/// Thread-safe Laplace perturbation of aggregate summaries.
+class LaplaceMechanism {
+ public:
+  LaplaceMechanism(const DpOptions& options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  bool enabled() const { return options_.epsilon > 0.0; }
+  const DpOptions& options() const { return options_; }
+
+  /// Adds sensitivity-calibrated Laplace noise to the linear components.
+  /// COUNT and SUM_SQR are clamped at zero after noising (they are
+  /// non-negative by definition; the clamp introduces a small positive
+  /// bias on near-empty sets, the usual DP-histogram trade-off). The
+  /// exact extrema cannot be published under DP and are cleared.
+  AggregateSummary Perturb(const AggregateSummary& summary);
+
+ private:
+  DpOptions options_;
+  std::mutex mu_;
+  Rng rng_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_FEDERATION_PRIVACY_H_

@@ -1,0 +1,463 @@
+#include "federation/service_provider.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/message.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace fra {
+namespace {
+
+// Component-wise ratio estimate ans' = numer * (res / denom) (Alg. 2
+// line 8), applied independently to each linear aggregate component. A
+// zero denominator component (the sampled silo's grid saw nothing) yields
+// a zero estimate for that component.
+AggregateSummary RatioEstimate(const AggregateSummary& res,
+                               const AggregateSummary& numer,
+                               const AggregateSummary& denom) {
+  AggregateSummary out;
+  if (denom.count > 0) {
+    out.count = static_cast<uint64_t>(std::llround(
+        static_cast<double>(res.count) * static_cast<double>(numer.count) /
+        static_cast<double>(denom.count)));
+  }
+  if (denom.sum != 0.0) out.sum = res.sum * numer.sum / denom.sum;
+  if (denom.sum_sqr != 0.0) {
+    out.sum_sqr = res.sum_sqr * numer.sum_sqr / denom.sum_sqr;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
+    Network* network, const Options& options) {
+  if (network == nullptr) {
+    return Status::InvalidArgument("null network");
+  }
+  if (network->num_silos() == 0) {
+    return Status::InvalidArgument("federation has no registered silos");
+  }
+  if (options.epsilon <= 0.0 || options.delta <= 0.0 ||
+      options.delta >= 1.0) {
+    return Status::InvalidArgument("require epsilon > 0 and delta in (0,1)");
+  }
+
+  auto provider =
+      std::unique_ptr<ServiceProvider>(new ServiceProvider(network, options));
+  provider->silo_ids_ = network->silo_ids();
+  std::sort(provider->silo_ids_.begin(), provider->silo_ids_.end());
+
+  // Alg. 1: fetch every silo's grid index and merge them into g_0.
+  const std::vector<uint8_t> request = EncodeBuildGridRequest();
+  for (int silo_id : provider->silo_ids_) {
+    FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                         network->Call(silo_id, request));
+    FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> grid_bytes,
+                         DecodeGridPayloadResponse(response));
+    BinaryReader reader(grid_bytes);
+    GridIndex grid;
+    FRA_RETURN_NOT_OK(GridIndex::Deserialize(&reader, &grid));
+    provider->silo_grids_.emplace(silo_id, std::move(grid));
+  }
+  std::vector<const GridIndex*> parts;
+  parts.reserve(provider->silo_grids_.size());
+  for (const auto& [id, grid] : provider->silo_grids_) parts.push_back(&grid);
+  FRA_ASSIGN_OR_RETURN(provider->merged_grid_, GridIndex::Merge(parts));
+
+  const size_t threads = options.batch_threads > 0
+                             ? options.batch_threads
+                             : provider->silo_ids_.size();
+  provider->batch_pool_ = std::make_unique<ThreadPool>(threads);
+  return provider;
+}
+
+const GridIndex& ServiceProvider::silo_grid(int silo_id) const {
+  const auto it = silo_grids_.find(silo_id);
+  FRA_CHECK(it != silo_grids_.end()) << "unknown silo id " << silo_id;
+  return it->second;
+}
+
+uint64_t ServiceProvider::NextDraw() {
+  std::lock_guard<std::mutex> lock(rng_mu_);
+  return rng_.NextUint64();
+}
+
+Result<double> ServiceProvider::Execute(const FraQuery& query,
+                                        FraAlgorithm algorithm) {
+  if (!IsSingleSilo(algorithm)) {
+    return ExecuteWithSilo(query, algorithm, -1);
+  }
+  return ExecuteSampled(query, algorithm, NextDraw());
+}
+
+Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
+                                               FraAlgorithm algorithm,
+                                               uint64_t draw) {
+  // Candidate silos: all of them, or — per the Sec. 4.2.2 remark for
+  // non-overlapping coverage — only those whose grid index reports data in
+  // cells touching the range (known provider-side from Alg. 1, no comm).
+  std::vector<int> candidates;
+  candidates.reserve(silo_ids_.size());
+  if (options_.sample_relevant_silos_only) {
+    for (int silo_id : silo_ids_) {
+      const auto& grid = silo_grids_.at(silo_id);
+      if (grid.IntersectingCellsAggregate(query.range).count > 0) {
+        candidates.push_back(silo_id);
+      }
+    }
+    if (candidates.empty()) {
+      // No silo has any object near the range: the exact answer is empty.
+      AggregateSummary empty;
+      double value = 0.0;
+      FRA_RETURN_NOT_OK(empty.Finalize(query.kind, &value));
+      return value;
+    }
+  } else {
+    candidates = silo_ids_;
+  }
+
+  if (!IsEstimable(query.kind)) {
+    return Status::InvalidArgument(
+        std::string(AggregateKindToString(query.kind)) +
+        " requires the EXACT algorithm");
+  }
+
+  // Visit candidates in a rotated order starting from the random draw;
+  // collect k per-silo estimated summaries (k = silos_per_query), skipping
+  // failed silos when retry is enabled. Averaging the summaries (not the
+  // finalised values) keeps AVG/STDEV consistent: the ratio is taken once
+  // on the averaged components.
+  const size_t want =
+      std::max<size_t>(1, std::min(options_.silos_per_query,
+                                   candidates.size()));
+  size_t index = static_cast<size_t>(draw % candidates.size());
+  Status last_failure = Status::OK();
+  AggregateSummary accumulated;
+  double collected = 0.0;
+  const size_t attempts =
+      options_.retry_on_silo_failure ? candidates.size() : want;
+  for (size_t attempt = 0; attempt < attempts && collected < want;
+       ++attempt) {
+    Result<AggregateSummary> partial =
+        RunAlgorithm(query.range, algorithm, candidates[index]);
+    index = (index + 1) % candidates.size();
+    if (partial.ok()) {
+      accumulated.count += partial->count;
+      accumulated.sum += partial->sum;
+      accumulated.sum_sqr += partial->sum_sqr;
+      collected += 1.0;
+      continue;
+    }
+    if (partial.status().IsInvalidArgument()) return partial.status();
+    last_failure = partial.status();
+  }
+  if (collected == 0.0) {
+    return Status::Unavailable("all candidate silos failed; last error: " +
+                               last_failure.ToString());
+  }
+  const AggregateSummary mean = accumulated.Scaled(1.0 / collected);
+  double value = 0.0;
+  FRA_RETURN_NOT_OK(mean.Finalize(query.kind, &value));
+  return value;
+}
+
+Result<double> ServiceProvider::ExecuteWithSilo(const FraQuery& query,
+                                                FraAlgorithm algorithm,
+                                                int silo_id) {
+  if (algorithm != FraAlgorithm::kExact && !IsEstimable(query.kind)) {
+    return Status::InvalidArgument(
+        std::string(AggregateKindToString(query.kind)) +
+        " requires the EXACT algorithm");
+  }
+  FRA_ASSIGN_OR_RETURN(AggregateSummary summary,
+                       RunAlgorithm(query.range, algorithm, silo_id));
+  double value = 0.0;
+  FRA_RETURN_NOT_OK(summary.Finalize(query.kind, &value));
+  return value;
+}
+
+Result<AggregateSummary> ServiceProvider::RunAlgorithm(const QueryRange& range,
+                                                       FraAlgorithm algorithm,
+                                                       int silo_id) {
+  switch (algorithm) {
+    case FraAlgorithm::kExact:
+      return RunFanOut(range, /*histogram=*/false);
+    case FraAlgorithm::kOpta:
+      return RunFanOut(range, /*histogram=*/true);
+    case FraAlgorithm::kIidEst:
+      return RunIidEst(range, silo_id, /*use_lsr=*/false);
+    case FraAlgorithm::kIidEstLsr:
+      return RunIidEst(range, silo_id, /*use_lsr=*/true);
+    case FraAlgorithm::kNonIidEst:
+      return RunNonIidEst(range, silo_id, /*use_lsr=*/false);
+    case FraAlgorithm::kNonIidEstLsr:
+      return RunNonIidEst(range, silo_id, /*use_lsr=*/true);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
+                                                    bool histogram) {
+  AggregateRequest request;
+  request.range = range;
+  request.mode = histogram ? LocalQueryMode::kHistogram : LocalQueryMode::kExact;
+  const std::vector<uint8_t> encoded = request.Encode();
+
+  AggregateSummary total;
+  for (int silo_id : silo_ids_) {
+    FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                         network_->Call(silo_id, encoded));
+    FRA_ASSIGN_OR_RETURN(AggregateSummary partial,
+                         DecodeSummaryResponse(response));
+    total.Merge(partial);
+  }
+  return total;
+}
+
+Result<AggregateSummary> ServiceProvider::RunIidEst(const QueryRange& range,
+                                                    int silo_id,
+                                                    bool use_lsr) {
+  const auto grid_it = silo_grids_.find(silo_id);
+  if (grid_it == silo_grids_.end()) {
+    return Status::InvalidArgument("unknown sampled silo id " +
+                                   std::to_string(silo_id));
+  }
+  // sum_0 / sum_k over the cells intersecting R, via prefix sums
+  // (Sec. 4.2.1 remark).
+  const AggregateSummary sum0 = merged_grid_.IntersectingCellsAggregate(range);
+  if (sum0.count == 0) {
+    // No federation object lies in any cell touching R => exact zero.
+    return AggregateSummary();
+  }
+  const AggregateSummary sumk = grid_it->second.IntersectingCellsAggregate(range);
+
+  AggregateRequest request;
+  request.range = range;
+  request.mode = use_lsr ? LocalQueryMode::kLsr : LocalQueryMode::kExact;
+  request.epsilon = options_.epsilon;
+  request.delta = options_.delta;
+  // Lemma 1's rough estimate of the silo-local result: the sampled silo's
+  // own grid aggregate over the intersecting cells.
+  request.sum0 = static_cast<double>(sumk.count);
+
+  FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                       network_->Call(silo_id, request.Encode()));
+  FRA_ASSIGN_OR_RETURN(AggregateSummary res_k, DecodeSummaryResponse(response));
+  return RatioEstimate(res_k, sum0, sumk);
+}
+
+Result<AggregateSummary> ServiceProvider::RunNonIidEst(const QueryRange& range,
+                                                       int silo_id,
+                                                       bool use_lsr) {
+  const auto grid_it = silo_grids_.find(silo_id);
+  if (grid_it == silo_grids_.end()) {
+    return Status::InvalidArgument("unknown sampled silo id " +
+                                   std::to_string(silo_id));
+  }
+  const GridIndex& silo_grid = grid_it->second;
+
+  // Classify the cells touching R from g_0. With the boundary-only
+  // optimisation (default), fully covered cells contribute their exact
+  // federation-wide aggregate (Sec. 4.2.2 remark) and only boundary cells
+  // need the sampled silo's clipped contributions; the unoptimised Alg. 3
+  // requests the vector for every intersecting cell.
+  const bool boundary_only = options_.non_iid_boundary_only;
+  AggregateSummary interior;
+  std::vector<uint32_t> expected_cells;
+  merged_grid_.ForEachIntersectingCell(
+      range, [&](size_t cell_id, CellRelation relation) {
+        if (boundary_only && relation == CellRelation::kContained) {
+          interior.Merge(merged_grid_.cell(cell_id));
+        } else {
+          expected_cells.push_back(static_cast<uint32_t>(cell_id));
+        }
+      });
+  // Drop the exact min/max of the interior cells: the boundary estimate
+  // below cannot extend them, so the combined summary must not pretend to
+  // carry extrema.
+  interior.min = AggregateSummary().min;
+  interior.max = AggregateSummary().max;
+
+  if (expected_cells.empty()) return interior;
+
+  CellVectorRequest request;
+  request.range = range;
+  request.mode = use_lsr ? LocalQueryMode::kLsr : LocalQueryMode::kExact;
+  request.epsilon = options_.epsilon;
+  request.delta = options_.delta;
+  request.sum0 = static_cast<double>(
+      silo_grid.IntersectingCellsAggregate(range).count);
+  request.full_vector = !boundary_only;
+
+  FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                       network_->Call(silo_id, request.Encode()));
+  FRA_ASSIGN_OR_RETURN(std::vector<CellContribution> contributions,
+                       DecodeCellVectorResponse(response));
+  if (contributions.size() != expected_cells.size()) {
+    return Status::Internal("silo cell vector size mismatch");
+  }
+
+  AggregateSummary estimate = interior;
+  for (size_t i = 0; i < contributions.size(); ++i) {
+    const CellContribution& res_i = contributions[i];
+    if (res_i.cell_id != expected_cells[i]) {
+      return Status::Internal("silo cell vector id mismatch");
+    }
+    const AggregateSummary& g0_cell = merged_grid_.cell(res_i.cell_id);
+    if (g0_cell.count == 0) continue;  // nothing anywhere in this cell
+    const AggregateSummary& gk_cell = silo_grid.cell(res_i.cell_id);
+    if (gk_cell.count == 0) {
+      // The sampled silo has no objects in this cell, so the per-cell
+      // ratio is undefined. Fall back to the uniformity assumption the
+      // estimator already makes within a cell: scale the federation-wide
+      // cell aggregate by the intersected-area fraction.
+      const Rect cell_rect = merged_grid_.CellRect(
+          merged_grid_.RowOf(res_i.cell_id), merged_grid_.ColOf(res_i.cell_id));
+      const double area = cell_rect.Area();
+      const double fraction =
+          area > 0.0
+              ? std::clamp(range.IntersectionArea(cell_rect) / area, 0.0, 1.0)
+              : 0.0;
+      estimate.count += static_cast<uint64_t>(std::llround(
+          static_cast<double>(g0_cell.count) * fraction));
+      estimate.sum += g0_cell.sum * fraction;
+      estimate.sum_sqr += g0_cell.sum_sqr * fraction;
+      continue;
+    }
+    // est_i = res_i^k * (aggregation of cell i in g_0) /
+    //                   (aggregation of cell i in g_k)       (Alg. 3 line 6)
+    const AggregateSummary est_i =
+        RatioEstimate(res_i.summary, g0_cell, gk_cell);
+    estimate.count += est_i.count;
+    estimate.sum += est_i.sum;
+    estimate.sum_sqr += est_i.sum_sqr;
+  }
+  return estimate;
+}
+
+Result<std::vector<double>> ServiceProvider::ExecuteBatch(
+    const std::vector<FraQuery>& queries, FraAlgorithm algorithm,
+    std::vector<double>* latencies_seconds) {
+  std::vector<double> results(queries.size(), 0.0);
+  std::vector<Status> statuses(queries.size());
+  if (latencies_seconds != nullptr) {
+    latencies_seconds->assign(queries.size(), 0.0);
+  }
+
+  // Pre-draw the silo-sampling randomness so the assignment is
+  // deterministic given the seed, independent of worker scheduling
+  // (Alg. 4 line 2).
+  std::vector<uint64_t> draws(queries.size(), 0);
+  const bool single_silo = IsSingleSilo(algorithm);
+  if (single_silo) {
+    std::lock_guard<std::mutex> lock(rng_mu_);
+    for (uint64_t& draw : draws) draw = rng_.NextUint64();
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    futures.push_back(batch_pool_->Submit([this, &queries, &results,
+                                           &statuses, &draws, algorithm,
+                                           single_silo, latencies_seconds,
+                                           i] {
+      Timer timer;
+      Result<double> result =
+          single_silo ? ExecuteSampled(queries[i], algorithm, draws[i])
+                      : ExecuteWithSilo(queries[i], algorithm, -1);
+      if (latencies_seconds != nullptr) {
+        (*latencies_seconds)[i] = timer.ElapsedSeconds();
+      }
+      if (result.ok()) {
+        results[i] = *result;
+      } else {
+        statuses[i] = result.status();
+      }
+    }));
+  }
+  for (auto& future : futures) future.get();
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return results;
+}
+
+double ServiceProvider::MeasureHeterogeneity() const {
+  const uint64_t total = merged_grid_.total().count;
+  if (total == 0) return 0.0;
+  double mean_tv = 0.0;
+  size_t measured = 0;
+  for (const auto& [silo_id, grid] : silo_grids_) {
+    const uint64_t silo_total = grid.total().count;
+    if (silo_total == 0) continue;
+    double tv = 0.0;
+    for (size_t cell = 0; cell < grid.num_cells(); ++cell) {
+      const double p_silo = static_cast<double>(grid.cell(cell).count) /
+                            static_cast<double>(silo_total);
+      const double p_all =
+          static_cast<double>(merged_grid_.cell(cell).count) /
+          static_cast<double>(total);
+      tv += std::abs(p_silo - p_all);
+    }
+    mean_tv += 0.5 * tv;
+    ++measured;
+  }
+  return measured > 0 ? mean_tv / static_cast<double>(measured) : 0.0;
+}
+
+FraAlgorithm ServiceProvider::RecommendAlgorithm(bool use_lsr) const {
+  const bool skewed =
+      MeasureHeterogeneity() > options_.heterogeneity_threshold;
+  if (skewed) {
+    return use_lsr ? FraAlgorithm::kNonIidEstLsr : FraAlgorithm::kNonIidEst;
+  }
+  return use_lsr ? FraAlgorithm::kIidEstLsr : FraAlgorithm::kIidEst;
+}
+
+Status ServiceProvider::SyncGrids() {
+  const std::vector<uint8_t> request = EncodeGridDeltaRequest();
+  bool any_change = false;
+  for (int silo_id : silo_ids_) {
+    FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                         network_->Call(silo_id, request));
+    FRA_ASSIGN_OR_RETURN(std::vector<CellContribution> changed,
+                         DecodeGridDeltaResponse(response));
+    if (changed.empty()) continue;
+    any_change = true;
+    GridIndex& silo_grid = silo_grids_.at(silo_id);
+    for (const CellContribution& cell : changed) {
+      if (cell.cell_id >= silo_grid.num_cells()) {
+        return Status::Internal("delta sync cell id out of range");
+      }
+      // g_0's cell changes by the same difference as the silo's cell.
+      const AggregateSummary& old = silo_grid.cell(cell.cell_id);
+      AggregateSummary merged = merged_grid_.cell(cell.cell_id);
+      merged.count = merged.count - old.count + cell.summary.count;
+      merged.sum += cell.summary.sum - old.sum;
+      merged.sum_sqr += cell.summary.sum_sqr - old.sum_sqr;
+      if (cell.summary.min < merged.min) merged.min = cell.summary.min;
+      if (cell.summary.max > merged.max) merged.max = cell.summary.max;
+      merged_grid_.SetCell(cell.cell_id, merged);
+      silo_grid.SetCell(cell.cell_id, cell.summary);
+    }
+    silo_grid.CommitUpdates();
+    silo_grid.ClearChangedCells();
+  }
+  if (any_change) {
+    merged_grid_.CommitUpdates();
+    merged_grid_.ClearChangedCells();
+  }
+  return Status::OK();
+}
+
+size_t ServiceProvider::GridMemoryUsage() const {
+  size_t bytes = merged_grid_.MemoryUsage();
+  for (const auto& [id, grid] : silo_grids_) bytes += grid.MemoryUsage();
+  return bytes;
+}
+
+}  // namespace fra

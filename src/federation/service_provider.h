@@ -1,0 +1,170 @@
+#ifndef FRA_FEDERATION_SERVICE_PROVIDER_H_
+#define FRA_FEDERATION_SERVICE_PROVIDER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "federation/query.h"
+#include "index/grid_index.h"
+#include "net/network.h"
+#include "util/random.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace fra {
+
+/// The federation's service provider: the only party a client talks to.
+///
+/// On construction it runs Alg. 1 — it requests the grid index g_i from
+/// every silo over the network and merges them into g_0 — after which it
+/// can execute FRA queries with any of the paper's six algorithms:
+///
+///   * EXACT / OPTA fan out to every silo and sum the (exact /
+///     histogram-estimated) partial answers.
+///   * IID-est (Alg. 2) samples ONE silo uniformly at random, fetches its
+///     partial answer res_k, and rescales by the grid ratio
+///     sum_0 / sum_k computed from g_0 and g_k via prefix sums.
+///   * NonIID-est (Alg. 3) samples one silo and rescales per grid cell;
+///     cells fully covered by R contribute their exact g_0 aggregate
+///     (Sec. 4.2.2 remark), so only boundary cells travel on the wire.
+///   * The +LSR variants answer the silo-local queries on the LSR-Forest
+///     level chosen by Lemma 1 (sum0 = the sampled silo's grid estimate).
+///
+/// ExecuteBatch implements Alg. 4: every query is dispatched to a worker
+/// pool with one thread per silo, so queries whose sampled silos differ
+/// run in parallel — the source of the paper's >250 queries/s throughput.
+class ServiceProvider {
+ public:
+  struct Options {
+    /// Approximation ratio of LSR-Forest local queries (paper eps).
+    double epsilon = 0.1;
+    /// Failure probability bound of LSR-Forest local queries (paper delta).
+    double delta = 0.01;
+    /// Seed for silo sampling; batches derive one stream per query.
+    uint64_t seed = 20220415;
+    /// Worker threads for ExecuteBatch; 0 means one per silo.
+    size_t batch_threads = 0;
+    /// Sample only silos whose grid shows data in cells intersecting the
+    /// query range (the Sec. 4.2.2 remark for non-overlapping coverage).
+    /// Costs nothing extra: the provider already holds every g_i.
+    bool sample_relevant_silos_only = true;
+    /// Resample a different silo when the sampled one is unreachable or
+    /// answers with an error; a query fails only when every candidate
+    /// silo has failed.
+    bool retry_on_silo_failure = true;
+    /// NonIID-est ships per-cell contributions for boundary cells only
+    /// (Sec. 4.2.2 remark). Setting false transmits the full Alg. 3
+    /// vector — kept for the communication ablation.
+    bool non_iid_boundary_only = true;
+    /// Silos sampled per query by the single-silo algorithms. The paper
+    /// uses 1; higher values average k independent per-silo estimates,
+    /// trading communication (k exchanges) for lower variance. Clamped
+    /// to the number of candidate silos.
+    size_t silos_per_query = 1;
+    /// Heterogeneity above which RecommendAlgorithm picks the NonIID
+    /// estimator family (mean total-variation distance, see
+    /// MeasureHeterogeneity).
+    double heterogeneity_threshold = 0.05;
+  };
+
+  /// Runs Alg. 1 against every silo registered with `network`.
+  /// `network` must outlive the provider.
+  static Result<std::unique_ptr<ServiceProvider>> Create(
+      Network* network, const Options& options);
+  static Result<std::unique_ptr<ServiceProvider>> Create(
+      Network* network) {
+    return Create(network, Options());
+  }
+
+  /// Executes one FRA query. Single-silo algorithms sample the silo from
+  /// the provider's seeded generator. MIN/MAX require kExact.
+  Result<double> Execute(const FraQuery& query, FraAlgorithm algorithm);
+
+  /// Deterministic-silo variant for tests and unbiasedness studies.
+  Result<double> ExecuteWithSilo(const FraQuery& query,
+                                 FraAlgorithm algorithm, int silo_id);
+
+  /// Alg. 4: processes `queries` in parallel across the silo pool.
+  /// Results are positionally aligned with `queries`. When
+  /// `latencies_seconds` is non-null it receives one wall-clock duration
+  /// per query (same order), enabling tail-latency reporting.
+  Result<std::vector<double>> ExecuteBatch(
+      const std::vector<FraQuery>& queries, FraAlgorithm algorithm,
+      std::vector<double>* latencies_seconds = nullptr);
+
+  /// Mean total-variation distance between each silo's spatial (count)
+  /// distribution and the federation-wide one, computed from the grids
+  /// the provider already holds. ~0 for IID partitions (sampling noise
+  /// only), grows with per-silo spatial skew.
+  double MeasureHeterogeneity() const;
+
+  /// Picks the estimator family for this federation: NonIID-est when
+  /// MeasureHeterogeneity() exceeds Options::heterogeneity_threshold
+  /// (per-cell rescaling pays off), IID-est otherwise (cheaper comm).
+  FraAlgorithm RecommendAlgorithm(bool use_lsr) const;
+
+  /// Executes with the recommended estimator.
+  Result<double> ExecuteAuto(const FraQuery& query, bool use_lsr = true) {
+    return Execute(query, RecommendAlgorithm(use_lsr));
+  }
+
+  /// Streaming-ingest support: pulls each silo's grid cells changed since
+  /// the last sync and applies them to the retained g_i and the merged
+  /// g_0, so the estimators see fresh distributions. Communication is
+  /// proportional to the number of *changed* cells, not the grid size.
+  /// Must not run concurrently with Execute/ExecuteBatch (control-plane
+  /// operation, like Create).
+  Status SyncGrids();
+
+  const GridIndex& merged_grid() const { return merged_grid_; }
+  const GridIndex& silo_grid(int silo_id) const;
+  const std::vector<int>& silo_ids() const { return silo_ids_; }
+  size_t num_silos() const { return silo_ids_.size(); }
+
+  double epsilon() const { return options_.epsilon; }
+  double delta() const { return options_.delta; }
+  void set_epsilon(double epsilon) { options_.epsilon = epsilon; }
+  void set_delta(double delta) { options_.delta = delta; }
+
+  /// Provider-side index memory: g_0 plus the m retained silo grids.
+  size_t GridMemoryUsage() const;
+
+  /// Communication counters of the underlying network.
+  CommStats::Snapshot comm() const { return network_->stats().Read(); }
+
+ private:
+  explicit ServiceProvider(Network* network, const Options& options)
+      : network_(network), options_(options), rng_(options.seed) {}
+
+  /// One uniform 64-bit draw from the provider's stream (thread safe).
+  uint64_t NextDraw();
+
+  /// Executes a single-silo algorithm with the silo chosen from `draw`:
+  /// candidates are the relevant silos (when enabled), and failures
+  /// rotate to the next candidate (when enabled).
+  Result<double> ExecuteSampled(const FraQuery& query,
+                                FraAlgorithm algorithm, uint64_t draw);
+
+  Result<AggregateSummary> RunFanOut(const QueryRange& range, bool histogram);
+  Result<AggregateSummary> RunIidEst(const QueryRange& range, int silo_id,
+                                     bool use_lsr);
+  Result<AggregateSummary> RunNonIidEst(const QueryRange& range, int silo_id,
+                                        bool use_lsr);
+  Result<AggregateSummary> RunAlgorithm(const QueryRange& range,
+                                        FraAlgorithm algorithm, int silo_id);
+
+  Network* network_;
+  Options options_;
+  std::vector<int> silo_ids_;
+  std::map<int, GridIndex> silo_grids_;
+  GridIndex merged_grid_;
+  std::unique_ptr<ThreadPool> batch_pool_;
+  std::mutex rng_mu_;
+  Rng rng_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_FEDERATION_SERVICE_PROVIDER_H_

@@ -1,0 +1,47 @@
+#ifndef FRA_GEO_CIRCLE_H_
+#define FRA_GEO_CIRCLE_H_
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace fra {
+
+/// A circular query range (center + radius), boundary inclusive.
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  bool Contains(const Point& p) const {
+    return SquaredDistance(center, p) <= radius * radius;
+  }
+
+  /// True when the circle and rectangle share at least one point.
+  bool Intersects(const Rect& rect) const {
+    return rect.IsValid() && rect.SquaredDistanceTo(center) <= radius * radius;
+  }
+
+  /// True when the whole rectangle lies inside the circle (all four
+  /// corners inside suffices for a convex region).
+  bool Contains(const Rect& rect) const {
+    if (!rect.IsValid()) return false;
+    const double r2 = radius * radius;
+    return SquaredDistance(center, rect.min) <= r2 &&
+           SquaredDistance(center, rect.max) <= r2 &&
+           SquaredDistance(center, Point{rect.min.x, rect.max.y}) <= r2 &&
+           SquaredDistance(center, Point{rect.max.x, rect.min.y}) <= r2;
+  }
+
+  /// The tightest axis-aligned rectangle covering the circle.
+  Rect BoundingBox() const {
+    return Rect{{center.x - radius, center.y - radius},
+                {center.x + radius, center.y + radius}};
+  }
+
+  friend bool operator==(const Circle& a, const Circle& b) {
+    return a.center == b.center && a.radius == b.radius;
+  }
+};
+
+}  // namespace fra
+
+#endif  // FRA_GEO_CIRCLE_H_

@@ -1,0 +1,35 @@
+#ifndef FRA_GEO_POINT_H_
+#define FRA_GEO_POINT_H_
+
+#include <cmath>
+
+namespace fra {
+
+/// A location in the 2-D Euclidean plane. Throughout the library
+/// coordinates are kilometres in a locally projected plane (see
+/// projection.h for mapping GPS coordinates into it).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+/// Squared Euclidean distance — use when only comparisons are needed.
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance between two points.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+}  // namespace fra
+
+#endif  // FRA_GEO_POINT_H_

@@ -1,0 +1,34 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+namespace fra {
+namespace {
+
+// Mean length of one degree of latitude on the WGS-84 ellipsoid (km).
+constexpr double kKmPerDegreeLat = 110.574;
+// Length of one degree of longitude at the equator (km).
+constexpr double kKmPerDegreeLonEquator = 111.320;
+constexpr double kDegToRad = M_PI / 180.0;
+
+}  // namespace
+
+Projection::Projection(double ref_lat_deg, double ref_lon_deg)
+    : ref_lat_deg_(ref_lat_deg),
+      ref_lon_deg_(ref_lon_deg),
+      km_per_deg_lat_(kKmPerDegreeLat),
+      km_per_deg_lon_(kKmPerDegreeLonEquator *
+                      std::cos(ref_lat_deg * kDegToRad)) {}
+
+Point Projection::Forward(double lat_deg, double lon_deg) const {
+  return Point{(lon_deg - ref_lon_deg_) * km_per_deg_lon_,
+               (lat_deg - ref_lat_deg_) * km_per_deg_lat_};
+}
+
+void Projection::Inverse(const Point& p, double* lat_deg,
+                         double* lon_deg) const {
+  *lon_deg = ref_lon_deg_ + p.x / km_per_deg_lon_;
+  *lat_deg = ref_lat_deg_ + p.y / km_per_deg_lat_;
+}
+
+}  // namespace fra

@@ -1,0 +1,37 @@
+#ifndef FRA_GEO_PROJECTION_H_
+#define FRA_GEO_PROJECTION_H_
+
+#include "geo/point.h"
+
+namespace fra {
+
+/// Equirectangular projection around a reference latitude/longitude.
+///
+/// Maps GPS coordinates (degrees) to the library's kilometre plane. Over a
+/// metropolitan extent (the paper's Beijing data spans ~2.5 degrees of
+/// latitude) the distortion of this projection is well under 1%, which is
+/// negligible next to the paper's 2-10% approximation errors.
+class Projection {
+ public:
+  /// `ref_lat_deg` / `ref_lon_deg` become the plane origin (0, 0).
+  Projection(double ref_lat_deg, double ref_lon_deg);
+
+  /// (lat, lon) in degrees -> kilometre plane.
+  Point Forward(double lat_deg, double lon_deg) const;
+
+  /// Kilometre plane -> (lat, lon) in degrees.
+  void Inverse(const Point& p, double* lat_deg, double* lon_deg) const;
+
+  double ref_lat_deg() const { return ref_lat_deg_; }
+  double ref_lon_deg() const { return ref_lon_deg_; }
+
+ private:
+  double ref_lat_deg_;
+  double ref_lon_deg_;
+  double km_per_deg_lat_;
+  double km_per_deg_lon_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_GEO_PROJECTION_H_

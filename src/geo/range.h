@@ -1,0 +1,77 @@
+#ifndef FRA_GEO_RANGE_H_
+#define FRA_GEO_RANGE_H_
+
+#include <variant>
+
+#include "geo/circle.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace fra {
+
+/// The spatial range of an FRA query: either circular or rectangular
+/// (paper Def. 2). Provides the geometric predicates every index and
+/// estimator needs, dispatching on the held shape.
+class QueryRange {
+ public:
+  QueryRange() : shape_(Rect::Empty()) {}
+  explicit QueryRange(const Circle& circle) : shape_(circle) {}
+  explicit QueryRange(const Rect& rect) : shape_(rect) {}
+
+  static QueryRange MakeCircle(Point center, double radius) {
+    return QueryRange(Circle{center, radius});
+  }
+  static QueryRange MakeRect(Point min, Point max) {
+    return QueryRange(Rect{min, max});
+  }
+
+  bool is_circle() const { return std::holds_alternative<Circle>(shape_); }
+  bool is_rect() const { return std::holds_alternative<Rect>(shape_); }
+
+  const Circle& circle() const { return std::get<Circle>(shape_); }
+  const Rect& rect() const { return std::get<Rect>(shape_); }
+
+  /// True when `p` is within the range, boundary inclusive.
+  bool Contains(const Point& p) const {
+    if (is_circle()) return circle().Contains(p);
+    return rect().Contains(p);
+  }
+
+  /// True when the range and `r` share at least one point. Used for
+  /// "grid cell intersects R" tests and R-tree descent.
+  bool Intersects(const Rect& r) const {
+    if (is_circle()) return circle().Intersects(r);
+    return rect().Intersects(r);
+  }
+
+  /// True when `r` lies entirely within the range. Enables O(1)
+  /// contribution of fully covered R-tree subtrees / grid cells.
+  bool Contains(const Rect& r) const {
+    if (is_circle()) return circle().Contains(r);
+    return rect().Contains(r);
+  }
+
+  /// Tightest axis-aligned rectangle covering the range.
+  Rect BoundingBox() const {
+    if (is_circle()) return circle().BoundingBox();
+    return rect();
+  }
+
+  /// Area of the range.
+  double Area() const;
+
+  /// Area of the intersection between this range and rectangle `r`,
+  /// computed exactly (circular segments included for circles). Used by
+  /// the OPTA histogram baseline's fractional-cell estimation.
+  double IntersectionArea(const Rect& r) const;
+
+ private:
+  std::variant<Circle, Rect> shape_;
+};
+
+/// Exact area of the intersection of `circle` with rectangle `rect`.
+double CircleRectIntersectionArea(const Circle& circle, const Rect& rect);
+
+}  // namespace fra
+
+#endif  // FRA_GEO_RANGE_H_

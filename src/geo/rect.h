@@ -1,0 +1,88 @@
+#ifndef FRA_GEO_RECT_H_
+#define FRA_GEO_RECT_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geo/point.h"
+
+namespace fra {
+
+/// An axis-aligned rectangle [min.x, max.x] x [min.y, max.y].
+/// All containment predicates treat boundaries as inclusive, matching the
+/// paper's "within R" semantics.
+struct Rect {
+  Point min;
+  Point max;
+
+  /// An inverted rectangle that is empty and absorbs unions; use as the
+  /// identity when accumulating bounding boxes.
+  static Rect Empty() {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    return Rect{{kInf, kInf}, {-kInf, -kInf}};
+  }
+
+  bool IsValid() const { return min.x <= max.x && min.y <= max.y; }
+
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+  double Area() const { return IsValid() ? Width() * Height() : 0.0; }
+
+  Point Center() const {
+    return Point{(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  bool Contains(const Rect& other) const {
+    return other.IsValid() && other.min.x >= min.x && other.max.x <= max.x &&
+           other.min.y >= min.y && other.max.y <= max.y;
+  }
+
+  bool Intersects(const Rect& other) const {
+    return IsValid() && other.IsValid() && min.x <= other.max.x &&
+           other.min.x <= max.x && min.y <= other.max.y && other.min.y <= max.y;
+  }
+
+  /// Grows this rectangle to cover `p`.
+  void ExpandToInclude(const Point& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+  }
+
+  /// Grows this rectangle to cover `other`.
+  void ExpandToInclude(const Rect& other) {
+    min.x = std::min(min.x, other.min.x);
+    min.y = std::min(min.y, other.min.y);
+    max.x = std::max(max.x, other.max.x);
+    max.y = std::max(max.y, other.max.y);
+  }
+
+  /// Squared distance from `p` to the closest point of this rectangle
+  /// (zero when `p` is inside). Core primitive for circle-rect tests and
+  /// R-tree pruning.
+  double SquaredDistanceTo(const Point& p) const {
+    const double dx = std::max({min.x - p.x, 0.0, p.x - max.x});
+    const double dy = std::max({min.y - p.y, 0.0, p.y - max.y});
+    return dx * dx + dy * dy;
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min == b.min && a.max == b.max;
+  }
+  friend bool operator!=(const Rect& a, const Rect& b) { return !(a == b); }
+};
+
+/// Intersection of two rectangles; the result is !IsValid() when disjoint.
+inline Rect Intersection(const Rect& a, const Rect& b) {
+  return Rect{{std::max(a.min.x, b.min.x), std::max(a.min.y, b.min.y)},
+              {std::min(a.max.x, b.max.x), std::min(a.max.y, b.max.y)}};
+}
+
+}  // namespace fra
+
+#endif  // FRA_GEO_RECT_H_

@@ -1,0 +1,103 @@
+#include "index/equi_depth_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fra {
+namespace {
+
+struct Span {
+  size_t begin;
+  size_t end;  // exclusive
+};
+
+EquiDepthHistogram::Bucket MakeBucket(const ObjectSet& objects,
+                                      const Span& span) {
+  EquiDepthHistogram::Bucket bucket;
+  bucket.bounds = Rect::Empty();
+  for (size_t i = span.begin; i < span.end; ++i) {
+    bucket.bounds.ExpandToInclude(objects[i].location);
+    bucket.summary.Add(objects[i]);
+  }
+  return bucket;
+}
+
+}  // namespace
+
+EquiDepthHistogram EquiDepthHistogram::Build(ObjectSet objects,
+                                             const Options& options) {
+  FRA_CHECK_GT(options.max_buckets, 0UL);
+  EquiDepthHistogram hist;
+  if (objects.empty()) return hist;
+
+  const size_t target =
+      std::max<size_t>(1, (objects.size() + options.max_buckets - 1) /
+                              options.max_buckets);
+
+  std::vector<Span> stack = {{0, objects.size()}};
+  while (!stack.empty()) {
+    const Span span = stack.back();
+    stack.pop_back();
+    const size_t n = span.end - span.begin;
+    if (n <= target) {
+      hist.buckets_.push_back(MakeBucket(objects, span));
+      continue;
+    }
+    // Median split along the wider axis of the span's bbox (equi-depth:
+    // both halves hold the same number of objects).
+    Rect bbox = Rect::Empty();
+    for (size_t i = span.begin; i < span.end; ++i) {
+      bbox.ExpandToInclude(objects[i].location);
+    }
+    const bool split_x = bbox.Width() >= bbox.Height();
+    const size_t mid = span.begin + n / 2;
+    std::nth_element(objects.begin() + span.begin, objects.begin() + mid,
+                     objects.begin() + span.end,
+                     [split_x](const SpatialObject& a, const SpatialObject& b) {
+                       return split_x ? a.location.x < b.location.x
+                                      : a.location.y < b.location.y;
+                     });
+    stack.push_back({span.begin, mid});
+    stack.push_back({mid, span.end});
+  }
+
+  for (const Bucket& b : hist.buckets_) hist.total_.Merge(b.summary);
+  return hist;
+}
+
+AggregateSummary EquiDepthHistogram::Estimate(const QueryRange& range) const {
+  AggregateSummary acc;
+  for (const Bucket& bucket : buckets_) {
+    if (!range.Intersects(bucket.bounds)) continue;
+    if (range.Contains(bucket.bounds)) {
+      acc.count += bucket.summary.count;
+      acc.sum += bucket.summary.sum;
+      acc.sum_sqr += bucket.summary.sum_sqr;
+      continue;
+    }
+    const double area = bucket.bounds.Area();
+    double fraction;
+    if (area <= 0.0) {
+      // Degenerate bucket (collinear or identical points): treat it as a
+      // point mass at its bbox center.
+      fraction = range.Contains(bucket.bounds.Center()) ? 1.0 : 0.0;
+    } else {
+      fraction = std::clamp(range.IntersectionArea(bucket.bounds) / area, 0.0,
+                            1.0);
+    }
+    if (fraction <= 0.0) continue;
+    acc.count += static_cast<uint64_t>(
+        std::llround(static_cast<double>(bucket.summary.count) * fraction));
+    acc.sum += bucket.summary.sum * fraction;
+    acc.sum_sqr += bucket.summary.sum_sqr * fraction;
+  }
+  return acc;
+}
+
+size_t EquiDepthHistogram::MemoryUsage() const {
+  return buckets_.capacity() * sizeof(Bucket);
+}
+
+}  // namespace fra

@@ -1,0 +1,376 @@
+#include "index/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace fra {
+
+size_t GridIndex::GridSpec::Rows() const {
+  return static_cast<size_t>(
+      std::max(1.0, std::ceil(domain.Height() / cell_length)));
+}
+
+size_t GridIndex::GridSpec::Cols() const {
+  return static_cast<size_t>(
+      std::max(1.0, std::ceil(domain.Width() / cell_length)));
+}
+
+Result<GridIndex> GridIndex::MakeEmpty(const GridSpec& spec) {
+  if (!spec.domain.IsValid() || spec.domain.Area() <= 0.0) {
+    return Status::InvalidArgument("grid domain must have positive area");
+  }
+  if (spec.cell_length <= 0.0) {
+    return Status::InvalidArgument("grid cell length must be positive");
+  }
+  GridIndex grid;
+  grid.spec_ = spec;
+  grid.rows_ = spec.Rows();
+  grid.cols_ = spec.Cols();
+  grid.cells_.assign(grid.rows_ * grid.cols_, AggregateSummary());
+  grid.RebuildPrefixSums();
+  return grid;
+}
+
+Result<GridIndex> GridIndex::Build(const ObjectSet& objects,
+                                   const GridSpec& spec) {
+  FRA_ASSIGN_OR_RETURN(GridIndex grid, MakeEmpty(spec));
+  for (const SpatialObject& o : objects) {
+    grid.cells_[grid.CellOf(o.location)].Add(o);
+    grid.total_.Add(o);
+  }
+  grid.RebuildPrefixSums();
+  return grid;
+}
+
+Result<GridIndex> GridIndex::Merge(const std::vector<const GridIndex*>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("Merge requires at least one grid");
+  }
+  FRA_ASSIGN_OR_RETURN(GridIndex merged, MakeEmpty(parts[0]->spec()));
+  for (const GridIndex* part : parts) {
+    FRA_CHECK(part != nullptr);
+    if (!(part->spec() == merged.spec_)) {
+      return Status::InvalidArgument(
+          "all merged grids must share one GridSpec");
+    }
+    for (size_t i = 0; i < merged.cells_.size(); ++i) {
+      merged.cells_[i].Merge(part->cells_[i]);
+    }
+    merged.total_.Merge(part->total_);
+  }
+  merged.RebuildPrefixSums();
+  return merged;
+}
+
+size_t GridIndex::CellOf(const Point& p) const {
+  const double fx = (p.x - spec_.domain.min.x) / spec_.cell_length;
+  const double fy = (p.y - spec_.domain.min.y) / spec_.cell_length;
+  const size_t col = static_cast<size_t>(
+      std::clamp(std::floor(fx), 0.0, static_cast<double>(cols_ - 1)));
+  const size_t row = static_cast<size_t>(
+      std::clamp(std::floor(fy), 0.0, static_cast<double>(rows_ - 1)));
+  return CellId(row, col);
+}
+
+Rect GridIndex::CellRect(size_t row, size_t col) const {
+  const double x0 = spec_.domain.min.x + static_cast<double>(col) * spec_.cell_length;
+  const double y0 = spec_.domain.min.y + static_cast<double>(row) * spec_.cell_length;
+  return Rect{{x0, y0}, {x0 + spec_.cell_length, y0 + spec_.cell_length}};
+}
+
+bool GridIndex::RowSpan(const QueryRange& range, size_t row, size_t* lo,
+                        size_t* hi) const {
+  const Rect bbox = range.BoundingBox();
+  const double min_x = spec_.domain.min.x;
+  const double inv_len = 1.0 / spec_.cell_length;
+
+  auto col_clamped = [&](double x) {
+    return static_cast<size_t>(std::clamp(std::floor((x - min_x) * inv_len),
+                                          0.0,
+                                          static_cast<double>(cols_ - 1)));
+  };
+
+  size_t begin = col_clamped(bbox.min.x);
+  size_t end = col_clamped(bbox.max.x);
+  if (begin > 0) --begin;  // the left neighbour may touch at a shared edge
+  if (range.is_circle()) {
+    // Tighten the span to the circle's chord within this row's y band.
+    const Circle& c = range.circle();
+    const Rect row_rect =
+        Rect{{spec_.domain.min.x,
+              spec_.domain.min.y + static_cast<double>(row) * spec_.cell_length},
+             {spec_.domain.max.x,
+              spec_.domain.min.y +
+                  static_cast<double>(row + 1) * spec_.cell_length}};
+    const double dy =
+        std::max({row_rect.min.y - c.center.y, 0.0, c.center.y - row_rect.max.y});
+    const double h2 = c.radius * c.radius - dy * dy;
+    if (h2 < 0.0) return false;
+    const double half = std::sqrt(h2);
+    begin = col_clamped(c.center.x - half);
+    end = col_clamped(c.center.x + half);
+    if (begin > 0) --begin;
+  }
+
+  // The chord is computed at the row's nearest y, so the outermost cells
+  // can still miss the circle; shrink until the endpoints truly intersect.
+  while (begin <= end && !range.Intersects(CellRect(row, begin))) {
+    if (begin == end) return false;
+    ++begin;
+  }
+  while (end > begin && !range.Intersects(CellRect(row, end))) --end;
+  if (begin > end) return false;
+  if (!range.Intersects(CellRect(row, begin))) return false;
+  *lo = begin;
+  *hi = end;
+  return true;
+}
+
+void GridIndex::ForEachIntersectingCell(
+    const QueryRange& range,
+    const std::function<void(size_t, CellRelation)>& fn) const {
+  const Rect bbox = range.BoundingBox();
+  if (!bbox.Intersects(spec_.domain)) return;
+
+  auto row_clamped = [&](double y) {
+    return static_cast<size_t>(
+        std::clamp(std::floor((y - spec_.domain.min.y) / spec_.cell_length),
+                   0.0, static_cast<double>(rows_ - 1)));
+  };
+  size_t row_begin = row_clamped(bbox.min.y);
+  if (row_begin > 0) --row_begin;  // lower neighbour may touch at an edge
+  const size_t row_end = row_clamped(bbox.max.y);
+
+  for (size_t row = row_begin; row <= row_end; ++row) {
+    size_t lo = 0;
+    size_t hi = 0;
+    if (!RowSpan(range, row, &lo, &hi)) continue;
+    for (size_t col = lo; col <= hi; ++col) {
+      const Rect cell_rect = CellRect(row, col);
+      if (!range.Intersects(cell_rect)) continue;
+      fn(CellId(row, col), range.Contains(cell_rect) ? CellRelation::kContained
+                                                     : CellRelation::kPartial);
+    }
+  }
+}
+
+AggregateSummary GridIndex::BlockAggregate(size_t row0, size_t col0,
+                                           size_t row1, size_t col1) const {
+  FRA_CHECK_LE(row0, row1);
+  FRA_CHECK_LE(col0, col1);
+  FRA_CHECK_LT(row1, rows_);
+  FRA_CHECK_LT(col1, cols_);
+  const size_t stride = cols_ + 1;
+  auto block = [&](const std::vector<double>& prefix) {
+    return prefix[(row1 + 1) * stride + (col1 + 1)] -
+           prefix[row0 * stride + (col1 + 1)] -
+           prefix[(row1 + 1) * stride + col0] + prefix[row0 * stride + col0];
+  };
+  double count = block(prefix_count_);
+  AggregateSummary out;
+  out.sum = block(prefix_sum_);
+  out.sum_sqr = block(prefix_sum_sqr_);
+  // Fold in the uncommitted delta of cells inside the block.
+  for (const auto& [cell_id, delta] : delta_) {
+    const size_t row = RowOf(cell_id);
+    const size_t col = ColOf(cell_id);
+    if (row < row0 || row > row1 || col < col0 || col > col1) continue;
+    count += delta.count;
+    out.sum += delta.sum;
+    out.sum_sqr += delta.sum_sqr;
+  }
+  out.count = static_cast<uint64_t>(std::llround(count));
+  return out;
+}
+
+void GridIndex::Add(const SpatialObject& o) {
+  const size_t cell_id = CellOf(o.location);
+  cells_[cell_id].Add(o);
+  total_.Add(o);
+  DeltaEntry& delta = delta_[cell_id];
+  delta.count += 1.0;
+  delta.sum += o.measure;
+  delta.sum_sqr += o.measure * o.measure;
+  changed_cells_[cell_id] = true;
+}
+
+void GridIndex::SetCell(size_t cell_id, const AggregateSummary& summary) {
+  FRA_CHECK_LT(cell_id, cells_.size());
+  const AggregateSummary& old = cells_[cell_id];
+  DeltaEntry& delta = delta_[cell_id];
+  delta.count += static_cast<double>(summary.count) -
+                 static_cast<double>(old.count);
+  delta.sum += summary.sum - old.sum;
+  delta.sum_sqr += summary.sum_sqr - old.sum_sqr;
+  // Totals: remove the old contribution's linear parts, add the new
+  // (subtract first — the unsigned difference old->new could wrap).
+  total_.count = total_.count - old.count + summary.count;
+  total_.sum += summary.sum - old.sum;
+  total_.sum_sqr += summary.sum_sqr - old.sum_sqr;
+  if (summary.min < total_.min) total_.min = summary.min;
+  if (summary.max > total_.max) total_.max = summary.max;
+  cells_[cell_id] = summary;
+  changed_cells_[cell_id] = true;
+}
+
+void GridIndex::CommitUpdates() {
+  if (delta_.empty()) return;
+  delta_.clear();
+  RebuildPrefixSums();
+}
+
+std::vector<size_t> GridIndex::ChangedCells() const {
+  std::vector<size_t> cells;
+  cells.reserve(changed_cells_.size());
+  for (const auto& [cell_id, _] : changed_cells_) cells.push_back(cell_id);
+  std::sort(cells.begin(), cells.end());
+  return cells;
+}
+
+AggregateSummary GridIndex::IntersectingCellsAggregate(
+    const QueryRange& range) const {
+  AggregateSummary acc;
+  const Rect bbox = range.BoundingBox();
+  if (!bbox.Intersects(spec_.domain)) return acc;
+
+  auto row_clamped = [&](double y) {
+    return static_cast<size_t>(
+        std::clamp(std::floor((y - spec_.domain.min.y) / spec_.cell_length),
+                   0.0, static_cast<double>(rows_ - 1)));
+  };
+  size_t row_begin = row_clamped(bbox.min.y);
+  if (row_begin > 0) --row_begin;  // lower neighbour may touch at an edge
+  const size_t row_end = row_clamped(bbox.max.y);
+
+  if (range.is_rect()) {
+    // One O(1) block: every cell in the rectangle's row/col span
+    // intersects it. The expanded first row may miss the rectangle
+    // entirely; skip forward until a row intersects.
+    size_t lo = 0;
+    size_t hi = 0;
+    size_t row = row_begin;
+    while (row <= row_end && !RowSpan(range, row, &lo, &hi)) ++row;
+    if (row > row_end) return acc;
+    return BlockAggregate(row, lo, row_end, hi);
+  }
+
+  for (size_t row = row_begin; row <= row_end; ++row) {
+    size_t lo = 0;
+    size_t hi = 0;
+    if (!RowSpan(range, row, &lo, &hi)) continue;
+    acc.Merge(BlockAggregate(row, lo, row, hi));
+  }
+  return acc;
+}
+
+AggregateSummary GridIndex::IntersectingCellsAggregateNaive(
+    const QueryRange& range) const {
+  AggregateSummary acc;
+  const Rect bbox = range.BoundingBox();
+  if (!bbox.Intersects(spec_.domain)) return acc;
+  for (size_t row = 0; row < rows_; ++row) {
+    for (size_t col = 0; col < cols_; ++col) {
+      if (range.Intersects(CellRect(row, col))) {
+        acc.Merge(cells_[CellId(row, col)]);
+      }
+    }
+  }
+  // Naive path recomputes min/max exactly; clear them so results compare
+  // field-by-field with the prefix-sum path (which cannot provide them).
+  acc.min = AggregateSummary().min;
+  acc.max = AggregateSummary().max;
+  return acc;
+}
+
+void GridIndex::RebuildPrefixSums() {
+  const size_t stride = cols_ + 1;
+  prefix_count_.assign((rows_ + 1) * stride, 0.0);
+  prefix_sum_.assign((rows_ + 1) * stride, 0.0);
+  prefix_sum_sqr_.assign((rows_ + 1) * stride, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      const AggregateSummary& cell = cells_[CellId(r, c)];
+      const size_t idx = (r + 1) * stride + (c + 1);
+      prefix_count_[idx] = static_cast<double>(cell.count) +
+                           prefix_count_[r * stride + (c + 1)] +
+                           prefix_count_[(r + 1) * stride + c] -
+                           prefix_count_[r * stride + c];
+      prefix_sum_[idx] = cell.sum + prefix_sum_[r * stride + (c + 1)] +
+                         prefix_sum_[(r + 1) * stride + c] -
+                         prefix_sum_[r * stride + c];
+      prefix_sum_sqr_[idx] = cell.sum_sqr +
+                             prefix_sum_sqr_[r * stride + (c + 1)] +
+                             prefix_sum_sqr_[(r + 1) * stride + c] -
+                             prefix_sum_sqr_[r * stride + c];
+    }
+  }
+}
+
+size_t GridIndex::MemoryUsage() const {
+  return cells_.capacity() * sizeof(AggregateSummary) +
+         (prefix_count_.capacity() + prefix_sum_.capacity() +
+          prefix_sum_sqr_.capacity()) *
+             sizeof(double);
+}
+
+void GridIndex::Serialize(BinaryWriter* writer) const {
+  writer->WriteDouble(spec_.domain.min.x);
+  writer->WriteDouble(spec_.domain.min.y);
+  writer->WriteDouble(spec_.domain.max.x);
+  writer->WriteDouble(spec_.domain.max.y);
+  writer->WriteDouble(spec_.cell_length);
+  writer->WriteU64(rows_);
+  writer->WriteU64(cols_);
+  for (const AggregateSummary& cell : cells_) cell.Serialize(writer);
+}
+
+Status GridIndex::Deserialize(BinaryReader* reader, GridIndex* out) {
+  GridSpec spec;
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&spec.domain.min.x));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&spec.domain.min.y));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&spec.domain.max.x));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&spec.domain.max.y));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&spec.cell_length));
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU64(&rows));
+  FRA_RETURN_NOT_OK(reader->ReadU64(&cols));
+
+  // Bound allocations against the actual payload before building: a
+  // corrupted spec or dimension field must not trigger a huge allocation.
+  if (!std::isfinite(spec.cell_length) || !std::isfinite(spec.domain.min.x) ||
+      !std::isfinite(spec.domain.min.y) || !std::isfinite(spec.domain.max.x) ||
+      !std::isfinite(spec.domain.max.y)) {
+    return Status::InvalidArgument("malformed grid spec");
+  }
+  const size_t max_cells = reader->Remaining() / AggregateSummary::kWireSize;
+  if (rows == 0 || cols == 0 || rows > max_cells || cols > max_cells ||
+      rows * cols > max_cells) {
+    return Status::OutOfRange("grid dimensions exceed payload");
+  }
+  // Compare expected dimensions in doubles: a hostile spec could imply a
+  // cell count beyond size_t, which must fail the comparison, not
+  // overflow a cast.
+  const double expected_rows = spec.cell_length > 0.0 && spec.domain.IsValid()
+      ? std::max(1.0, std::ceil(spec.domain.Height() / spec.cell_length))
+      : -1.0;
+  const double expected_cols = spec.cell_length > 0.0 && spec.domain.IsValid()
+      ? std::max(1.0, std::ceil(spec.domain.Width() / spec.cell_length))
+      : -1.0;
+  if (static_cast<double>(rows) != expected_rows ||
+      static_cast<double>(cols) != expected_cols) {
+    return Status::InvalidArgument("grid dimensions inconsistent with spec");
+  }
+  FRA_ASSIGN_OR_RETURN(GridIndex grid, MakeEmpty(spec));
+  for (AggregateSummary& cell : grid.cells_) {
+    FRA_RETURN_NOT_OK(AggregateSummary::Deserialize(reader, &cell));
+    grid.total_.Merge(cell);
+  }
+  grid.RebuildPrefixSums();
+  *out = std::move(grid);
+  return Status::OK();
+}
+
+}  // namespace fra

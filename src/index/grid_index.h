@@ -1,0 +1,178 @@
+#ifndef FRA_INDEX_GRID_INDEX_H_
+#define FRA_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/spatial_object.h"
+#include "geo/range.h"
+#include "geo/rect.h"
+#include "util/result.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace fra {
+
+/// How a grid cell relates to a query range.
+enum class CellRelation {
+  kPartial,    // intersects the boundary of R
+  kContained,  // lies entirely within R
+};
+
+/// The uniform grid index of paper Sec. 4.1: each cell aggregates the
+/// measure attributes of the spatial objects it covers. Each silo builds
+/// one over its partition (g_i); the service provider merges them into
+/// g_0. Cumulative (prefix-sum) arrays over the linear components enable
+/// the paper's O(1) block-aggregate remark.
+///
+/// All grids in a federation share a GridSpec (same domain and cell
+/// length) so that cell ids align across silos — a prerequisite for the
+/// per-cell estimation of NonIID-est.
+class GridIndex {
+ public:
+  /// Geometry of a grid: the covered domain and the side length of the
+  /// square cells (the paper's "grid length" L, in km).
+  struct GridSpec {
+    Rect domain;
+    double cell_length = 1.0;
+
+    size_t Rows() const;
+    size_t Cols() const;
+
+    friend bool operator==(const GridSpec& a, const GridSpec& b) {
+      return a.domain == b.domain && a.cell_length == b.cell_length;
+    }
+  };
+
+  GridIndex() = default;
+
+  /// Builds a grid over `objects`. Objects outside the domain are clamped
+  /// into the nearest edge cell (the generator never produces any, but
+  /// queries near the domain edge must still see consistent totals).
+  /// Fails if the spec is degenerate.
+  static Result<GridIndex> Build(const ObjectSet& objects,
+                                 const GridSpec& spec);
+
+  /// An all-empty grid with the given spec.
+  static Result<GridIndex> MakeEmpty(const GridSpec& spec);
+
+  /// Element-wise sum of silo grids — Alg. 1's merged g_0. All parts must
+  /// share one spec.
+  static Result<GridIndex> Merge(const std::vector<const GridIndex*>& parts);
+
+  const GridSpec& spec() const { return spec_; }
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t num_cells() const { return rows_ * cols_; }
+
+  size_t CellId(size_t row, size_t col) const { return row * cols_ + col; }
+  size_t RowOf(size_t cell_id) const { return cell_id / cols_; }
+  size_t ColOf(size_t cell_id) const { return cell_id % cols_; }
+
+  /// Cell containing `p` (clamped to the domain).
+  size_t CellOf(const Point& p) const;
+
+  /// Geometric extent of a cell.
+  Rect CellRect(size_t row, size_t col) const;
+
+  const AggregateSummary& cell(size_t cell_id) const {
+    return cells_[cell_id];
+  }
+
+  /// Summary over the whole grid.
+  const AggregateSummary& total() const { return total_; }
+
+  /// Invokes `fn(cell_id, relation)` for every cell that intersects
+  /// `range`. Candidate cells are derived from per-row circle chords /
+  /// the rectangle extent and verified geometrically.
+  void ForEachIntersectingCell(
+      const QueryRange& range,
+      const std::function<void(size_t, CellRelation)>& fn) const;
+
+  /// Aggregate of all cells intersecting `range` — the paper's sum_0 /
+  /// sum_k. Uses the cumulative-array fast path: O(1) for rectangles,
+  /// O(rows) for circles. The returned summary's min/max fields are not
+  /// populated (prefix sums cover linear components only).
+  AggregateSummary IntersectingCellsAggregate(const QueryRange& range) const;
+
+  /// Reference implementation that walks every candidate cell; used by
+  /// tests and the prefix-sum ablation bench.
+  AggregateSummary IntersectingCellsAggregateNaive(
+      const QueryRange& range) const;
+
+  /// O(1) aggregate of the inclusive cell block
+  /// [row0..row1] x [col0..col1] via prefix sums (linear components only).
+  AggregateSummary BlockAggregate(size_t row0, size_t col0, size_t row1,
+                                  size_t col1) const;
+
+  // --- Incremental updates (streaming ingest) ---------------------------
+  //
+  // Cells and totals update immediately; the cumulative arrays are only
+  // refreshed by CommitUpdates(). Between Add/SetCell and CommitUpdates,
+  // prefix-sum reads stay correct because the uncommitted difference is
+  // kept in a small per-cell delta that block aggregates fold back in
+  // (an LSM-style read path: base prefix + delta scan).
+
+  /// Folds one new object into its cell. O(1) amortised.
+  void Add(const SpatialObject& o);
+
+  /// Replaces a cell's summary outright (provider-side application of a
+  /// silo's delta-sync payload). Adjusts the grid total accordingly.
+  void SetCell(size_t cell_id, const AggregateSummary& summary);
+
+  /// Rebuilds the cumulative arrays and clears the delta. O(cells).
+  void CommitUpdates();
+
+  /// Number of cells with uncommitted changes.
+  size_t pending_updates() const { return delta_.size(); }
+
+  /// Cell ids touched since the last ClearChangedCells() — what a silo
+  /// ships in a delta-sync response.
+  std::vector<size_t> ChangedCells() const;
+  void ClearChangedCells() { changed_cells_.clear(); }
+
+  /// Heap bytes held by cells + prefix arrays.
+  size_t MemoryUsage() const;
+
+  /// Wire format: spec, dimensions, then per-cell summaries. This is what
+  /// a silo ships to the provider in Alg. 1, so its size is the index-
+  /// construction communication cost.
+  void Serialize(BinaryWriter* writer) const;
+  static Status Deserialize(BinaryReader* reader, GridIndex* out);
+
+ private:
+  void RebuildPrefixSums();
+
+  // Verified column span [*lo, *hi] of cells in `row` intersecting the
+  // range; returns false when the row contributes nothing.
+  bool RowSpan(const QueryRange& range, size_t row, size_t* lo,
+               size_t* hi) const;
+
+  GridSpec spec_;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<AggregateSummary> cells_;
+  AggregateSummary total_;
+  // Prefix arrays of size (rows_+1)*(cols_+1); entry (r, c) aggregates the
+  // cell block [0, r) x [0, c).
+  std::vector<double> prefix_count_;
+  std::vector<double> prefix_sum_;
+  std::vector<double> prefix_sum_sqr_;
+  // Linear components added to each cell since the last CommitUpdates
+  // (what the prefix arrays don't know about yet).
+  struct DeltaEntry {
+    double count = 0.0;
+    double sum = 0.0;
+    double sum_sqr = 0.0;
+  };
+  std::unordered_map<size_t, DeltaEntry> delta_;
+  // Cells changed since the last delta-sync request.
+  std::unordered_map<size_t, bool> changed_cells_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_INDEX_GRID_INDEX_H_

@@ -1,0 +1,117 @@
+#ifndef FRA_INDEX_RTREE_H_
+#define FRA_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/spatial_object.h"
+#include "geo/range.h"
+#include "geo/rect.h"
+
+namespace fra {
+
+/// An aggregate R-tree: a Sort-Tile-Recursive (STR) bulk-loaded, packed
+/// R-tree whose every node carries an AggregateSummary of its subtree.
+///
+/// Range aggregation descends the tree, contributing whole subtrees in
+/// O(1) whenever the query range fully covers a node's MBR and testing
+/// individual objects only in leaves that straddle the range boundary —
+/// the standard O(log n) aggregate query the paper assumes for local
+/// (exact) range aggregation, and the per-level building block of the
+/// LSR-Forest (Sec. 5).
+///
+/// The tree is immutable after Build(); objects are stored in leaf order
+/// in one contiguous array, and nodes reference contiguous child ranges,
+/// so traversal is cache friendly and the structure has no per-node
+/// allocations.
+class RTree {
+ public:
+  struct Options {
+    /// Maximum objects per leaf.
+    int leaf_capacity = 64;
+    /// Maximum children per internal node.
+    int fanout = 16;
+  };
+
+  /// Optional instrumentation filled by RangeAggregate.
+  struct QueryStats {
+    size_t nodes_visited = 0;
+    size_t objects_tested = 0;
+    size_t subtrees_taken = 0;  // nodes fully covered, contributed in O(1)
+  };
+
+  RTree() = default;
+
+  /// Builds the tree over a copy-by-move of `objects`. An empty input
+  /// yields a valid empty tree.
+  static RTree Build(ObjectSet objects, const Options& options);
+  static RTree Build(ObjectSet objects) {
+    return Build(std::move(objects), Options());
+  }
+
+  /// Summary of all objects within `range`. `stats`, when non-null,
+  /// receives traversal counters.
+  AggregateSummary RangeAggregate(const QueryRange& range,
+                                  QueryStats* stats = nullptr) const;
+
+  /// Summary of all objects within `range` AND within the rectangle
+  /// `clip`. Backs the NonIID-est per-grid-cell contributions (Alg. 3):
+  /// the silo aggregates its objects inside cell ∩ R, one boundary cell
+  /// at a time.
+  AggregateSummary RangeAggregateClipped(const Rect& clip,
+                                         const QueryRange& range,
+                                         QueryStats* stats = nullptr) const;
+
+  /// Appends all objects inside `range` to `out`.
+  void CollectInRange(const QueryRange& range,
+                      std::vector<SpatialObject>* out) const;
+
+  /// Summary of the entire object set.
+  const AggregateSummary& total() const { return total_; }
+
+  size_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+
+  /// Number of levels (0 for an empty tree, 1 for a single leaf root).
+  int height() const { return height_; }
+
+  /// MBR of the whole tree; !IsValid() when empty.
+  Rect bounds() const;
+
+  /// Heap bytes held by the index (objects + nodes).
+  size_t MemoryUsage() const;
+
+  /// Objects in leaf order; primarily for tests.
+  const ObjectSet& objects() const { return objects_; }
+
+ private:
+  struct Node {
+    Rect mbr;
+    AggregateSummary summary;
+    // Children: [begin, end) into objects_ when level == 0, into nodes_
+    // otherwise.
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    uint32_t level = 0;
+  };
+
+  void AggregateNode(uint32_t node_index, const QueryRange& range,
+                     AggregateSummary* acc, QueryStats* stats) const;
+  void AggregateNodeClipped(uint32_t node_index, const Rect& clip,
+                            const QueryRange& range, AggregateSummary* acc,
+                            QueryStats* stats) const;
+  void CollectNode(uint32_t node_index, const QueryRange& range,
+                   std::vector<SpatialObject>* out) const;
+
+  ObjectSet objects_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  int height_ = 0;
+  AggregateSummary total_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_INDEX_RTREE_H_

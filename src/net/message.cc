@@ -1,0 +1,292 @@
+#include "net/message.h"
+
+#include <cmath>
+
+namespace fra {
+namespace {
+
+constexpr uint8_t kRangeTagCircle = 0;
+constexpr uint8_t kRangeTagRect = 1;
+
+// Wire-level validation of LSR accuracy parameters: corrupted values must
+// be rejected here, not crash deep inside the level-selection math.
+Status ValidateAccuracyParams(double epsilon, double delta, double sum0) {
+  if (!std::isfinite(epsilon) || epsilon <= 0.0) {
+    return Status::InvalidArgument("epsilon must be finite and positive");
+  }
+  if (!std::isfinite(delta) || delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  if (!std::isfinite(sum0)) {
+    return Status::InvalidArgument("sum0 must be finite");
+  }
+  return Status::OK();
+}
+
+Status ExpectType(BinaryReader* reader, MessageType expected) {
+  uint8_t tag = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU8(&tag));
+  if (tag != static_cast<uint8_t>(expected)) {
+    return Status::InvalidArgument("unexpected message type tag " +
+                                   std::to_string(tag));
+  }
+  return Status::OK();
+}
+
+// If the payload is an error response, surface its carried Status;
+// otherwise verify the tag matches `expected` and position the reader
+// after it.
+Status ConsumeResponseHeader(BinaryReader* reader, MessageType expected) {
+  uint8_t tag = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU8(&tag));
+  if (tag == static_cast<uint8_t>(MessageType::kErrorResponse)) {
+    uint8_t code = 0;
+    std::string message;
+    FRA_RETURN_NOT_OK(reader->ReadU8(&code));
+    FRA_RETURN_NOT_OK(reader->ReadString(&message));
+    return Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  if (tag != static_cast<uint8_t>(expected)) {
+    return Status::InvalidArgument("unexpected response type tag " +
+                                   std::to_string(tag));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SerializeRange(const QueryRange& range, BinaryWriter* writer) {
+  if (range.is_circle()) {
+    writer->WriteU8(kRangeTagCircle);
+    writer->WriteDouble(range.circle().center.x);
+    writer->WriteDouble(range.circle().center.y);
+    writer->WriteDouble(range.circle().radius);
+  } else {
+    writer->WriteU8(kRangeTagRect);
+    writer->WriteDouble(range.rect().min.x);
+    writer->WriteDouble(range.rect().min.y);
+    writer->WriteDouble(range.rect().max.x);
+    writer->WriteDouble(range.rect().max.y);
+  }
+}
+
+Status DeserializeRange(BinaryReader* reader, QueryRange* out) {
+  uint8_t tag = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU8(&tag));
+  if (tag == kRangeTagCircle) {
+    Circle circle;
+    FRA_RETURN_NOT_OK(reader->ReadDouble(&circle.center.x));
+    FRA_RETURN_NOT_OK(reader->ReadDouble(&circle.center.y));
+    FRA_RETURN_NOT_OK(reader->ReadDouble(&circle.radius));
+    if (!std::isfinite(circle.center.x) || !std::isfinite(circle.center.y) ||
+        !std::isfinite(circle.radius) || circle.radius < 0.0) {
+      return Status::InvalidArgument("malformed circular range");
+    }
+    *out = QueryRange(circle);
+    return Status::OK();
+  }
+  if (tag == kRangeTagRect) {
+    Rect rect;
+    FRA_RETURN_NOT_OK(reader->ReadDouble(&rect.min.x));
+    FRA_RETURN_NOT_OK(reader->ReadDouble(&rect.min.y));
+    FRA_RETURN_NOT_OK(reader->ReadDouble(&rect.max.x));
+    FRA_RETURN_NOT_OK(reader->ReadDouble(&rect.max.y));
+    if (!std::isfinite(rect.min.x) || !std::isfinite(rect.min.y) ||
+        !std::isfinite(rect.max.x) || !std::isfinite(rect.max.y) ||
+        !rect.IsValid()) {
+      return Status::InvalidArgument("malformed rectangular range");
+    }
+    *out = QueryRange(rect);
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown range tag");
+}
+
+std::vector<uint8_t> AggregateRequest::Encode() const {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(MessageType::kAggregateRequest));
+  SerializeRange(range, &writer);
+  writer.WriteU8(static_cast<uint8_t>(mode));
+  writer.WriteDouble(epsilon);
+  writer.WriteDouble(delta);
+  writer.WriteDouble(sum0);
+  return writer.Release();
+}
+
+Result<AggregateRequest> AggregateRequest::Decode(BinaryReader* reader) {
+  FRA_RETURN_NOT_OK(ExpectType(reader, MessageType::kAggregateRequest));
+  AggregateRequest request;
+  FRA_RETURN_NOT_OK(DeserializeRange(reader, &request.range));
+  uint8_t mode = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU8(&mode));
+  if (mode > static_cast<uint8_t>(LocalQueryMode::kHistogram)) {
+    return Status::InvalidArgument("unknown local query mode");
+  }
+  request.mode = static_cast<LocalQueryMode>(mode);
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&request.epsilon));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&request.delta));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&request.sum0));
+  FRA_RETURN_NOT_OK(
+      ValidateAccuracyParams(request.epsilon, request.delta, request.sum0));
+  return request;
+}
+
+std::vector<uint8_t> CellVectorRequest::Encode() const {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(MessageType::kCellVectorRequest));
+  SerializeRange(range, &writer);
+  writer.WriteU8(static_cast<uint8_t>(mode));
+  writer.WriteDouble(epsilon);
+  writer.WriteDouble(delta);
+  writer.WriteDouble(sum0);
+  writer.WriteU8(full_vector ? 1 : 0);
+  return writer.Release();
+}
+
+Result<CellVectorRequest> CellVectorRequest::Decode(BinaryReader* reader) {
+  FRA_RETURN_NOT_OK(ExpectType(reader, MessageType::kCellVectorRequest));
+  CellVectorRequest request;
+  FRA_RETURN_NOT_OK(DeserializeRange(reader, &request.range));
+  uint8_t mode = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU8(&mode));
+  if (mode > static_cast<uint8_t>(LocalQueryMode::kLsr)) {
+    return Status::InvalidArgument("cell vector mode must be exact or LSR");
+  }
+  request.mode = static_cast<LocalQueryMode>(mode);
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&request.epsilon));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&request.delta));
+  FRA_RETURN_NOT_OK(reader->ReadDouble(&request.sum0));
+  FRA_RETURN_NOT_OK(
+      ValidateAccuracyParams(request.epsilon, request.delta, request.sum0));
+  uint8_t full_vector = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU8(&full_vector));
+  request.full_vector = full_vector != 0;
+  return request;
+}
+
+Result<MessageType> PeekMessageType(const std::vector<uint8_t>& payload) {
+  if (payload.empty()) return Status::InvalidArgument("empty message");
+  return static_cast<MessageType>(payload[0]);
+}
+
+std::vector<uint8_t> EncodeSummaryResponse(const AggregateSummary& summary) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(MessageType::kSummaryResponse));
+  summary.Serialize(&writer);
+  return writer.Release();
+}
+
+namespace {
+
+std::vector<uint8_t> EncodeCellList(MessageType type,
+                                    const std::vector<CellContribution>& cells) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(type));
+  writer.WriteU32(static_cast<uint32_t>(cells.size()));
+  for (const CellContribution& cell : cells) {
+    writer.WriteU32(cell.cell_id);
+    cell.summary.Serialize(&writer);
+  }
+  return writer.Release();
+}
+
+Result<std::vector<CellContribution>> DecodeCellList(
+    MessageType type, const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  FRA_RETURN_NOT_OK(ConsumeResponseHeader(&reader, type));
+  uint32_t n = 0;
+  FRA_RETURN_NOT_OK(reader.ReadU32(&n));
+  // Validate the claimed count against the actual payload before
+  // allocating (a corrupted length prefix must not trigger a huge
+  // allocation).
+  constexpr size_t kCellWireSize = sizeof(uint32_t) + AggregateSummary::kWireSize;
+  if (static_cast<size_t>(n) > reader.Remaining() / kCellWireSize) {
+    return Status::OutOfRange("cell list length exceeds payload");
+  }
+  std::vector<CellContribution> cells(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    FRA_RETURN_NOT_OK(reader.ReadU32(&cells[i].cell_id));
+    FRA_RETURN_NOT_OK(
+        AggregateSummary::Deserialize(&reader, &cells[i].summary));
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCellVectorResponse(
+    const std::vector<CellContribution>& cells) {
+  return EncodeCellList(MessageType::kCellVectorResponse, cells);
+}
+
+std::vector<uint8_t> EncodeGridPayloadResponse(
+    const std::vector<uint8_t>& grid_bytes) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(MessageType::kGridPayloadResponse));
+  writer.WriteU32(static_cast<uint32_t>(grid_bytes.size()));
+  writer.AppendRaw(grid_bytes.data(), grid_bytes.size());
+  return writer.Release();
+}
+
+std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(MessageType::kErrorResponse));
+  writer.WriteU8(static_cast<uint8_t>(status.code()));
+  writer.WriteString(status.message());
+  return writer.Release();
+}
+
+Result<AggregateSummary> DecodeSummaryResponse(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  FRA_RETURN_NOT_OK(
+      ConsumeResponseHeader(&reader, MessageType::kSummaryResponse));
+  AggregateSummary summary;
+  FRA_RETURN_NOT_OK(AggregateSummary::Deserialize(&reader, &summary));
+  return summary;
+}
+
+Result<std::vector<CellContribution>> DecodeCellVectorResponse(
+    const std::vector<uint8_t>& payload) {
+  return DecodeCellList(MessageType::kCellVectorResponse, payload);
+}
+
+std::vector<uint8_t> EncodeGridDeltaRequest() {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(MessageType::kGridDeltaRequest));
+  return writer.Release();
+}
+
+std::vector<uint8_t> EncodeGridDeltaResponse(
+    const std::vector<CellContribution>& cells) {
+  return EncodeCellList(MessageType::kGridDeltaResponse, cells);
+}
+
+Result<std::vector<CellContribution>> DecodeGridDeltaResponse(
+    const std::vector<uint8_t>& payload) {
+  return DecodeCellList(MessageType::kGridDeltaResponse, payload);
+}
+
+Result<std::vector<uint8_t>> DecodeGridPayloadResponse(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  FRA_RETURN_NOT_OK(
+      ConsumeResponseHeader(&reader, MessageType::kGridPayloadResponse));
+  uint32_t n = 0;
+  FRA_RETURN_NOT_OK(reader.ReadU32(&n));
+  if (n > reader.Remaining()) {
+    return Status::OutOfRange("truncated grid payload");
+  }
+  std::vector<uint8_t> bytes(payload.end() - reader.Remaining(),
+                             payload.end());
+  bytes.resize(n);
+  return bytes;
+}
+
+std::vector<uint8_t> EncodeBuildGridRequest() {
+  BinaryWriter writer;
+  writer.WriteU8(static_cast<uint8_t>(MessageType::kBuildGridRequest));
+  return writer.Release();
+}
+
+}  // namespace fra

@@ -1,0 +1,115 @@
+#ifndef FRA_NET_MESSAGE_H_
+#define FRA_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "geo/range.h"
+#include "util/result.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace fra {
+
+/// Wire-level message kinds exchanged between the service provider and
+/// data silos. Every provider<->silo interaction is one request/response
+/// pair of these, serialised through BinaryWriter so that the measured
+/// communication cost is real encoded bytes.
+enum class MessageType : uint8_t {
+  // Provider -> silo.
+  kBuildGridRequest = 1,    // Alg. 1: ship your grid index
+  kAggregateRequest = 2,    // local range aggregation (exact / LSR / OPTA)
+  kCellVectorRequest = 3,   // NonIID-est: per-boundary-cell contributions
+  kGridDeltaRequest = 4,    // delta sync: cells changed since last sync
+  // Silo -> provider.
+  kGridPayloadResponse = 17,
+  kSummaryResponse = 18,
+  kCellVectorResponse = 19,
+  kErrorResponse = 20,
+  kGridDeltaResponse = 21,
+};
+
+/// How a silo should answer an aggregate request locally.
+enum class LocalQueryMode : uint8_t {
+  kExact = 0,      // aggregate R-tree T_0 (EXACT baseline & plain estimators)
+  kLsr = 1,        // LSR-Forest, Alg. 6
+  kHistogram = 2,  // equi-depth histogram (OPTA baseline)
+};
+
+/// Serialises a query range (1 tag byte + coordinates).
+void SerializeRange(const QueryRange& range, BinaryWriter* writer);
+Status DeserializeRange(BinaryReader* reader, QueryRange* out);
+
+/// Request for a local range aggregation answer.
+struct AggregateRequest {
+  QueryRange range;
+  LocalQueryMode mode = LocalQueryMode::kExact;
+  // LSR parameters (ignored unless mode == kLsr).
+  double epsilon = 0.1;
+  double delta = 0.01;
+  double sum0 = 0.0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<AggregateRequest> Decode(BinaryReader* reader);
+};
+
+/// Request for the NonIID-est per-cell contribution vector: the silo
+/// reports, for every grid cell intersecting the *boundary* of the range,
+/// the aggregate of its own objects inside cell ∩ range.
+struct CellVectorRequest {
+  QueryRange range;
+  LocalQueryMode mode = LocalQueryMode::kExact;  // kExact or kLsr
+  double epsilon = 0.1;
+  double delta = 0.01;
+  double sum0 = 0.0;
+  /// false (default): boundary cells only (the Sec. 4.2.2 communication
+  /// optimisation). true: every intersecting cell, i.e. the unoptimised
+  /// Alg. 3 vector — kept for the ablation bench.
+  bool full_vector = false;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<CellVectorRequest> Decode(BinaryReader* reader);
+};
+
+/// One boundary cell's contribution in a CellVectorResponse.
+struct CellContribution {
+  uint32_t cell_id = 0;
+  AggregateSummary summary;
+};
+
+/// Reads the type tag without consuming the rest of the payload.
+Result<MessageType> PeekMessageType(const std::vector<uint8_t>& payload);
+
+/// Encoders for the response kinds.
+std::vector<uint8_t> EncodeSummaryResponse(const AggregateSummary& summary);
+std::vector<uint8_t> EncodeCellVectorResponse(
+    const std::vector<CellContribution>& cells);
+std::vector<uint8_t> EncodeGridPayloadResponse(
+    const std::vector<uint8_t>& grid_bytes);
+std::vector<uint8_t> EncodeErrorResponse(const Status& status);
+
+/// Decoders; a kErrorResponse payload decodes into its carried Status.
+Result<AggregateSummary> DecodeSummaryResponse(
+    const std::vector<uint8_t>& payload);
+Result<std::vector<CellContribution>> DecodeCellVectorResponse(
+    const std::vector<uint8_t>& payload);
+Result<std::vector<uint8_t>> DecodeGridPayloadResponse(
+    const std::vector<uint8_t>& payload);
+
+/// Encodes a plain grid-build request (type tag only).
+std::vector<uint8_t> EncodeBuildGridRequest();
+
+/// Delta sync (streaming ingest): the provider polls a silo for the grid
+/// cells that changed since the last poll; the silo answers with their
+/// full current summaries (idempotent replacement on the provider side).
+std::vector<uint8_t> EncodeGridDeltaRequest();
+std::vector<uint8_t> EncodeGridDeltaResponse(
+    const std::vector<CellContribution>& cells);
+Result<std::vector<CellContribution>> DecodeGridDeltaResponse(
+    const std::vector<uint8_t>& payload);
+
+}  // namespace fra
+
+#endif  // FRA_NET_MESSAGE_H_

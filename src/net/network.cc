@@ -1,0 +1,62 @@
+#include "net/network.h"
+
+#include <chrono>
+#include <thread>
+
+namespace fra {
+
+Status InProcessNetwork::RegisterSilo(int silo_id, SiloEndpoint* endpoint) {
+  if (endpoint == nullptr) {
+    return Status::InvalidArgument("null silo endpoint");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = endpoints_.emplace(silo_id, endpoint);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("silo id " + std::to_string(silo_id) +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> InProcessNetwork::Call(
+    int silo_id, const std::vector<uint8_t>& request) {
+  SiloEndpoint* endpoint = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = endpoints_.find(silo_id);
+    if (it == endpoints_.end()) {
+      return Status::Unavailable("no silo registered under id " +
+                                 std::to_string(silo_id));
+    }
+    endpoint = it->second;
+  }
+
+  FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                       endpoint->HandleMessage(request));
+  stats_.RecordExchange(request.size(), response.size());
+
+  if (latency_.fixed_micros > 0.0 || latency_.per_kb_micros > 0.0) {
+    const double kb =
+        static_cast<double>(request.size() + response.size()) / 1024.0;
+    const double micros = latency_.fixed_micros + latency_.per_kb_micros * kb;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(micros));
+  }
+  return response;
+}
+
+size_t InProcessNetwork::num_silos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_.size();
+}
+
+std::vector<int> InProcessNetwork::silo_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> ids;
+  ids.reserve(endpoints_.size());
+  for (const auto& [id, endpoint] : endpoints_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace fra

@@ -1,0 +1,136 @@
+#ifndef FRA_NET_NETWORK_H_
+#define FRA_NET_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace fra {
+
+/// Aggregate communication counters for a federation. All methods are
+/// thread safe; the evaluation layer snapshots before/after a query batch
+/// and reports deltas — this is the paper's "communication cost" metric,
+/// measured in real encoded bytes and message count.
+class CommStats {
+ public:
+  struct Snapshot {
+    uint64_t messages = 0;       // request/response pairs
+    uint64_t bytes_to_silos = 0;
+    uint64_t bytes_to_provider = 0;
+
+    uint64_t TotalBytes() const { return bytes_to_silos + bytes_to_provider; }
+
+    Snapshot operator-(const Snapshot& other) const {
+      return Snapshot{messages - other.messages,
+                      bytes_to_silos - other.bytes_to_silos,
+                      bytes_to_provider - other.bytes_to_provider};
+    }
+  };
+
+  void RecordExchange(size_t request_bytes, size_t response_bytes) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    bytes_to_silos_.fetch_add(request_bytes, std::memory_order_relaxed);
+    bytes_to_provider_.fetch_add(response_bytes, std::memory_order_relaxed);
+  }
+
+  Snapshot Read() const {
+    return Snapshot{messages_.load(std::memory_order_relaxed),
+                    bytes_to_silos_.load(std::memory_order_relaxed),
+                    bytes_to_provider_.load(std::memory_order_relaxed)};
+  }
+
+  void Reset() {
+    messages_.store(0);
+    bytes_to_silos_.store(0);
+    bytes_to_provider_.store(0);
+  }
+
+ private:
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_to_silos_{0};
+  std::atomic<uint64_t> bytes_to_provider_{0};
+};
+
+/// Implemented by data silos: consumes one serialised request, produces
+/// one serialised response. Must be safe to call concurrently.
+class SiloEndpoint {
+ public:
+  virtual ~SiloEndpoint() = default;
+  virtual Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) = 0;
+};
+
+/// The transport the service provider speaks through: one synchronous
+/// request/response exchange per Call. Implementations must be safe for
+/// concurrent calls (the Alg. 4 framework issues them from a worker per
+/// query) and must account every exchange in stats().
+///
+/// Two implementations ship with the library: InProcessNetwork (below,
+/// silos in the same process — the default evaluation substrate) and
+/// TcpNetwork (tcp_network.h, silos behind real sockets — the paper's
+/// deployment shape).
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// One request/response exchange with a silo.
+  virtual Result<std::vector<uint8_t>> Call(
+      int silo_id, const std::vector<uint8_t>& request) = 0;
+
+  virtual size_t num_silos() const = 0;
+  virtual std::vector<int> silo_ids() const = 0;
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+ protected:
+  CommStats stats_;
+};
+
+/// The federation's transport, simulated in process.
+///
+/// The paper ran the provider and silos on separate machines over TCP;
+/// what its evaluation measures is transferred volume and the parallelism
+/// of silo-local work, both of which this substrate reproduces: every
+/// call serialises through the message layer (bytes metered by
+/// CommStats), silo handlers execute on the caller's thread (the query
+/// framework supplies one thread per in-flight query), and an optional
+/// latency model charges per-message and per-byte delays.
+class InProcessNetwork : public Network {
+ public:
+  /// Synthetic link delay applied on every exchange (request + response).
+  struct LatencyModel {
+    double fixed_micros = 0.0;     // per-message round-trip overhead
+    double per_kb_micros = 0.0;    // serialisation-volume cost
+  };
+
+  InProcessNetwork() : InProcessNetwork(LatencyModel{}) {}
+  explicit InProcessNetwork(LatencyModel latency) : latency_(latency) {}
+
+  /// Registers a silo endpoint under `silo_id` (not owned; must outlive
+  /// the network). Fails if the id is taken.
+  Status RegisterSilo(int silo_id, SiloEndpoint* endpoint);
+
+  /// One request/response exchange with a silo. Accounts bytes both ways
+  /// and applies the latency model. Unknown ids yield Unavailable.
+  Result<std::vector<uint8_t>> Call(
+      int silo_id, const std::vector<uint8_t>& request) override;
+
+  size_t num_silos() const override;
+  std::vector<int> silo_ids() const override;
+
+ private:
+  LatencyModel latency_;
+  mutable std::mutex mu_;  // guards endpoints_ registration/lookup
+  std::unordered_map<int, SiloEndpoint*> endpoints_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_NET_NETWORK_H_

@@ -1,0 +1,287 @@
+#include "net/tcp_network.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/message.h"
+#include "util/logging.h"
+
+namespace fra {
+namespace {
+
+// Frames above this are rejected before allocation (a corrupted length
+// prefix must not cause a huge allocation). Grid payloads for city-scale
+// grids are a few MB; 256 MB is far beyond any legitimate message.
+constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+Status WriteAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ReadAll(int fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, p, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::Unavailable("peer closed connection");
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  FRA_RETURN_NOT_OK(WriteAll(fd, &length, sizeof(length)));
+  if (length > 0) {
+    FRA_RETURN_NOT_OK(WriteAll(fd, payload.data(), payload.size()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFrame(int fd) {
+  uint32_t length = 0;
+  FRA_RETURN_NOT_OK(ReadAll(fd, &length, sizeof(length)));
+  if (length > kMaxFrameBytes) {
+    return Status::OutOfRange("frame exceeds limit");
+  }
+  std::vector<uint8_t> payload(length);
+  if (length > 0) {
+    FRA_RETURN_NOT_OK(ReadAll(fd, payload.data(), payload.size()));
+  }
+  return payload;
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+// --- TcpSiloServer ---------------------------------------------------------
+
+Result<std::unique_ptr<TcpSiloServer>> TcpSiloServer::Start(
+    SiloEndpoint* endpoint, uint16_t port) {
+  if (endpoint == nullptr) {
+    return Status::InvalidArgument("null endpoint");
+  }
+  auto server = std::unique_ptr<TcpSiloServer>(new TcpSiloServer());
+  server->endpoint_ = endpoint;
+
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t address_length = sizeof(address);
+  if (::getsockname(server->listen_fd_,
+                    reinterpret_cast<sockaddr*>(&address),
+                    &address_length) < 0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  server->port_ = ntohs(address.sin_port);
+  if (::listen(server->listen_fd_, 64) < 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+TcpSiloServer::~TcpSiloServer() { Stop(); }
+
+void TcpSiloServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  // Shut the listening socket down; accept() wakes with an error.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    CloseFd(&listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+    // Wake workers blocked in recv() on live connections; each closes
+    // its own fd on exit.
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void TcpSiloServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int connection_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (connection_fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listening socket broken; stop serving
+    }
+    const int enable = 1;
+    ::setsockopt(connection_fd, IPPROTO_TCP, TCP_NODELAY, &enable,
+                 sizeof(enable));
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    if (stopping_.load()) {
+      ::close(connection_fd);
+      return;
+    }
+    active_fds_.insert(connection_fd);
+    workers_.emplace_back([this, connection_fd] {
+      ServeConnection(connection_fd);
+    });
+  }
+}
+
+void TcpSiloServer::ServeConnection(int connection_fd) {
+  int fd = connection_fd;
+  while (!stopping_.load()) {
+    Result<std::vector<uint8_t>> request = ReadFrame(fd);
+    if (!request.ok()) break;  // closed or broken: drop the connection
+    Result<std::vector<uint8_t>> response =
+        endpoint_->HandleMessage(*request);
+    const std::vector<uint8_t> frame =
+        response.ok() ? std::move(response).ValueOrDie()
+                      : EncodeErrorResponse(response.status());
+    // Count before replying so a client that has decoded the response
+    // already observes the increment.
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!WriteFrame(fd, frame).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    active_fds_.erase(fd);
+  }
+  CloseFd(&fd);
+}
+
+// --- TcpNetwork ------------------------------------------------------------
+
+TcpNetwork::~TcpNetwork() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, connection] : connections_) {
+    std::lock_guard<std::mutex> connection_lock(connection->mu);
+    CloseFd(&connection->fd);
+  }
+}
+
+Status TcpNetwork::AddSilo(int silo_id, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto connection = std::make_unique<Connection>();
+  connection->port = port;
+  const auto [it, inserted] =
+      connections_.emplace(silo_id, std::move(connection));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("silo id " + std::to_string(silo_id) +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> TcpNetwork::Call(
+    int silo_id, const std::vector<uint8_t>& request) {
+  Connection* connection = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = connections_.find(silo_id);
+    if (it == connections_.end()) {
+      return Status::Unavailable("no silo registered under id " +
+                                 std::to_string(silo_id));
+    }
+    connection = it->second.get();
+  }
+
+  std::lock_guard<std::mutex> connection_lock(connection->mu);
+  // Try the existing connection once; on failure reconnect and retry once
+  // (the silo process may have restarted between calls).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (connection->fd < 0) {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) {
+        return Status::IOError(std::string("socket: ") +
+                               std::strerror(errno));
+      }
+      sockaddr_in address{};
+      address.sin_family = AF_INET;
+      address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      address.sin_port = htons(connection->port);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                    sizeof(address)) < 0) {
+        const Status status = Status::Unavailable(
+            std::string("connect: ") + std::strerror(errno));
+        ::close(fd);
+        return status;
+      }
+      const int enable = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+      connection->fd = fd;
+    }
+
+    const Status written = WriteFrame(connection->fd, request);
+    if (!written.ok()) {
+      CloseFd(&connection->fd);
+      continue;  // reconnect and retry
+    }
+    Result<std::vector<uint8_t>> response = ReadFrame(connection->fd);
+    if (!response.ok()) {
+      CloseFd(&connection->fd);
+      continue;
+    }
+    stats_.RecordExchange(request.size(), response->size());
+    return response;
+  }
+  return Status::Unavailable("silo " + std::to_string(silo_id) +
+                             " unreachable after reconnect");
+}
+
+size_t TcpNetwork::num_silos() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_.size();
+}
+
+std::vector<int> TcpNetwork::silo_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, connection] : connections_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace fra

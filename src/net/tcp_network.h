@@ -1,0 +1,106 @@
+#ifndef FRA_NET_TCP_NETWORK_H_
+#define FRA_NET_TCP_NETWORK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/network.h"
+#include "util/result.h"
+
+namespace fra {
+
+/// Serves one SiloEndpoint over TCP — the silo side of the paper's
+/// deployment, where every data provider runs on its own machine.
+///
+/// The wire protocol is trivial framing: a 4-byte little-endian length
+/// followed by the message payload (the same encoded messages the
+/// in-process network carries). One request/response pair per frame
+/// exchange; each accepted connection is served by its own thread, so a
+/// provider may keep several concurrent connections.
+class TcpSiloServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
+  /// accept loop, and serves `endpoint` (not owned; must outlive the
+  /// server) until Stop()/destruction.
+  static Result<std::unique_ptr<TcpSiloServer>> Start(SiloEndpoint* endpoint,
+                                                      uint16_t port = 0);
+
+  TcpSiloServer(const TcpSiloServer&) = delete;
+  TcpSiloServer& operator=(const TcpSiloServer&) = delete;
+
+  /// Stops accepting, closes all connections, joins all threads.
+  ~TcpSiloServer();
+
+  /// The bound port.
+  uint16_t port() const { return port_; }
+
+  /// Requests served so far (across all connections).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  void Stop();
+
+ private:
+  TcpSiloServer() = default;
+
+  void AcceptLoop();
+  void ServeConnection(int connection_fd);
+
+  SiloEndpoint* endpoint_ = nullptr;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mu_;  // guards workers_ and active_fds_
+  std::vector<std::thread> workers_;
+  // Connection fds currently being served; Stop() shuts them down so
+  // workers blocked in recv() wake up and exit.
+  std::unordered_set<int> active_fds_;
+};
+
+/// The provider-side transport over real sockets: one persistent
+/// connection per silo, (re)established lazily, with one in-flight
+/// request per connection (concurrent Calls to the *same* silo serialise
+/// on its connection; Calls to different silos proceed in parallel —
+/// matching the single-core silo model of the in-process substrate).
+class TcpNetwork : public Network {
+ public:
+  TcpNetwork() = default;
+  ~TcpNetwork() override;
+
+  TcpNetwork(const TcpNetwork&) = delete;
+  TcpNetwork& operator=(const TcpNetwork&) = delete;
+
+  /// Registers a silo reachable at 127.0.0.1:`port` (e.g. a
+  /// TcpSiloServer's port). No connection is made until the first Call.
+  Status AddSilo(int silo_id, uint16_t port);
+
+  Result<std::vector<uint8_t>> Call(
+      int silo_id, const std::vector<uint8_t>& request) override;
+
+  size_t num_silos() const override;
+  std::vector<int> silo_ids() const override;
+
+ private:
+  struct Connection {
+    std::mutex mu;       // one in-flight exchange at a time
+    uint16_t port = 0;
+    int fd = -1;         // -1 = not connected
+  };
+
+  mutable std::mutex mu_;  // guards the map structure
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_NET_TCP_NETWORK_H_

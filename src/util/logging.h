@@ -1,0 +1,78 @@
+#ifndef FRA_UTIL_LOGGING_H_
+#define FRA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace fra {
+namespace internal {
+
+/// Accumulates a fatal message; aborts the process when destroyed.
+/// Used by the FRA_CHECK family below — invariant violations are
+/// programming errors, not recoverable conditions.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "FRA_CHECK failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowers a streamed FatalLogMessage to void so it can sit on the false
+/// branch of the ternary in FRA_CHECK (the classic glog "voidify" idiom).
+struct Voidify {
+  // const& binds both the bare temporary and the reference returned by
+  // operator<< chains.
+  void operator&(const FatalLogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace fra
+
+/// Aborts with a message if `condition` is false; extra context can be
+/// streamed in: FRA_CHECK(n > 0) << "n was " << n;
+/// Active in all build types: these guard internal invariants whose
+/// violation would corrupt query results.
+#define FRA_CHECK(condition)             \
+  (condition) ? static_cast<void>(0)     \
+              : ::fra::internal::Voidify() & ::fra::internal::FatalLogMessage( \
+                    __FILE__, __LINE__, #condition)
+
+#define FRA_CHECK_OP_(a, b, op)           \
+  ((a)op(b)) ? static_cast<void>(0)       \
+             : ::fra::internal::Voidify() & ::fra::internal::FatalLogMessage( \
+                   __FILE__, __LINE__, #a " " #op " " #b)
+
+#define FRA_CHECK_EQ(a, b) FRA_CHECK_OP_(a, b, ==)
+#define FRA_CHECK_NE(a, b) FRA_CHECK_OP_(a, b, !=)
+#define FRA_CHECK_LT(a, b) FRA_CHECK_OP_(a, b, <)
+#define FRA_CHECK_LE(a, b) FRA_CHECK_OP_(a, b, <=)
+#define FRA_CHECK_GT(a, b) FRA_CHECK_OP_(a, b, >)
+#define FRA_CHECK_GE(a, b) FRA_CHECK_OP_(a, b, >=)
+
+/// Aborts if `status_expr` is not OK.
+#define FRA_CHECK_OK(status_expr)                                       \
+  do {                                                                  \
+    ::fra::Status _fra_check_status = (status_expr);                    \
+    FRA_CHECK(_fra_check_status.ok()) << _fra_check_status.ToString();  \
+  } while (false)
+
+#endif  // FRA_UTIL_LOGGING_H_

@@ -1,0 +1,89 @@
+#ifndef FRA_UTIL_RESULT_H_
+#define FRA_UTIL_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace fra {
+
+/// A value-or-error outcome: either holds a `T` or a non-OK Status.
+/// Mirrors arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<GridIndex> r = GridIndex::Build(...);
+///   if (!r.ok()) return r.status();
+///   GridIndex index = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from an error Status. Constructing from an OK
+  /// status is a programming error and aborts.
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    FRA_CHECK(!std::get<Status>(rep_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// OK if a value is held, the error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Returns the held value; aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    FRA_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    FRA_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::get<T>(rep_);
+  }
+  T ValueOrDie() && {
+    FRA_CHECK(ok()) << "Result::ValueOrDie on error: " << status().ToString();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value into `out` and returns OK, or returns the error.
+  Status Value(T* out) && {
+    if (!ok()) return status();
+    *out = std::move(std::get<T>(rep_));
+    return Status::OK();
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace fra
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define FRA_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  FRA_ASSIGN_OR_RETURN_IMPL_(                                   \
+      FRA_CONCAT_(_fra_result_, __COUNTER__), lhs, rexpr)
+
+#define FRA_CONCAT_INNER_(a, b) a##b
+#define FRA_CONCAT_(a, b) FRA_CONCAT_INNER_(a, b)
+#define FRA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // FRA_UTIL_RESULT_H_

@@ -1,0 +1,118 @@
+#ifndef FRA_UTIL_SERIALIZE_H_
+#define FRA_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fra {
+
+/// Appends fixed-width little-endian primitives to a growable buffer.
+///
+/// The federation layer serialises every provider<->silo message through
+/// this writer so that communication cost is measured on real encoded
+/// bytes, mirroring how the paper reports transferred volume.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+  void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { AppendRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed (u32) byte string.
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    AppendRaw(s.data(), s.size());
+  }
+
+  /// Length-prefixed (u32) vector of doubles.
+  void WriteDoubleVector(const std::vector<double>& v) {
+    WriteU32(static_cast<uint32_t>(v.size()));
+    AppendRaw(v.data(), v.size() * sizeof(double));
+  }
+
+  void AppendRaw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + len);
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  size_t size() const { return buffer_.size(); }
+
+  /// Releases the underlying buffer.
+  std::vector<uint8_t> Release() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Reads primitives written by BinaryWriter. Every read is bounds-checked
+/// and returns OutOfRange on truncated input, so malformed messages are
+/// rejected instead of read out of bounds.
+class BinaryReader {
+ public:
+  BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::vector<uint8_t>& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  Status ReadU8(uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return ReadRaw(out, sizeof(*out)); }
+
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    FRA_RETURN_NOT_OK(ReadU32(&len));
+    if (len > Remaining()) {
+      return Status::OutOfRange("truncated string payload");
+    }
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ReadDoubleVector(std::vector<double>* out) {
+    uint32_t len = 0;
+    FRA_RETURN_NOT_OK(ReadU32(&len));
+    if (static_cast<size_t>(len) * sizeof(double) > Remaining()) {
+      return Status::OutOfRange("truncated double vector payload");
+    }
+    out->resize(len);
+    if (len > 0) {
+      std::memcpy(out->data(), data_ + pos_, len * sizeof(double));
+      pos_ += len * sizeof(double);
+    }
+    return Status::OK();
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status ReadRaw(void* out, size_t len) {
+    if (len > Remaining()) {
+      return Status::OutOfRange("truncated message: need " +
+                                std::to_string(len) + " bytes, have " +
+                                std::to_string(Remaining()));
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fra
+
+#endif  // FRA_UTIL_SERIALIZE_H_

@@ -1,0 +1,47 @@
+#ifndef FRA_UTIL_STATS_H_
+#define FRA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fra {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+/// Numerically stable for long streams of relative errors / latencies.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  /// Merges another accumulator into this one (Chan's parallel formula).
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const { return count_ ? m2_ / static_cast<double>(count_) : 0.0; }
+  /// Sample variance (divides by n - 1); 0 for fewer than two samples.
+  double sample_variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0, 1]) of `samples` using linear
+/// interpolation between order statistics. Copies and sorts; intended for
+/// end-of-run reporting, not hot paths. Returns 0 for an empty vector.
+double Quantile(std::vector<double> samples, double q);
+
+}  // namespace fra
+
+#endif  // FRA_UTIL_STATS_H_

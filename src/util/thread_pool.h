@@ -1,0 +1,59 @@
+#ifndef FRA_UTIL_THREAD_POOL_H_
+#define FRA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fra {
+
+/// A fixed-size worker pool with a FIFO task queue.
+///
+/// The federation's query framework (paper Alg. 4) dispatches each FRA
+/// query to its sampled silo through a pool like this, so that queries
+/// landing on different silos execute in parallel — the source of the
+/// paper's throughput gains.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues `fn`; the future resolves when it has run.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [0, n) across `pool`, blocking until all complete.
+/// Work is split into contiguous chunks, one per worker.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace fra
+
+#endif  // FRA_UTIL_THREAD_POOL_H_

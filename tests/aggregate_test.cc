@@ -1,0 +1,168 @@
+#include "agg/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/serialize.h"
+
+namespace fra {
+namespace {
+
+AggregateSummary SummaryOf(const std::vector<double>& measures) {
+  AggregateSummary summary;
+  for (double m : measures) summary.Add(m);
+  return summary;
+}
+
+TEST(AggregateSummaryTest, EmptySummary) {
+  const AggregateSummary summary;
+  EXPECT_TRUE(summary.empty());
+  EXPECT_EQ(summary.count, 0UL);
+  EXPECT_EQ(summary.sum, 0.0);
+  double value = -1.0;
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kCount, &value).ok());
+  EXPECT_EQ(value, 0.0);
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kAvg, &value).ok());
+  EXPECT_EQ(value, 0.0);
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kStdev, &value).ok());
+  EXPECT_EQ(value, 0.0);
+  EXPECT_TRUE(summary.Finalize(AggregateKind::kMin, &value).IsInvalidArgument());
+  EXPECT_TRUE(summary.Finalize(AggregateKind::kMax, &value).IsInvalidArgument());
+}
+
+TEST(AggregateSummaryTest, AddAccumulatesAllComponents) {
+  const AggregateSummary summary = SummaryOf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(summary.count, 4UL);
+  EXPECT_DOUBLE_EQ(summary.sum, 10.0);
+  EXPECT_DOUBLE_EQ(summary.sum_sqr, 30.0);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 4.0);
+}
+
+TEST(AggregateSummaryTest, FinalizeAllKinds) {
+  const AggregateSummary summary = SummaryOf({2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                              7.0, 9.0});
+  double value = 0.0;
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kCount, &value).ok());
+  EXPECT_DOUBLE_EQ(value, 8.0);
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kSum, &value).ok());
+  EXPECT_DOUBLE_EQ(value, 40.0);
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kSumSqr, &value).ok());
+  EXPECT_DOUBLE_EQ(value, 232.0);
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kAvg, &value).ok());
+  EXPECT_DOUBLE_EQ(value, 5.0);
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kStdev, &value).ok());
+  EXPECT_DOUBLE_EQ(value, 2.0);  // population stdev of the textbook set
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kMin, &value).ok());
+  EXPECT_DOUBLE_EQ(value, 2.0);
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kMax, &value).ok());
+  EXPECT_DOUBLE_EQ(value, 9.0);
+}
+
+TEST(AggregateSummaryTest, StdevMatchesPaperFormula) {
+  // STDEV = sqrt(SUM_SQR/|P| - AVG^2) (paper Sec. 7).
+  const AggregateSummary summary = SummaryOf({1.0, 3.0, 5.0});
+  const double n = 3.0;
+  const double avg = summary.sum / n;
+  const double expected = std::sqrt(summary.sum_sqr / n - avg * avg);
+  double value = 0.0;
+  ASSERT_TRUE(summary.Finalize(AggregateKind::kStdev, &value).ok());
+  EXPECT_DOUBLE_EQ(value, expected);
+}
+
+TEST(AggregateSummaryTest, MergeEqualsBulkAdd) {
+  const AggregateSummary all = SummaryOf({1, 5, 2, 8, 3, -4});
+  AggregateSummary left = SummaryOf({1, 5, 2});
+  const AggregateSummary right = SummaryOf({8, 3, -4});
+  left.Merge(right);
+  EXPECT_EQ(left, all);
+}
+
+TEST(AggregateSummaryTest, MergeWithEmptyIsIdentity) {
+  const AggregateSummary summary = SummaryOf({2.0, 7.0});
+  AggregateSummary merged = summary;
+  merged.Merge(AggregateSummary());
+  EXPECT_EQ(merged, summary);
+  AggregateSummary empty;
+  empty.Merge(summary);
+  EXPECT_EQ(empty, summary);
+}
+
+TEST(AggregateSummaryTest, ScaledMultipliesLinearComponents) {
+  const AggregateSummary summary = SummaryOf({1.0, 2.0, 3.0});
+  const AggregateSummary scaled = summary.Scaled(4.0);
+  EXPECT_EQ(scaled.count, 12UL);
+  EXPECT_DOUBLE_EQ(scaled.sum, 24.0);
+  EXPECT_DOUBLE_EQ(scaled.sum_sqr, 56.0);
+  // Extrema are untouched (and must not be read from scaled summaries).
+  EXPECT_DOUBLE_EQ(scaled.min, 1.0);
+  EXPECT_DOUBLE_EQ(scaled.max, 3.0);
+}
+
+TEST(AggregateSummaryTest, ScaledRoundsCount) {
+  AggregateSummary summary;
+  summary.count = 3;
+  EXPECT_EQ(summary.Scaled(0.5).count, 2UL);   // 1.5 + 0.5 rounds to 2
+  EXPECT_EQ(summary.Scaled(1.0 / 3).count, 1UL);
+}
+
+TEST(AggregateSummaryTest, SerializeRoundTrip) {
+  const AggregateSummary summary = SummaryOf({-1.5, 0.0, 42.0});
+  BinaryWriter writer;
+  summary.Serialize(&writer);
+  EXPECT_EQ(writer.size(), AggregateSummary::kWireSize);
+
+  BinaryReader reader(writer.buffer());
+  AggregateSummary decoded;
+  ASSERT_TRUE(AggregateSummary::Deserialize(&reader, &decoded).ok());
+  EXPECT_EQ(decoded, summary);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(AggregateSummaryTest, DeserializeTruncatedFails) {
+  BinaryWriter writer;
+  writer.WriteU64(1);
+  BinaryReader reader(writer.buffer());
+  AggregateSummary decoded;
+  EXPECT_TRUE(
+      AggregateSummary::Deserialize(&reader, &decoded).IsOutOfRange());
+}
+
+TEST(AggregateSummaryTest, AddSpatialObjectUsesMeasure) {
+  AggregateSummary summary;
+  summary.Add(SpatialObject{{1.0, 2.0}, 7.5});
+  EXPECT_EQ(summary.count, 1UL);
+  EXPECT_DOUBLE_EQ(summary.sum, 7.5);
+}
+
+TEST(AggregateKindTest, Names) {
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kCount), "COUNT");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kSum), "SUM");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kSumSqr), "SUM_SQR");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kAvg), "AVG");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kStdev), "STDEV");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kMin), "MIN");
+  EXPECT_STREQ(AggregateKindToString(AggregateKind::kMax), "MAX");
+}
+
+TEST(AggregateKindTest, EstimabilityClassification) {
+  EXPECT_TRUE(IsEstimable(AggregateKind::kCount));
+  EXPECT_TRUE(IsEstimable(AggregateKind::kSum));
+  EXPECT_TRUE(IsEstimable(AggregateKind::kSumSqr));
+  EXPECT_TRUE(IsEstimable(AggregateKind::kAvg));
+  EXPECT_TRUE(IsEstimable(AggregateKind::kStdev));
+  EXPECT_FALSE(IsEstimable(AggregateKind::kMin));
+  EXPECT_FALSE(IsEstimable(AggregateKind::kMax));
+}
+
+TEST(SummarizeIfTest, FiltersByPredicate) {
+  ObjectSet objects = {{{0, 0}, 1.0}, {{5, 5}, 2.0}, {{10, 10}, 3.0}};
+  const AggregateSummary summary = SummarizeIf(
+      objects, [](const Point& p) { return p.x <= 5.0; });
+  EXPECT_EQ(summary.count, 2UL);
+  EXPECT_DOUBLE_EQ(summary.sum, 3.0);
+}
+
+}  // namespace
+}  // namespace fra

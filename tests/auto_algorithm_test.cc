@@ -1,0 +1,110 @@
+// Heterogeneity measurement and estimator auto-selection.
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "federation/federation.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {50, 50}};
+
+std::unique_ptr<Federation> FromPartitions(std::vector<ObjectSet> partitions) {
+  FederationOptions options;
+  options.silo.grid_spec.domain = kDomain;
+  options.silo.grid_spec.cell_length = 2.0;
+  return Federation::Create(std::move(partitions), options).ValueOrDie();
+}
+
+TEST(AutoAlgorithmTest, IidPartitionsMeasureLowHeterogeneity) {
+  const ObjectSet all = testing::ClusteredObjects(30000, kDomain, 4, 1);
+  std::vector<ObjectSet> partitions(3);
+  for (size_t i = 0; i < all.size(); ++i) {
+    partitions[i % 3].push_back(all[i]);
+  }
+  auto federation = FromPartitions(std::move(partitions));
+  const double heterogeneity =
+      federation->provider().MeasureHeterogeneity();
+  EXPECT_LT(heterogeneity, 0.05);
+  EXPECT_EQ(federation->provider().RecommendAlgorithm(false),
+            FraAlgorithm::kIidEst);
+  EXPECT_EQ(federation->provider().RecommendAlgorithm(true),
+            FraAlgorithm::kIidEstLsr);
+}
+
+TEST(AutoAlgorithmTest, SkewedPartitionsMeasureHighHeterogeneity) {
+  // Each silo in its own corner: maximal spatial skew.
+  std::vector<ObjectSet> partitions = {
+      testing::RandomObjects(5000, Rect{{0, 0}, {20, 20}}, 2),
+      testing::RandomObjects(5000, Rect{{30, 30}, {50, 50}}, 3),
+      testing::RandomObjects(5000, Rect{{0, 30}, {20, 50}}, 4)};
+  auto federation = FromPartitions(std::move(partitions));
+  const double heterogeneity =
+      federation->provider().MeasureHeterogeneity();
+  EXPECT_GT(heterogeneity, 0.3);
+  EXPECT_EQ(federation->provider().RecommendAlgorithm(false),
+            FraAlgorithm::kNonIidEst);
+  EXPECT_EQ(federation->provider().RecommendAlgorithm(true),
+            FraAlgorithm::kNonIidEstLsr);
+}
+
+TEST(AutoAlgorithmTest, GeneratorRegimesAreSeparated) {
+  // The statistic carries finite-sample noise that depends on density and
+  // cell size, so compare the two regimes relative to each other.
+  double measured[2] = {0.0, 0.0};
+  for (bool non_iid : {false, true}) {
+    MobilityDataOptions options;
+    options.num_objects = 60000;
+    options.seed = 5;
+    options.non_iid = non_iid;
+    options.non_iid_skew = 2.0;
+    auto dataset = GenerateMobilityData(options).ValueOrDie();
+    FederationOptions fed_options;
+    fed_options.silo.grid_spec.domain = dataset.domain;
+    fed_options.silo.grid_spec.cell_length = 10.0;
+    auto federation =
+        Federation::Create(std::move(dataset.company_partitions), fed_options)
+            .ValueOrDie();
+    measured[non_iid ? 1 : 0] =
+        federation->provider().MeasureHeterogeneity();
+  }
+  EXPECT_GT(measured[1], 2.0 * measured[0]);
+  EXPECT_LT(measured[0], 0.15);
+}
+
+TEST(AutoAlgorithmTest, ExecuteAutoAnswersQueries) {
+  const ObjectSet all = testing::RandomObjects(20000, kDomain, 6);
+  std::vector<ObjectSet> partitions(4);
+  for (size_t i = 0; i < all.size(); ++i) {
+    partitions[i % 4].push_back(all[i]);
+  }
+  auto federation = FromPartitions(std::move(partitions));
+  ServiceProvider& provider = federation->provider();
+  const FraQuery query{QueryRange::MakeCircle({25, 25}, 10),
+                       AggregateKind::kCount};
+  const double exact =
+      provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+  const double estimate = provider.ExecuteAuto(query).ValueOrDie();
+  EXPECT_NEAR(estimate, exact, 0.25 * exact);
+}
+
+TEST(AutoAlgorithmTest, ThresholdIsConfigurable) {
+  const ObjectSet all = testing::RandomObjects(10000, kDomain, 7);
+  std::vector<ObjectSet> partitions(2);
+  for (size_t i = 0; i < all.size(); ++i) {
+    partitions[i % 2].push_back(all[i]);
+  }
+  FederationOptions options;
+  options.silo.grid_spec.domain = kDomain;
+  options.silo.grid_spec.cell_length = 2.0;
+  options.provider.heterogeneity_threshold = 0.0;  // always "skewed"
+  auto federation =
+      Federation::Create(std::move(partitions), options).ValueOrDie();
+  EXPECT_EQ(federation->provider().RecommendAlgorithm(false),
+            FraAlgorithm::kNonIidEst);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "baseline/centralized.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {80, 80}};
+
+TEST(BruteForceTest, FlattensPartitions) {
+  std::vector<ObjectSet> partitions = {
+      testing::RandomObjects(100, kDomain, 1),
+      testing::RandomObjects(200, kDomain, 2),
+      testing::RandomObjects(300, kDomain, 3)};
+  const BruteForceAggregator truth(partitions);
+  EXPECT_EQ(truth.size(), 600UL);
+}
+
+TEST(BruteForceTest, AggregateKnownValues) {
+  ObjectSet objects = {{{1, 1}, 2.0}, {{2, 2}, 4.0}, {{20, 20}, 100.0}};
+  const BruteForceAggregator truth(std::move(objects));
+  const QueryRange range = QueryRange::MakeRect({0, 0}, {5, 5});
+  EXPECT_DOUBLE_EQ(
+      truth.Aggregate(range, AggregateKind::kCount).ValueOrDie(), 2.0);
+  EXPECT_DOUBLE_EQ(truth.Aggregate(range, AggregateKind::kSum).ValueOrDie(),
+                   6.0);
+  EXPECT_DOUBLE_EQ(truth.Aggregate(range, AggregateKind::kAvg).ValueOrDie(),
+                   3.0);
+  EXPECT_DOUBLE_EQ(truth.Aggregate(range, AggregateKind::kMax).ValueOrDie(),
+                   4.0);
+}
+
+TEST(BruteForceTest, MinOfEmptyRangeFails) {
+  const BruteForceAggregator truth(ObjectSet{{{1, 1}, 2.0}});
+  EXPECT_FALSE(truth
+                   .Aggregate(QueryRange::MakeCircle({50, 50}, 1),
+                              AggregateKind::kMin)
+                   .ok());
+}
+
+TEST(CentralizedTest, MatchesBruteForceEverywhere) {
+  std::vector<ObjectSet> partitions = {
+      testing::ClusteredObjects(5000, kDomain, 3, 4),
+      testing::ClusteredObjects(5000, kDomain, 3, 5)};
+  const BruteForceAggregator truth(partitions);
+  const CentralizedRTree centralized(partitions);
+  EXPECT_EQ(centralized.size(), 10000UL);
+
+  Rng rng(6);
+  for (int q = 0; q < 40; ++q) {
+    const QueryRange range =
+        testing::RandomRange(kDomain, 20.0, q % 2 == 0, &rng);
+    const AggregateSummary expected = truth.Summarize(range);
+    const AggregateSummary actual = centralized.Summarize(range);
+    EXPECT_EQ(actual.count, expected.count) << "query " << q;
+    EXPECT_NEAR(actual.sum, expected.sum, 1e-9) << "query " << q;
+  }
+}
+
+TEST(CentralizedTest, AggregateFinalizes) {
+  const CentralizedRTree centralized({testing::RandomObjects(1000, kDomain,
+                                                             7)});
+  const QueryRange everything = QueryRange::MakeRect({-1, -1}, {81, 81});
+  EXPECT_DOUBLE_EQ(
+      centralized.Aggregate(everything, AggregateKind::kCount).ValueOrDie(),
+      1000.0);
+  EXPECT_GT(centralized.MemoryUsage(), 0UL);
+}
+
+}  // namespace
+}  // namespace fra

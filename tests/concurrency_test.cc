@@ -1,0 +1,159 @@
+// Concurrency: parallel query batches, queries racing streaming ingest,
+// and parallel fan-out against mutex-serialised silos must all produce
+// consistent, crash-free results.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "federation/federation.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {40, 40}};
+
+std::unique_ptr<Federation> MakeFederation(size_t objects, size_t silos,
+                                           uint64_t seed) {
+  std::vector<ObjectSet> partitions(silos);
+  const ObjectSet all = testing::RandomObjects(objects, kDomain, seed);
+  for (size_t i = 0; i < all.size(); ++i) {
+    partitions[i % silos].push_back(all[i]);
+  }
+  FederationOptions options;
+  options.silo.grid_spec.domain = kDomain;
+  options.silo.grid_spec.cell_length = 2.0;
+  return Federation::Create(std::move(partitions), options).ValueOrDie();
+}
+
+TEST(ConcurrencyTest, LargeBatchesAreDeterministicAcrossRuns) {
+  auto federation = MakeFederation(30000, 6, 1);
+  ServiceProvider& provider = federation->provider();
+
+  std::vector<FraQuery> queries;
+  Rng rng(2);
+  for (int q = 0; q < 500; ++q) {
+    queries.push_back({testing::RandomRange(kDomain, 10.0, true, &rng),
+                       AggregateKind::kCount});
+  }
+  // EXACT answers are scheduling independent; two parallel batches must
+  // agree bit for bit.
+  const auto a = provider.ExecuteBatch(queries, FraAlgorithm::kExact)
+                     .ValueOrDie();
+  const auto b = provider.ExecuteBatch(queries, FraAlgorithm::kExact)
+                     .ValueOrDie();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ConcurrencyTest, ConcurrentBatchesFromMultipleThreads) {
+  auto federation = MakeFederation(20000, 4, 3);
+  ServiceProvider& provider = federation->provider();
+
+  std::vector<FraQuery> queries;
+  Rng rng(4);
+  for (int q = 0; q < 100; ++q) {
+    queries.push_back({testing::RandomRange(kDomain, 8.0, true, &rng),
+                       AggregateKind::kCount});
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&provider, &queries, &failures] {
+      auto result =
+          provider.ExecuteBatch(queries, FraAlgorithm::kNonIidEst);
+      if (!result.ok()) ++failures;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ConcurrencyTest, IngestRacingQueriesNeverProducesOutOfRangeAnswers) {
+  auto federation = MakeFederation(20000, 3, 5);
+  ServiceProvider& provider = federation->provider();
+
+  const FraQuery query{QueryRange::MakeRect({-1, -1}, {41, 41}),
+                       AggregateKind::kCount};
+  constexpr int kBatches = 40;
+  constexpr int kPerBatch = 50;
+
+  std::atomic<bool> done{false};
+  std::thread ingester([&federation, &done] {
+    Rng rng(6);
+    for (int b = 0; b < kBatches; ++b) {
+      ObjectSet batch;
+      for (int i = 0; i < kPerBatch; ++i) {
+        batch.push_back({{rng.NextDouble(0, 40), rng.NextDouble(0, 40)},
+                         1.0});
+      }
+      federation->silo(b % 3).Ingest(batch);
+    }
+    done = true;
+  });
+
+  // Whole-domain EXACT counts are monotone under insert-only ingest: each
+  // observed count must lie between the initial and final totals.
+  double last = 0.0;
+  while (!done.load()) {
+    const double count =
+        provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+    EXPECT_GE(count, 20000.0);
+    EXPECT_LE(count, 20000.0 + kBatches * kPerBatch);
+    EXPECT_GE(count, last);  // monotone non-decreasing
+    last = count;
+  }
+  ingester.join();
+  EXPECT_DOUBLE_EQ(
+      provider.Execute(query, FraAlgorithm::kExact).ValueOrDie(),
+      20000.0 + kBatches * kPerBatch);
+}
+
+TEST(ConcurrencyTest, SyncGridsBetweenBatchesKeepsEstimatesConsistent) {
+  auto federation = MakeFederation(20000, 4, 7);
+  ServiceProvider& provider = federation->provider();
+  std::vector<FraQuery> queries;
+  Rng rng(8);
+  for (int q = 0; q < 50; ++q) {
+    queries.push_back({testing::RandomRange(kDomain, 8.0, true, &rng),
+                       AggregateKind::kCount});
+  }
+  for (int round = 0; round < 5; ++round) {
+    federation->silo(round % 4).Ingest(
+        testing::RandomObjects(200, kDomain, 100 + round));
+    ASSERT_TRUE(provider.SyncGrids().ok());
+    ASSERT_TRUE(
+        provider.ExecuteBatch(queries, FraAlgorithm::kNonIidEst).ok());
+  }
+  EXPECT_EQ(provider.merged_grid().total().count, 21000UL);
+}
+
+TEST(ConcurrencyTest, MixedAlgorithmsConcurrently) {
+  auto federation = MakeFederation(15000, 3, 9);
+  ServiceProvider& provider = federation->provider();
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 8),
+                       AggregateKind::kCount};
+  const double exact =
+      provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  const FraAlgorithm algorithms[] = {
+      FraAlgorithm::kExact, FraAlgorithm::kOpta, FraAlgorithm::kIidEstLsr,
+      FraAlgorithm::kNonIidEstLsr};
+  for (FraAlgorithm algorithm : algorithms) {
+    threads.emplace_back([&, algorithm] {
+      for (int i = 0; i < 25; ++i) {
+        auto result = provider.Execute(query, algorithm);
+        if (!result.ok() || *result < 0.0 || *result > 3.0 * exact) ++bad;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,252 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "data/csv.h"
+#include "index/grid_index.h"
+
+namespace fra {
+namespace {
+
+MobilityDataOptions SmallOptions() {
+  MobilityDataOptions options;
+  options.num_objects = 30000;
+  options.seed = 7;
+  return options;
+}
+
+TEST(GeneratorTest, ProducesRequestedVolumeAndProportions) {
+  const FederationDataset dataset =
+      GenerateMobilityData(SmallOptions()).ValueOrDie();
+  ASSERT_EQ(dataset.company_partitions.size(), 3UL);
+  EXPECT_EQ(dataset.TotalObjects(), 30000UL);
+  // 1 : 1 : 2 proportions.
+  EXPECT_EQ(dataset.company_partitions[0].size(), 7500UL);
+  EXPECT_EQ(dataset.company_partitions[1].size(), 7500UL);
+  EXPECT_EQ(dataset.company_partitions[2].size(), 15000UL);
+}
+
+TEST(GeneratorTest, ObjectsStayInDomainWithValidMeasures) {
+  const FederationDataset dataset =
+      GenerateMobilityData(SmallOptions()).ValueOrDie();
+  for (const ObjectSet& partition : dataset.company_partitions) {
+    for (const SpatialObject& o : partition) {
+      ASSERT_TRUE(dataset.domain.Contains(o.location));
+      ASSERT_GE(o.measure, 0.0);
+      ASSERT_LE(o.measure, 4.0);
+      ASSERT_EQ(o.measure, std::floor(o.measure));  // integer passengers
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  const FederationDataset a = GenerateMobilityData(SmallOptions()).ValueOrDie();
+  const FederationDataset b = GenerateMobilityData(SmallOptions()).ValueOrDie();
+  ASSERT_EQ(a.company_partitions.size(), b.company_partitions.size());
+  for (size_t c = 0; c < a.company_partitions.size(); ++c) {
+    ASSERT_EQ(a.company_partitions[c], b.company_partitions[c]);
+  }
+}
+
+TEST(GeneratorTest, SeedsChangeTheData) {
+  MobilityDataOptions options = SmallOptions();
+  const FederationDataset a = GenerateMobilityData(options).ValueOrDie();
+  options.seed = 8;
+  const FederationDataset b = GenerateMobilityData(options).ValueOrDie();
+  EXPECT_NE(a.company_partitions[0], b.company_partitions[0]);
+}
+
+TEST(GeneratorTest, DataIsClusteredNotUniform) {
+  const FederationDataset dataset =
+      GenerateMobilityData(SmallOptions()).ValueOrDie();
+  GridIndex::GridSpec spec;
+  spec.domain = dataset.domain;
+  spec.cell_length = 10.0;
+  ObjectSet all;
+  for (const auto& p : dataset.company_partitions) {
+    all.insert(all.end(), p.begin(), p.end());
+  }
+  const GridIndex grid = GridIndex::Build(all, spec).ValueOrDie();
+  // Under uniformity every cell would hold ~n/cells objects; hotspots must
+  // concentrate far more mass in the densest cell.
+  uint64_t densest = 0;
+  for (size_t id = 0; id < grid.num_cells(); ++id) {
+    densest = std::max(densest, grid.cell(id).count);
+  }
+  const double uniform_share =
+      static_cast<double>(all.size()) / static_cast<double>(grid.num_cells());
+  EXPECT_GT(static_cast<double>(densest), 5.0 * uniform_share);
+}
+
+// Chi-square-flavoured distance between two partitions' spatial histograms.
+double DistributionDistance(const ObjectSet& a, const ObjectSet& b,
+                            const Rect& domain) {
+  GridIndex::GridSpec spec;
+  spec.domain = domain;
+  spec.cell_length = 20.0;
+  const GridIndex ga = GridIndex::Build(a, spec).ValueOrDie();
+  const GridIndex gb = GridIndex::Build(b, spec).ValueOrDie();
+  double distance = 0.0;
+  for (size_t id = 0; id < ga.num_cells(); ++id) {
+    const double pa =
+        static_cast<double>(ga.cell(id).count) / static_cast<double>(a.size());
+    const double pb =
+        static_cast<double>(gb.cell(id).count) / static_cast<double>(b.size());
+    distance += std::abs(pa - pb);
+  }
+  return distance;
+}
+
+TEST(GeneratorTest, NonIidCompaniesDivergeSpatially) {
+  MobilityDataOptions iid = SmallOptions();
+  iid.non_iid = false;
+  MobilityDataOptions non_iid = SmallOptions();
+  non_iid.non_iid = true;
+
+  const FederationDataset iid_data = GenerateMobilityData(iid).ValueOrDie();
+  const FederationDataset skewed = GenerateMobilityData(non_iid).ValueOrDie();
+
+  const double iid_distance =
+      DistributionDistance(iid_data.company_partitions[0],
+                           iid_data.company_partitions[1], iid_data.domain);
+  const double non_iid_distance =
+      DistributionDistance(skewed.company_partitions[0],
+                           skewed.company_partitions[1], skewed.domain);
+  EXPECT_GT(non_iid_distance, 2.0 * iid_distance);
+}
+
+TEST(GeneratorTest, RejectsInvalidOptions) {
+  MobilityDataOptions options = SmallOptions();
+  options.num_objects = 0;
+  EXPECT_FALSE(GenerateMobilityData(options).ok());
+
+  options = SmallOptions();
+  options.company_proportions = {};
+  EXPECT_FALSE(GenerateMobilityData(options).ok());
+
+  options = SmallOptions();
+  options.company_proportions = {1.0, -1.0};
+  EXPECT_FALSE(GenerateMobilityData(options).ok());
+
+  options = SmallOptions();
+  options.background_fraction = 1.5;
+  EXPECT_FALSE(GenerateMobilityData(options).ok());
+
+  options = SmallOptions();
+  options.domain = Rect::Empty();
+  EXPECT_FALSE(GenerateMobilityData(options).ok());
+}
+
+TEST(SplitIntoSilosTest, PaperProtocol) {
+  const FederationDataset dataset =
+      GenerateMobilityData(SmallOptions()).ValueOrDie();
+  for (size_t m : {3UL, 6UL, 9UL, 12UL, 15UL}) {
+    const std::vector<ObjectSet> silos =
+        SplitIntoSilos(dataset.company_partitions, m, 5).ValueOrDie();
+    ASSERT_EQ(silos.size(), m);
+    size_t total = 0;
+    for (const ObjectSet& silo : silos) total += silo.size();
+    EXPECT_EQ(total, dataset.TotalObjects());
+    // Each company's silos have (near-)equal sizes.
+    const size_t per_company = m / 3;
+    for (size_t c = 0; c < 3; ++c) {
+      const size_t company_total = dataset.company_partitions[c].size();
+      for (size_t s = 0; s < per_company; ++s) {
+        const size_t silo_size = silos[c * per_company + s].size();
+        EXPECT_NEAR(static_cast<double>(silo_size),
+                    static_cast<double>(company_total) / per_company, 1.0);
+      }
+    }
+  }
+}
+
+TEST(SplitIntoSilosTest, SplitPreservesMultisetOfObjects) {
+  const FederationDataset dataset =
+      GenerateMobilityData(SmallOptions()).ValueOrDie();
+  const std::vector<ObjectSet> silos =
+      SplitIntoSilos(dataset.company_partitions, 6, 9).ValueOrDie();
+  auto key = [](const SpatialObject& o) {
+    return std::tuple(o.location.x, o.location.y, o.measure);
+  };
+  std::multiset<std::tuple<double, double, double>> original;
+  for (const auto& p : dataset.company_partitions) {
+    for (const auto& o : p) original.insert(key(o));
+  }
+  std::multiset<std::tuple<double, double, double>> split;
+  for (const auto& s : silos) {
+    for (const auto& o : s) split.insert(key(o));
+  }
+  EXPECT_EQ(original, split);
+}
+
+TEST(SplitIntoSilosTest, RejectsNonMultiples) {
+  const FederationDataset dataset =
+      GenerateMobilityData(SmallOptions()).ValueOrDie();
+  EXPECT_FALSE(SplitIntoSilos(dataset.company_partitions, 4, 1).ok());
+  EXPECT_FALSE(SplitIntoSilos(dataset.company_partitions, 0, 1).ok());
+  EXPECT_FALSE(SplitIntoSilos({}, 3, 1).ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  MobilityDataOptions options = SmallOptions();
+  options.num_objects = 500;
+  const FederationDataset dataset =
+      GenerateMobilityData(options).ValueOrDie();
+
+  const std::string path = ::testing::TempDir() + "/fra_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(path, dataset.company_partitions).ok());
+  const std::vector<ObjectSet> loaded = ReadCsv(path).ValueOrDie();
+
+  ASSERT_EQ(loaded.size(), dataset.company_partitions.size());
+  for (size_t p = 0; p < loaded.size(); ++p) {
+    ASSERT_EQ(loaded[p].size(), dataset.company_partitions[p].size());
+    for (size_t i = 0; i < loaded[p].size(); ++i) {
+      EXPECT_NEAR(loaded[p][i].location.x,
+                  dataset.company_partitions[p][i].location.x, 1e-4);
+      EXPECT_NEAR(loaded[p][i].measure,
+                  dataset.company_partitions[p][i].measure, 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_TRUE(ReadCsv("/nonexistent/path.csv").status().IsIOError());
+}
+
+TEST(CsvTest, BadHeaderFails) {
+  const std::string path = ::testing::TempDir() + "/fra_bad_header.csv";
+  {
+    std::ofstream out(path);
+    out << "x,y\n1,2\n";
+  }
+  EXPECT_TRUE(ReadCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MalformedRowFails) {
+  const std::string path = ::testing::TempDir() + "/fra_bad_row.csv";
+  {
+    std::ofstream out(path);
+    out << "silo,x,y,measure\n0,1.0,banana\n";
+  }
+  EXPECT_TRUE(ReadCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NonContiguousSiloIndicesFail) {
+  const std::string path = ::testing::TempDir() + "/fra_gap.csv";
+  {
+    std::ofstream out(path);
+    out << "silo,x,y,measure\n0,1,1,1\n2,2,2,2\n";
+  }
+  EXPECT_TRUE(ReadCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,314 @@
+// Streaming-ingest subsystem: silo-local delta reads, compaction, grid
+// delta sync to the provider, and end-to-end freshness of the estimators.
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "federation/federation.h"
+#include "index/grid_index.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {40, 40}};
+
+// --- GridIndex incremental layer ----------------------------------------
+
+GridIndex::GridSpec Spec() {
+  GridIndex::GridSpec spec;
+  spec.domain = kDomain;
+  spec.cell_length = 2.0;
+  return spec;
+}
+
+TEST(GridIncrementalTest, AddUpdatesCellsAndTotalImmediately) {
+  auto grid = GridIndex::Build({}, Spec()).ValueOrDie();
+  grid.Add({{5, 5}, 3.0});
+  grid.Add({{5, 5}, 1.0});
+  EXPECT_EQ(grid.total().count, 2UL);
+  EXPECT_DOUBLE_EQ(grid.total().sum, 4.0);
+  EXPECT_EQ(grid.cell(grid.CellOf({5, 5})).count, 2UL);
+  EXPECT_EQ(grid.pending_updates(), 1UL);  // one touched cell
+}
+
+TEST(GridIncrementalTest, BlockAggregateSeesUncommittedAdds) {
+  const ObjectSet base = testing::RandomObjects(2000, kDomain, 1);
+  auto grid = GridIndex::Build(base, Spec()).ValueOrDie();
+  const QueryRange range = QueryRange::MakeCircle({20, 20}, 7);
+  const uint64_t before = grid.IntersectingCellsAggregate(range).count;
+
+  // Insert inside the range, without committing.
+  for (int i = 0; i < 50; ++i) {
+    grid.Add({{20.0 + 0.01 * i, 20.0}, 1.0});
+  }
+  EXPECT_EQ(grid.IntersectingCellsAggregate(range).count, before + 50);
+
+  // Committing must not change any answer, only fold the delta in.
+  grid.CommitUpdates();
+  EXPECT_EQ(grid.pending_updates(), 0UL);
+  EXPECT_EQ(grid.IntersectingCellsAggregate(range).count, before + 50);
+}
+
+TEST(GridIncrementalTest, FastPathEqualsNaiveWithPendingDelta) {
+  const ObjectSet base = testing::RandomObjects(1000, kDomain, 2);
+  auto grid = GridIndex::Build(base, Spec()).ValueOrDie();
+  const ObjectSet extra = testing::RandomObjects(200, kDomain, 3);
+  for (const SpatialObject& o : extra) grid.Add(o);
+
+  Rng rng(4);
+  for (int q = 0; q < 30; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 8.0, q % 2 == 0,
+                                                  &rng);
+    const AggregateSummary fast = grid.IntersectingCellsAggregate(range);
+    const AggregateSummary naive = grid.IntersectingCellsAggregateNaive(range);
+    EXPECT_EQ(fast.count, naive.count) << "query " << q;
+    EXPECT_NEAR(fast.sum, naive.sum, 1e-6);
+  }
+}
+
+TEST(GridIncrementalTest, SetCellReplacesAndTracksChange) {
+  auto grid = GridIndex::Build({{{5, 5}, 2.0}}, Spec()).ValueOrDie();
+  const size_t cell = grid.CellOf({5, 5});
+  AggregateSummary replacement;
+  replacement.Add(10.0);
+  replacement.Add(20.0);
+  grid.SetCell(cell, replacement);
+  EXPECT_EQ(grid.cell(cell).count, 2UL);
+  EXPECT_EQ(grid.total().count, 2UL);
+  EXPECT_DOUBLE_EQ(grid.total().sum, 30.0);
+  const std::vector<size_t> changed = grid.ChangedCells();
+  ASSERT_EQ(changed.size(), 1UL);
+  EXPECT_EQ(changed[0], cell);
+  grid.ClearChangedCells();
+  EXPECT_TRUE(grid.ChangedCells().empty());
+}
+
+TEST(GridIncrementalTest, ChangedCellsAreSortedAndDeduplicated) {
+  auto grid = GridIndex::Build({}, Spec()).ValueOrDie();
+  grid.Add({{39, 39}, 1.0});
+  grid.Add({{1, 1}, 1.0});
+  grid.Add({{1, 1}, 1.0});  // same cell twice
+  const std::vector<size_t> changed = grid.ChangedCells();
+  ASSERT_EQ(changed.size(), 2UL);
+  EXPECT_LT(changed[0], changed[1]);
+}
+
+// --- Silo ingest ----------------------------------------------------------
+
+Silo::Options SiloOptions(double compact_fraction = 0.0) {
+  Silo::Options options;
+  options.grid_spec.domain = kDomain;
+  options.grid_spec.cell_length = 2.0;
+  options.compact_fraction = compact_fraction;
+  return options;
+}
+
+TEST(SiloIngestTest, IngestedObjectsVisibleToAllQueryKinds) {
+  const ObjectSet base = testing::RandomObjects(5000, kDomain, 5);
+  auto silo = Silo::Create(0, base, SiloOptions()).ValueOrDie();
+  const QueryRange range = QueryRange::MakeCircle({10, 10}, 5);
+  const uint64_t before = silo->ExactRangeAggregate(range).count;
+
+  ObjectSet batch;
+  for (int i = 0; i < 40; ++i) batch.push_back({{10.0, 10.0}, 2.0});
+  silo->Ingest(batch);
+  EXPECT_EQ(silo->pending_ingest(), 40UL);
+  EXPECT_EQ(silo->size(), 5040UL);
+
+  // Exact reads, histogram reads and the silo total all see the batch.
+  EXPECT_EQ(silo->ExactRangeAggregate(range).count, before + 40);
+  EXPECT_EQ(silo->total().count, 5040UL);
+  const AggregateSummary hist =
+      silo->HistogramEstimate(range).ValueOrDie();
+  EXPECT_GE(hist.count, 40UL);  // at least the fresh exact delta
+
+  // Boundary + interior still reconstructs the exact count.
+  AggregateSummary interior;
+  silo->grid().ForEachIntersectingCell(
+      range, [&](size_t id, CellRelation relation) {
+        if (relation == CellRelation::kContained) {
+          interior.Merge(silo->grid().cell(id));
+        }
+      });
+  AggregateSummary boundary;
+  for (const CellContribution& c :
+       silo->BoundaryCellContributions(range, false, 0.1, 0.01, 0.0)) {
+    boundary.Merge(c.summary);
+  }
+  EXPECT_EQ(interior.count + boundary.count, before + 40);
+}
+
+TEST(SiloIngestTest, CompactFoldsDeltaWithoutChangingAnswers) {
+  const ObjectSet base = testing::RandomObjects(3000, kDomain, 6);
+  auto silo = Silo::Create(0, base, SiloOptions()).ValueOrDie();
+  silo->Ingest(testing::RandomObjects(300, kDomain, 7));
+
+  const QueryRange range = QueryRange::MakeCircle({20, 20}, 8);
+  const AggregateSummary before = silo->ExactRangeAggregate(range);
+  silo->Compact();
+  EXPECT_EQ(silo->pending_ingest(), 0UL);
+  const AggregateSummary after = silo->ExactRangeAggregate(range);
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_NEAR(after.sum, before.sum, 1e-9);
+  EXPECT_EQ(silo->size(), 3300UL);
+}
+
+TEST(SiloIngestTest, AutoCompactionTriggersAtThreshold) {
+  const ObjectSet base = testing::RandomObjects(1000, kDomain, 8);
+  auto silo =
+      Silo::Create(0, base, SiloOptions(/*compact_fraction=*/0.05))
+          .ValueOrDie();
+  silo->Ingest(testing::RandomObjects(30, kDomain, 9));
+  EXPECT_EQ(silo->pending_ingest(), 30UL);  // 3% < 5%, no compaction
+  silo->Ingest(testing::RandomObjects(30, kDomain, 10));
+  EXPECT_EQ(silo->pending_ingest(), 0UL);   // 6% > 5%, compacted
+  EXPECT_EQ(silo->size(), 1060UL);
+}
+
+TEST(SiloIngestTest, LsrQueriesStayAccurateAfterIngest) {
+  const ObjectSet base = testing::RandomObjects(50000, kDomain, 11);
+  auto silo = Silo::Create(0, base, SiloOptions()).ValueOrDie();
+  silo->Ingest(testing::RandomObjects(500, kDomain, 12));
+
+  const QueryRange range = QueryRange::MakeCircle({20, 20}, 10);
+  const double exact =
+      static_cast<double>(silo->ExactRangeAggregate(range).count);
+  const double approx = static_cast<double>(
+      silo->LsrRangeAggregate(range, 0.1, 0.01, exact).count);
+  EXPECT_LT(std::abs(approx - exact) / exact, 0.25);
+}
+
+// --- Delta sync + end-to-end freshness ------------------------------------
+
+std::unique_ptr<Federation> MakeFederation(size_t objects, size_t silos,
+                                           uint64_t seed) {
+  std::vector<ObjectSet> partitions(silos);
+  const ObjectSet all = testing::RandomObjects(objects, kDomain, seed);
+  for (size_t i = 0; i < all.size(); ++i) {
+    partitions[i % silos].push_back(all[i]);
+  }
+  FederationOptions options;
+  options.silo.grid_spec.domain = kDomain;
+  options.silo.grid_spec.cell_length = 2.0;
+  return Federation::Create(std::move(partitions), options).ValueOrDie();
+}
+
+TEST(DeltaSyncTest, ProviderGridsCatchUpAfterSync) {
+  auto federation = MakeFederation(6000, 3, 13);
+  ServiceProvider& provider = federation->provider();
+  const uint64_t total_before = provider.merged_grid().total().count;
+
+  ObjectSet batch;
+  for (int i = 0; i < 100; ++i) batch.push_back({{15.0, 15.0}, 1.0});
+  federation->silo(1).Ingest(batch);
+
+  // Stale until synced.
+  EXPECT_EQ(provider.merged_grid().total().count, total_before);
+  ASSERT_TRUE(provider.SyncGrids().ok());
+  EXPECT_EQ(provider.merged_grid().total().count, total_before + 100);
+  EXPECT_EQ(provider.silo_grid(1).total().count, 2000UL + 100UL);
+
+  // The per-cell copies match the silo's own grid exactly.
+  const GridIndex& remote = provider.silo_grid(1);
+  const GridIndex& local = federation->silo(1).grid();
+  for (size_t id = 0; id < local.num_cells(); ++id) {
+    EXPECT_EQ(remote.cell(id).count, local.cell(id).count);
+  }
+}
+
+TEST(DeltaSyncTest, SyncIsIncrementalAndIdempotent) {
+  auto federation = MakeFederation(3000, 3, 14);
+  ServiceProvider& provider = federation->provider();
+  federation->silo(0).Ingest({{{10, 10}, 1.0}});
+
+  const CommStats::Snapshot before_first = provider.comm();
+  ASSERT_TRUE(provider.SyncGrids().ok());
+  const uint64_t first_bytes =
+      (provider.comm() - before_first).TotalBytes();
+
+  // Second sync with no new data ships (nearly) nothing.
+  const CommStats::Snapshot before_second = provider.comm();
+  ASSERT_TRUE(provider.SyncGrids().ok());
+  const uint64_t second_bytes =
+      (provider.comm() - before_second).TotalBytes();
+  EXPECT_LT(second_bytes, first_bytes);
+
+  // And the totals are unchanged (idempotent application).
+  const uint64_t total = provider.merged_grid().total().count;
+  ASSERT_TRUE(provider.SyncGrids().ok());
+  EXPECT_EQ(provider.merged_grid().total().count, total);
+}
+
+TEST(DeltaSyncTest, DeltaSyncCheaperThanFullGridTransfer) {
+  auto federation = MakeFederation(6000, 3, 15);
+  ServiceProvider& provider = federation->provider();
+  federation->silo(2).Ingest(testing::RandomObjects(20, kDomain, 16));
+
+  const CommStats::Snapshot before = provider.comm();
+  ASSERT_TRUE(provider.SyncGrids().ok());
+  const uint64_t sync_bytes = (provider.comm() - before).TotalBytes();
+  // A full grid ship would be num_cells * 40B per silo (~16 KB each).
+  const uint64_t full_bytes =
+      provider.merged_grid().num_cells() * AggregateSummary::kWireSize * 3;
+  EXPECT_LT(sync_bytes, full_bytes / 4);
+}
+
+TEST(DeltaSyncTest, EstimatorsSeeFreshDataEndToEnd) {
+  auto federation = MakeFederation(20000, 4, 17);
+  ServiceProvider& provider = federation->provider();
+
+  // Pour a dense new hotspot into one silo: a genuinely new pattern.
+  ObjectSet batch;
+  Rng rng(18);
+  for (int i = 0; i < 3000; ++i) {
+    batch.push_back({{rng.NextGaussian(30.0, 1.0),
+                      rng.NextGaussian(30.0, 1.0)},
+                     1.0});
+  }
+  federation->silo(0).Ingest(batch);
+  ASSERT_TRUE(provider.SyncGrids().ok());
+
+  const FraQuery query{QueryRange::MakeCircle({30, 30}, 4),
+                       AggregateKind::kCount};
+  const double exact =
+      provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+  ASSERT_GT(exact, 2500.0);
+  for (FraAlgorithm algorithm :
+       {FraAlgorithm::kIidEst, FraAlgorithm::kNonIidEst,
+        FraAlgorithm::kNonIidEstLsr}) {
+    const double estimate =
+        provider.Execute(query, algorithm).ValueOrDie();
+    EXPECT_NEAR(estimate, exact, 0.35 * exact)
+        << FraAlgorithmToString(algorithm);
+  }
+}
+
+TEST(DeltaSyncTest, IngestAndSyncConvenience) {
+  auto federation = MakeFederation(3000, 3, 19);
+  const uint64_t before =
+      federation->provider().merged_grid().total().count;
+  ASSERT_TRUE(
+      federation->IngestAndSync(1, {{{12, 12}, 2.0}, {{13, 13}, 3.0}}).ok());
+  EXPECT_EQ(federation->provider().merged_grid().total().count, before + 2);
+  EXPECT_FALSE(federation->IngestAndSync(99, {}).ok());
+}
+
+TEST(DeltaSyncTest, ExactIsAlwaysFreshEvenWithoutSync) {
+  auto federation = MakeFederation(5000, 3, 20);
+  ServiceProvider& provider = federation->provider();
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 6),
+                       AggregateKind::kCount};
+  const double before =
+      provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+  ObjectSet batch;
+  for (int i = 0; i < 25; ++i) batch.push_back({{20.0, 20.0}, 1.0});
+  federation->silo(0).Ingest(batch);
+  // EXACT reads the silos directly, so no sync is needed for freshness.
+  EXPECT_DOUBLE_EQ(
+      provider.Execute(query, FraAlgorithm::kExact).ValueOrDie(),
+      before + 25.0);
+}
+
+}  // namespace
+}  // namespace fra

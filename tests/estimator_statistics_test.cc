@@ -1,0 +1,195 @@
+// Statistical validation of the paper's Sec. 6 guarantees at the
+// federation level: unbiasedness of the IID / NonIID estimators over the
+// silo-sampling randomness, and the end-to-end eps-approximation
+// frequency when combined with LSR local queries (Thm. 2/4).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/brute_force.h"
+#include "federation/federation.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {60, 60}};
+
+std::vector<ObjectSet> IidPartitions(size_t total, size_t silos,
+                                     uint64_t seed) {
+  const ObjectSet all = testing::RandomObjects(total, kDomain, seed);
+  std::vector<ObjectSet> partitions(silos);
+  for (size_t i = 0; i < all.size(); ++i) {
+    partitions[i % silos].push_back(all[i]);
+  }
+  return partitions;
+}
+
+std::unique_ptr<Federation> MakeFederation(std::vector<ObjectSet> partitions,
+                                           uint64_t provider_seed = 1) {
+  FederationOptions options;
+  options.silo.grid_spec.domain = kDomain;
+  options.silo.grid_spec.cell_length = 2.0;
+  options.provider.seed = provider_seed;
+  return Federation::Create(std::move(partitions), options).ValueOrDie();
+}
+
+// E[ans'] over the uniform silo choice equals the average of the per-silo
+// estimates; with m silos that average should be close to the exact
+// answer (Thm. 1/3 unbiasedness, modulo finite-sample noise).
+TEST(EstimatorStatisticsTest, PerSiloAverageApproachesExact_Iid) {
+  auto partitions = IidPartitions(60000, 6, 1);
+  const BruteForceAggregator truth(partitions);
+  auto federation = MakeFederation(std::move(partitions));
+  ServiceProvider& provider = federation->provider();
+
+  Rng rng(2);
+  for (int q = 0; q < 10; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 18.0, true, &rng);
+    const double exact =
+        truth.Aggregate(range, AggregateKind::kCount).ValueOrDie();
+    if (exact < 1000) continue;
+    double mean_estimate = 0.0;
+    for (int silo = 0; silo < 6; ++silo) {
+      mean_estimate += provider
+                           .ExecuteWithSilo({range, AggregateKind::kCount},
+                                            FraAlgorithm::kIidEst, silo)
+                           .ValueOrDie();
+    }
+    mean_estimate /= 6.0;
+    EXPECT_NEAR(mean_estimate, exact, 0.05 * exact) << "query " << q;
+  }
+}
+
+TEST(EstimatorStatisticsTest, PerSiloAverageApproachesExact_NonIid) {
+  auto partitions = IidPartitions(60000, 6, 3);
+  const BruteForceAggregator truth(partitions);
+  auto federation = MakeFederation(std::move(partitions));
+  ServiceProvider& provider = federation->provider();
+
+  Rng rng(4);
+  for (int q = 0; q < 10; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 18.0, true, &rng);
+    const double exact =
+        truth.Aggregate(range, AggregateKind::kCount).ValueOrDie();
+    if (exact < 1000) continue;
+    double mean_estimate = 0.0;
+    for (int silo = 0; silo < 6; ++silo) {
+      mean_estimate += provider
+                           .ExecuteWithSilo({range, AggregateKind::kCount},
+                                            FraAlgorithm::kNonIidEst, silo)
+                           .ValueOrDie();
+    }
+    mean_estimate /= 6.0;
+    EXPECT_NEAR(mean_estimate, exact, 0.04 * exact) << "query " << q;
+  }
+}
+
+// End-to-end eps-approximation frequency for the combined pipeline
+// (Thm. 2/4 shape): with a healthy accuracy budget, the overwhelming
+// majority of queries land within eps of exact.
+TEST(EstimatorStatisticsTest, EndToEndApproximationFrequency) {
+  auto partitions = IidPartitions(80000, 4, 5);
+  const BruteForceAggregator truth(partitions);
+
+  FederationOptions options;
+  options.silo.grid_spec.domain = kDomain;
+  options.silo.grid_spec.cell_length = 2.0;
+  options.provider.epsilon = 0.1;
+  options.provider.delta = 0.01;
+  auto federation =
+      Federation::Create(std::move(partitions), options).ValueOrDie();
+  ServiceProvider& provider = federation->provider();
+
+  const double eps = 0.25;  // end-to-end tolerance (silo sampling + LSR)
+  int trials = 0;
+  int failures = 0;
+  Rng rng(6);
+  for (int q = 0; q < 120; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 20.0, true, &rng);
+    const double exact =
+        truth.Aggregate(range, AggregateKind::kCount).ValueOrDie();
+    if (exact < 2000) continue;
+    const double estimate =
+        provider.Execute({range, AggregateKind::kCount},
+                         FraAlgorithm::kNonIidEstLsr)
+            .ValueOrDie();
+    ++trials;
+    if (std::abs(estimate - exact) > eps * exact) ++failures;
+  }
+  ASSERT_GT(trials, 30);
+  EXPECT_LE(failures, trials / 10);
+}
+
+// The estimator's error shrinks as the range grows (paper Fig. 3a trend).
+TEST(EstimatorStatisticsTest, ErrorDecreasesWithRadius) {
+  auto partitions = IidPartitions(80000, 4, 7);
+  const BruteForceAggregator truth(partitions);
+  auto federation = MakeFederation(std::move(partitions));
+  ServiceProvider& provider = federation->provider();
+
+  auto mean_error = [&](double radius) {
+    Rng rng(8);
+    RunningStat errors;
+    for (int q = 0; q < 40; ++q) {
+      const Point center{rng.NextDouble(radius, 60.0 - radius),
+                         rng.NextDouble(radius, 60.0 - radius)};
+      const QueryRange range = QueryRange::MakeCircle(center, radius);
+      const double exact =
+          truth.Aggregate(range, AggregateKind::kCount).ValueOrDie();
+      if (exact <= 0) continue;
+      const double estimate =
+          provider.Execute({range, AggregateKind::kCount},
+                           FraAlgorithm::kIidEst)
+              .ValueOrDie();
+      errors.Add(std::abs(estimate - exact) / exact);
+    }
+    return errors.mean();
+  };
+  const double small_error = mean_error(3.0);
+  const double large_error = mean_error(15.0);
+  EXPECT_LT(large_error, small_error);
+}
+
+// AVG is the ratio of two positively correlated estimates, so its error
+// stays in the same ballpark as COUNT's (the paper's Sec. 7 claim that
+// extension accuracy remains bounded).
+TEST(EstimatorStatisticsTest, AvgErrorComparableToCount) {
+  auto partitions = IidPartitions(60000, 6, 9);
+  const BruteForceAggregator truth(partitions);
+  auto federation = MakeFederation(std::move(partitions));
+  ServiceProvider& provider = federation->provider();
+
+  Rng rng(10);
+  RunningStat count_errors;
+  RunningStat avg_errors;
+  for (int q = 0; q < 40; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 15.0, true, &rng);
+    const double exact_count =
+        truth.Aggregate(range, AggregateKind::kCount).ValueOrDie();
+    if (exact_count < 500) continue;
+    const double exact_avg =
+        truth.Aggregate(range, AggregateKind::kAvg).ValueOrDie();
+    const int silo = static_cast<int>(rng.NextUint64(6));
+    const double est_count =
+        provider
+            .ExecuteWithSilo({range, AggregateKind::kCount},
+                             FraAlgorithm::kIidEst, silo)
+            .ValueOrDie();
+    const double est_avg =
+        provider
+            .ExecuteWithSilo({range, AggregateKind::kAvg},
+                             FraAlgorithm::kIidEst, silo)
+            .ValueOrDie();
+    count_errors.Add(std::abs(est_count - exact_count) / exact_count);
+    avg_errors.Add(std::abs(est_avg - exact_avg) / exact_avg);
+  }
+  ASSERT_GT(count_errors.count(), 10UL);
+  EXPECT_LT(avg_errors.mean(), 2.0 * count_errors.mean());
+  EXPECT_LT(avg_errors.mean(), 0.05);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/workload.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+TEST(MetricsTest, RelativeErrorDefinition) {
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 90.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 110.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(50.0, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(-10.0, -11.0), 0.1);
+}
+
+TEST(MetricsTest, ZeroExactConvention) {
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 5.0), 1.0);
+}
+
+TEST(MetricsTest, MreAveragesOverQueries) {
+  MreAccumulator mre;
+  mre.Add(100, 90);   // 0.10
+  mre.Add(100, 120);  // 0.20
+  mre.Add(100, 100);  // 0.00
+  EXPECT_EQ(mre.count(), 3UL);
+  EXPECT_NEAR(mre.Mre(), 0.1, 1e-12);
+  EXPECT_NEAR(mre.MaxRe(), 0.2, 1e-12);
+}
+
+TEST(WorkloadTest, GeneratesRequestedQueries) {
+  const ObjectSet objects =
+      testing::RandomObjects(1000, Rect{{0, 0}, {50, 50}}, 1);
+  WorkloadOptions options;
+  options.num_queries = 25;
+  options.radius_km = 2.0;
+  const std::vector<FraQuery> queries =
+      GenerateQueries({objects}, options).ValueOrDie();
+  ASSERT_EQ(queries.size(), 25UL);
+  for (const FraQuery& query : queries) {
+    ASSERT_TRUE(query.range.is_circle());
+    EXPECT_DOUBLE_EQ(query.range.circle().radius, 2.0);
+    EXPECT_EQ(query.kind, AggregateKind::kCount);
+  }
+}
+
+TEST(WorkloadTest, CentersAreDataLocations) {
+  const ObjectSet objects =
+      testing::RandomObjects(500, Rect{{0, 0}, {50, 50}}, 2);
+  WorkloadOptions options;
+  options.num_queries = 50;
+  const std::vector<FraQuery> queries =
+      GenerateQueries({objects}, options).ValueOrDie();
+  for (const FraQuery& query : queries) {
+    const Point center = query.range.circle().center;
+    bool found = false;
+    for (const SpatialObject& o : objects) {
+      if (o.location == center) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(WorkloadTest, RectRangesHaveRequestedHalfWidth) {
+  const ObjectSet objects =
+      testing::RandomObjects(100, Rect{{0, 0}, {50, 50}}, 3);
+  WorkloadOptions options;
+  options.rect_ranges = true;
+  options.radius_km = 3.0;
+  options.num_queries = 10;
+  const std::vector<FraQuery> queries =
+      GenerateQueries({objects}, options).ValueOrDie();
+  for (const FraQuery& query : queries) {
+    ASSERT_TRUE(query.range.is_rect());
+    EXPECT_DOUBLE_EQ(query.range.rect().Width(), 6.0);
+    EXPECT_DOUBLE_EQ(query.range.rect().Height(), 6.0);
+  }
+}
+
+TEST(WorkloadTest, DeterministicAndSeedSensitive) {
+  const ObjectSet objects =
+      testing::RandomObjects(100, Rect{{0, 0}, {50, 50}}, 4);
+  WorkloadOptions options;
+  options.num_queries = 10;
+  const auto a = GenerateQueries({objects}, options).ValueOrDie();
+  const auto b = GenerateQueries({objects}, options).ValueOrDie();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].range.circle().center, b[i].range.circle().center);
+  }
+  options.seed = 123;
+  const auto c = GenerateQueries({objects}, options).ValueOrDie();
+  bool any_different = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].range.circle().center == c[i].range.circle().center)) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(WorkloadTest, RejectsBadInput) {
+  EXPECT_FALSE(GenerateQueries({}, WorkloadOptions()).ok());
+  std::vector<ObjectSet> empty(2);
+  EXPECT_FALSE(GenerateQueries(empty, WorkloadOptions()).ok());
+  const ObjectSet objects =
+      testing::RandomObjects(10, Rect{{0, 0}, {10, 10}}, 5);
+  WorkloadOptions options;
+  options.radius_km = 0.0;
+  EXPECT_FALSE(GenerateQueries({objects}, options).ok());
+}
+
+TEST(ReportTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(FormatBytes(5ULL * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+TEST(ExperimentConfigTest, DefaultsMatchPaperTable2Shape) {
+  const ExperimentConfig config = ExperimentConfig::Defaults();
+  EXPECT_EQ(config.num_silos, 6UL);
+  EXPECT_DOUBLE_EQ(config.radius_km, 2.0);
+  EXPECT_EQ(config.num_queries, 150UL);
+  EXPECT_DOUBLE_EQ(config.epsilon, 0.10);
+  EXPECT_DOUBLE_EQ(config.delta, 0.01);
+}
+
+TEST(ExperimentConfigTest, EnvScaleSmoke) {
+  ::setenv("FRA_BENCH_SCALE", "smoke", 1);
+  const ExperimentConfig config = ApplyEnvScale(ExperimentConfig::Defaults());
+  EXPECT_EQ(config.total_objects, 30000UL);
+  EXPECT_LE(config.num_queries, 30UL);
+  ::unsetenv("FRA_BENCH_SCALE");
+}
+
+TEST(ExperimentConfigTest, EnvScalePaper) {
+  ::setenv("FRA_BENCH_SCALE", "paper", 1);
+  const ExperimentConfig config = ApplyEnvScale(ExperimentConfig::Defaults());
+  EXPECT_EQ(config.total_objects, 3000000UL);
+  ::unsetenv("FRA_BENCH_SCALE");
+}
+
+TEST(ExperimentRunnerTest, EndToEndSmallRun) {
+  ExperimentConfig config;
+  config.total_objects = 30000;
+  config.num_silos = 3;
+  config.num_queries = 20;
+  config.radius_km = 3.0;
+
+  ExperimentRunner runner(config);
+  ASSERT_TRUE(runner.Prepare().ok());
+  ASSERT_EQ(runner.queries().size(), 20UL);
+  ASSERT_EQ(runner.exact_answers().size(), 20UL);
+
+  const AlgorithmResult exact =
+      runner.RunAlgorithm(FraAlgorithm::kExact).ValueOrDie();
+  EXPECT_DOUBLE_EQ(exact.mre, 0.0);
+  EXPECT_GT(exact.total_time_seconds, 0.0);
+  EXPECT_EQ(exact.comm_messages, 20UL * 3);  // m messages per query
+  EXPECT_GT(exact.index_memory_bytes, 0UL);
+
+  const AlgorithmResult non_iid =
+      runner.RunAlgorithm(FraAlgorithm::kNonIidEst).ValueOrDie();
+  EXPECT_LT(non_iid.mre, 0.2);
+  EXPECT_EQ(non_iid.comm_messages, 20UL);  // one silo per query
+  EXPECT_LT(non_iid.comm_bytes, exact.comm_bytes * 3);
+}
+
+TEST(ExperimentRunnerTest, RunWithoutPrepareFails) {
+  ExperimentRunner runner(ExperimentConfig::Defaults());
+  EXPECT_TRUE(runner.RunAlgorithm(FraAlgorithm::kExact).status().IsInternal());
+}
+
+TEST(ExperimentRunnerTest, IndexMemoryAttribution) {
+  ExperimentConfig config;
+  config.total_objects = 20000;
+  config.num_silos = 3;
+  config.num_queries = 5;
+  ExperimentRunner runner(config);
+  ASSERT_TRUE(runner.Prepare().ok());
+  const size_t exact = runner.IndexMemoryFor(FraAlgorithm::kExact);
+  const size_t opta = runner.IndexMemoryFor(FraAlgorithm::kOpta);
+  const size_t iid = runner.IndexMemoryFor(FraAlgorithm::kIidEst);
+  const size_t iid_lsr = runner.IndexMemoryFor(FraAlgorithm::kIidEstLsr);
+  EXPECT_LT(opta, exact);     // histogram is tiny (paper: <0.2 MB)
+  EXPECT_GT(iid, exact);      // adds grid indices
+  EXPECT_GT(iid_lsr, iid);    // adds LSR levels
+  EXPECT_LT(iid_lsr, 3 * iid);  // ~2x R-tree, not more
+}
+
+
+TEST(ExperimentRunnerTest, BatchLatenciesAreCollected) {
+  ExperimentConfig config;
+  config.total_objects = 20000;
+  config.num_silos = 3;
+  config.num_queries = 15;
+  ExperimentRunner runner(config);
+  ASSERT_TRUE(runner.Prepare().ok());
+  std::vector<double> latencies;
+  ASSERT_TRUE(runner.federation()
+                  .provider()
+                  .ExecuteBatch(runner.queries(), FraAlgorithm::kNonIidEst,
+                                &latencies)
+                  .ok());
+  ASSERT_EQ(latencies.size(), 15UL);
+  for (double latency : latencies) {
+    EXPECT_GT(latency, 0.0);
+    EXPECT_LT(latency, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace fra

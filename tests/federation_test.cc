@@ -1,0 +1,235 @@
+#include "federation/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "data/generator.h"
+#include "eval/metrics.h"
+#include "eval/workload.h"
+#include "tests/test_util.h"
+#include "util/timer.h"
+
+namespace fra {
+namespace {
+
+// Builds a small but realistic federation from the synthetic corpus.
+struct EndToEnd {
+  std::unique_ptr<Federation> federation;
+  std::unique_ptr<BruteForceAggregator> truth;
+  std::vector<FraQuery> queries;
+};
+
+EndToEnd MakeEndToEnd(bool non_iid, size_t objects = 60000,
+                      size_t num_silos = 6, double radius = 4.0,
+                      AggregateKind kind = AggregateKind::kCount) {
+  MobilityDataOptions data_options;
+  data_options.num_objects = objects;
+  data_options.seed = 99;
+  data_options.non_iid = non_iid;
+  // Shrink the city so a few-km radius captures plenty of objects at this
+  // test scale.
+  data_options.domain = Rect{{0, 0}, {40, 60}};
+  data_options.num_hotspots = 10;
+  const FederationDataset dataset =
+      GenerateMobilityData(data_options).ValueOrDie();
+  std::vector<ObjectSet> partitions =
+      SplitIntoSilos(dataset.company_partitions, num_silos, 5).ValueOrDie();
+
+  EndToEnd result;
+  result.truth = std::make_unique<BruteForceAggregator>(partitions);
+
+  WorkloadOptions workload;
+  workload.num_queries = 40;
+  workload.radius_km = radius;
+  workload.kind = kind;
+  workload.seed = 3;
+  result.queries = GenerateQueries(partitions, workload).ValueOrDie();
+
+  FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;
+  result.federation =
+      Federation::Create(std::move(partitions), options).ValueOrDie();
+  return result;
+}
+
+double MreOf(EndToEnd& setup, FraAlgorithm algorithm) {
+  ServiceProvider& provider = setup.federation->provider();
+  MreAccumulator mre;
+  const std::vector<double> answers =
+      provider.ExecuteBatch(setup.queries, algorithm).ValueOrDie();
+  for (size_t i = 0; i < setup.queries.size(); ++i) {
+    const double exact =
+        setup.truth->Aggregate(setup.queries[i].range, setup.queries[i].kind)
+            .ValueOrDie();
+    mre.Add(exact, answers[i]);
+  }
+  return mre.Mre();
+}
+
+TEST(FederationTest, CreateInfersDomainFromData) {
+  std::vector<ObjectSet> partitions = {
+      testing::RandomObjects(100, Rect{{0, 0}, {10, 10}}, 1),
+      testing::RandomObjects(100, Rect{{0, 0}, {10, 10}}, 2)};
+  auto federation = Federation::Create(std::move(partitions),
+                                       FederationOptions()).ValueOrDie();
+  const Rect domain =
+      federation->provider().merged_grid().spec().domain;
+  EXPECT_TRUE(domain.IsValid());
+  EXPECT_GT(domain.Area(), 0.0);
+  EXPECT_LE(domain.Width(), 10.0);
+}
+
+TEST(FederationTest, CreateRejectsEmptyInput) {
+  EXPECT_FALSE(Federation::Create({}, FederationOptions()).ok());
+  // All-empty partitions: no domain to infer.
+  std::vector<ObjectSet> empty_partitions(3);
+  EXPECT_FALSE(
+      Federation::Create(std::move(empty_partitions), FederationOptions())
+          .ok());
+}
+
+TEST(FederationTest, EndToEndIidAccuracy) {
+  EndToEnd setup = MakeEndToEnd(/*non_iid=*/false);
+  EXPECT_DOUBLE_EQ(MreOf(setup, FraAlgorithm::kExact), 0.0);
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kIidEst), 0.12);
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kIidEstLsr), 0.20);
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kNonIidEst), 0.10);
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kNonIidEstLsr), 0.20);
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kOpta), 0.35);
+}
+
+TEST(FederationTest, EndToEndNonIidAccuracyOrdering) {
+  EndToEnd setup = MakeEndToEnd(/*non_iid=*/true);
+  const double iid_mre = MreOf(setup, FraAlgorithm::kIidEst);
+  const double non_iid_mre = MreOf(setup, FraAlgorithm::kNonIidEst);
+  // The paper's headline qualitative result: per-cell estimation beats
+  // global rescaling on skewed silos.
+  EXPECT_LT(non_iid_mre, iid_mre);
+  EXPECT_LT(non_iid_mre, 0.10);
+}
+
+TEST(FederationTest, SumQueriesHaveSameTrend) {
+  EndToEnd setup = MakeEndToEnd(/*non_iid=*/true, 60000, 6, 4.0,
+                                AggregateKind::kSum);
+  EXPECT_DOUBLE_EQ(MreOf(setup, FraAlgorithm::kExact), 0.0);
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kNonIidEst), 0.12);
+}
+
+TEST(FederationTest, AvgExtensionIsAccurate) {
+  EndToEnd setup = MakeEndToEnd(/*non_iid=*/true, 60000, 6, 4.0,
+                                AggregateKind::kAvg);
+  EXPECT_DOUBLE_EQ(MreOf(setup, FraAlgorithm::kExact), 0.0);
+  // AVG is a ratio of two estimated quantities whose errors partially
+  // cancel; it should be at least as accurate as COUNT.
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kNonIidEst), 0.10);
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kIidEst), 0.12);
+}
+
+TEST(FederationTest, StdevExtensionIsAccurate) {
+  EndToEnd setup = MakeEndToEnd(/*non_iid=*/true, 60000, 6, 4.0,
+                                AggregateKind::kStdev);
+  EXPECT_DOUBLE_EQ(MreOf(setup, FraAlgorithm::kExact), 0.0);
+  EXPECT_LT(MreOf(setup, FraAlgorithm::kNonIidEst), 0.15);
+}
+
+TEST(FederationTest, RectangularRangesWork) {
+  MobilityDataOptions data_options;
+  data_options.num_objects = 30000;
+  data_options.seed = 17;
+  data_options.domain = Rect{{0, 0}, {40, 40}};
+  const FederationDataset dataset =
+      GenerateMobilityData(data_options).ValueOrDie();
+  std::vector<ObjectSet> partitions =
+      SplitIntoSilos(dataset.company_partitions, 3, 2).ValueOrDie();
+  const BruteForceAggregator truth(partitions);
+
+  FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;
+  auto federation =
+      Federation::Create(std::move(partitions), options).ValueOrDie();
+
+  WorkloadOptions workload;
+  workload.num_queries = 20;
+  workload.radius_km = 4.0;
+  workload.rect_ranges = true;
+  const std::vector<FraQuery> queries =
+      GenerateQueries({truth.objects()}, workload).ValueOrDie();
+
+  MreAccumulator mre;
+  for (const FraQuery& query : queries) {
+    ASSERT_TRUE(query.range.is_rect());
+    const double exact =
+        truth.Aggregate(query.range, query.kind).ValueOrDie();
+    const double estimate =
+        federation->provider()
+            .Execute(query, FraAlgorithm::kNonIidEst)
+            .ValueOrDie();
+    mre.Add(exact, estimate);
+  }
+  EXPECT_LT(mre.Mre(), 0.12);
+}
+
+TEST(FederationTest, MemoryReportIsConsistent) {
+  EndToEnd setup = MakeEndToEnd(/*non_iid=*/false, 30000, 3);
+  const Federation::MemoryReport report = setup.federation->MemoryUsage();
+  EXPECT_GT(report.provider_grid_bytes, 0UL);
+  EXPECT_GT(report.silo_grid_bytes, 0UL);
+  EXPECT_GT(report.rtree_bytes, 0UL);
+  EXPECT_GT(report.lsr_extra_bytes, 0UL);
+  EXPECT_GT(report.histogram_bytes, 0UL);
+  EXPECT_EQ(report.TotalBytes(),
+            report.provider_grid_bytes + report.silo_grid_bytes +
+                report.rtree_bytes + report.lsr_extra_bytes +
+                report.histogram_bytes);
+  // Provider holds g_0 plus one grid per silo.
+  EXPECT_GT(report.provider_grid_bytes, report.silo_grid_bytes);
+}
+
+TEST(FederationTest, LatencyModelSlowsFanOutMore) {
+  MobilityDataOptions data_options;
+  data_options.num_objects = 20000;
+  data_options.domain = Rect{{0, 0}, {30, 30}};
+  const FederationDataset dataset =
+      GenerateMobilityData(data_options).ValueOrDie();
+  std::vector<ObjectSet> partitions =
+      SplitIntoSilos(dataset.company_partitions, 6, 2).ValueOrDie();
+
+  FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;
+  options.latency.fixed_micros = 500.0;
+  auto federation =
+      Federation::Create(std::move(partitions), options).ValueOrDie();
+
+  WorkloadOptions workload;
+  workload.num_queries = 30;
+  workload.radius_km = 3.0;
+  const std::vector<FraQuery> queries =
+      GenerateQueries(dataset.company_partitions, workload).ValueOrDie();
+
+  ServiceProvider& provider = federation->provider();
+  Timer timer;
+  ASSERT_TRUE(provider.ExecuteBatch(queries, FraAlgorithm::kExact).ok());
+  const double exact_time = timer.ElapsedSeconds();
+  timer.Reset();
+  ASSERT_TRUE(provider.ExecuteBatch(queries, FraAlgorithm::kIidEst).ok());
+  const double iid_time = timer.ElapsedSeconds();
+  // EXACT pays m sequential round-trips per query; IID-est pays one and
+  // spreads queries across silos.
+  EXPECT_LT(iid_time, exact_time);
+}
+
+TEST(FederationTest, SiloAccessors) {
+  EndToEnd setup = MakeEndToEnd(/*non_iid=*/false, 20000, 3);
+  EXPECT_EQ(setup.federation->num_silos(), 3UL);
+  size_t total = 0;
+  for (size_t s = 0; s < 3; ++s) {
+    total += setup.federation->silo(s).size();
+  }
+  EXPECT_EQ(total, 20000UL);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,123 @@
+#include "index/equi_depth_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {100, 100}};
+
+TEST(EquiDepthHistogramTest, EmptyInput) {
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build({});
+  EXPECT_TRUE(hist.buckets().empty());
+  EXPECT_TRUE(hist.Estimate(QueryRange::MakeCircle({0, 0}, 10)).empty());
+}
+
+TEST(EquiDepthHistogramTest, BucketCountRespectsBudget) {
+  const ObjectSet objects = testing::RandomObjects(10000, kDomain, 1);
+  EquiDepthHistogram::Options options;
+  options.max_buckets = 64;
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects, options);
+  EXPECT_LE(hist.buckets().size(), 2 * options.max_buckets);
+  EXPECT_GE(hist.buckets().size(), options.max_buckets / 2);
+}
+
+TEST(EquiDepthHistogramTest, BucketsAreEquiDepth) {
+  const ObjectSet objects = testing::ClusteredObjects(8192, kDomain, 4, 2);
+  EquiDepthHistogram::Options options;
+  options.max_buckets = 128;
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects, options);
+  const size_t target = 8192 / 128;
+  for (const auto& bucket : hist.buckets()) {
+    EXPECT_LE(bucket.summary.count, target);
+    EXPECT_GE(bucket.summary.count, 1UL);
+  }
+}
+
+TEST(EquiDepthHistogramTest, TotalsPreserved) {
+  const ObjectSet objects = testing::RandomObjects(5000, kDomain, 3);
+  AggregateSummary expected;
+  for (const SpatialObject& o : objects) expected.Add(o);
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects);
+  EXPECT_EQ(hist.total().count, expected.count);
+  EXPECT_NEAR(hist.total().sum, expected.sum, 1e-9);
+}
+
+TEST(EquiDepthHistogramTest, WholeDomainEstimateIsExact) {
+  const ObjectSet objects = testing::RandomObjects(2000, kDomain, 4);
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects);
+  const AggregateSummary estimate =
+      hist.Estimate(QueryRange::MakeRect({-1, -1}, {101, 101}));
+  EXPECT_EQ(estimate.count, 2000UL);
+}
+
+TEST(EquiDepthHistogramTest, DisjointQueryIsZero) {
+  const ObjectSet objects = testing::RandomObjects(2000, kDomain, 5);
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects);
+  EXPECT_TRUE(
+      hist.Estimate(QueryRange::MakeCircle({500, 500}, 10)).empty());
+}
+
+TEST(EquiDepthHistogramTest, UniformDataEstimateWithinTolerance) {
+  // On uniform data the per-bucket uniformity assumption is exact in
+  // expectation, so errors should be small for moderately large ranges.
+  const ObjectSet objects = testing::RandomObjects(50000, kDomain, 6);
+  EquiDepthHistogram::Options options;
+  options.max_buckets = 1024;
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects, options);
+
+  Rng rng(7);
+  MreAccumulator mre;
+  for (int q = 0; q < 40; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 25.0, true, &rng);
+    const AggregateSummary exact = SummarizeIf(
+        objects, [&](const Point& p) { return range.Contains(p); });
+    if (exact.count < 100) continue;
+    const AggregateSummary estimate = hist.Estimate(range);
+    mre.Add(static_cast<double>(exact.count),
+            static_cast<double>(estimate.count));
+  }
+  ASSERT_GT(mre.count(), 10UL);
+  EXPECT_LT(mre.Mre(), 0.15);
+}
+
+TEST(EquiDepthHistogramTest, ClusteredDataEstimateIsWorseButBounded) {
+  const ObjectSet objects = testing::ClusteredObjects(50000, kDomain, 5, 8);
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects);
+  Rng rng(9);
+  MreAccumulator mre;
+  for (int q = 0; q < 40; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 25.0, false, &rng);
+    const AggregateSummary exact = SummarizeIf(
+        objects, [&](const Point& p) { return range.Contains(p); });
+    if (exact.count < 200) continue;
+    mre.Add(static_cast<double>(exact.count),
+            static_cast<double>(hist.Estimate(range).count));
+  }
+  ASSERT_GT(mre.count(), 5UL);
+  EXPECT_LT(mre.Mre(), 0.4);
+}
+
+TEST(EquiDepthHistogramTest, DegeneratePointMassBucket) {
+  ObjectSet objects;
+  for (int i = 0; i < 100; ++i) objects.push_back({{5.0, 5.0}, 2.0});
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects);
+  EXPECT_EQ(hist.Estimate(QueryRange::MakeCircle({5, 5}, 1)).count, 100UL);
+  EXPECT_EQ(hist.Estimate(QueryRange::MakeCircle({50, 50}, 1)).count, 0UL);
+}
+
+TEST(EquiDepthHistogramTest, MemoryScalesWithBuckets) {
+  const ObjectSet objects = testing::RandomObjects(4096, kDomain, 10);
+  EquiDepthHistogram::Options small;
+  small.max_buckets = 16;
+  EquiDepthHistogram::Options large;
+  large.max_buckets = 1024;
+  EXPECT_LT(EquiDepthHistogram::Build(objects, small).MemoryUsage(),
+            EquiDepthHistogram::Build(objects, large).MemoryUsage());
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,185 @@
+// Adversarial data shapes for the spatial indexes: degenerate geometry,
+// extreme aspect ratios, pathological clustering. Every structure must
+// stay exact (R-tree, grid) or sanely bounded (histogram).
+
+#include <gtest/gtest.h>
+
+#include "core/lsr_forest.h"
+#include "index/equi_depth_histogram.h"
+#include "index/grid_index.h"
+#include "index/rtree.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+void ExpectRTreeMatchesBruteForce(const ObjectSet& objects,
+                                  const Rect& query_domain, uint64_t seed) {
+  const RTree tree = RTree::Build(objects);
+  Rng rng(seed);
+  for (int q = 0; q < 30; ++q) {
+    const QueryRange range = testing::RandomRange(
+        query_domain, query_domain.Width() / 3.0, q % 2 == 0, &rng);
+    const AggregateSummary expected = SummarizeIf(
+        objects, [&](const Point& p) { return range.Contains(p); });
+    const AggregateSummary actual = tree.RangeAggregate(range);
+    ASSERT_EQ(actual.count, expected.count) << "query " << q;
+    ASSERT_NEAR(actual.sum, expected.sum, 1e-9) << "query " << q;
+  }
+}
+
+TEST(AdversarialRTreeTest, AllPointsCollinearHorizontal) {
+  ObjectSet objects;
+  for (int i = 0; i < 3000; ++i) {
+    objects.push_back({{static_cast<double>(i) * 0.01, 5.0}, 1.0});
+  }
+  ExpectRTreeMatchesBruteForce(objects, Rect{{0, 0}, {30, 10}}, 1);
+}
+
+TEST(AdversarialRTreeTest, AllPointsCollinearVertical) {
+  ObjectSet objects;
+  for (int i = 0; i < 3000; ++i) {
+    objects.push_back({{5.0, static_cast<double>(i) * 0.01}, 2.0});
+  }
+  ExpectRTreeMatchesBruteForce(objects, Rect{{0, 0}, {10, 30}}, 2);
+}
+
+TEST(AdversarialRTreeTest, GridAlignedLattice) {
+  // Points exactly on integer coordinates: boundary inclusivity matters
+  // for every query whose edge passes through the lattice.
+  ObjectSet objects;
+  for (int x = 0; x < 50; ++x) {
+    for (int y = 0; y < 50; ++y) {
+      objects.push_back(
+          {{static_cast<double>(x), static_cast<double>(y)}, 1.0});
+    }
+  }
+  const RTree tree = RTree::Build(objects);
+  // Rect [10, 20]^2 covers an 11 x 11 block, boundary inclusive.
+  EXPECT_EQ(tree.RangeAggregate(QueryRange::MakeRect({10, 10}, {20, 20}))
+                .count,
+            121UL);
+  // Circle radius exactly 5 centered on a lattice point: the four
+  // axis-extreme points are on the boundary and count.
+  const AggregateSummary circle =
+      tree.RangeAggregate(QueryRange::MakeCircle({25, 25}, 5));
+  const AggregateSummary expected = SummarizeIf(objects, [&](const Point& p) {
+    return Circle{{25, 25}, 5}.Contains(p);
+  });
+  EXPECT_EQ(circle.count, expected.count);
+}
+
+TEST(AdversarialRTreeTest, ExtremeAspectRatioDomain) {
+  Rng rng(3);
+  ObjectSet objects;
+  for (int i = 0; i < 5000; ++i) {
+    objects.push_back(
+        {{rng.NextDouble(0, 10000), rng.NextDouble(0, 0.1)}, 1.0});
+  }
+  ExpectRTreeMatchesBruteForce(objects, Rect{{0, -1}, {10000, 1}}, 4);
+}
+
+TEST(AdversarialRTreeTest, HeavyDuplicatesMixedWithSingletons) {
+  ObjectSet objects;
+  for (int i = 0; i < 2000; ++i) objects.push_back({{7.0, 7.0}, 3.0});
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    objects.push_back({{rng.NextDouble(0, 20), rng.NextDouble(0, 20)}, 1.0});
+  }
+  ExpectRTreeMatchesBruteForce(objects, Rect{{0, 0}, {20, 20}}, 6);
+}
+
+TEST(AdversarialGridTest, SingleCellGrid) {
+  GridIndex::GridSpec spec;
+  spec.domain = Rect{{0, 0}, {5, 5}};
+  spec.cell_length = 100.0;  // one cell covers everything
+  const ObjectSet objects = testing::RandomObjects(500, spec.domain, 7);
+  const GridIndex grid = GridIndex::Build(objects, spec).ValueOrDie();
+  EXPECT_EQ(grid.num_cells(), 1UL);
+  EXPECT_EQ(grid
+                .IntersectingCellsAggregate(
+                    QueryRange::MakeCircle({2.5, 2.5}, 1.0))
+                .count,
+            500UL);  // the circle touches the single cell
+}
+
+TEST(AdversarialGridTest, QueryLargerThanDomain) {
+  GridIndex::GridSpec spec;
+  spec.domain = Rect{{0, 0}, {10, 10}};
+  spec.cell_length = 1.0;
+  const ObjectSet objects = testing::RandomObjects(800, spec.domain, 8);
+  const GridIndex grid = GridIndex::Build(objects, spec).ValueOrDie();
+  EXPECT_EQ(grid
+                .IntersectingCellsAggregate(
+                    QueryRange::MakeCircle({5, 5}, 1000.0))
+                .count,
+            800UL);
+  EXPECT_EQ(grid
+                .IntersectingCellsAggregateNaive(
+                    QueryRange::MakeCircle({5, 5}, 1000.0))
+                .count,
+            800UL);
+}
+
+TEST(AdversarialGridTest, ObjectsOnCellBoundaries) {
+  GridIndex::GridSpec spec;
+  spec.domain = Rect{{0, 0}, {10, 10}};
+  spec.cell_length = 1.0;
+  ObjectSet objects;
+  for (int x = 0; x <= 10; ++x) {
+    for (int y = 0; y <= 10; ++y) {
+      objects.push_back(
+          {{static_cast<double>(x), static_cast<double>(y)}, 1.0});
+    }
+  }
+  const GridIndex grid = GridIndex::Build(objects, spec).ValueOrDie();
+  // No object lost to boundary assignment.
+  EXPECT_EQ(grid.total().count, 121UL);
+  AggregateSummary from_cells;
+  for (size_t id = 0; id < grid.num_cells(); ++id) {
+    from_cells.Merge(grid.cell(id));
+  }
+  EXPECT_EQ(from_cells.count, 121UL);
+}
+
+TEST(AdversarialLsrTest, TinyPartitions) {
+  for (size_t n : {1UL, 2UL, 3UL, 5UL, 8UL}) {
+    const ObjectSet objects =
+        testing::RandomObjects(n, Rect{{0, 0}, {10, 10}}, 9 + n);
+    const LsrForest forest = LsrForest::Build(objects);
+    EXPECT_EQ(forest.size(), n);
+    // Whatever level Lemma 1 picks, the answer must be finite and the
+    // exact level-0 answer must match brute force.
+    const QueryRange everything = QueryRange::MakeRect({-1, -1}, {11, 11});
+    EXPECT_EQ(forest.ExactRangeAggregate(everything).count, n);
+    const AggregateSummary approx =
+        forest.ApproximateRangeAggregate(everything, 0.25, 0.05, 1e9);
+    EXPECT_LE(approx.count, 16 * n);  // bounded blow-up even at max level
+  }
+}
+
+TEST(AdversarialHistogramTest, PowerLawClusters) {
+  // 95% of mass in one tiny cluster: buckets must adapt (equi-depth) and
+  // whole-domain estimates stay exact.
+  Rng rng(10);
+  ObjectSet objects;
+  for (int i = 0; i < 19000; ++i) {
+    objects.push_back(
+        {{rng.NextGaussian(5.0, 0.05), rng.NextGaussian(5.0, 0.05)}, 1.0});
+  }
+  for (int i = 0; i < 1000; ++i) {
+    objects.push_back({{rng.NextDouble(0, 100), rng.NextDouble(0, 100)}, 1.0});
+  }
+  const EquiDepthHistogram hist = EquiDepthHistogram::Build(objects);
+  EXPECT_EQ(
+      hist.Estimate(QueryRange::MakeRect({-1, -1}, {101, 101})).count,
+      20000UL);
+  // The dense cluster is resolved by many small buckets: a query tightly
+  // around it is close to exact.
+  const AggregateSummary cluster =
+      hist.Estimate(QueryRange::MakeCircle({5, 5}, 1.0));
+  EXPECT_NEAR(static_cast<double>(cluster.count), 19000.0, 1900.0);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,140 @@
+// Robustness of the wire layer: no valid-prefix truncation, random byte
+// corruption, or garbage input may crash a decoder or a silo — every
+// failure must surface as a Status (or a well-formed error response).
+
+#include <gtest/gtest.h>
+
+#include "federation/silo.h"
+#include "net/message.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace fra {
+namespace {
+
+std::vector<std::vector<uint8_t>> ValidMessages() {
+  AggregateRequest aggregate;
+  aggregate.range = QueryRange::MakeCircle({10, 20}, 3);
+  aggregate.mode = LocalQueryMode::kLsr;
+
+  CellVectorRequest cells;
+  cells.range = QueryRange::MakeRect({0, 0}, {5, 5});
+
+  AggregateSummary summary;
+  summary.Add(1.5);
+  summary.Add(2.5);
+
+  std::vector<CellContribution> contributions(3);
+  contributions[1].cell_id = 42;
+  contributions[1].summary.Add(7.0);
+
+  return {
+      EncodeBuildGridRequest(),
+      aggregate.Encode(),
+      cells.Encode(),
+      EncodeSummaryResponse(summary),
+      EncodeCellVectorResponse(contributions),
+      EncodeGridDeltaRequest(),
+      EncodeGridDeltaResponse(contributions),
+      EncodeErrorResponse(Status::Internal("x")),
+      EncodeGridPayloadResponse({1, 2, 3}),
+  };
+}
+
+// Tries every decoder on the payload; none may crash.
+void DecodeEverything(const std::vector<uint8_t>& payload) {
+  (void)PeekMessageType(payload);
+  (void)DecodeSummaryResponse(payload);
+  (void)DecodeCellVectorResponse(payload);
+  (void)DecodeGridDeltaResponse(payload);
+  (void)DecodeGridPayloadResponse(payload);
+  BinaryReader aggregate_reader(payload);
+  (void)AggregateRequest::Decode(&aggregate_reader);
+  BinaryReader cell_reader(payload);
+  (void)CellVectorRequest::Decode(&cell_reader);
+}
+
+TEST(MessageFuzzTest, EveryTruncationOfEveryMessageIsHandled) {
+  for (const std::vector<uint8_t>& message : ValidMessages()) {
+    for (size_t length = 0; length <= message.size(); ++length) {
+      std::vector<uint8_t> truncated(message.begin(),
+                                     message.begin() + length);
+      DecodeEverything(truncated);  // must not crash
+    }
+  }
+}
+
+TEST(MessageFuzzTest, RandomByteFlipsAreHandled) {
+  Rng rng(123);
+  for (const std::vector<uint8_t>& message : ValidMessages()) {
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<uint8_t> corrupted = message;
+      if (corrupted.empty()) continue;
+      const size_t pos = rng.NextUint64(corrupted.size());
+      corrupted[pos] ^= static_cast<uint8_t>(1 + rng.NextUint64(255));
+      DecodeEverything(corrupted);  // must not crash
+    }
+  }
+}
+
+TEST(MessageFuzzTest, RandomGarbageIsHandled) {
+  Rng rng(321);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<uint8_t> garbage(rng.NextUint64(64));
+    for (uint8_t& byte : garbage) {
+      byte = static_cast<uint8_t>(rng.NextUint64(256));
+    }
+    DecodeEverything(garbage);
+  }
+}
+
+TEST(MessageFuzzTest, SiloSurvivesTruncatedAndCorruptedRequests) {
+  Silo::Options options;
+  options.grid_spec.domain = Rect{{0, 0}, {20, 20}};
+  options.grid_spec.cell_length = 2.0;
+  auto silo = Silo::Create(0,
+                           testing::RandomObjects(500, options.grid_spec.domain, 1),
+                           options)
+                  .ValueOrDie();
+
+  Rng rng(77);
+  for (const std::vector<uint8_t>& message : ValidMessages()) {
+    // All truncations.
+    for (size_t length = 0; length <= message.size(); ++length) {
+      std::vector<uint8_t> truncated(message.begin(),
+                                     message.begin() + length);
+      auto response = silo->HandleMessage(truncated);
+      if (truncated.empty()) {
+        EXPECT_FALSE(response.ok());
+      }
+      // Either a Status error or a well-formed (possibly error) response.
+    }
+    // Random corruptions.
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<uint8_t> corrupted = message;
+      if (corrupted.empty()) continue;
+      const size_t pos = rng.NextUint64(corrupted.size());
+      corrupted[pos] ^= static_cast<uint8_t>(1 + rng.NextUint64(255));
+      (void)silo->HandleMessage(corrupted);
+    }
+  }
+}
+
+TEST(MessageFuzzTest, SiloAnswersOversizedGarbage) {
+  Silo::Options options;
+  options.grid_spec.domain = Rect{{0, 0}, {20, 20}};
+  options.grid_spec.cell_length = 2.0;
+  auto silo = Silo::Create(0,
+                           testing::RandomObjects(100, options.grid_spec.domain, 2),
+                           options)
+                  .ValueOrDie();
+  Rng rng(88);
+  std::vector<uint8_t> garbage(1 << 16);
+  for (uint8_t& byte : garbage) {
+    byte = static_cast<uint8_t>(rng.NextUint64(256));
+  }
+  (void)silo->HandleMessage(garbage);  // must not crash or hang
+}
+
+}  // namespace
+}  // namespace fra

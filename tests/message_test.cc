@@ -1,0 +1,190 @@
+#include "net/message.h"
+
+#include <gtest/gtest.h>
+
+namespace fra {
+namespace {
+
+TEST(MessageTest, RangeRoundTripCircle) {
+  const QueryRange range = QueryRange::MakeCircle({4, 6}, 3);
+  BinaryWriter writer;
+  SerializeRange(range, &writer);
+  BinaryReader reader(writer.buffer());
+  QueryRange decoded;
+  ASSERT_TRUE(DeserializeRange(&reader, &decoded).ok());
+  ASSERT_TRUE(decoded.is_circle());
+  EXPECT_EQ(decoded.circle(), range.circle());
+}
+
+TEST(MessageTest, RangeRoundTripRect) {
+  const QueryRange range = QueryRange::MakeRect({1, 2}, {3, 4});
+  BinaryWriter writer;
+  SerializeRange(range, &writer);
+  BinaryReader reader(writer.buffer());
+  QueryRange decoded;
+  ASSERT_TRUE(DeserializeRange(&reader, &decoded).ok());
+  ASSERT_TRUE(decoded.is_rect());
+  EXPECT_EQ(decoded.rect(), range.rect());
+}
+
+TEST(MessageTest, RangeRejectsNegativeRadius) {
+  BinaryWriter writer;
+  writer.WriteU8(0);  // circle tag
+  writer.WriteDouble(0);
+  writer.WriteDouble(0);
+  writer.WriteDouble(-1.0);
+  BinaryReader reader(writer.buffer());
+  QueryRange decoded;
+  EXPECT_TRUE(DeserializeRange(&reader, &decoded).IsInvalidArgument());
+}
+
+TEST(MessageTest, RangeRejectsInvertedRect) {
+  BinaryWriter writer;
+  writer.WriteU8(1);  // rect tag
+  writer.WriteDouble(5);
+  writer.WriteDouble(5);
+  writer.WriteDouble(1);
+  writer.WriteDouble(1);
+  BinaryReader reader(writer.buffer());
+  QueryRange decoded;
+  EXPECT_TRUE(DeserializeRange(&reader, &decoded).IsInvalidArgument());
+}
+
+TEST(MessageTest, RangeRejectsUnknownTag) {
+  BinaryWriter writer;
+  writer.WriteU8(9);
+  BinaryReader reader(writer.buffer());
+  QueryRange decoded;
+  EXPECT_TRUE(DeserializeRange(&reader, &decoded).IsInvalidArgument());
+}
+
+TEST(MessageTest, AggregateRequestRoundTrip) {
+  AggregateRequest request;
+  request.range = QueryRange::MakeCircle({10, 20}, 2.5);
+  request.mode = LocalQueryMode::kLsr;
+  request.epsilon = 0.15;
+  request.delta = 0.02;
+  request.sum0 = 1234.5;
+
+  const std::vector<uint8_t> encoded = request.Encode();
+  EXPECT_EQ(PeekMessageType(encoded).ValueOrDie(),
+            MessageType::kAggregateRequest);
+
+  BinaryReader reader(encoded);
+  const AggregateRequest decoded =
+      AggregateRequest::Decode(&reader).ValueOrDie();
+  EXPECT_TRUE(decoded.range.is_circle());
+  EXPECT_EQ(decoded.range.circle(), request.range.circle());
+  EXPECT_EQ(decoded.mode, LocalQueryMode::kLsr);
+  EXPECT_DOUBLE_EQ(decoded.epsilon, 0.15);
+  EXPECT_DOUBLE_EQ(decoded.delta, 0.02);
+  EXPECT_DOUBLE_EQ(decoded.sum0, 1234.5);
+}
+
+TEST(MessageTest, AggregateRequestRejectsBadMode) {
+  AggregateRequest request;
+  request.range = QueryRange::MakeCircle({0, 0}, 1);
+  std::vector<uint8_t> encoded = request.Encode();
+  encoded[1 + 1 + 24] = 77;  // type + circle tag + 3 doubles -> mode byte
+  BinaryReader reader(encoded);
+  EXPECT_TRUE(AggregateRequest::Decode(&reader).status().IsInvalidArgument());
+}
+
+TEST(MessageTest, CellVectorRequestRoundTrip) {
+  CellVectorRequest request;
+  request.range = QueryRange::MakeRect({0, 0}, {5, 5});
+  request.mode = LocalQueryMode::kExact;
+  request.sum0 = 42.0;
+  const std::vector<uint8_t> encoded = request.Encode();
+  BinaryReader reader(encoded);
+  const CellVectorRequest decoded =
+      CellVectorRequest::Decode(&reader).ValueOrDie();
+  EXPECT_TRUE(decoded.range.is_rect());
+  EXPECT_DOUBLE_EQ(decoded.sum0, 42.0);
+}
+
+TEST(MessageTest, CellVectorRequestRejectsHistogramMode) {
+  CellVectorRequest request;
+  request.range = QueryRange::MakeRect({0, 0}, {5, 5});
+  std::vector<uint8_t> encoded = request.Encode();
+  encoded[1 + 1 + 32] = static_cast<uint8_t>(LocalQueryMode::kHistogram);
+  BinaryReader reader(encoded);
+  EXPECT_TRUE(CellVectorRequest::Decode(&reader).status().IsInvalidArgument());
+}
+
+TEST(MessageTest, SummaryResponseRoundTrip) {
+  AggregateSummary summary;
+  summary.Add(3.0);
+  summary.Add(5.0);
+  const std::vector<uint8_t> encoded = EncodeSummaryResponse(summary);
+  const AggregateSummary decoded = DecodeSummaryResponse(encoded).ValueOrDie();
+  EXPECT_EQ(decoded, summary);
+}
+
+TEST(MessageTest, CellVectorResponseRoundTrip) {
+  std::vector<CellContribution> cells(3);
+  cells[0].cell_id = 7;
+  cells[0].summary.Add(1.0);
+  cells[1].cell_id = 9;
+  cells[2].cell_id = 200;
+  cells[2].summary.Add(4.0);
+  cells[2].summary.Add(5.0);
+
+  const std::vector<uint8_t> encoded = EncodeCellVectorResponse(cells);
+  const std::vector<CellContribution> decoded =
+      DecodeCellVectorResponse(encoded).ValueOrDie();
+  ASSERT_EQ(decoded.size(), 3UL);
+  EXPECT_EQ(decoded[0].cell_id, 7U);
+  EXPECT_EQ(decoded[0].summary.count, 1UL);
+  EXPECT_EQ(decoded[1].cell_id, 9U);
+  EXPECT_TRUE(decoded[1].summary.empty());
+  EXPECT_EQ(decoded[2].cell_id, 200U);
+  EXPECT_DOUBLE_EQ(decoded[2].summary.sum, 9.0);
+}
+
+TEST(MessageTest, ErrorResponseCarriesStatus) {
+  const std::vector<uint8_t> encoded =
+      EncodeErrorResponse(Status::Unavailable("silo offline"));
+  // Decoding an error as any response surfaces the carried status.
+  const Status from_summary = DecodeSummaryResponse(encoded).status();
+  EXPECT_TRUE(from_summary.IsUnavailable());
+  EXPECT_EQ(from_summary.message(), "silo offline");
+  EXPECT_TRUE(DecodeCellVectorResponse(encoded).status().IsUnavailable());
+  EXPECT_TRUE(DecodeGridPayloadResponse(encoded).status().IsUnavailable());
+}
+
+TEST(MessageTest, GridPayloadRoundTrip) {
+  const std::vector<uint8_t> grid_bytes = {1, 2, 3, 4, 5};
+  const std::vector<uint8_t> encoded = EncodeGridPayloadResponse(grid_bytes);
+  EXPECT_EQ(DecodeGridPayloadResponse(encoded).ValueOrDie(), grid_bytes);
+}
+
+TEST(MessageTest, WrongResponseTypeRejected) {
+  const std::vector<uint8_t> encoded = EncodeSummaryResponse({});
+  EXPECT_TRUE(DecodeCellVectorResponse(encoded).status().IsInvalidArgument());
+}
+
+TEST(MessageTest, TruncatedResponsesRejected) {
+  std::vector<uint8_t> encoded = EncodeSummaryResponse({});
+  encoded.resize(encoded.size() - 5);
+  EXPECT_FALSE(DecodeSummaryResponse(encoded).ok());
+
+  std::vector<CellContribution> cells(2);
+  std::vector<uint8_t> cell_encoded = EncodeCellVectorResponse(cells);
+  cell_encoded.resize(cell_encoded.size() - 1);
+  EXPECT_FALSE(DecodeCellVectorResponse(cell_encoded).ok());
+}
+
+TEST(MessageTest, PeekEmptyMessageFails) {
+  EXPECT_TRUE(PeekMessageType({}).status().IsInvalidArgument());
+}
+
+TEST(MessageTest, BuildGridRequestIsOneTagByte) {
+  const std::vector<uint8_t> encoded = EncodeBuildGridRequest();
+  EXPECT_EQ(encoded.size(), 1UL);
+  EXPECT_EQ(PeekMessageType(encoded).ValueOrDie(),
+            MessageType::kBuildGridRequest);
+}
+
+}  // namespace
+}  // namespace fra

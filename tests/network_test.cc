@@ -1,0 +1,159 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace fra {
+namespace {
+
+/// Echoes the request back, optionally padding the response.
+class EchoEndpoint : public SiloEndpoint {
+ public:
+  explicit EchoEndpoint(size_t pad = 0) : pad_(pad) {}
+
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) override {
+    ++calls;
+    std::vector<uint8_t> response = request;
+    response.resize(response.size() + pad_, 0xEE);
+    return response;
+  }
+
+  std::atomic<int> calls{0};
+
+ private:
+  size_t pad_;
+};
+
+class FailingEndpoint : public SiloEndpoint {
+ public:
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>&) override {
+    return Status::Internal("silo crashed");
+  }
+};
+
+TEST(NetworkTest, RegisterAndCall) {
+  InProcessNetwork network;
+  EchoEndpoint endpoint;
+  ASSERT_TRUE(network.RegisterSilo(1, &endpoint).ok());
+  EXPECT_EQ(network.num_silos(), 1UL);
+
+  const std::vector<uint8_t> request = {1, 2, 3};
+  const std::vector<uint8_t> response =
+      network.Call(1, request).ValueOrDie();
+  EXPECT_EQ(response, request);
+  EXPECT_EQ(endpoint.calls.load(), 1);
+}
+
+TEST(NetworkTest, RejectsNullAndDuplicateRegistration) {
+  InProcessNetwork network;
+  EchoEndpoint endpoint;
+  EXPECT_TRUE(network.RegisterSilo(1, nullptr).IsInvalidArgument());
+  ASSERT_TRUE(network.RegisterSilo(1, &endpoint).ok());
+  EXPECT_TRUE(network.RegisterSilo(1, &endpoint).code() ==
+              StatusCode::kAlreadyExists);
+}
+
+TEST(NetworkTest, UnknownSiloIsUnavailable) {
+  InProcessNetwork network;
+  EXPECT_TRUE(network.Call(42, {1}).status().IsUnavailable());
+}
+
+TEST(NetworkTest, EndpointErrorsPropagate) {
+  InProcessNetwork network;
+  FailingEndpoint endpoint;
+  ASSERT_TRUE(network.RegisterSilo(3, &endpoint).ok());
+  EXPECT_TRUE(network.Call(3, {1}).status().IsInternal());
+}
+
+TEST(NetworkTest, CommStatsCountBytesBothWays) {
+  InProcessNetwork network;
+  EchoEndpoint endpoint(/*pad=*/10);
+  ASSERT_TRUE(network.RegisterSilo(1, &endpoint).ok());
+
+  ASSERT_TRUE(network.Call(1, std::vector<uint8_t>(100)).ok());
+  ASSERT_TRUE(network.Call(1, std::vector<uint8_t>(50)).ok());
+
+  const CommStats::Snapshot stats = network.stats().Read();
+  EXPECT_EQ(stats.messages, 2UL);
+  EXPECT_EQ(stats.bytes_to_silos, 150UL);
+  EXPECT_EQ(stats.bytes_to_provider, 170UL);  // padded by 10 each
+  EXPECT_EQ(stats.TotalBytes(), 320UL);
+}
+
+TEST(NetworkTest, FailedCallsAreNotCounted) {
+  InProcessNetwork network;
+  FailingEndpoint endpoint;
+  ASSERT_TRUE(network.RegisterSilo(1, &endpoint).ok());
+  ASSERT_FALSE(network.Call(1, {1, 2}).ok());
+  EXPECT_EQ(network.stats().Read().messages, 0UL);
+}
+
+TEST(NetworkTest, SnapshotDeltaArithmetic) {
+  InProcessNetwork network;
+  EchoEndpoint endpoint;
+  ASSERT_TRUE(network.RegisterSilo(1, &endpoint).ok());
+  ASSERT_TRUE(network.Call(1, std::vector<uint8_t>(7)).ok());
+  const CommStats::Snapshot before = network.stats().Read();
+  ASSERT_TRUE(network.Call(1, std::vector<uint8_t>(9)).ok());
+  const CommStats::Snapshot delta = network.stats().Read() - before;
+  EXPECT_EQ(delta.messages, 1UL);
+  EXPECT_EQ(delta.bytes_to_silos, 9UL);
+}
+
+TEST(NetworkTest, ResetClearsCounters) {
+  InProcessNetwork network;
+  EchoEndpoint endpoint;
+  ASSERT_TRUE(network.RegisterSilo(1, &endpoint).ok());
+  ASSERT_TRUE(network.Call(1, {1}).ok());
+  network.stats().Reset();
+  EXPECT_EQ(network.stats().Read().TotalBytes(), 0UL);
+}
+
+TEST(NetworkTest, LatencyModelDelaysCalls) {
+  InProcessNetwork::LatencyModel latency;
+  latency.fixed_micros = 2000.0;  // 2 ms per exchange
+  InProcessNetwork network(latency);
+  EchoEndpoint endpoint;
+  ASSERT_TRUE(network.RegisterSilo(1, &endpoint).ok());
+
+  Timer timer;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(network.Call(1, {1}).ok());
+  }
+  EXPECT_GE(timer.ElapsedMillis(), 9.0);  // >= 5 * 2ms, minus sleep slop
+}
+
+TEST(NetworkTest, ConcurrentCallsAreAccountedAtomically) {
+  InProcessNetwork network;
+  EchoEndpoint endpoint;
+  ASSERT_TRUE(network.RegisterSilo(1, &endpoint).ok());
+
+  ThreadPool pool(8);
+  ParallelFor(&pool, 200, [&](size_t) {
+    ASSERT_TRUE(network.Call(1, std::vector<uint8_t>(10)).ok());
+  });
+  const CommStats::Snapshot stats = network.stats().Read();
+  EXPECT_EQ(stats.messages, 200UL);
+  EXPECT_EQ(stats.bytes_to_silos, 2000UL);
+  EXPECT_EQ(endpoint.calls.load(), 200);
+}
+
+TEST(NetworkTest, SiloIdsListsRegisteredEndpoints) {
+  InProcessNetwork network;
+  EchoEndpoint a;
+  EchoEndpoint b;
+  ASSERT_TRUE(network.RegisterSilo(5, &a).ok());
+  ASSERT_TRUE(network.RegisterSilo(2, &b).ok());
+  std::vector<int> ids = network.silo_ids();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<int>{2, 5}));
+}
+
+}  // namespace
+}  // namespace fra

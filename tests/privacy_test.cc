@@ -1,0 +1,203 @@
+// Differential-privacy extension: the Laplace sampler, the mechanism's
+// statistical properties, and end-to-end behaviour of a DP-enabled
+// federation.
+
+#include "federation/privacy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/brute_force.h"
+#include "federation/federation.h"
+#include "tests/test_util.h"
+#include "util/stats.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {40, 40}};
+
+TEST(LaplaceSamplerTest, MeanAndVariance) {
+  Rng rng(1);
+  const double scale = 2.5;
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.NextLaplace(scale));
+  EXPECT_NEAR(stat.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stat.variance(), 2.0 * scale * scale, 0.3);
+}
+
+TEST(LaplaceSamplerTest, ScaleControlsSpread) {
+  Rng rng(2);
+  RunningStat narrow;
+  RunningStat wide;
+  for (int i = 0; i < 20000; ++i) {
+    narrow.Add(std::abs(rng.NextLaplace(0.5)));
+    wide.Add(std::abs(rng.NextLaplace(5.0)));
+  }
+  EXPECT_LT(narrow.mean() * 5.0, wide.mean());
+}
+
+TEST(LaplaceMechanismTest, DisabledIsIdentity) {
+  LaplaceMechanism mechanism(DpOptions{}, 3);
+  EXPECT_FALSE(mechanism.enabled());
+  AggregateSummary summary;
+  summary.Add(2.0);
+  summary.Add(3.0);
+  EXPECT_EQ(mechanism.Perturb(summary), summary);
+}
+
+TEST(LaplaceMechanismTest, PerturbsAndClearsExtrema) {
+  DpOptions options;
+  options.epsilon = 1.0;
+  LaplaceMechanism mechanism(options, 4);
+  ASSERT_TRUE(mechanism.enabled());
+  AggregateSummary summary;
+  for (int i = 0; i < 100; ++i) summary.Add(2.0);
+
+  int changed = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const AggregateSummary noisy = mechanism.Perturb(summary);
+    if (noisy.count != summary.count || noisy.sum != summary.sum) ++changed;
+    // Extrema are never published.
+    EXPECT_EQ(noisy.min, AggregateSummary().min);
+    EXPECT_EQ(noisy.max, AggregateSummary().max);
+    EXPECT_GE(noisy.sum_sqr, 0.0);
+  }
+  EXPECT_GT(changed, 40);  // noise actually applied
+}
+
+TEST(LaplaceMechanismTest, NoiseIsUnbiasedOnLargeCounts) {
+  DpOptions options;
+  options.epsilon = 0.5;
+  LaplaceMechanism mechanism(options, 5);
+  AggregateSummary summary;
+  summary.count = 10000;
+  summary.sum = 20000.0;
+  RunningStat counts;
+  RunningStat sums;
+  for (int trial = 0; trial < 5000; ++trial) {
+    const AggregateSummary noisy = mechanism.Perturb(summary);
+    counts.Add(static_cast<double>(noisy.count));
+    sums.Add(noisy.sum);
+  }
+  // Clamping at 0 never triggers at this magnitude, so the noise is
+  // centered: mean within a few standard errors.
+  EXPECT_NEAR(counts.mean(), 10000.0, 1.0);
+  EXPECT_NEAR(sums.mean(), 20000.0, 2.0);
+}
+
+TEST(LaplaceMechanismTest, SmallerEpsilonMeansMoreNoise) {
+  AggregateSummary summary;
+  summary.count = 1000;
+  auto noise_magnitude = [&](double epsilon) {
+    DpOptions options;
+    options.epsilon = epsilon;
+    LaplaceMechanism mechanism(options, 6);
+    RunningStat deviation;
+    for (int trial = 0; trial < 3000; ++trial) {
+      const AggregateSummary noisy = mechanism.Perturb(summary);
+      deviation.Add(std::abs(static_cast<double>(noisy.count) - 1000.0));
+    }
+    return deviation.mean();
+  };
+  EXPECT_GT(noise_magnitude(0.1), 3.0 * noise_magnitude(1.0));
+}
+
+// --- End-to-end DP federation -------------------------------------------
+
+std::unique_ptr<Federation> MakeDpFederation(double dp_epsilon,
+                                             size_t objects = 40000) {
+  std::vector<ObjectSet> partitions(4);
+  const ObjectSet all = testing::RandomObjects(objects, kDomain, 7);
+  for (size_t i = 0; i < all.size(); ++i) {
+    partitions[i % 4].push_back(all[i]);
+  }
+  FederationOptions options;
+  options.silo.grid_spec.domain = kDomain;
+  options.silo.grid_spec.cell_length = 2.0;
+  options.silo.dp.epsilon = dp_epsilon;
+  return Federation::Create(std::move(partitions), options).ValueOrDie();
+}
+
+TEST(DpFederationTest, AnswersRemainUsefulAtModerateEpsilon) {
+  auto federation = MakeDpFederation(1.0);
+  ServiceProvider& provider = federation->provider();
+  const BruteForceAggregator truth(
+      {ObjectSet(testing::RandomObjects(40000, kDomain, 7))});
+
+  Rng rng(8);
+  RunningStat errors;
+  for (int q = 0; q < 20; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 12.0, true, &rng);
+    const double exact =
+        truth.Aggregate(range, AggregateKind::kCount).ValueOrDie();
+    if (exact < 500) continue;
+    const double estimate =
+        provider.Execute({range, AggregateKind::kCount},
+                         FraAlgorithm::kNonIidEst)
+            .ValueOrDie();
+    errors.Add(std::abs(estimate - exact) / exact);
+  }
+  ASSERT_GT(errors.count(), 5UL);
+  EXPECT_LT(errors.mean(), 0.25);
+}
+
+TEST(DpFederationTest, ExactAlgorithmBecomesNoisyUnderDp) {
+  auto federation = MakeDpFederation(1.0);
+  ServiceProvider& provider = federation->provider();
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 10),
+                       AggregateKind::kCount};
+  // "EXACT" sums per-silo answers, each of which is now perturbed:
+  // repeated executions differ.
+  const double a = provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+  const double b = provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+  const double c = provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+  EXPECT_TRUE(a != b || b != c);
+}
+
+TEST(DpFederationTest, ErrorGrowsAsEpsilonShrinks) {
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 10),
+                       AggregateKind::kCount};
+  auto mean_abs_deviation = [&](double dp_epsilon) {
+    auto federation = MakeDpFederation(dp_epsilon);
+    ServiceProvider& provider = federation->provider();
+    // Reference: the same federation without DP answers exactly.
+    auto clean = MakeDpFederation(0.0);
+    const double exact =
+        clean->provider().Execute(query, FraAlgorithm::kExact).ValueOrDie();
+    RunningStat deviation;
+    for (int i = 0; i < 30; ++i) {
+      deviation.Add(std::abs(
+          provider.Execute(query, FraAlgorithm::kExact).ValueOrDie() -
+          exact));
+    }
+    return deviation.mean();
+  };
+  const double loose = mean_abs_deviation(5.0);
+  const double tight = mean_abs_deviation(0.05);
+  EXPECT_GT(tight, 5.0 * loose);
+}
+
+TEST(DpFederationTest, MinMaxRejectedUnderDp) {
+  auto federation = MakeDpFederation(1.0);
+  // MIN/MAX only work via EXACT, whose summaries now carry cleared
+  // extrema — finalising must fail rather than report garbage.
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 10),
+                       AggregateKind::kMin};
+  EXPECT_FALSE(
+      federation->provider().Execute(query, FraAlgorithm::kExact).ok());
+}
+
+TEST(DpFederationTest, ZeroEpsilonFederationIsExact) {
+  auto federation = MakeDpFederation(0.0);
+  ServiceProvider& provider = federation->provider();
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 10),
+                       AggregateKind::kCount};
+  const double a = provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+  const double b = provider.Execute(query, FraAlgorithm::kExact).ValueOrDie();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,87 @@
+// The umbrella header and the README quickstart snippet must compile and
+// behave as documented — this test IS the README example, kept honest.
+
+#include "src/fra.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(PublicApiTest, ReadmeQuickstartWorksVerbatim) {
+  // Synthesise a city corpus held by three companies (or load your own
+  // partitions with fra::ReadCsv).
+  fra::MobilityDataOptions data;
+  data.num_objects = 50'000;  // README uses 1M; scaled for test runtime
+  data.non_iid = true;
+  auto dataset = fra::GenerateMobilityData(data).ValueOrDie();
+
+  // One silo per company; the provider collects + merges grid indices.
+  fra::FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;  // km
+  auto federation =
+      fra::Federation::Create(std::move(dataset.company_partitions), options)
+          .ValueOrDie();
+
+  // "How many vehicles within 2 km of the station?"
+  fra::FraQuery query{fra::QueryRange::MakeCircle({72.5, 138.0}, 2.0),
+                      fra::AggregateKind::kCount};
+  auto answer = federation->provider().Execute(
+      query, fra::FraAlgorithm::kNonIidEstLsr);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_GE(*answer, 0.0);
+}
+
+TEST(PublicApiTest, UmbrellaHeaderExposesEveryEntryPoint) {
+  // Touch one symbol from each module to guarantee the umbrella header
+  // stays complete as the library grows.
+  fra::Status status = fra::Status::OK();
+  fra::Result<int> result = 1;
+  fra::Rng rng(1);
+  fra::Timer timer;
+  fra::RunningStat stat;
+  fra::BinaryWriter writer;
+  fra::Point point{1, 2};
+  fra::Rect rect{{0, 0}, {1, 1}};
+  fra::Circle circle{{0, 0}, 1};
+  fra::QueryRange range = fra::QueryRange::MakeCircle({0, 0}, 1);
+  fra::Projection projection(40.0, 116.0);
+  fra::AggregateSummary summary;
+  fra::SpatialObject object{{0, 0}, 1.0};
+  fra::RTree tree = fra::RTree::Build({object});
+  fra::LsrForest forest = fra::LsrForest::Build({object});
+  fra::EquiDepthHistogram histogram = fra::EquiDepthHistogram::Build({object});
+  fra::InProcessNetwork network;
+  fra::TcpNetwork tcp;
+  fra::DpOptions dp;
+  fra::MobilityDataOptions generator_options;
+  fra::WorkloadOptions workload;
+  fra::ExperimentConfig experiment;
+  fra::BruteForceAggregator brute_force(fra::ObjectSet{object});
+  fra::CentralizedRTree centralized({fra::ObjectSet{object}});
+
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(range.Contains(point) || true);
+  EXPECT_EQ(tree.size(), 1UL);
+  EXPECT_EQ(forest.size(), 1UL);
+  EXPECT_EQ(histogram.total().count, 1UL);
+  EXPECT_EQ(brute_force.size(), 1UL);
+  EXPECT_EQ(centralized.size(), 1UL);
+  (void)timer;
+  (void)stat;
+  (void)writer;
+  (void)rng;
+  (void)rect;
+  (void)circle;
+  (void)projection;
+  (void)summary;
+  (void)network;
+  (void)tcp;
+  (void)dp;
+  (void)generator_options;
+  (void)workload;
+  (void)experiment;
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace fra {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BoundedDrawStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextUint64(1), 0ULL);
+}
+
+TEST(RngTest, BoundedDrawIsRoughlyUniform) {
+  Rng rng(42);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.NextUint64(kBound)];
+  for (uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(histogram[v], kDraws / kBound, kDraws / kBound * 0.12)
+        << "bucket " << v;
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    stat.Add(x);
+  }
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stat.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, DoubleRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-3.5, 7.25);
+    EXPECT_GE(x, -3.5);
+    EXPECT_LT(x, 7.25);
+  }
+}
+
+TEST(RngTest, Int64InclusiveRange) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t x = rng.NextInt64(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5UL);  // all five values hit
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerateProbabilities) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  RunningStat stat;
+  for (int i = 0; i < 200000; ++i) stat.Add(rng.NextGaussian());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.01);
+}
+
+TEST(RngTest, GaussianWithParameters) {
+  Rng rng(29);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(rng.NextGaussian(10.0, 2.5));
+  EXPECT_NEAR(stat.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.5, 0.05);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(31);
+  Rng childA = parent.Fork(0);
+  Rng childB = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (childA.NextUint64() == childB.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(37);
+  Rng b(37);
+  Rng forkA = a.Fork(5);
+  Rng forkB = b.Fork(5);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(forkA.NextUint64(), forkB.NextUint64());
+  }
+}
+
+}  // namespace
+}  // namespace fra

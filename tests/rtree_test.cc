@@ -1,0 +1,217 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {100, 100}};
+
+TEST(RTreeTest, EmptyTree) {
+  const RTree tree = RTree::Build({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0UL);
+  EXPECT_EQ(tree.height(), 0);
+  EXPECT_FALSE(tree.bounds().IsValid());
+  const AggregateSummary summary =
+      tree.RangeAggregate(QueryRange::MakeCircle({0, 0}, 10));
+  EXPECT_TRUE(summary.empty());
+}
+
+TEST(RTreeTest, SingleObject) {
+  const RTree tree = RTree::Build({{{5, 5}, 3.0}});
+  EXPECT_EQ(tree.size(), 1UL);
+  EXPECT_EQ(tree.height(), 1);
+  const AggregateSummary hit =
+      tree.RangeAggregate(QueryRange::MakeCircle({5, 5}, 1));
+  EXPECT_EQ(hit.count, 1UL);
+  EXPECT_DOUBLE_EQ(hit.sum, 3.0);
+  const AggregateSummary miss =
+      tree.RangeAggregate(QueryRange::MakeCircle({50, 50}, 1));
+  EXPECT_TRUE(miss.empty());
+}
+
+TEST(RTreeTest, TotalCoversAllObjects) {
+  const ObjectSet objects = testing::RandomObjects(1000, kDomain, 1);
+  AggregateSummary expected;
+  for (const SpatialObject& o : objects) expected.Add(o);
+  const RTree tree = RTree::Build(objects);
+  EXPECT_EQ(tree.total(), expected);
+  // A range covering the whole domain returns everything.
+  const AggregateSummary all =
+      tree.RangeAggregate(QueryRange::MakeRect({-1, -1}, {101, 101}));
+  EXPECT_EQ(all, expected);
+}
+
+TEST(RTreeTest, BoundsCoverAllObjects) {
+  const ObjectSet objects = testing::RandomObjects(500, kDomain, 2);
+  const RTree tree = RTree::Build(objects);
+  const Rect bounds = tree.bounds();
+  for (const SpatialObject& o : objects) {
+    EXPECT_TRUE(bounds.Contains(o.location));
+  }
+}
+
+TEST(RTreeTest, PaperExampleSiloTwo) {
+  // Silo s_2 of paper Example 1 (Fig. 1c): the red objects o_1..o_8.
+  const ObjectSet objects = {{{2, 2}, 7},   {{3, 6}, 1}, {{4, 5}, 1},
+                             {{5, 7}, 1},   {{6, 6}, 2}, {{7, 3}, 3},
+                             {{8, 8}, 5},   {{9, 5}, 2}};
+  const RTree tree = RTree::Build(objects);
+  // The Example 1 query: circle centered (4, 6) with radius 3.
+  const AggregateSummary result =
+      tree.RangeAggregate(QueryRange::MakeCircle({4, 6}, 3));
+  // Objects within: (3,6), (4,5), (5,7), (6,6) -> COUNT 4, SUM 5.
+  EXPECT_EQ(result.count, 4UL);
+  EXPECT_DOUBLE_EQ(result.sum, 5.0);
+}
+
+struct RTreeParam {
+  size_t num_objects;
+  int leaf_capacity;
+  int fanout;
+  bool circle_queries;
+};
+
+class RTreePropertyTest : public ::testing::TestWithParam<RTreeParam> {};
+
+TEST_P(RTreePropertyTest, MatchesBruteForceOnRandomWorkload) {
+  const RTreeParam param = GetParam();
+  const ObjectSet objects =
+      testing::ClusteredObjects(param.num_objects, kDomain, 5, 42);
+  RTree::Options options;
+  options.leaf_capacity = param.leaf_capacity;
+  options.fanout = param.fanout;
+  const RTree tree = RTree::Build(objects, options);
+  ASSERT_EQ(tree.size(), param.num_objects);
+
+  Rng rng(7);
+  for (int q = 0; q < 50; ++q) {
+    const QueryRange range =
+        testing::RandomRange(kDomain, 20.0, param.circle_queries, &rng);
+    const AggregateSummary expected = SummarizeIf(
+        objects, [&](const Point& p) { return range.Contains(p); });
+    const AggregateSummary actual = tree.RangeAggregate(range);
+    EXPECT_EQ(actual.count, expected.count) << "query " << q;
+    EXPECT_NEAR(actual.sum, expected.sum, 1e-9) << "query " << q;
+    EXPECT_NEAR(actual.sum_sqr, expected.sum_sqr, 1e-9) << "query " << q;
+    if (expected.count > 0) {
+      EXPECT_DOUBLE_EQ(actual.min, expected.min) << "query " << q;
+      EXPECT_DOUBLE_EQ(actual.max, expected.max) << "query " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RTreePropertyTest,
+    ::testing::Values(RTreeParam{100, 4, 4, true},
+                      RTreeParam{100, 4, 4, false},
+                      RTreeParam{1000, 16, 8, true},
+                      RTreeParam{1000, 16, 8, false},
+                      RTreeParam{5000, 64, 16, true},
+                      RTreeParam{5000, 64, 16, false},
+                      RTreeParam{333, 1, 2, true},     // degenerate fanout
+                      RTreeParam{4096, 64, 16, true},  // exact power of two
+                      RTreeParam{65, 64, 16, false})); // one over a leaf
+
+TEST(RTreeTest, ClippedAggregateEqualsPredicateIntersection) {
+  const ObjectSet objects = testing::RandomObjects(2000, kDomain, 3);
+  const RTree tree = RTree::Build(objects);
+  Rng rng(11);
+  for (int q = 0; q < 40; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 25.0, true, &rng);
+    Rect clip;
+    clip.min = {rng.NextDouble(0, 80), rng.NextDouble(0, 80)};
+    clip.max = {clip.min.x + rng.NextDouble(1, 20),
+                clip.min.y + rng.NextDouble(1, 20)};
+    const AggregateSummary expected =
+        SummarizeIf(objects, [&](const Point& p) {
+          return clip.Contains(p) && range.Contains(p);
+        });
+    const AggregateSummary actual = tree.RangeAggregateClipped(clip, range);
+    EXPECT_EQ(actual.count, expected.count);
+    EXPECT_NEAR(actual.sum, expected.sum, 1e-9);
+  }
+}
+
+TEST(RTreeTest, CollectInRangeReturnsExactlyTheContainedObjects) {
+  const ObjectSet objects = testing::RandomObjects(500, kDomain, 5);
+  const RTree tree = RTree::Build(objects);
+  const QueryRange range = QueryRange::MakeCircle({50, 50}, 20);
+
+  std::vector<SpatialObject> collected;
+  tree.CollectInRange(range, &collected);
+
+  std::vector<SpatialObject> expected;
+  for (const SpatialObject& o : objects) {
+    if (range.Contains(o.location)) expected.push_back(o);
+  }
+  auto key = [](const SpatialObject& o) {
+    return std::tuple(o.location.x, o.location.y, o.measure);
+  };
+  auto less = [&key](const SpatialObject& a, const SpatialObject& b) {
+    return key(a) < key(b);
+  };
+  std::sort(collected.begin(), collected.end(), less);
+  std::sort(expected.begin(), expected.end(), less);
+  EXPECT_EQ(collected, expected);
+}
+
+TEST(RTreeTest, QueryStatsShowLogarithmicWork) {
+  const ObjectSet objects = testing::RandomObjects(50000, kDomain, 9);
+  const RTree tree = RTree::Build(objects);
+  RTree::QueryStats stats;
+  const QueryRange range = QueryRange::MakeCircle({50, 50}, 10);
+  tree.RangeAggregate(range, &stats);
+  // ~7850 objects fall in the range; pruning + covered subtrees must keep
+  // individually tested objects way below that.
+  EXPECT_GT(stats.subtrees_taken, 0UL);
+  EXPECT_LT(stats.objects_tested, 6000UL);
+  EXPECT_LT(stats.nodes_visited, 2000UL);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTree::Options options;
+  options.leaf_capacity = 4;
+  options.fanout = 4;
+  const RTree small = RTree::Build(testing::RandomObjects(16, kDomain, 1),
+                                   options);
+  const RTree large = RTree::Build(testing::RandomObjects(4096, kDomain, 1),
+                                   options);
+  EXPECT_LE(small.height(), 3);
+  EXPECT_GE(large.height(), 5);
+  EXPECT_LE(large.height(), 8);
+}
+
+TEST(RTreeTest, MemoryUsageScalesWithInput) {
+  const RTree small = RTree::Build(testing::RandomObjects(100, kDomain, 2));
+  const RTree large = RTree::Build(testing::RandomObjects(10000, kDomain, 2));
+  EXPECT_GT(small.MemoryUsage(), 0UL);
+  EXPECT_GT(large.MemoryUsage(), small.MemoryUsage() * 10);
+}
+
+TEST(RTreeTest, DuplicateLocationsAreAllCounted) {
+  ObjectSet objects;
+  for (int i = 0; i < 100; ++i) objects.push_back({{5.0, 5.0}, 1.0});
+  const RTree tree = RTree::Build(objects);
+  const AggregateSummary result =
+      tree.RangeAggregate(QueryRange::MakeCircle({5, 5}, 0.1));
+  EXPECT_EQ(result.count, 100UL);
+  EXPECT_DOUBLE_EQ(result.sum, 100.0);
+}
+
+TEST(RTreeTest, BoundaryObjectsAreIncluded) {
+  const ObjectSet objects = {{{3, 4}, 1.0}};  // at distance exactly 5
+  const RTree tree = RTree::Build(objects);
+  EXPECT_EQ(tree.RangeAggregate(QueryRange::MakeCircle({0, 0}, 5)).count, 1UL);
+  EXPECT_EQ(tree.RangeAggregate(QueryRange::MakeRect({3, 4}, {10, 10})).count,
+            1UL);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,134 @@
+#include "util/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace fra {
+namespace {
+
+TEST(SerializeTest, PrimitiveRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEF);
+  writer.WriteU64(0x0123456789ABCDEFULL);
+  writer.WriteI64(-42);
+  writer.WriteDouble(3.14159);
+
+  BinaryReader reader(writer.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double d = 0.0;
+  ASSERT_TRUE(reader.ReadU8(&u8).ok());
+  ASSERT_TRUE(reader.ReadU32(&u32).ok());
+  ASSERT_TRUE(reader.ReadU64(&u64).ok());
+  ASSERT_TRUE(reader.ReadI64(&i64).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFU);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerializeTest, StringRoundTrip) {
+  BinaryWriter writer;
+  writer.WriteString("hello federation");
+  writer.WriteString("");
+  BinaryReader reader(writer.buffer());
+  std::string a;
+  std::string b;
+  ASSERT_TRUE(reader.ReadString(&a).ok());
+  ASSERT_TRUE(reader.ReadString(&b).ok());
+  EXPECT_EQ(a, "hello federation");
+  EXPECT_EQ(b, "");
+}
+
+TEST(SerializeTest, DoubleVectorRoundTrip) {
+  BinaryWriter writer;
+  const std::vector<double> values = {1.0, -2.5, 1e300, 0.0};
+  writer.WriteDoubleVector(values);
+  writer.WriteDoubleVector({});
+  BinaryReader reader(writer.buffer());
+  std::vector<double> out;
+  ASSERT_TRUE(reader.ReadDoubleVector(&out).ok());
+  EXPECT_EQ(out, values);
+  ASSERT_TRUE(reader.ReadDoubleVector(&out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SerializeTest, SpecialDoublesSurvive) {
+  BinaryWriter writer;
+  writer.WriteDouble(std::numeric_limits<double>::infinity());
+  writer.WriteDouble(-std::numeric_limits<double>::infinity());
+  writer.WriteDouble(std::numeric_limits<double>::denorm_min());
+  BinaryReader reader(writer.buffer());
+  double a = 0;
+  double b = 0;
+  double c = 0;
+  ASSERT_TRUE(reader.ReadDouble(&a).ok());
+  ASSERT_TRUE(reader.ReadDouble(&b).ok());
+  ASSERT_TRUE(reader.ReadDouble(&c).ok());
+  EXPECT_TRUE(std::isinf(a) && a > 0);
+  EXPECT_TRUE(std::isinf(b) && b < 0);
+  EXPECT_EQ(c, std::numeric_limits<double>::denorm_min());
+}
+
+TEST(SerializeTest, TruncatedPrimitiveIsOutOfRange) {
+  BinaryWriter writer;
+  writer.WriteU8(1);
+  BinaryReader reader(writer.buffer());
+  uint64_t v = 0;
+  EXPECT_TRUE(reader.ReadU64(&v).IsOutOfRange());
+}
+
+TEST(SerializeTest, TruncatedStringPayloadIsOutOfRange) {
+  BinaryWriter writer;
+  writer.WriteU32(100);  // claims 100 bytes
+  writer.WriteU8('x');   // provides 1
+  BinaryReader reader(writer.buffer());
+  std::string s;
+  EXPECT_TRUE(reader.ReadString(&s).IsOutOfRange());
+}
+
+TEST(SerializeTest, TruncatedVectorPayloadIsOutOfRange) {
+  BinaryWriter writer;
+  writer.WriteU32(1u << 30);  // absurd length prefix
+  BinaryReader reader(writer.buffer());
+  std::vector<double> v;
+  EXPECT_TRUE(reader.ReadDoubleVector(&v).IsOutOfRange());
+}
+
+TEST(SerializeTest, EmptyReaderIsAtEnd) {
+  BinaryReader reader(nullptr, 0);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(reader.Remaining(), 0UL);
+  uint8_t v = 0;
+  EXPECT_TRUE(reader.ReadU8(&v).IsOutOfRange());
+}
+
+TEST(SerializeTest, ReleaseMovesBuffer) {
+  BinaryWriter writer;
+  writer.WriteU32(7);
+  const std::vector<uint8_t> buffer = writer.Release();
+  EXPECT_EQ(buffer.size(), 4UL);
+  EXPECT_EQ(writer.size(), 0UL);
+}
+
+TEST(SerializeTest, PositionTracksConsumption) {
+  BinaryWriter writer;
+  writer.WriteU32(1);
+  writer.WriteU32(2);
+  BinaryReader reader(writer.buffer());
+  uint32_t v = 0;
+  ASSERT_TRUE(reader.ReadU32(&v).ok());
+  EXPECT_EQ(reader.position(), 4UL);
+  EXPECT_EQ(reader.Remaining(), 4UL);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,154 @@
+// Silo snapshot persistence: save/load round trip, configuration
+// restoration, corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "federation/silo.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {30, 30}};
+
+Silo::Options MakeOptions() {
+  Silo::Options options;
+  options.grid_spec.domain = kDomain;
+  options.grid_spec.cell_length = 1.5;
+  options.rtree.leaf_capacity = 32;
+  options.rtree.fanout = 8;
+  options.lsr_seed = 424242;
+  options.histogram_buckets = 256;
+  options.compact_fraction = 0.03;
+  return options;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SnapshotTest, RoundTripPreservesAnswersExactly) {
+  const ObjectSet objects = testing::ClusteredObjects(20000, kDomain, 3, 1);
+  auto original = Silo::Create(7, objects, MakeOptions()).ValueOrDie();
+  original->Ingest(testing::RandomObjects(300, kDomain, 2));
+
+  const std::string path = TempPath("silo_roundtrip.snap");
+  ASSERT_TRUE(original->SaveSnapshot(path).ok());
+  auto loaded = Silo::LoadSnapshot(path).ValueOrDie();
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded->id(), 7);
+  EXPECT_EQ(loaded->size(), original->size());
+  EXPECT_EQ(loaded->total().count, original->total().count);
+  EXPECT_NEAR(loaded->total().sum, original->total().sum, 1e-9);
+
+  // Exact local answers are identical (same objects, same grid spec).
+  Rng rng(3);
+  for (int q = 0; q < 25; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 8.0, q % 2 == 0,
+                                                  &rng);
+    const AggregateSummary before = original->ExactRangeAggregate(range);
+    const AggregateSummary after = loaded->ExactRangeAggregate(range);
+    EXPECT_EQ(after.count, before.count) << "query " << q;
+    EXPECT_NEAR(after.sum, before.sum, 1e-9);
+  }
+
+  // The per-cell grids match exactly too.
+  ASSERT_EQ(loaded->grid().num_cells(), original->grid().num_cells());
+  for (size_t id = 0; id < loaded->grid().num_cells(); ++id) {
+    EXPECT_EQ(loaded->grid().cell(id).count,
+              original->grid().cell(id).count);
+  }
+}
+
+TEST(SnapshotTest, LsrForestIsRebuiltDeterministically) {
+  const ObjectSet objects = testing::RandomObjects(8192, kDomain, 4);
+  auto original = Silo::Create(1, objects, MakeOptions()).ValueOrDie();
+  const std::string path = TempPath("silo_lsr.snap");
+  ASSERT_TRUE(original->SaveSnapshot(path).ok());
+  auto a = Silo::LoadSnapshot(path).ValueOrDie();
+  auto b = Silo::LoadSnapshot(path).ValueOrDie();
+  std::remove(path.c_str());
+
+  // Two loads are bit-identical (same seeds, same objects): LSR answers
+  // agree everywhere, not just in expectation.
+  const QueryRange range = QueryRange::MakeCircle({15, 15}, 8);
+  EXPECT_EQ(a->LsrRangeAggregate(range, 0.2, 0.05, 2000).count,
+            b->LsrRangeAggregate(range, 0.2, 0.05, 2000).count);
+}
+
+TEST(SnapshotTest, DpConfigurationSurvives) {
+  Silo::Options options = MakeOptions();
+  options.dp.epsilon = 0.7;
+  options.dp.measure_bound = 3.0;
+  auto original =
+      Silo::Create(2, testing::RandomObjects(2000, kDomain, 5), options)
+          .ValueOrDie();
+  const std::string path = TempPath("silo_dp.snap");
+  ASSERT_TRUE(original->SaveSnapshot(path).ok());
+  auto loaded = Silo::LoadSnapshot(path).ValueOrDie();
+  std::remove(path.c_str());
+
+  // DP silos perturb wire responses: two identical requests differ.
+  AggregateRequest request;
+  request.range = QueryRange::MakeCircle({15, 15}, 10);
+  const auto r1 = DecodeSummaryResponse(
+                      loaded->HandleMessage(request.Encode()).ValueOrDie())
+                      .ValueOrDie();
+  const auto r2 = DecodeSummaryResponse(
+                      loaded->HandleMessage(request.Encode()).ValueOrDie())
+                      .ValueOrDie();
+  EXPECT_TRUE(r1.count != r2.count || r1.sum != r2.sum);
+}
+
+TEST(SnapshotTest, MissingFileFails) {
+  EXPECT_TRUE(Silo::LoadSnapshot("/nonexistent/silo.snap")
+                  .status()
+                  .IsIOError());
+}
+
+TEST(SnapshotTest, GarbageFileRejected) {
+  const std::string path = TempPath("silo_garbage.snap");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a snapshot";
+  }
+  EXPECT_FALSE(Silo::LoadSnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncatedSnapshotRejected) {
+  auto silo =
+      Silo::Create(3, testing::RandomObjects(1000, kDomain, 6), MakeOptions())
+          .ValueOrDie();
+  const std::string path = TempPath("silo_trunc.snap");
+  ASSERT_TRUE(silo->SaveSnapshot(path).ok());
+
+  // Truncate the object payload.
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() * 2 / 3);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(Silo::LoadSnapshot(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, EmptySiloSurvivesRoundTrip) {
+  auto silo = Silo::Create(4, ObjectSet{}, MakeOptions()).ValueOrDie();
+  const std::string path = TempPath("silo_empty.snap");
+  ASSERT_TRUE(silo->SaveSnapshot(path).ok());
+  auto loaded = Silo::LoadSnapshot(path).ValueOrDie();
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded->size(), 0UL);
+}
+
+}  // namespace
+}  // namespace fra

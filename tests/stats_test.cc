@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace fra {
+namespace {
+
+TEST(RunningStatTest, EmptyIsAllZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0UL);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.sum(), 0.0);
+  EXPECT_EQ(stat.min(), 0.0);
+  EXPECT_EQ(stat.max(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat stat;
+  stat.Add(3.5);
+  EXPECT_EQ(stat.count(), 1UL);
+  EXPECT_EQ(stat.mean(), 3.5);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_EQ(stat.sample_variance(), 0.0);
+  EXPECT_EQ(stat.min(), 3.5);
+  EXPECT_EQ(stat.max(), 3.5);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat stat;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.Add(x);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stat.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStatTest, SampleVarianceUsesNMinusOne) {
+  RunningStat stat;
+  for (double x : {1.0, 2.0, 3.0}) stat.Add(x);
+  EXPECT_DOUBLE_EQ(stat.sample_variance(), 1.0);
+  EXPECT_NEAR(stat.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    all.Add(x);
+    (i < 37 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat stat;
+  stat.Add(1.0);
+  stat.Add(2.0);
+  RunningStat empty;
+  stat.Merge(empty);
+  EXPECT_EQ(stat.count(), 2UL);
+  empty.Merge(stat);
+  EXPECT_EQ(empty.count(), 2UL);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  const std::vector<double> samples = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 1.0), 5.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> samples = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(samples, 0.75), 7.5);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed_ms = timer.ElapsedMillis();
+  EXPECT_GE(elapsed_ms, 15.0);
+  EXPECT_LT(elapsed_ms, 500.0);
+  EXPECT_NEAR(timer.ElapsedSeconds() * 1e3, timer.ElapsedMillis(), 5.0);
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMillis(), 15.0);
+}
+
+TEST(TimerTest, UnitsAreConsistent) {
+  Timer timer;
+  const double s = timer.ElapsedSeconds();
+  const double us = timer.ElapsedMicros();
+  EXPECT_GE(us, s * 1e6 * 0.5);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,124 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace fra {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("bad").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+
+  const Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  const Status original = Status::NotFound("missing");
+  const Status copy = original;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "missing");
+}
+
+TEST(StatusTest, OkStatusWithCodeOkIgnoresMessage) {
+  const Status status(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.message(), "");
+}
+
+TEST(StatusTest, CodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+Status FailsIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Passthrough(int x) {
+  FRA_RETURN_NOT_OK(FailsIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagatesErrors) {
+  EXPECT_TRUE(Passthrough(1).ok());
+  EXPECT_TRUE(Passthrough(-1).IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.ValueOrDie(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("nope");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string value;
+  ASSERT_TRUE(std::move(result).Value(&value).ok());
+  EXPECT_EQ(value, "payload");
+}
+
+TEST(ResultTest, ValueOnErrorReturnsStatus) {
+  Result<std::string> result = Status::Internal("boom");
+  std::string value;
+  const Status status = std::move(result).Value(&value);
+  EXPECT_TRUE(status.IsInternal());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  FRA_ASSIGN_OR_RETURN(const int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  ASSERT_TRUE(Quarter(8).ok());
+  EXPECT_EQ(Quarter(8).ValueOrDie(), 2);
+  EXPECT_TRUE(Quarter(6).status().IsInvalidArgument());  // 3 is odd
+  EXPECT_TRUE(Quarter(7).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> result = std::string("abc");
+  EXPECT_EQ(result->size(), 3UL);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,216 @@
+// TCP transport: framing, concurrency, reconnection, and a full
+// federation (Alg. 1 + all algorithms) running over real loopback
+// sockets — the paper's deployment shape.
+
+#include "net/tcp_network.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "federation/service_provider.h"
+#include "federation/silo.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {40, 40}};
+
+class EchoEndpoint : public SiloEndpoint {
+ public:
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) override {
+    ++calls;
+    return request;
+  }
+  std::atomic<int> calls{0};
+};
+
+class FailingEndpoint : public SiloEndpoint {
+ public:
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>&) override {
+    return Status::Internal("endpoint exploded");
+  }
+};
+
+TEST(TcpNetworkTest, RoundTripEcho) {
+  EchoEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+  ASSERT_GT(server->port(), 0);
+
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, server->port()).ok());
+  const std::vector<uint8_t> request = {1, 2, 3, 4, 5};
+  EXPECT_EQ(network.Call(1, request).ValueOrDie(), request);
+  EXPECT_EQ(endpoint.calls.load(), 1);
+  EXPECT_EQ(server->requests_served(), 1UL);
+}
+
+TEST(TcpNetworkTest, EmptyAndLargePayloads) {
+  EchoEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, server->port()).ok());
+
+  EXPECT_TRUE(network.Call(1, {}).ValueOrDie().empty());
+  std::vector<uint8_t> large(1 << 20);
+  for (size_t i = 0; i < large.size(); ++i) {
+    large[i] = static_cast<uint8_t>(i * 31);
+  }
+  EXPECT_EQ(network.Call(1, large).ValueOrDie(), large);
+}
+
+TEST(TcpNetworkTest, CommStatsCountFrames) {
+  EchoEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, server->port()).ok());
+  ASSERT_TRUE(network.Call(1, std::vector<uint8_t>(100)).ok());
+  ASSERT_TRUE(network.Call(1, std::vector<uint8_t>(50)).ok());
+  const CommStats::Snapshot stats = network.stats().Read();
+  EXPECT_EQ(stats.messages, 2UL);
+  EXPECT_EQ(stats.bytes_to_silos, 150UL);
+  EXPECT_EQ(stats.bytes_to_provider, 150UL);
+}
+
+TEST(TcpNetworkTest, UnknownSiloIsUnavailable) {
+  TcpNetwork network;
+  EXPECT_TRUE(network.Call(9, {1}).status().IsUnavailable());
+}
+
+TEST(TcpNetworkTest, ConnectionRefusedIsUnavailable) {
+  TcpNetwork network;
+  // Bind-then-close to find a port that is almost surely not listening.
+  EchoEndpoint endpoint;
+  uint16_t dead_port;
+  {
+    auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+    dead_port = server->port();
+  }
+  ASSERT_TRUE(network.AddSilo(1, dead_port).ok());
+  EXPECT_TRUE(network.Call(1, {1}).status().IsUnavailable());
+}
+
+TEST(TcpNetworkTest, EndpointErrorsTravelAsErrorResponses) {
+  FailingEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, server->port()).ok());
+  const auto response = network.Call(1, {1}).ValueOrDie();
+  // The server wraps handler failures into a kErrorResponse frame.
+  EXPECT_TRUE(DecodeSummaryResponse(response).status().IsInternal());
+}
+
+TEST(TcpNetworkTest, ReconnectsAfterServerRestart) {
+  EchoEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+  const uint16_t port = server->port();
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, port).ok());
+  ASSERT_TRUE(network.Call(1, {1}).ok());
+
+  server->Stop();
+  server.reset();
+  // Restart on the same port; the stale connection must be detected and
+  // re-established transparently.
+  auto restarted =
+      TcpSiloServer::Start(&endpoint, port);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  EXPECT_TRUE((*restarted)->port() == port);
+  EXPECT_TRUE(network.Call(1, {2}).ok());
+}
+
+TEST(TcpNetworkTest, ConcurrentCallsFromManyThreads) {
+  EchoEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, server->port()).ok());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&network, &failures, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::vector<uint8_t> payload = {static_cast<uint8_t>(t),
+                                              static_cast<uint8_t>(i)};
+        auto response = network.Call(1, payload);
+        if (!response.ok() || *response != payload) ++failures;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(endpoint.calls.load(), 400);
+}
+
+TEST(TcpNetworkTest, FullFederationOverLoopbackSockets) {
+  // Real silos behind real sockets: Alg. 1 grid collection, then every
+  // algorithm, compared against an in-process twin for equality of the
+  // deterministic paths.
+  std::vector<ObjectSet> partitions;
+  for (int s = 0; s < 3; ++s) {
+    partitions.push_back(testing::RandomObjects(4000, kDomain, 10 + s));
+  }
+
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+
+  std::vector<std::unique_ptr<Silo>> silos;
+  std::vector<std::unique_ptr<TcpSiloServer>> servers;
+  TcpNetwork tcp;
+  InProcessNetwork in_process;
+  for (int s = 0; s < 3; ++s) {
+    silos.push_back(Silo::Create(s, partitions[s], silo_options).ValueOrDie());
+    servers.push_back(TcpSiloServer::Start(silos.back().get()).ValueOrDie());
+    ASSERT_TRUE(tcp.AddSilo(s, servers.back()->port()).ok());
+    ASSERT_TRUE(in_process.RegisterSilo(s, silos.back().get()).ok());
+  }
+
+  auto tcp_provider = ServiceProvider::Create(&tcp).ValueOrDie();
+  auto local_provider = ServiceProvider::Create(&in_process).ValueOrDie();
+
+  Rng rng(20);
+  for (int q = 0; q < 10; ++q) {
+    const QueryRange range = testing::RandomRange(kDomain, 10.0, true, &rng);
+    const FraQuery query{range, AggregateKind::kCount};
+    // EXACT and per-silo estimators are deterministic: the transports
+    // must agree bit for bit.
+    EXPECT_DOUBLE_EQ(
+        tcp_provider->Execute(query, FraAlgorithm::kExact).ValueOrDie(),
+        local_provider->Execute(query, FraAlgorithm::kExact).ValueOrDie());
+    for (int silo = 0; silo < 3; ++silo) {
+      EXPECT_DOUBLE_EQ(
+          tcp_provider
+              ->ExecuteWithSilo(query, FraAlgorithm::kNonIidEst, silo)
+              .ValueOrDie(),
+          local_provider
+              ->ExecuteWithSilo(query, FraAlgorithm::kNonIidEst, silo)
+              .ValueOrDie());
+    }
+  }
+
+  // Batches work over sockets too (Alg. 4 with real round trips).
+  std::vector<FraQuery> queries;
+  for (int q = 0; q < 30; ++q) {
+    queries.push_back({testing::RandomRange(kDomain, 8.0, true, &rng),
+                       AggregateKind::kCount});
+  }
+  const auto batch =
+      tcp_provider->ExecuteBatch(queries, FraAlgorithm::kIidEstLsr);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->size(), queries.size());
+}
+
+TEST(TcpNetworkTest, DuplicateRegistrationRejected) {
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, 12345).ok());
+  EXPECT_EQ(network.AddSilo(1, 12346).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(network.num_silos(), 1UL);
+}
+
+}  // namespace
+}  // namespace fra

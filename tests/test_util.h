@@ -1,0 +1,71 @@
+#ifndef FRA_TESTS_TEST_UTIL_H_
+#define FRA_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "agg/spatial_object.h"
+#include "geo/range.h"
+#include "geo/rect.h"
+#include "util/random.h"
+
+namespace fra {
+namespace testing {
+
+/// Uniform random objects over `domain` with integer measures in [0, 4].
+inline ObjectSet RandomObjects(size_t n, const Rect& domain, uint64_t seed) {
+  Rng rng(seed);
+  ObjectSet objects;
+  objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SpatialObject o;
+    o.location = {rng.NextDouble(domain.min.x, domain.max.x),
+                  rng.NextDouble(domain.min.y, domain.max.y)};
+    o.measure = static_cast<double>(rng.NextInt64(0, 4));
+    objects.push_back(o);
+  }
+  return objects;
+}
+
+/// Clustered random objects: `clusters` Gaussian blobs plus 10% uniform.
+inline ObjectSet ClusteredObjects(size_t n, const Rect& domain, size_t clusters,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> centers(clusters);
+  for (Point& c : centers) {
+    c = {rng.NextDouble(domain.min.x, domain.max.x),
+         rng.NextDouble(domain.min.y, domain.max.y)};
+  }
+  const double sigma = domain.Width() / 30.0;
+  ObjectSet objects;
+  objects.reserve(n);
+  while (objects.size() < n) {
+    SpatialObject o;
+    if (rng.NextBernoulli(0.1) || clusters == 0) {
+      o.location = {rng.NextDouble(domain.min.x, domain.max.x),
+                    rng.NextDouble(domain.min.y, domain.max.y)};
+    } else {
+      const Point& c = centers[rng.NextUint64(clusters)];
+      o.location = {rng.NextGaussian(c.x, sigma), rng.NextGaussian(c.y, sigma)};
+      if (!domain.Contains(o.location)) continue;
+    }
+    o.measure = static_cast<double>(rng.NextInt64(0, 4));
+    objects.push_back(o);
+  }
+  return objects;
+}
+
+/// A random circle or square query inside `domain`.
+inline QueryRange RandomRange(const Rect& domain, double max_radius,
+                              bool circle, Rng* rng) {
+  const Point center{rng->NextDouble(domain.min.x, domain.max.x),
+                     rng->NextDouble(domain.min.y, domain.max.y)};
+  const double radius = rng->NextDouble(max_radius / 10.0, max_radius);
+  if (circle) return QueryRange::MakeCircle(center, radius);
+  return QueryRange::MakeRect({center.x - radius, center.y - radius},
+                              {center.x + radius, center.y + radius});
+}
+
+}  // namespace testing
+}  // namespace fra
+
+#endif  // FRA_TESTS_TEST_UTIL_H_
