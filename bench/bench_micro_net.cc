@@ -9,7 +9,9 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "net/tcp_network.h"
+#include "util/metrics.h"
 #include "util/random.h"
+#include "util/trace.h"
 
 namespace fra {
 namespace {
@@ -83,6 +85,20 @@ void BM_GridSerializeDeserialize(benchmark::State& state) {
 }
 BENCHMARK(BM_GridSerializeDeserialize)->Unit(benchmark::kMillisecond);
 
+// Transport round-trips report bytes from the registry's global
+// fra_comm_bytes_total counters (the CommStats shim mirrors every
+// exchange there), so the benchmark measures the same byte accounting
+// operators scrape.
+uint64_t RegistryCommBytes() {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  return registry
+             .GetCounter("fra_comm_bytes_total", {{"direction", "to_silos"}})
+             .Value() +
+         registry
+             .GetCounter("fra_comm_bytes_total", {{"direction", "to_provider"}})
+             .Value();
+}
+
 void BM_InProcessRoundTrip(benchmark::State& state) {
   static EchoEndpoint* endpoint = new EchoEndpoint();
   static InProcessNetwork* network = [] {
@@ -91,9 +107,12 @@ void BM_InProcessRoundTrip(benchmark::State& state) {
     return n;
   }();
   const std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)));
+  const uint64_t bytes_before = RegistryCommBytes();
   for (auto _ : state) {
     benchmark::DoNotOptimize(network->Call(1, payload));
   }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(RegistryCommBytes() - bytes_before));
 }
 BENCHMARK(BM_InProcessRoundTrip)->Arg(64)->Arg(4096);
 
@@ -107,12 +126,57 @@ void BM_TcpLoopbackRoundTrip(benchmark::State& state) {
     return n;
   }();
   const std::vector<uint8_t> payload(static_cast<size_t>(state.range(0)));
+  const uint64_t bytes_before = RegistryCommBytes();
   for (auto _ : state) {
     benchmark::DoNotOptimize(network->Call(1, payload));
   }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(RegistryCommBytes() - bytes_before));
 }
 BENCHMARK(BM_TcpLoopbackRoundTrip)->Arg(64)->Arg(4096)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  Counter& counter = MetricsRegistry::Default().GetCounter(
+      "bench_counter_total", {{"bench", "micro_net"}});
+  for (auto _ : state) {
+    counter.Increment();
+  }
+}
+BENCHMARK(BM_MetricsCounterIncrement)->ThreadRange(1, 4);
+
+void BM_MetricsHistogramObserve(benchmark::State& state) {
+  Histogram& histogram = MetricsRegistry::Default().GetHistogram(
+      "bench_histogram_microseconds", {{"bench", "micro_net"}});
+  double value = 0.5;
+  for (auto _ : state) {
+    histogram.Observe(value);
+    value = value < 1e6 ? value * 1.7 : 0.5;  // sweep the bucket ladder
+  }
+}
+BENCHMARK(BM_MetricsHistogramObserve)->ThreadRange(1, 4);
+
+// Cost of the mutex-guarded (name, labels) lookup hot paths avoid by
+// caching the reference GetCounter returns.
+void BM_MetricsRegistryLookup(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&MetricsRegistry::Default().GetCounter(
+        "bench_lookup_total", {{"silo", "1"}, {"algorithm", "IID-est"}}));
+  }
+}
+BENCHMARK(BM_MetricsRegistryLookup);
+
+// FRA_TRACE_SPAN overhead: Arg(0) = tracer disabled (histogram observe
+// only), Arg(1) = enabled (plus a SpanRecord into the ring buffer).
+void BM_TraceSpanOverhead(benchmark::State& state) {
+  Tracer::Get().SetEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    FRA_TRACE_SPAN("bench.span");
+  }
+  Tracer::Get().SetEnabled(false);
+  Tracer::Get().Clear();
+}
+BENCHMARK(BM_TraceSpanOverhead)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace fra

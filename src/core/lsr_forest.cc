@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace fra {
 
@@ -49,6 +50,7 @@ int LsrForest::SelectLevel(double epsilon, double delta, double sum0,
 AggregateSummary LsrForest::ApproximateRangeAggregate(
     const QueryRange& range, double epsilon, double delta, double sum0,
     int* level_used, RTree::QueryStats* stats) const {
+  FRA_TRACE_SPAN("lsr.approx_query");
   if (trees_.empty()) {
     if (level_used != nullptr) *level_used = 0;
     return AggregateSummary();

@@ -22,6 +22,43 @@ std::string FormatBytes(uint64_t bytes) {
   return buffer;
 }
 
+namespace {
+
+// "algorithm" label value of one histogram instance, or "(all)" when the
+// instance carries no algorithm label.
+std::string AlgorithmLabel(const MetricLabels& labels) {
+  for (const auto& [key, value] : labels) {
+    if (key == "algorithm") return value;
+  }
+  return "(all)";
+}
+
+}  // namespace
+
+void PrintQueryLatencyTable(const MetricsRegistry& registry) {
+  const auto instances =
+      registry.HistogramsNamed("fra_query_latency_microseconds");
+  if (instances.empty()) return;
+  std::printf("\n=== Query latency (fra_query_latency_microseconds) ===\n");
+  std::printf("%-16s %10s %12s %12s %12s %12s\n", "algorithm", "queries",
+              "mean(us)", "p50(us)", "p95(us)", "p99(us)");
+  std::printf("%s\n", std::string(78, '-').c_str());
+  for (const auto& [labels, histogram] : instances) {
+    std::printf("%-16s %10" PRIu64 " %12.1f %12.1f %12.1f %12.1f\n",
+                AlgorithmLabel(labels).c_str(), histogram->Count(),
+                histogram->Mean(), histogram->Quantile(0.5),
+                histogram->Quantile(0.95), histogram->Quantile(0.99));
+  }
+  std::fflush(stdout);
+}
+
+void PrintMetricsExports(const MetricsRegistry& registry) {
+  std::printf("\n=== Prometheus text exposition ===\n%s",
+              registry.ExportPrometheus().c_str());
+  std::printf("\n=== JSON export ===\n%s\n", registry.ExportJson().c_str());
+  std::fflush(stdout);
+}
+
 ExperimentTable::ExperimentTable(std::string title, std::string param_name)
     : title_(std::move(title)), param_name_(std::move(param_name)) {}
 

@@ -5,11 +5,25 @@
 #include <vector>
 
 #include "eval/experiment.h"
+#include "util/metrics.h"
 
 namespace fra {
 
 /// Formats bytes as a human-readable string ("1.4 MB").
 std::string FormatBytes(uint64_t bytes);
+
+/// Prints one row per instance of the registry's
+/// `fra_query_latency_microseconds{algorithm=...}` histogram family:
+/// query count, mean, p50/p95/p99 in microseconds. The registry replaces
+/// the hand-rolled Timer/Quantile aggregation the bench binaries used to
+/// carry, so the reported tail latencies and the exported metrics cannot
+/// drift apart. No-op (header only) when nothing has been recorded.
+void PrintQueryLatencyTable(const MetricsRegistry& registry);
+
+/// Writes both exporter formats to stdout, separated by banner lines —
+/// what `examples/metrics_dump` and operators piping to a scrape file
+/// consume. Formats are specified in docs/observability.md.
+void PrintMetricsExports(const MetricsRegistry& registry);
 
 /// Prints one experiment table in the paper's layout: a header naming the
 /// swept parameter, then one row per (parameter value, algorithm) with

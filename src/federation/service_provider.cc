@@ -5,10 +5,26 @@
 
 #include "net/message.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace fra {
 namespace {
+
+// Every query that enters through Execute / ExecuteBatch lands here once:
+// outcome counter plus the per-algorithm latency histogram the throughput
+// bench and metrics_dump read back (see docs/observability.md).
+void RecordQueryMetrics(FraAlgorithm algorithm, bool ok, double seconds) {
+  const std::string name = FraAlgorithmToString(algorithm);
+  MetricsRegistry::Default()
+      .GetCounter("fra_queries_total",
+                  {{"algorithm", name}, {"result", ok ? "ok" : "error"}})
+      .Increment();
+  MetricsRegistry::Default()
+      .GetHistogram("fra_query_latency_microseconds", {{"algorithm", name}})
+      .Observe(seconds * 1e6);
+}
 
 // Component-wise ratio estimate ans' = numer * (res / denom) (Alg. 2
 // line 8), applied independently to each linear aggregate component. A
@@ -71,6 +87,14 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
                              ? options.batch_threads
                              : provider->silo_ids_.size();
   provider->batch_pool_ = std::make_unique<ThreadPool>(threads);
+
+  // Deployment-shape gauges for the most recently created provider.
+  MetricsRegistry::Default()
+      .GetGauge("fra_federation_silos")
+      .Set(static_cast<double>(provider->silo_ids_.size()));
+  MetricsRegistry::Default()
+      .GetGauge("fra_provider_grid_memory_bytes")
+      .Set(static_cast<double>(provider->GridMemoryUsage()));
   return provider;
 }
 
@@ -87,10 +111,21 @@ uint64_t ServiceProvider::NextDraw() {
 
 Result<double> ServiceProvider::Execute(const FraQuery& query,
                                         FraAlgorithm algorithm) {
-  if (!IsSingleSilo(algorithm)) {
-    return ExecuteWithSilo(query, algorithm, -1);
-  }
-  return ExecuteSampled(query, algorithm, NextDraw());
+  // A fresh trace id per query once the Tracer is enabled; otherwise keep
+  // whatever context the caller installed (0 by default, so the wire
+  // format stays envelope-free).
+  ScopedTraceId trace_scope(Tracer::Get().enabled() ? NewTraceId()
+                                                    : CurrentTraceId());
+  Timer timer;
+  Result<double> result = [&]() -> Result<double> {
+    FRA_TRACE_SPAN("provider.execute");
+    if (!IsSingleSilo(algorithm)) {
+      return ExecuteWithSilo(query, algorithm, -1);
+    }
+    return ExecuteSampled(query, algorithm, NextDraw());
+  }();
+  RecordQueryMetrics(algorithm, result.ok(), timer.ElapsedSeconds());
+  return result;
 }
 
 Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
@@ -101,22 +136,25 @@ Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
   // cells touching the range (known provider-side from Alg. 1, no comm).
   std::vector<int> candidates;
   candidates.reserve(silo_ids_.size());
-  if (options_.sample_relevant_silos_only) {
-    for (int silo_id : silo_ids_) {
-      const auto& grid = silo_grids_.at(silo_id);
-      if (grid.IntersectingCellsAggregate(query.range).count > 0) {
-        candidates.push_back(silo_id);
+  {
+    FRA_TRACE_SPAN("provider.dispatch");
+    if (options_.sample_relevant_silos_only) {
+      for (int silo_id : silo_ids_) {
+        const auto& grid = silo_grids_.at(silo_id);
+        if (grid.IntersectingCellsAggregate(query.range).count > 0) {
+          candidates.push_back(silo_id);
+        }
       }
+    } else {
+      candidates = silo_ids_;
     }
-    if (candidates.empty()) {
-      // No silo has any object near the range: the exact answer is empty.
-      AggregateSummary empty;
-      double value = 0.0;
-      FRA_RETURN_NOT_OK(empty.Finalize(query.kind, &value));
-      return value;
-    }
-  } else {
-    candidates = silo_ids_;
+  }
+  if (options_.sample_relevant_silos_only && candidates.empty()) {
+    // No silo has any object near the range: the exact answer is empty.
+    AggregateSummary empty;
+    double value = 0.0;
+    FRA_RETURN_NOT_OK(empty.Finalize(query.kind, &value));
+    return value;
   }
 
   if (!IsEstimable(query.kind)) {
@@ -201,6 +239,7 @@ Result<AggregateSummary> ServiceProvider::RunAlgorithm(const QueryRange& range,
 
 Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
                                                     bool histogram) {
+  FRA_TRACE_SPAN("provider.fan_out");
   AggregateRequest request;
   request.range = range;
   request.mode = histogram ? LocalQueryMode::kHistogram : LocalQueryMode::kExact;
@@ -220,6 +259,7 @@ Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
 Result<AggregateSummary> ServiceProvider::RunIidEst(const QueryRange& range,
                                                     int silo_id,
                                                     bool use_lsr) {
+  FRA_TRACE_SPAN("provider.iid_est");
   const auto grid_it = silo_grids_.find(silo_id);
   if (grid_it == silo_grids_.end()) {
     return Status::InvalidArgument("unknown sampled silo id " +
@@ -246,12 +286,14 @@ Result<AggregateSummary> ServiceProvider::RunIidEst(const QueryRange& range,
   FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
                        network_->Call(silo_id, request.Encode()));
   FRA_ASSIGN_OR_RETURN(AggregateSummary res_k, DecodeSummaryResponse(response));
+  FRA_TRACE_SPAN("provider.rescale");
   return RatioEstimate(res_k, sum0, sumk);
 }
 
 Result<AggregateSummary> ServiceProvider::RunNonIidEst(const QueryRange& range,
                                                        int silo_id,
                                                        bool use_lsr) {
+  FRA_TRACE_SPAN("provider.non_iid_est");
   const auto grid_it = silo_grids_.find(silo_id);
   if (grid_it == silo_grids_.end()) {
     return Status::InvalidArgument("unknown sampled silo id " +
@@ -300,6 +342,7 @@ Result<AggregateSummary> ServiceProvider::RunNonIidEst(const QueryRange& range,
     return Status::Internal("silo cell vector size mismatch");
   }
 
+  FRA_TRACE_SPAN("provider.rescale");
   AggregateSummary estimate = interior;
   for (size_t i = 0; i < contributions.size(); ++i) {
     const CellContribution& res_i = contributions[i];
@@ -364,13 +407,18 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
                                            &statuses, &draws, algorithm,
                                            single_silo, latencies_seconds,
                                            i] {
+      ScopedTraceId trace_scope(Tracer::Get().enabled() ? NewTraceId() : 0);
       Timer timer;
-      Result<double> result =
-          single_silo ? ExecuteSampled(queries[i], algorithm, draws[i])
-                      : ExecuteWithSilo(queries[i], algorithm, -1);
+      Result<double> result = [&]() -> Result<double> {
+        FRA_TRACE_SPAN("provider.execute");
+        return single_silo ? ExecuteSampled(queries[i], algorithm, draws[i])
+                           : ExecuteWithSilo(queries[i], algorithm, -1);
+      }();
+      const double seconds = timer.ElapsedSeconds();
       if (latencies_seconds != nullptr) {
-        (*latencies_seconds)[i] = timer.ElapsedSeconds();
+        (*latencies_seconds)[i] = seconds;
       }
+      RecordQueryMetrics(algorithm, result.ok(), seconds);
       if (result.ok()) {
         results[i] = *result;
       } else {

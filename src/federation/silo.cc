@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/serialize.h"
+#include "util/trace.h"
 
 namespace fra {
 
@@ -333,6 +334,7 @@ Silo::IndexMemory Silo::MemoryUsage() const {
 
 Result<std::vector<uint8_t>> Silo::HandleMessage(
     const std::vector<uint8_t>& request) {
+  FRA_TRACE_SPAN("silo.handle_message");
   FRA_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(request));
   BinaryReader reader(request);
 
@@ -356,6 +358,7 @@ Result<std::vector<uint8_t>> Silo::HandleMessage(
 
   switch (type) {
     case MessageType::kBuildGridRequest: {
+      FRA_TRACE_SPAN("silo.build_grid");
       BinaryWriter grid_writer;
       if (dp_->enabled()) {
         GridIndex noisy = grid_;
@@ -374,13 +377,18 @@ Result<std::vector<uint8_t>> Silo::HandleMessage(
       if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
       const AggregateRequest& req = *decoded;
       switch (req.mode) {
-        case LocalQueryMode::kExact:
+        case LocalQueryMode::kExact: {
+          FRA_TRACE_SPAN("silo.local.exact");
           return EncodeSummaryResponse(
               dp_->Perturb(ExactRangeAggregate(req.range)));
-        case LocalQueryMode::kLsr:
+        }
+        case LocalQueryMode::kLsr: {
+          FRA_TRACE_SPAN("silo.local.lsr");
           return EncodeSummaryResponse(dp_->Perturb(LsrRangeAggregate(
               req.range, req.epsilon, req.delta, req.sum0)));
+        }
         case LocalQueryMode::kHistogram: {
+          FRA_TRACE_SPAN("silo.local.histogram");
           auto estimate = HistogramEstimate(req.range);
           if (!estimate.ok()) return EncodeErrorResponse(estimate.status());
           return EncodeSummaryResponse(dp_->Perturb(*estimate));
@@ -390,6 +398,7 @@ Result<std::vector<uint8_t>> Silo::HandleMessage(
           Status::InvalidArgument("unknown local query mode"));
     }
     case MessageType::kGridDeltaRequest: {
+      FRA_TRACE_SPAN("silo.grid_delta");
       std::vector<CellContribution> changed;
       for (size_t cell_id : grid_.ChangedCells()) {
         CellContribution contribution;
@@ -401,6 +410,7 @@ Result<std::vector<uint8_t>> Silo::HandleMessage(
       return EncodeGridDeltaResponse(perturb_cells(std::move(changed)));
     }
     case MessageType::kCellVectorRequest: {
+      FRA_TRACE_SPAN("silo.cell_vector");
       auto decoded = CellVectorRequest::Decode(&reader);
       if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
       const CellVectorRequest& req = *decoded;

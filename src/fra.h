@@ -37,10 +37,12 @@
 #include "net/tcp_network.h"
 #include "util/random.h"
 #include "util/result.h"
+#include "util/metrics.h"
 #include "util/serialize.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 #endif  // FRA_FRA_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/trace.h"
 
 namespace fra {
 
@@ -231,6 +232,7 @@ std::vector<size_t> GridIndex::ChangedCells() const {
 
 AggregateSummary GridIndex::IntersectingCellsAggregate(
     const QueryRange& range) const {
+  FRA_TRACE_SPAN("grid.intersecting_aggregate");
   AggregateSummary acc;
   const Rect bbox = range.BoundingBox();
   if (!bbox.Intersects(spec_.domain)) return acc;

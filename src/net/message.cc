@@ -1,6 +1,7 @@
 #include "net/message.h"
 
 #include <cmath>
+#include <cstddef>
 
 namespace fra {
 namespace {
@@ -54,6 +55,33 @@ Status ConsumeResponseHeader(BinaryReader* reader, MessageType expected) {
 }
 
 }  // namespace
+
+std::vector<uint8_t> WrapWithTraceId(uint64_t trace_id,
+                                     const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> wrapped;
+  wrapped.reserve(kTraceEnvelopeBytes + payload.size());
+  wrapped.push_back(kTraceEnvelopeTag);
+  for (int shift = 0; shift < 64; shift += 8) {
+    wrapped.push_back(static_cast<uint8_t>(trace_id >> shift));
+  }
+  wrapped.insert(wrapped.end(), payload.begin(), payload.end());
+  return wrapped;
+}
+
+uint64_t StripTraceEnvelope(std::vector<uint8_t>* payload) {
+  if (payload->size() < kTraceEnvelopeBytes ||
+      (*payload)[0] != kTraceEnvelopeTag) {
+    return 0;
+  }
+  uint64_t trace_id = 0;
+  for (int i = 0; i < 8; ++i) {
+    trace_id |= static_cast<uint64_t>((*payload)[1 + i]) << (8 * i);
+  }
+  payload->erase(payload->begin(),
+                 payload->begin() + static_cast<std::ptrdiff_t>(
+                                        kTraceEnvelopeBytes));
+  return trace_id;
+}
 
 void SerializeRange(const QueryRange& range, BinaryWriter* writer) {
   if (range.is_circle()) {

@@ -38,6 +38,27 @@ enum class LocalQueryMode : uint8_t {
   kHistogram = 2,  // equi-depth histogram (OPTA baseline)
 };
 
+/// Trace envelope: when the provider executes a query under an active
+/// trace (see util/trace.h), every request it sends is prefixed with
+/// `u8 0xFA ‖ u64 trace_id` so the silo side records its spans under the
+/// same trace id. 0xFA is reserved — it is not a MessageType — and the
+/// envelope is optional: transports strip it before handing the payload
+/// to the silo, and a payload that does not start with 0xFA simply has no
+/// trace context (trace id 0). Responses are never wrapped; the provider
+/// correlates them by the request/response pairing of the exchange.
+constexpr uint8_t kTraceEnvelopeTag = 0xFA;
+constexpr size_t kTraceEnvelopeBytes = 1 + sizeof(uint64_t);
+
+/// Prefixes `payload` with the trace envelope.
+std::vector<uint8_t> WrapWithTraceId(uint64_t trace_id,
+                                     const std::vector<uint8_t>& payload);
+
+/// If `payload` starts with a complete trace envelope, removes it and
+/// returns the carried trace id; otherwise leaves the payload untouched
+/// and returns 0. Never fails: a truncated envelope (< 9 bytes) is left
+/// in place for the message decoder to reject.
+uint64_t StripTraceEnvelope(std::vector<uint8_t>* payload);
+
 /// Serialises a query range (1 tag byte + coordinates).
 void SerializeRange(const QueryRange& range, BinaryWriter* writer);
 Status DeserializeRange(BinaryReader* reader, QueryRange* out);

@@ -1,7 +1,11 @@
 #include "net/network.h"
 
 #include <chrono>
+#include <string>
 #include <thread>
+
+#include "net/message.h"
+#include "util/trace.h"
 
 namespace fra {
 
@@ -21,6 +25,7 @@ Status InProcessNetwork::RegisterSilo(int silo_id, SiloEndpoint* endpoint) {
 
 Result<std::vector<uint8_t>> InProcessNetwork::Call(
     int silo_id, const std::vector<uint8_t>& request) {
+  FRA_TRACE_SPAN("net.inprocess.call");
   SiloEndpoint* endpoint = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -32,9 +37,20 @@ Result<std::vector<uint8_t>> InProcessNetwork::Call(
     endpoint = it->second;
   }
 
+  // The silo handler runs on the caller's thread, so the active trace id
+  // reaches it through the thread-local context without an envelope; only
+  // the byte accounting charges the envelope size TCP would ship, keeping
+  // the two transports' measured communication cost identical.
+  const size_t request_bytes =
+      request.size() + (CurrentTraceId() != 0 ? kTraceEnvelopeBytes : 0);
   FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
                        endpoint->HandleMessage(request));
-  stats_.RecordExchange(request.size(), response.size());
+  stats_.RecordExchange(request_bytes, response.size());
+  MetricsRegistry::Default()
+      .GetCounter("fra_silo_requests_total",
+                  {{"silo", std::to_string(silo_id)},
+                   {"transport", "inprocess"}})
+      .Increment();
 
   if (latency_.fixed_micros > 0.0 || latency_.per_kb_micros > 0.0) {
     const double kb =

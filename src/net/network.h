@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -17,6 +18,13 @@ namespace fra {
 /// thread safe; the evaluation layer snapshots before/after a query batch
 /// and reports deltas — this is the paper's "communication cost" metric,
 /// measured in real encoded bytes and message count.
+///
+/// CommStats predates the MetricsRegistry and is kept as a per-network
+/// shim over it: every exchange is mirrored into the registry's global
+/// `fra_comm_messages_total` / `fra_comm_bytes_total{direction=...}`
+/// counters (cumulative across all networks in the process, never
+/// affected by Reset()), while the per-instance atomics keep supporting
+/// the snapshot/delta reads the evaluation layer depends on.
 class CommStats {
  public:
   struct Snapshot {
@@ -33,10 +41,21 @@ class CommStats {
     }
   };
 
+  CommStats()
+      : messages_total_(&MetricsRegistry::Default().GetCounter(
+            "fra_comm_messages_total")),
+        bytes_to_silos_total_(&MetricsRegistry::Default().GetCounter(
+            "fra_comm_bytes_total", {{"direction", "to_silos"}})),
+        bytes_to_provider_total_(&MetricsRegistry::Default().GetCounter(
+            "fra_comm_bytes_total", {{"direction", "to_provider"}})) {}
+
   void RecordExchange(size_t request_bytes, size_t response_bytes) {
     messages_.fetch_add(1, std::memory_order_relaxed);
     bytes_to_silos_.fetch_add(request_bytes, std::memory_order_relaxed);
     bytes_to_provider_.fetch_add(response_bytes, std::memory_order_relaxed);
+    messages_total_->Increment();
+    bytes_to_silos_total_->Increment(request_bytes);
+    bytes_to_provider_total_->Increment(response_bytes);
   }
 
   Snapshot Read() const {
@@ -55,6 +74,10 @@ class CommStats {
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> bytes_to_silos_{0};
   std::atomic<uint64_t> bytes_to_provider_{0};
+  // Registry mirrors (shared across every CommStats in the process).
+  Counter* messages_total_;
+  Counter* bytes_to_silos_total_;
+  Counter* bytes_to_provider_total_;
 };
 
 /// Implemented by data silos: consumes one serialised request, produces

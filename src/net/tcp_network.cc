@@ -9,8 +9,12 @@
 #include <cerrno>
 #include <cstring>
 
+#include <string>
+
 #include "net/message.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace fra {
 namespace {
@@ -174,8 +178,14 @@ void TcpSiloServer::ServeConnection(int connection_fd) {
   while (!stopping_.load()) {
     Result<std::vector<uint8_t>> request = ReadFrame(fd);
     if (!request.ok()) break;  // closed or broken: drop the connection
+    // A request may arrive inside a trace envelope; the carried trace id
+    // becomes this thread's context so silo-side spans correlate with the
+    // provider-side ones (0 when the envelope is absent).
+    std::vector<uint8_t> payload = std::move(request).ValueOrDie();
+    const uint64_t trace_id = StripTraceEnvelope(&payload);
+    ScopedTraceId trace_scope(trace_id);
     Result<std::vector<uint8_t>> response =
-        endpoint_->HandleMessage(*request);
+        endpoint_->HandleMessage(payload);
     const std::vector<uint8_t> frame =
         response.ok() ? std::move(response).ValueOrDie()
                       : EncodeErrorResponse(response.status());
@@ -217,6 +227,14 @@ Status TcpNetwork::AddSilo(int silo_id, uint16_t port) {
 
 Result<std::vector<uint8_t>> TcpNetwork::Call(
     int silo_id, const std::vector<uint8_t>& request) {
+  FRA_TRACE_SPAN("net.tcp.call");
+  // Under an active trace, ship the trace id ahead of the payload so the
+  // silo process records its spans under the same id.
+  const uint64_t trace_id = CurrentTraceId();
+  const std::vector<uint8_t> wrapped =
+      trace_id != 0 ? WrapWithTraceId(trace_id, request)
+                    : std::vector<uint8_t>();
+  const std::vector<uint8_t>& wire = trace_id != 0 ? wrapped : request;
   Connection* connection = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -254,7 +272,7 @@ Result<std::vector<uint8_t>> TcpNetwork::Call(
       connection->fd = fd;
     }
 
-    const Status written = WriteFrame(connection->fd, request);
+    const Status written = WriteFrame(connection->fd, wire);
     if (!written.ok()) {
       CloseFd(&connection->fd);
       continue;  // reconnect and retry
@@ -264,7 +282,12 @@ Result<std::vector<uint8_t>> TcpNetwork::Call(
       CloseFd(&connection->fd);
       continue;
     }
-    stats_.RecordExchange(request.size(), response->size());
+    stats_.RecordExchange(wire.size(), response->size());
+    MetricsRegistry::Default()
+        .GetCounter("fra_silo_requests_total",
+                    {{"silo", std::to_string(silo_id)},
+                     {"transport", "tcp"}})
+        .Increment();
     return response;
   }
   return Status::Unavailable("silo " + std::to_string(silo_id) +

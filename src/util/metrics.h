@@ -1,0 +1,161 @@
+#ifndef FRA_UTIL_METRICS_H_
+#define FRA_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fra {
+
+/// Label set attached to a metric instance, e.g.
+/// {{"algorithm", "IID-est"}, {"silo", "3"}}. Stored sorted by key so two
+/// permutations of the same labels address the same instance.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter. Updates are lock-free.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (silo count, index memory, ...). Lock-free.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram. Observations land in the first bucket
+/// whose upper bound is >= the value (cumulative counts, Prometheus
+/// semantics); an implicit +Inf bucket catches the rest. Updates are
+/// lock-free; quantiles are estimated by linear interpolation inside the
+/// covering bucket, so their resolution is one bucket width (see
+/// docs/observability.md for the error bound).
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing upper bounds (excluding +Inf).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  double Mean() const {
+    const uint64_t n = Count();
+    return n > 0 ? Sum() / static_cast<double>(n) : 0.0;
+  }
+
+  /// Estimated q-quantile (q in [0, 1]); 0 when empty. Values in the +Inf
+  /// bucket clamp to the largest finite bound.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds().size() is +Inf.
+  std::vector<uint64_t> BucketCounts() const;
+
+  void Reset();
+
+  /// Upper bounds used by every latency histogram in the library:
+  /// 1us .. 1s in a 1-2.5-5 ladder (20 finite buckets).
+  static const std::vector<double>& DefaultLatencyBucketsMicros();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Thread-safe registry of named, labeled metrics with Prometheus-text
+/// and JSON exporters.
+///
+/// Get* registers the (name, labels) instance on first use and returns a
+/// reference that stays valid for the registry's lifetime, so hot paths
+/// can resolve a metric once and update it lock-free afterwards. A name
+/// maps to exactly one metric type; mixing types on one name is a
+/// programming error (FRA_CHECK).
+///
+/// The library records into Default(); isolated registries are for tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrument writes to.
+  static MetricsRegistry& Default();
+
+  Counter& GetCounter(const std::string& name,
+                      const MetricLabels& labels = {});
+  Gauge& GetGauge(const std::string& name, const MetricLabels& labels = {});
+  /// `bounds` applies on first registration of `name` only; later calls
+  /// reuse the family's buckets.
+  Histogram& GetHistogram(const std::string& name,
+                          const MetricLabels& labels = {},
+                          const std::vector<double>& bounds =
+                              Histogram::DefaultLatencyBucketsMicros());
+
+  /// All instances of one histogram family (empty if none), labels sorted.
+  std::vector<std::pair<MetricLabels, const Histogram*>> HistogramsNamed(
+      const std::string& name) const;
+  std::vector<std::pair<MetricLabels, const Counter*>> CountersNamed(
+      const std::string& name) const;
+
+  /// Prometheus text exposition format (families sorted by name,
+  /// instances by label value).
+  std::string ExportPrometheus() const;
+  /// The same data as one JSON object with "counters" / "gauges" /
+  /// "histograms" arrays; histograms carry p50/p95/p99.
+  std::string ExportJson() const;
+
+  /// Zeroes every registered metric; registrations (and the references
+  /// handed out) stay valid.
+  void Reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instance {
+    MetricLabels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    Kind kind = Kind::kCounter;
+    std::vector<double> bounds;  // histograms only
+    // Keyed by the canonical label encoding, kept sorted for the export.
+    std::map<std::string, Instance> instances;
+  };
+
+  Instance& GetInstance(const std::string& name, const MetricLabels& labels,
+                        Kind kind, const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_UTIL_METRICS_H_

@@ -1,0 +1,104 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fra {
+namespace {
+
+thread_local uint64_t t_current_trace_id = 0;
+std::atomic<uint64_t> g_next_trace_id{1};
+
+uint64_t NowNanos(std::chrono::steady_clock::time_point tp) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+uint64_t CurrentTraceId() { return t_current_trace_id; }
+
+uint64_t NewTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceId::ScopedTraceId(uint64_t trace_id)
+    : previous_(t_current_trace_id) {
+  t_current_trace_id = trace_id;
+}
+
+ScopedTraceId::~ScopedTraceId() { t_current_trace_id = previous_; }
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  while (spans_.size() > capacity_) spans_.pop_front();
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) spans_.pop_front();
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::SpansForTrace(uint64_t trace_id) const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const SpanRecord& span : spans_) {
+      if (span.trace_id == trace_id) out.push_back(span);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_nanos < b.start_nanos;
+            });
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::AllSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SpanRecord>(spans_.begin(), spans_.end());
+}
+
+std::vector<uint64_t> Tracer::TraceIds() const {
+  std::vector<uint64_t> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SpanRecord& span : spans_) {
+    if (std::find(out.begin(), out.end(), span.trace_id) == out.end()) {
+      out.push_back(span.trace_id);
+    }
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+TraceSpan::~TraceSpan() {
+  const auto end = std::chrono::steady_clock::now();
+  const uint64_t duration_nanos = NowNanos(end) - NowNanos(start_);
+  MetricsRegistry::Default()
+      .GetHistogram("fra_span_duration_microseconds", {{"span", name_}})
+      .Observe(static_cast<double>(duration_nanos) / 1e3);
+  Tracer& tracer = Tracer::Get();
+  if (tracer.enabled()) {
+    SpanRecord record;
+    record.trace_id = CurrentTraceId();
+    record.name = name_;
+    record.start_nanos = NowNanos(start_);
+    record.duration_nanos = duration_nanos;
+    tracer.Record(std::move(record));
+  }
+}
+
+}  // namespace fra

@@ -1,0 +1,116 @@
+#ifndef FRA_UTIL_TRACE_H_
+#define FRA_UTIL_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace fra {
+
+/// Query-path tracing: every stage of a query wraps itself in a
+/// FRA_TRACE_SPAN. Each span always feeds the
+/// `fra_span_duration_microseconds{span=...}` histogram of the default
+/// registry; when the process-wide Tracer is additionally enabled at
+/// runtime, the span is also appended to a bounded in-memory ring buffer
+/// tagged with the current trace id, so one query's full path (provider
+/// dispatch -> network -> silo-local index work -> rescale) can be read
+/// back as an ordered list of timed spans. Trace ids cross the wire in a
+/// message envelope (see net/message.h and docs/wire_protocol.md), so a
+/// TCP federation records correlated spans on both sides.
+///
+/// Building with -DFRA_ENABLE_TRACING=OFF compiles every FRA_TRACE_SPAN
+/// to nothing; the metrics registry itself is not gated.
+
+/// The trace id active on this thread; 0 = no active trace.
+uint64_t CurrentTraceId();
+
+/// Draws a fresh non-zero trace id (process-unique).
+uint64_t NewTraceId();
+
+/// RAII: installs `trace_id` as this thread's current trace id, restoring
+/// the previous one on destruction. Installing 0 clears the context.
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t trace_id);
+  ~ScopedTraceId();
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t previous_;
+};
+
+/// One completed span in the ring buffer.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  std::string name;
+  uint64_t start_nanos = 0;  // steady-clock, comparable within a process
+  uint64_t duration_nanos = 0;
+};
+
+/// Process-wide span ring buffer. Disabled by default: recording costs
+/// nothing until SetEnabled(true) (spans still update histograms).
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Ring capacity (oldest spans are dropped first). Default 8192.
+  void SetCapacity(size_t capacity);
+
+  void Record(SpanRecord record);
+
+  /// Spans recorded under `trace_id`, in start order.
+  std::vector<SpanRecord> SpansForTrace(uint64_t trace_id) const;
+  std::vector<SpanRecord> AllSpans() const;
+  /// Trace ids currently present in the buffer, oldest first.
+  std::vector<uint64_t> TraceIds() const;
+  void Clear();
+
+ private:
+  Tracer() = default;
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  size_t capacity_ = 8192;
+  std::deque<SpanRecord> spans_;
+};
+
+/// RAII stopwatch behind FRA_TRACE_SPAN. `name` must outlive the span
+/// (every call site passes a string literal).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace fra
+
+#if defined(FRA_ENABLE_TRACING) && FRA_ENABLE_TRACING
+#define FRA_TRACE_CONCAT_INNER(a, b) a##b
+#define FRA_TRACE_CONCAT(a, b) FRA_TRACE_CONCAT_INNER(a, b)
+/// Times the enclosing scope as one span named `name` (a string literal).
+#define FRA_TRACE_SPAN(name) \
+  ::fra::TraceSpan FRA_TRACE_CONCAT(fra_trace_span_, __LINE__)(name)
+#else
+#define FRA_TRACE_SPAN(name) \
+  do {                       \
+  } while (false)
+#endif
+
+#endif  // FRA_UTIL_TRACE_H_

@@ -1,0 +1,299 @@
+// Metrics registry and trace spans: lock-free update correctness under
+// contention, histogram quantiles against the exact order-statistic
+// Quantile from util/stats.h, exporter formats, and the tracer's ring
+// buffer / trace-id propagation semantics.
+
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/message.h"
+#include "util/stats.h"
+#include "util/trace.h"
+
+namespace fra {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(GaugeTest, ConcurrentAddsAllLand) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kAdds; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_DOUBLE_EQ(gauge.Value(), kThreads * kAdds);
+  gauge.Set(-3.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -3.5);
+}
+
+TEST(HistogramTest, CountSumMeanAndBuckets) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  for (double v : {0.5, 5.0, 5.0, 50.0, 500.0}) histogram.Observe(v);
+  EXPECT_EQ(histogram.Count(), 5UL);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 560.5);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 560.5 / 5.0);
+  const std::vector<uint64_t> counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4UL);  // 3 finite bounds + the +Inf bucket
+  EXPECT_EQ(counts[0], 1UL);
+  EXPECT_EQ(counts[1], 2UL);
+  EXPECT_EQ(counts[2], 1UL);
+  EXPECT_EQ(counts[3], 1UL);
+}
+
+TEST(HistogramTest, ConcurrentObservesAllLand) {
+  Histogram histogram({1.0, 2.0, 4.0});
+  constexpr int kThreads = 8;
+  constexpr int kObserves = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kObserves; ++i) {
+        histogram.Observe(static_cast<double>(t % 4));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(), static_cast<uint64_t>(kThreads) * kObserves);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : histogram.BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, histogram.Count());
+}
+
+TEST(HistogramTest, QuantileTracksExactOrderStatistics) {
+  // The estimator interpolates inside the covering bucket, so it can be
+  // off by at most one bucket width from the exact order statistic.
+  Histogram histogram(Histogram::DefaultLatencyBucketsMicros());
+  std::vector<double> samples;
+  double v = 1.3;
+  for (int i = 0; i < 2000; ++i) {
+    histogram.Observe(v);
+    samples.push_back(v);
+    v = v < 8e5 ? v * 1.01 : 1.3;  // log-uniform-ish sweep of the ladder
+  }
+  const std::vector<double>& bounds = Histogram::DefaultLatencyBucketsMicros();
+  const auto bucket_of = [&bounds](double x) {
+    return std::lower_bound(bounds.begin(), bounds.end(), x) - bounds.begin();
+  };
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double exact = Quantile(samples, q);
+    const double estimate = histogram.Quantile(q);
+    // Documented resolution: the estimate lands in the exact order
+    // statistic's bucket (or an adjacent one when the rank conventions
+    // straddle a bound).
+    EXPECT_LE(std::abs(bucket_of(estimate) - bucket_of(exact)), 1)
+        << "q=" << q << " exact=" << exact << " estimate=" << estimate;
+  }
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram histogram({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);  // empty
+  histogram.Observe(100.0);                        // lands in +Inf
+  // +Inf bucket clamps to the largest finite bound.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 2.0);
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0UL);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SameNameAndLabelsShareOneInstance) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x_total", {{"k", "v"}, {"a", "b"}});
+  // Label order must not matter: permutations address the same instance.
+  Counter& b = registry.GetCounter("x_total", {{"a", "b"}, {"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = registry.GetCounter("x_total", {{"a", "b"}, {"k", "w"}});
+  EXPECT_NE(&a, &other);
+}
+
+TEST(MetricsRegistryTest, HistogramBoundsFixedByFirstRegistration) {
+  MetricsRegistry registry;
+  Histogram& h1 = registry.GetHistogram("h_us", {{"i", "1"}}, {1.0, 2.0});
+  Histogram& h2 =
+      registry.GetHistogram("h_us", {{"i", "2"}}, {5.0, 6.0, 7.0});
+  EXPECT_EQ(h1.bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(registry.HistogramsNamed("h_us").size(), 2UL);
+  EXPECT_TRUE(registry.HistogramsNamed("absent").empty());
+}
+
+TEST(MetricsRegistryTest, PrometheusExportGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("fra_queries_total", {{"algorithm", "EXACT"}})
+      .Increment(3);
+  registry.GetGauge("fra_federation_silos").Set(6);
+  Histogram& h =
+      registry.GetHistogram("lat_us", {{"algorithm", "EXACT"}}, {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(20.0);
+  const std::string expected =
+      "# TYPE fra_federation_silos gauge\n"
+      "fra_federation_silos 6\n"
+      "# TYPE fra_queries_total counter\n"
+      "fra_queries_total{algorithm=\"EXACT\"} 3\n"
+      "# TYPE lat_us histogram\n"
+      "lat_us_bucket{algorithm=\"EXACT\",le=\"1\"} 1\n"
+      "lat_us_bucket{algorithm=\"EXACT\",le=\"10\"} 2\n"
+      "lat_us_bucket{algorithm=\"EXACT\",le=\"+Inf\"} 3\n"
+      "lat_us_sum{algorithm=\"EXACT\"} 25.5\n"
+      "lat_us_count{algorithm=\"EXACT\"} 3\n";
+  EXPECT_EQ(registry.ExportPrometheus(), expected);
+}
+
+TEST(MetricsRegistryTest, JsonExportGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", {{"silo", "1"}}).Increment(2);
+  Histogram& h = registry.GetHistogram("h_us", {}, {1.0});
+  h.Observe(0.5);
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"counters\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"c_total\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"silo\":\"1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"histograms\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("esc_total", {{"k", "a\"b\\c\nd"}}).Increment();
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("esc_total{k=\"a\\\"b\\\\c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsReferences) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("r_total");
+  Histogram& histogram = registry.GetHistogram("r_us", {}, {1.0});
+  counter.Increment(7);
+  histogram.Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0UL);
+  EXPECT_EQ(histogram.Count(), 0UL);
+  // The references stay wired to the registry after Reset.
+  counter.Increment();
+  EXPECT_EQ(registry.GetCounter("r_total").Value(), 1UL);
+}
+
+TEST(TraceTest, ScopedTraceIdNestsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0UL);
+  {
+    ScopedTraceId outer(11);
+    EXPECT_EQ(CurrentTraceId(), 11UL);
+    {
+      ScopedTraceId inner(22);
+      EXPECT_EQ(CurrentTraceId(), 22UL);
+    }
+    EXPECT_EQ(CurrentTraceId(), 11UL);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0UL);
+}
+
+TEST(TraceTest, NewTraceIdsAreDistinct) {
+  const uint64_t a = NewTraceId();
+  const uint64_t b = NewTraceId();
+  EXPECT_NE(a, 0UL);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceTest, SpansRecordOnlyWhenEnabled) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.SetEnabled(false);
+  {
+    ScopedTraceId scoped(NewTraceId());
+    FRA_TRACE_SPAN("test.disabled");
+  }
+  EXPECT_TRUE(tracer.AllSpans().empty());
+
+  tracer.SetEnabled(true);
+  const uint64_t trace_id = NewTraceId();
+  {
+    ScopedTraceId scoped(trace_id);
+    FRA_TRACE_SPAN("test.enabled");
+  }
+  tracer.SetEnabled(false);
+#if defined(FRA_ENABLE_TRACING) && FRA_ENABLE_TRACING
+  const std::vector<SpanRecord> spans = tracer.SpansForTrace(trace_id);
+  ASSERT_EQ(spans.size(), 1UL);
+  EXPECT_EQ(spans[0].name, "test.enabled");
+  EXPECT_EQ(spans[0].trace_id, trace_id);
+#else
+  EXPECT_TRUE(tracer.AllSpans().empty());
+#endif
+  tracer.Clear();
+}
+
+TEST(TraceTest, RingBufferDropsOldestBeyondCapacity) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.SetCapacity(4);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    tracer.Record(SpanRecord{i, "s", 0, 0});
+  }
+  const std::vector<SpanRecord> spans = tracer.AllSpans();
+  ASSERT_EQ(spans.size(), 4UL);
+  EXPECT_EQ(spans.front().trace_id, 7UL);
+  EXPECT_EQ(spans.back().trace_id, 10UL);
+  tracer.SetCapacity(8192);
+  tracer.Clear();
+}
+
+TEST(TraceEnvelopeTest, WrapAndStripRoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3};
+  std::vector<uint8_t> wrapped = WrapWithTraceId(0x0123456789ABCDEFULL,
+                                                 payload);
+  ASSERT_EQ(wrapped.size(), payload.size() + kTraceEnvelopeBytes);
+  EXPECT_EQ(wrapped[0], kTraceEnvelopeTag);
+  EXPECT_EQ(StripTraceEnvelope(&wrapped), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(wrapped, payload);
+}
+
+TEST(TraceEnvelopeTest, NonEnvelopedPayloadPassesThrough) {
+  std::vector<uint8_t> payload = {1, 2, 3};
+  EXPECT_EQ(StripTraceEnvelope(&payload), 0UL);
+  EXPECT_EQ(payload, (std::vector<uint8_t>{1, 2, 3}));
+  std::vector<uint8_t> empty;
+  EXPECT_EQ(StripTraceEnvelope(&empty), 0UL);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(TraceEnvelopeTest, TruncatedEnvelopeLeftForDecoderToReject) {
+  std::vector<uint8_t> truncated = {kTraceEnvelopeTag, 1, 2};
+  EXPECT_EQ(StripTraceEnvelope(&truncated), 0UL);
+  EXPECT_EQ(truncated.size(), 3UL);
+}
+
+}  // namespace
+}  // namespace fra

@@ -11,7 +11,9 @@
 
 #include "federation/service_provider.h"
 #include "federation/silo.h"
+#include "net/message.h"
 #include "tests/test_util.h"
+#include "util/trace.h"
 
 namespace fra {
 namespace {
@@ -74,6 +76,42 @@ TEST(TcpNetworkTest, CommStatsCountFrames) {
   EXPECT_EQ(stats.messages, 2UL);
   EXPECT_EQ(stats.bytes_to_silos, 150UL);
   EXPECT_EQ(stats.bytes_to_provider, 150UL);
+}
+
+class TraceCapturingEndpoint : public SiloEndpoint {
+ public:
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) override {
+    observed_trace_id = CurrentTraceId();
+    return request;
+  }
+  std::atomic<uint64_t> observed_trace_id{0};
+};
+
+TEST(TcpNetworkTest, TraceIdCrossesTheSocket) {
+  TraceCapturingEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, server->port()).ok());
+  const std::vector<uint8_t> payload = {9, 8, 7};
+
+  // Without an active trace the request travels unwrapped and the server
+  // observes trace id 0.
+  EXPECT_EQ(network.Call(1, payload).ValueOrDie(), payload);
+  EXPECT_EQ(endpoint.observed_trace_id.load(), 0UL);
+
+  // With one, the trace envelope carries the id across the socket and the
+  // server strips it before the handler runs: the echo stays byte-exact.
+  {
+    ScopedTraceId scoped(0xFEEDFACEULL);
+    EXPECT_EQ(network.Call(1, payload).ValueOrDie(), payload);
+  }
+  EXPECT_EQ(endpoint.observed_trace_id.load(), 0xFEEDFACEULL);
+
+  // Byte accounting covers the envelope of the traced request only.
+  const CommStats::Snapshot stats = network.stats().Read();
+  EXPECT_EQ(stats.bytes_to_silos, 2 * payload.size() + kTraceEnvelopeBytes);
+  EXPECT_EQ(stats.bytes_to_provider, 2 * payload.size());
 }
 
 TEST(TcpNetworkTest, UnknownSiloIsUnavailable) {
