@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_boundary_cells.dir/bench_ablation_boundary_cells.cc.o"
+  "CMakeFiles/bench_ablation_boundary_cells.dir/bench_ablation_boundary_cells.cc.o.d"
+  "bench_ablation_boundary_cells"
+  "bench_ablation_boundary_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_boundary_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

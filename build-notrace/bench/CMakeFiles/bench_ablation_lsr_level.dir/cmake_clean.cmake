@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lsr_level.dir/bench_ablation_lsr_level.cc.o"
+  "CMakeFiles/bench_ablation_lsr_level.dir/bench_ablation_lsr_level.cc.o.d"
+  "bench_ablation_lsr_level"
+  "bench_ablation_lsr_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lsr_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

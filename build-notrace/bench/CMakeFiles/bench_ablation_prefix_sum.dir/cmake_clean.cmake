@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prefix_sum.dir/bench_ablation_prefix_sum.cc.o"
+  "CMakeFiles/bench_ablation_prefix_sum.dir/bench_ablation_prefix_sum.cc.o.d"
+  "bench_ablation_prefix_sum"
+  "bench_ablation_prefix_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prefix_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

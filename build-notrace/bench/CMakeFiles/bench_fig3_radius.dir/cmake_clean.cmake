@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_radius.dir/bench_fig3_radius.cc.o"
+  "CMakeFiles/bench_fig3_radius.dir/bench_fig3_radius.cc.o.d"
+  "bench_fig3_radius"
+  "bench_fig3_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

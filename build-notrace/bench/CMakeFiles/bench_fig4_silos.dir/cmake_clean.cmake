@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_silos.dir/bench_fig4_silos.cc.o"
+  "CMakeFiles/bench_fig4_silos.dir/bench_fig4_silos.cc.o.d"
+  "bench_fig4_silos"
+  "bench_fig4_silos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_silos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

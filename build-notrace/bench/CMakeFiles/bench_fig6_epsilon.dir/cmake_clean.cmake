@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_epsilon.dir/bench_fig6_epsilon.cc.o"
+  "CMakeFiles/bench_fig6_epsilon.dir/bench_fig6_epsilon.cc.o.d"
+  "bench_fig6_epsilon"
+  "bench_fig6_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

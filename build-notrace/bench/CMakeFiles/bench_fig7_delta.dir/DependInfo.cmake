@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_delta.cc" "bench/CMakeFiles/bench_fig7_delta.dir/bench_fig7_delta.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_delta.dir/bench_fig7_delta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notrace/src/eval/CMakeFiles/fra_eval.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/federation/CMakeFiles/fra_federation.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/core/CMakeFiles/fra_core.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/net/CMakeFiles/fra_net.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/baseline/CMakeFiles/fra_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/index/CMakeFiles/fra_index.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/data/CMakeFiles/fra_data.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/agg/CMakeFiles/fra_agg.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/geo/CMakeFiles/fra_geo.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/util/CMakeFiles/fra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_num_queries.dir/bench_fig8_num_queries.cc.o"
+  "CMakeFiles/bench_fig8_num_queries.dir/bench_fig8_num_queries.cc.o.d"
+  "bench_fig8_num_queries"
+  "bench_fig8_num_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_num_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

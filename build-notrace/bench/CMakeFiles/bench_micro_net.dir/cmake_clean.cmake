@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_net.dir/bench_micro_net.cc.o"
+  "CMakeFiles/bench_micro_net.dir/bench_micro_net.cc.o.d"
+  "bench_micro_net"
+  "bench_micro_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_silo_sampling.dir/bench_multi_silo_sampling.cc.o"
+  "CMakeFiles/bench_multi_silo_sampling.dir/bench_multi_silo_sampling.cc.o.d"
+  "bench_multi_silo_sampling"
+  "bench_multi_silo_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_silo_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

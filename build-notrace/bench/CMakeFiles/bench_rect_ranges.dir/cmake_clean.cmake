@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rect_ranges.dir/bench_rect_ranges.cc.o"
+  "CMakeFiles/bench_rect_ranges.dir/bench_rect_ranges.cc.o.d"
+  "bench_rect_ranges"
+  "bench_rect_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rect_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sum_query.dir/bench_sum_query.cc.o"
+  "CMakeFiles/bench_sum_query.dir/bench_sum_query.cc.o.d"
+  "bench_sum_query"
+  "bench_sum_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sum_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

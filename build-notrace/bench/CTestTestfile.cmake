@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-notrace/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig3_radius_smoke "/root/repo/build-notrace/bench/bench_fig3_radius")
+set_tests_properties(bench_fig3_radius_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig4_silos_smoke "/root/repo/build-notrace/bench/bench_fig4_silos")
+set_tests_properties(bench_fig4_silos_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig5_grid_length_smoke "/root/repo/build-notrace/bench/bench_fig5_grid_length")
+set_tests_properties(bench_fig5_grid_length_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig6_epsilon_smoke "/root/repo/build-notrace/bench/bench_fig6_epsilon")
+set_tests_properties(bench_fig6_epsilon_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig7_delta_smoke "/root/repo/build-notrace/bench/bench_fig7_delta")
+set_tests_properties(bench_fig7_delta_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig8_num_queries_smoke "/root/repo/build-notrace/bench/bench_fig8_num_queries")
+set_tests_properties(bench_fig8_num_queries_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig9_data_size_smoke "/root/repo/build-notrace/bench/bench_fig9_data_size")
+set_tests_properties(bench_fig9_data_size_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_throughput_smoke "/root/repo/build-notrace/bench/bench_throughput")
+set_tests_properties(bench_throughput_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_sum_query_smoke "/root/repo/build-notrace/bench/bench_sum_query")
+set_tests_properties(bench_sum_query_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_extensions_smoke "/root/repo/build-notrace/bench/bench_extensions")
+set_tests_properties(bench_extensions_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_rect_ranges_smoke "/root/repo/build-notrace/bench/bench_rect_ranges")
+set_tests_properties(bench_rect_ranges_smoke PROPERTIES  ENVIRONMENT "FRA_BENCH_SCALE=smoke" LABELS "bench_smoke" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bike_share_monitor.dir/bike_share_monitor.cpp.o"
+  "CMakeFiles/bike_share_monitor.dir/bike_share_monitor.cpp.o.d"
+  "bike_share_monitor"
+  "bike_share_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bike_share_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

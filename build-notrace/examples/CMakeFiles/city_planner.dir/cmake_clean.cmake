@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_planner.dir/city_planner.cpp.o"
+  "CMakeFiles/city_planner.dir/city_planner.cpp.o.d"
+  "city_planner"
+  "city_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

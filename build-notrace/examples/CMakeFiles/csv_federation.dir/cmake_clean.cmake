@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_federation.dir/csv_federation.cpp.o"
+  "CMakeFiles/csv_federation.dir/csv_federation.cpp.o.d"
+  "csv_federation"
+  "csv_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

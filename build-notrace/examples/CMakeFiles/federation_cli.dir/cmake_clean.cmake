@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_cli.dir/federation_cli.cpp.o"
+  "CMakeFiles/federation_cli.dir/federation_cli.cpp.o.d"
+  "federation_cli"
+  "federation_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

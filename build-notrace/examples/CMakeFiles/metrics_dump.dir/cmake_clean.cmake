@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_dump.dir/metrics_dump.cpp.o"
+  "CMakeFiles/metrics_dump.dir/metrics_dump.cpp.o.d"
+  "metrics_dump"
+  "metrics_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

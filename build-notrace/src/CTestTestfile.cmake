@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-notrace/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("agg")
+subdirs("index")
+subdirs("core")
+subdirs("net")
+subdirs("federation")
+subdirs("baseline")
+subdirs("data")
+subdirs("eval")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_agg.dir/aggregate.cc.o"
+  "CMakeFiles/fra_agg.dir/aggregate.cc.o.d"
+  "libfra_agg.a"
+  "libfra_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

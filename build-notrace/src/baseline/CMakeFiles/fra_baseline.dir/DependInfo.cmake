@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/brute_force.cc" "src/baseline/CMakeFiles/fra_baseline.dir/brute_force.cc.o" "gcc" "src/baseline/CMakeFiles/fra_baseline.dir/brute_force.cc.o.d"
+  "/root/repo/src/baseline/centralized.cc" "src/baseline/CMakeFiles/fra_baseline.dir/centralized.cc.o" "gcc" "src/baseline/CMakeFiles/fra_baseline.dir/centralized.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notrace/src/index/CMakeFiles/fra_index.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/agg/CMakeFiles/fra_agg.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/geo/CMakeFiles/fra_geo.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/util/CMakeFiles/fra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_baseline.dir/brute_force.cc.o"
+  "CMakeFiles/fra_baseline.dir/brute_force.cc.o.d"
+  "CMakeFiles/fra_baseline.dir/centralized.cc.o"
+  "CMakeFiles/fra_baseline.dir/centralized.cc.o.d"
+  "libfra_baseline.a"
+  "libfra_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_core.dir/lsr_forest.cc.o"
+  "CMakeFiles/fra_core.dir/lsr_forest.cc.o.d"
+  "libfra_core.a"
+  "libfra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

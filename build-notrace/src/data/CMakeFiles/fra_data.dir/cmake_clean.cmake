@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_data.dir/csv.cc.o"
+  "CMakeFiles/fra_data.dir/csv.cc.o.d"
+  "CMakeFiles/fra_data.dir/generator.cc.o"
+  "CMakeFiles/fra_data.dir/generator.cc.o.d"
+  "libfra_data.a"
+  "libfra_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

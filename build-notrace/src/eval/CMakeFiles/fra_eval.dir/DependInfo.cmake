@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/fra_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/fra_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/fra_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/fra_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/fra_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/fra_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/workload.cc" "src/eval/CMakeFiles/fra_eval.dir/workload.cc.o" "gcc" "src/eval/CMakeFiles/fra_eval.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notrace/src/federation/CMakeFiles/fra_federation.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/baseline/CMakeFiles/fra_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/data/CMakeFiles/fra_data.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/agg/CMakeFiles/fra_agg.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/geo/CMakeFiles/fra_geo.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/util/CMakeFiles/fra_util.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/core/CMakeFiles/fra_core.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/net/CMakeFiles/fra_net.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/index/CMakeFiles/fra_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

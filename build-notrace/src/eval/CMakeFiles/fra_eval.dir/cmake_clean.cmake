@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_eval.dir/experiment.cc.o"
+  "CMakeFiles/fra_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/fra_eval.dir/metrics.cc.o"
+  "CMakeFiles/fra_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/fra_eval.dir/report.cc.o"
+  "CMakeFiles/fra_eval.dir/report.cc.o.d"
+  "CMakeFiles/fra_eval.dir/workload.cc.o"
+  "CMakeFiles/fra_eval.dir/workload.cc.o.d"
+  "libfra_eval.a"
+  "libfra_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

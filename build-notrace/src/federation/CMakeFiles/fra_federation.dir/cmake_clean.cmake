@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_federation.dir/federation.cc.o"
+  "CMakeFiles/fra_federation.dir/federation.cc.o.d"
+  "CMakeFiles/fra_federation.dir/privacy.cc.o"
+  "CMakeFiles/fra_federation.dir/privacy.cc.o.d"
+  "CMakeFiles/fra_federation.dir/query.cc.o"
+  "CMakeFiles/fra_federation.dir/query.cc.o.d"
+  "CMakeFiles/fra_federation.dir/service_provider.cc.o"
+  "CMakeFiles/fra_federation.dir/service_provider.cc.o.d"
+  "CMakeFiles/fra_federation.dir/silo.cc.o"
+  "CMakeFiles/fra_federation.dir/silo.cc.o.d"
+  "libfra_federation.a"
+  "libfra_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_geo.dir/projection.cc.o"
+  "CMakeFiles/fra_geo.dir/projection.cc.o.d"
+  "CMakeFiles/fra_geo.dir/range.cc.o"
+  "CMakeFiles/fra_geo.dir/range.cc.o.d"
+  "libfra_geo.a"
+  "libfra_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

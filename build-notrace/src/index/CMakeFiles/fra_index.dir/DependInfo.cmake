@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/equi_depth_histogram.cc" "src/index/CMakeFiles/fra_index.dir/equi_depth_histogram.cc.o" "gcc" "src/index/CMakeFiles/fra_index.dir/equi_depth_histogram.cc.o.d"
+  "/root/repo/src/index/grid_index.cc" "src/index/CMakeFiles/fra_index.dir/grid_index.cc.o" "gcc" "src/index/CMakeFiles/fra_index.dir/grid_index.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/index/CMakeFiles/fra_index.dir/rtree.cc.o" "gcc" "src/index/CMakeFiles/fra_index.dir/rtree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notrace/src/agg/CMakeFiles/fra_agg.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/geo/CMakeFiles/fra_geo.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/util/CMakeFiles/fra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

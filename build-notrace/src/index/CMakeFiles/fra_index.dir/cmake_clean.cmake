@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_index.dir/equi_depth_histogram.cc.o"
+  "CMakeFiles/fra_index.dir/equi_depth_histogram.cc.o.d"
+  "CMakeFiles/fra_index.dir/grid_index.cc.o"
+  "CMakeFiles/fra_index.dir/grid_index.cc.o.d"
+  "CMakeFiles/fra_index.dir/rtree.cc.o"
+  "CMakeFiles/fra_index.dir/rtree.cc.o.d"
+  "libfra_index.a"
+  "libfra_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

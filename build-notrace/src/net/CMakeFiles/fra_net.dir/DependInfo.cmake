@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/fra_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/fra_net.dir/message.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/fra_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/fra_net.dir/network.cc.o.d"
+  "/root/repo/src/net/tcp_network.cc" "src/net/CMakeFiles/fra_net.dir/tcp_network.cc.o" "gcc" "src/net/CMakeFiles/fra_net.dir/tcp_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notrace/src/agg/CMakeFiles/fra_agg.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/geo/CMakeFiles/fra_geo.dir/DependInfo.cmake"
+  "/root/repo/build-notrace/src/util/CMakeFiles/fra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

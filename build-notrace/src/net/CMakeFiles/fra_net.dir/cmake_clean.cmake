@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_net.dir/message.cc.o"
+  "CMakeFiles/fra_net.dir/message.cc.o.d"
+  "CMakeFiles/fra_net.dir/network.cc.o"
+  "CMakeFiles/fra_net.dir/network.cc.o.d"
+  "CMakeFiles/fra_net.dir/tcp_network.cc.o"
+  "CMakeFiles/fra_net.dir/tcp_network.cc.o.d"
+  "libfra_net.a"
+  "libfra_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/metrics.cc" "src/util/CMakeFiles/fra_util.dir/metrics.cc.o" "gcc" "src/util/CMakeFiles/fra_util.dir/metrics.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/util/CMakeFiles/fra_util.dir/random.cc.o" "gcc" "src/util/CMakeFiles/fra_util.dir/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/fra_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/fra_util.dir/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/util/CMakeFiles/fra_util.dir/status.cc.o" "gcc" "src/util/CMakeFiles/fra_util.dir/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/fra_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/fra_util.dir/thread_pool.cc.o.d"
+  "/root/repo/src/util/trace.cc" "src/util/CMakeFiles/fra_util.dir/trace.cc.o" "gcc" "src/util/CMakeFiles/fra_util.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

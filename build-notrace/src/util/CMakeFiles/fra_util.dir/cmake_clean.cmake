@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fra_util.dir/metrics.cc.o"
+  "CMakeFiles/fra_util.dir/metrics.cc.o.d"
+  "CMakeFiles/fra_util.dir/random.cc.o"
+  "CMakeFiles/fra_util.dir/random.cc.o.d"
+  "CMakeFiles/fra_util.dir/stats.cc.o"
+  "CMakeFiles/fra_util.dir/stats.cc.o.d"
+  "CMakeFiles/fra_util.dir/status.cc.o"
+  "CMakeFiles/fra_util.dir/status.cc.o.d"
+  "CMakeFiles/fra_util.dir/thread_pool.cc.o"
+  "CMakeFiles/fra_util.dir/thread_pool.cc.o.d"
+  "CMakeFiles/fra_util.dir/trace.cc.o"
+  "CMakeFiles/fra_util.dir/trace.cc.o.d"
+  "libfra_util.a"
+  "libfra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_algorithm_test.dir/auto_algorithm_test.cc.o"
+  "CMakeFiles/auto_algorithm_test.dir/auto_algorithm_test.cc.o.d"
+  "auto_algorithm_test"
+  "auto_algorithm_test.pdb"
+  "auto_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_update_test.dir/dynamic_update_test.cc.o"
+  "CMakeFiles/dynamic_update_test.dir/dynamic_update_test.cc.o.d"
+  "dynamic_update_test"
+  "dynamic_update_test.pdb"
+  "dynamic_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_statistics_test.dir/estimator_statistics_test.cc.o"
+  "CMakeFiles/estimator_statistics_test.dir/estimator_statistics_test.cc.o.d"
+  "estimator_statistics_test"
+  "estimator_statistics_test.pdb"
+  "estimator_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_test.dir/federation_test.cc.o"
+  "CMakeFiles/federation_test.dir/federation_test.cc.o.d"
+  "federation_test"
+  "federation_test.pdb"
+  "federation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_index_test.dir/grid_index_test.cc.o"
+  "CMakeFiles/grid_index_test.dir/grid_index_test.cc.o.d"
+  "grid_index_test"
+  "grid_index_test.pdb"
+  "grid_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

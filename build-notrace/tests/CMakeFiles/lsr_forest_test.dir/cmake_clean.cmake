@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsr_forest_test.dir/lsr_forest_test.cc.o"
+  "CMakeFiles/lsr_forest_test.dir/lsr_forest_test.cc.o.d"
+  "lsr_forest_test"
+  "lsr_forest_test.pdb"
+  "lsr_forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsr_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

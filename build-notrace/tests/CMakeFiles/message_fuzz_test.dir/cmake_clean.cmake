@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_fuzz_test.dir/message_fuzz_test.cc.o"
+  "CMakeFiles/message_fuzz_test.dir/message_fuzz_test.cc.o.d"
+  "message_fuzz_test"
+  "message_fuzz_test.pdb"
+  "message_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

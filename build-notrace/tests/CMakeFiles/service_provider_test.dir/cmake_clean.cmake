@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_provider_test.dir/service_provider_test.cc.o"
+  "CMakeFiles/service_provider_test.dir/service_provider_test.cc.o.d"
+  "service_provider_test"
+  "service_provider_test.pdb"
+  "service_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

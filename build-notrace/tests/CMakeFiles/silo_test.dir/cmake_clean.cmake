@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silo_test.dir/silo_test.cc.o"
+  "CMakeFiles/silo_test.dir/silo_test.cc.o.d"
+  "silo_test"
+  "silo_test.pdb"
+  "silo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

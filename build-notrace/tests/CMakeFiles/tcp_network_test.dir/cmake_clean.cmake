@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_network_test.dir/tcp_network_test.cc.o"
+  "CMakeFiles/tcp_network_test.dir/tcp_network_test.cc.o.d"
+  "tcp_network_test"
+  "tcp_network_test.pdb"
+  "tcp_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
