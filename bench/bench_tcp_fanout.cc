@@ -1,0 +1,105 @@
+// Fan-out scaling over real TCP: with the provider's per-silo connection
+// pool and the parallel EXACT/OPTA fan-out, one query against m silos
+// that each take ~`delay` to answer should cost O(max silo latency), not
+// O(sum) — the wall clock stays flat as m grows. Run with the serial
+// baseline in mind: m silos × delay each would be m·delay sequentially.
+//
+//   ./build/bench/bench_tcp_fanout           # m in {1, 2, 4, 8}
+//   FRA_BENCH_SCALE=smoke ./build/bench/bench_tcp_fanout
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "federation/service_provider.h"
+#include "federation/silo.h"
+#include "net/tcp_network.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace {
+
+// Fixed per-request service delay in front of a real silo — the 1-silo
+// latency model of the pooled-transport tests.
+class DelayingEndpoint : public fra::SiloEndpoint {
+ public:
+  DelayingEndpoint(fra::SiloEndpoint* inner, int delay_ms)
+      : inner_(inner), delay_ms_(delay_ms) {}
+  fra::Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return inner_->HandleMessage(request);
+  }
+
+ private:
+  fra::SiloEndpoint* inner_;
+  const int delay_ms_;
+};
+
+}  // namespace
+
+int main() {
+  const char* scale = std::getenv("FRA_BENCH_SCALE");
+  const bool smoke = scale != nullptr && std::strcmp(scale, "smoke") == 0;
+  const int delay_ms = smoke ? 2 : 10;
+  const int repetitions = smoke ? 3 : 20;
+  const size_t objects_per_silo = smoke ? 2000 : 20000;
+
+  const fra::Rect domain{{0, 0}, {100, 100}};
+  fra::Silo::Options silo_options;
+  silo_options.grid_spec.domain = domain;
+  silo_options.grid_spec.cell_length = 2.0;
+
+  std::printf("EXACT fan-out over TCP, %d ms service delay per silo\n",
+              delay_ms);
+  std::printf("%4s %14s %14s %10s\n", "m", "mean query ms", "serial ms (m·d)",
+              "speedup");
+
+  for (size_t m : {1UL, 2UL, 4UL, 8UL}) {
+    std::vector<std::unique_ptr<fra::Silo>> silos;
+    std::vector<std::unique_ptr<DelayingEndpoint>> delayed;
+    std::vector<std::unique_ptr<fra::TcpSiloServer>> servers;
+    fra::TcpNetwork network;
+    fra::Rng rng(7 + m);
+    for (size_t s = 0; s < m; ++s) {
+      fra::ObjectSet objects;
+      objects.reserve(objects_per_silo);
+      for (size_t i = 0; i < objects_per_silo; ++i) {
+        objects.push_back({{rng.NextDouble(domain.min.x, domain.max.x),
+                            rng.NextDouble(domain.min.y, domain.max.y)},
+                           static_cast<double>(rng.NextInt64(0, 4))});
+      }
+      auto silo = fra::Silo::Create(static_cast<int>(s), std::move(objects),
+                                    silo_options)
+                      .ValueOrDie();
+      delayed.push_back(
+          std::make_unique<DelayingEndpoint>(silo.get(), delay_ms));
+      auto server = fra::TcpSiloServer::Start(delayed.back().get())
+                        .ValueOrDie();
+      FRA_CHECK_OK(network.AddSilo(static_cast<int>(s), server->port()));
+      silos.push_back(std::move(silo));
+      servers.push_back(std::move(server));
+    }
+
+    auto provider = fra::ServiceProvider::Create(&network).ValueOrDie();
+    const fra::FraQuery query{
+        fra::QueryRange::MakeRect({10, 10}, {90, 90}),
+        fra::AggregateKind::kCount};
+    // Warm the pool: the first fan-out pays m connection dials.
+    FRA_CHECK_OK(provider->Execute(query, fra::FraAlgorithm::kExact).status());
+
+    fra::Timer timer;
+    for (int r = 0; r < repetitions; ++r) {
+      FRA_CHECK_OK(
+          provider->Execute(query, fra::FraAlgorithm::kExact).status());
+    }
+    const double mean_ms = timer.ElapsedMillis() / repetitions;
+    const double serial_ms = static_cast<double>(m) * delay_ms;
+    std::printf("%4zu %14.2f %14.1f %9.1fx\n", m, mean_ms, serial_ms,
+                serial_ms / mean_ms);
+  }
+  return 0;
+}

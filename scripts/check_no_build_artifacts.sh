@@ -1,0 +1,32 @@
+#!/bin/sh
+# Fails when build artifacts are tracked by git — specifically any
+# CMakeCache.txt under a build*/ directory, the telltale of a committed
+# build tree. Registered as a tier-1 ctest (see tests/CMakeLists.txt) so
+# the regression that once committed ~900 build-notrace/ files cannot
+# recur unnoticed.
+#
+# Usage: check_no_build_artifacts.sh [repo_root]
+set -u
+
+repo_root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "$repo_root" || exit 1
+
+if ! command -v git >/dev/null 2>&1; then
+  echo "SKIP: git not available"
+  exit 0
+fi
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "SKIP: not a git work tree (tarball build?)"
+  exit 0
+fi
+
+tracked=$(git ls-files -- 'build*/CMakeCache.txt' '*/build*/CMakeCache.txt')
+if [ -n "$tracked" ]; then
+  echo "FAIL: build artifacts are tracked by git:"
+  echo "$tracked"
+  echo "Remove them (git rm -r --cached <dir>) and check .gitignore."
+  exit 1
+fi
+
+echo "OK: no build*/CMakeCache.txt tracked by git"
+exit 0

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "net/message.h"
 #include "util/logging.h"
@@ -26,22 +27,26 @@ void RecordQueryMetrics(FraAlgorithm algorithm, bool ok, double seconds) {
       .Observe(seconds * 1e6);
 }
 
-// Component-wise ratio estimate ans' = numer * (res / denom) (Alg. 2
-// line 8), applied independently to each linear aggregate component. A
-// zero denominator component (the sampled silo's grid saw nothing) yields
-// a zero estimate for that component.
+// Ratio estimate ans' = res * (numer / denom) (Alg. 2 line 8). The paper
+// rescales by ONE factor — the count ratio of the grid aggregates — and
+// every component follows it. Scaling sum/sum_sqr by their own
+// component-wise ratios (an earlier revision did) breaks down whenever
+// the sampled silo's denominator component is 0 or near 0 while objects
+// exist (measure values can be zero or negative, so their sums cancel):
+// the estimate silently collapsed to 0 or exploded. The count ratio is
+// robust — counts are non-negative and denom.count == 0 implies the
+// sampled silo saw nothing at all, leaving 0 as the only estimate.
 AggregateSummary RatioEstimate(const AggregateSummary& res,
                                const AggregateSummary& numer,
                                const AggregateSummary& denom) {
   AggregateSummary out;
   if (denom.count > 0) {
-    out.count = static_cast<uint64_t>(std::llround(
-        static_cast<double>(res.count) * static_cast<double>(numer.count) /
-        static_cast<double>(denom.count)));
-  }
-  if (denom.sum != 0.0) out.sum = res.sum * numer.sum / denom.sum;
-  if (denom.sum_sqr != 0.0) {
-    out.sum_sqr = res.sum_sqr * numer.sum_sqr / denom.sum_sqr;
+    const double scale = static_cast<double>(numer.count) /
+                         static_cast<double>(denom.count);
+    out.count = static_cast<uint64_t>(
+        std::llround(static_cast<double>(res.count) * scale));
+    out.sum = res.sum * scale;
+    out.sum_sqr = res.sum_sqr * scale;
   }
   return out;
 }
@@ -66,27 +71,48 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
   provider->silo_ids_ = network->silo_ids();
   std::sort(provider->silo_ids_.begin(), provider->silo_ids_.end());
 
-  // Alg. 1: fetch every silo's grid index and merge them into g_0.
+  const size_t threads = options.batch_threads > 0
+                             ? options.batch_threads
+                             : provider->silo_ids_.size();
+  provider->batch_pool_ = std::make_unique<ThreadPool>(threads);
+  const size_t fanout_threads = options.fanout_threads > 0
+                                    ? options.fanout_threads
+                                    : provider->silo_ids_.size();
+  provider->fanout_pool_ = std::make_unique<ThreadPool>(fanout_threads);
+
+  // Alg. 1: fetch every silo's grid index and merge them into g_0. The
+  // fetches (round trip + deserialize) run one per silo on the fan-out
+  // pool — over TCP the setup cost is max(silo latency), not the sum.
   const std::vector<uint8_t> request = EncodeBuildGridRequest();
-  for (int silo_id : provider->silo_ids_) {
+  const size_t num_silos = provider->silo_ids_.size();
+  std::vector<Result<GridIndex>> fetched(num_silos, GridIndex());
+  const auto fetch_grid = [&](size_t i) -> Result<GridIndex> {
     FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                         network->Call(silo_id, request));
+                         network->Call(provider->silo_ids_[i], request));
     FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> grid_bytes,
                          DecodeGridPayloadResponse(response));
     BinaryReader reader(grid_bytes);
     GridIndex grid;
     FRA_RETURN_NOT_OK(GridIndex::Deserialize(&reader, &grid));
-    provider->silo_grids_.emplace(silo_id, std::move(grid));
+    return grid;
+  };
+  std::vector<std::future<void>> fetches;
+  fetches.reserve(num_silos > 0 ? num_silos - 1 : 0);
+  for (size_t i = 1; i < num_silos; ++i) {
+    fetches.push_back(provider->fanout_pool_->Submit(
+        [&fetched, &fetch_grid, i] { fetched[i] = fetch_grid(i); }));
+  }
+  fetched[0] = fetch_grid(0);  // the caller's thread takes one leg
+  for (auto& fetch : fetches) fetch.get();
+  for (size_t i = 0; i < num_silos; ++i) {
+    FRA_RETURN_NOT_OK(fetched[i].status());
+    provider->silo_grids_.emplace(provider->silo_ids_[i],
+                                  std::move(fetched[i]).ValueOrDie());
   }
   std::vector<const GridIndex*> parts;
   parts.reserve(provider->silo_grids_.size());
   for (const auto& [id, grid] : provider->silo_grids_) parts.push_back(&grid);
   FRA_ASSIGN_OR_RETURN(provider->merged_grid_, GridIndex::Merge(parts));
-
-  const size_t threads = options.batch_threads > 0
-                             ? options.batch_threads
-                             : provider->silo_ids_.size();
-  provider->batch_pool_ = std::make_unique<ThreadPool>(threads);
 
   // Deployment-shape gauges for the most recently created provider.
   MetricsRegistry::Default()
@@ -245,13 +271,37 @@ Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
   request.mode = histogram ? LocalQueryMode::kHistogram : LocalQueryMode::kExact;
   const std::vector<uint8_t> encoded = request.Encode();
 
+  // One leg per silo on the fan-out pool (the caller's thread takes the
+  // first), so the round trips overlap and the fan-out costs
+  // max(silo latency) instead of the sum. Legs are leaves — they never
+  // submit to a pool themselves — so batch workers fanning out
+  // concurrently cannot deadlock. Partials are merged in silo-id order:
+  // floating-point sums must not depend on arrival order (EXACT answers
+  // are asserted bit-identical across transports and runs).
+  const size_t num_silos = silo_ids_.size();
+  const uint64_t trace_id = CurrentTraceId();
+  std::vector<Result<AggregateSummary>> partials(num_silos,
+                                                 AggregateSummary());
+  const auto call_silo = [&](size_t i) {
+    ScopedTraceId trace_scope(trace_id);
+    partials[i] = [&]() -> Result<AggregateSummary> {
+      FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
+                           network_->Call(silo_ids_[i], encoded));
+      return DecodeSummaryResponse(response);
+    }();
+  };
+  std::vector<std::future<void>> legs;
+  legs.reserve(num_silos > 0 ? num_silos - 1 : 0);
+  for (size_t i = 1; i < num_silos; ++i) {
+    legs.push_back(fanout_pool_->Submit([&call_silo, i] { call_silo(i); }));
+  }
+  call_silo(0);
+  for (auto& leg : legs) leg.get();
+
   AggregateSummary total;
-  for (int silo_id : silo_ids_) {
-    FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                         network_->Call(silo_id, encoded));
-    FRA_ASSIGN_OR_RETURN(AggregateSummary partial,
-                         DecodeSummaryResponse(response));
-    total.Merge(partial);
+  for (size_t i = 0; i < num_silos; ++i) {
+    FRA_RETURN_NOT_OK(partials[i].status());
+    total.Merge(*partials[i]);
   }
   return total;
 }
@@ -383,8 +433,10 @@ Result<AggregateSummary> ServiceProvider::RunNonIidEst(const QueryRange& range,
 
 Result<std::vector<double>> ServiceProvider::ExecuteBatch(
     const std::vector<FraQuery>& queries, FraAlgorithm algorithm,
-    std::vector<double>* latencies_seconds) {
-  std::vector<double> results(queries.size(), 0.0);
+    std::vector<double>* latencies_seconds,
+    std::vector<Status>* per_query_status) {
+  std::vector<double> results(queries.size(),
+                              std::numeric_limits<double>::quiet_NaN());
   std::vector<Status> statuses(queries.size());
   if (latencies_seconds != nullptr) {
     latencies_seconds->assign(queries.size(), 0.0);
@@ -428,8 +480,21 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
   }
   for (auto& future : futures) future.get();
 
-  for (const Status& status : statuses) {
-    if (!status.ok()) return status;
+  // Every query ran to completion regardless of its neighbours' fate
+  // (one failure used to discard the whole batch). With
+  // `per_query_status` the caller gets every answer plus one status per
+  // query; without it the batch still fails as a unit, but the status
+  // names the first failing query's index and failed slots stay NaN.
+  if (per_query_status != nullptr) {
+    *per_query_status = std::move(statuses);
+    return results;
+  }
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(),
+                    "batch query " + std::to_string(i) +
+                        " failed: " + statuses[i].message());
+    }
   }
   return results;
 }

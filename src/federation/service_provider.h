@@ -21,8 +21,9 @@ namespace fra {
 /// every silo over the network and merges them into g_0 — after which it
 /// can execute FRA queries with any of the paper's six algorithms:
 ///
-///   * EXACT / OPTA fan out to every silo and sum the (exact /
-///     histogram-estimated) partial answers.
+///   * EXACT / OPTA fan out to every silo concurrently (one leg per
+///     silo on the fan-out pool) and sum the (exact /
+///     histogram-estimated) partial answers in silo order.
 ///   * IID-est (Alg. 2) samples ONE silo uniformly at random, fetches its
 ///     partial answer res_k, and rescales by the grid ratio
 ///     sum_0 / sum_k computed from g_0 and g_k via prefix sums.
@@ -46,6 +47,12 @@ class ServiceProvider {
     uint64_t seed = 20220415;
     /// Worker threads for ExecuteBatch; 0 means one per silo.
     size_t batch_threads = 0;
+    /// Worker threads for the EXACT/OPTA fan-out and the Alg. 1 grid
+    /// fetch (one leg per silo, overlapping the round trips); 0 means
+    /// one per silo. Fan-out legs are leaf tasks on a pool separate
+    /// from the batch pool, so nested use from ExecuteBatch workers
+    /// cannot deadlock.
+    size_t fanout_threads = 0;
     /// Sample only silos whose grid shows data in cells intersecting the
     /// query range (the Sec. 4.2.2 remark for non-overlapping coverage).
     /// Costs nothing extra: the provider already holds every g_i.
@@ -90,9 +97,16 @@ class ServiceProvider {
   /// Results are positionally aligned with `queries`. When
   /// `latencies_seconds` is non-null it receives one wall-clock duration
   /// per query (same order), enabling tail-latency reporting.
+  ///
+  /// Failure handling: every query runs to completion regardless of its
+  /// neighbours. With `per_query_status` non-null the call returns the
+  /// full result vector (failed slots NaN) plus one Status per query;
+  /// with it null, any failure fails the whole call with a status naming
+  /// the first failing query's index.
   Result<std::vector<double>> ExecuteBatch(
       const std::vector<FraQuery>& queries, FraAlgorithm algorithm,
-      std::vector<double>* latencies_seconds = nullptr);
+      std::vector<double>* latencies_seconds = nullptr,
+      std::vector<Status>* per_query_status = nullptr);
 
   /// Mean total-variation distance between each silo's spatial (count)
   /// distribution and the federation-wide one, computed from the grids
@@ -161,6 +175,10 @@ class ServiceProvider {
   std::map<int, GridIndex> silo_grids_;
   GridIndex merged_grid_;
   std::unique_ptr<ThreadPool> batch_pool_;
+  // Leaf pool for per-silo fan-out legs (RunFanOut, Create's grid
+  // fetch); separate from batch_pool_ so a batch worker that fans out
+  // blocks only on leaf tasks, never on tasks queued behind itself.
+  std::unique_ptr<ThreadPool> fanout_pool_;
   std::mutex rng_mu_;
   Rng rng_;
 };

@@ -1,14 +1,18 @@
 #include "net/tcp_network.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <algorithm>
 #include <string>
 
 #include "net/message.h"
@@ -17,6 +21,44 @@
 #include "util/trace.h"
 
 namespace fra {
+
+/// A fixed point in time every socket wait measures against; the
+/// never-expiring default means "block forever" (server-side reads,
+/// request_timeout_ms <= 0).
+struct DeadlinePoint {
+  std::chrono::steady_clock::time_point at;
+  bool bounded = false;
+
+  static DeadlinePoint After(int ms) {
+    DeadlinePoint deadline;
+    if (ms > 0) {
+      deadline.at =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+      deadline.bounded = true;
+    }
+    return deadline;
+  }
+
+  static DeadlinePoint Unbounded() { return DeadlinePoint{}; }
+
+  /// The earlier of two deadlines (an unbounded one never wins).
+  static DeadlinePoint Earliest(const DeadlinePoint& a,
+                                const DeadlinePoint& b) {
+    if (!a.bounded) return b;
+    if (!b.bounded) return a;
+    return a.at < b.at ? a : b;
+  }
+
+  /// Remaining milliseconds, clamped to 0; -1 when unbounded (the poll
+  /// convention for "wait forever").
+  int RemainingMs() const {
+    if (!bounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at - std::chrono::steady_clock::now());
+    return std::max<int>(0, static_cast<int>(left.count()));
+  }
+};
+
 namespace {
 
 // Frames above this are rejected before allocation (a corrupted length
@@ -24,12 +66,41 @@ namespace {
 // grids are a few MB; 256 MB is far beyond any legitimate message.
 constexpr uint32_t kMaxFrameBytes = 256u << 20;
 
-Status WriteAll(int fd, const void* data, size_t size) {
-  const char* p = static_cast<const char*>(data);
-  while (size > 0) {
-    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+Status DeadlineExceeded(const char* what, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = true;
+  return Status::Unavailable(std::string("deadline exceeded: ") + what);
+}
+
+// Blocks until `fd` is ready for `events` or `deadline` passes. A
+// positive return from poll() only promises progress (some readable
+// bytes / some buffer space), so callers loop.
+Status WaitReady(int fd, short events, const DeadlinePoint& deadline,
+                 const char* what, bool* timed_out) {
+  for (;;) {
+    pollfd entry{};
+    entry.fd = fd;
+    entry.events = events;
+    const int n = ::poll(&entry, 1, deadline.RemainingMs());
     if (n < 0) {
       if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (n == 0) return DeadlineExceeded(what, timed_out);
+    // POLLERR/POLLHUP fall through: the pending recv/send/getsockopt
+    // reports the concrete error.
+    return Status::OK();
+  }
+}
+
+Status WriteAll(int fd, const void* data, size_t size,
+                const DeadlinePoint& deadline, bool* timed_out) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    FRA_RETURN_NOT_OK(
+        WaitReady(fd, POLLOUT, deadline, "waiting to send", timed_out));
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     p += n;
@@ -38,12 +109,15 @@ Status WriteAll(int fd, const void* data, size_t size) {
   return Status::OK();
 }
 
-Status ReadAll(int fd, void* data, size_t size) {
+Status ReadAll(int fd, void* data, size_t size, const DeadlinePoint& deadline,
+               bool* timed_out) {
   char* p = static_cast<char*>(data);
   while (size > 0) {
+    FRA_RETURN_NOT_OK(
+        WaitReady(fd, POLLIN, deadline, "waiting for response", timed_out));
     const ssize_t n = ::recv(fd, p, size, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return Status::IOError(std::string("recv: ") + std::strerror(errno));
     }
     if (n == 0) return Status::Unavailable("peer closed connection");
@@ -53,24 +127,33 @@ Status ReadAll(int fd, void* data, size_t size) {
   return Status::OK();
 }
 
-Status WriteFrame(int fd, const std::vector<uint8_t>& payload) {
-  const uint32_t length = static_cast<uint32_t>(payload.size());
-  FRA_RETURN_NOT_OK(WriteAll(fd, &length, sizeof(length)));
-  if (length > 0) {
-    FRA_RETURN_NOT_OK(WriteAll(fd, payload.data(), payload.size()));
+// Frame layout: u32 length in network byte order (big-endian), then
+// `length` payload bytes — see docs/wire_protocol.md.
+Status WriteFrame(int fd, const std::vector<uint8_t>& payload,
+                  const DeadlinePoint& deadline, bool* timed_out) {
+  const uint32_t length = htonl(static_cast<uint32_t>(payload.size()));
+  FRA_RETURN_NOT_OK(WriteAll(fd, &length, sizeof(length), deadline,
+                             timed_out));
+  if (!payload.empty()) {
+    FRA_RETURN_NOT_OK(
+        WriteAll(fd, payload.data(), payload.size(), deadline, timed_out));
   }
   return Status::OK();
 }
 
-Result<std::vector<uint8_t>> ReadFrame(int fd) {
-  uint32_t length = 0;
-  FRA_RETURN_NOT_OK(ReadAll(fd, &length, sizeof(length)));
+Result<std::vector<uint8_t>> ReadFrame(int fd, const DeadlinePoint& deadline,
+                                       bool* timed_out) {
+  uint32_t wire_length = 0;
+  FRA_RETURN_NOT_OK(
+      ReadAll(fd, &wire_length, sizeof(wire_length), deadline, timed_out));
+  const uint32_t length = ntohl(wire_length);
   if (length > kMaxFrameBytes) {
     return Status::OutOfRange("frame exceeds limit");
   }
   std::vector<uint8_t> payload(length);
   if (length > 0) {
-    FRA_RETURN_NOT_OK(ReadAll(fd, payload.data(), payload.size()));
+    FRA_RETURN_NOT_OK(
+        ReadAll(fd, payload.data(), payload.size(), deadline, timed_out));
   }
   return payload;
 }
@@ -80,6 +163,51 @@ void CloseFd(int* fd) {
     ::close(*fd);
     *fd = -1;
   }
+}
+
+// Non-blocking connect to 127.0.0.1:port bounded by `deadline`.
+Result<int> DialLoopback(uint16_t port, const DeadlinePoint& deadline,
+                         bool* timed_out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const Status status =
+        Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) <
+      0 && errno != EINPROGRESS) {
+    const Status status =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const Status ready =
+      WaitReady(fd, POLLOUT, deadline, "connecting", timed_out);
+  if (!ready.ok()) {
+    ::close(fd);
+    return ready;
+  }
+  int error = 0;
+  socklen_t error_length = sizeof(error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &error_length) < 0 ||
+      error != 0) {
+    const Status status = Status::Unavailable(
+        std::string("connect: ") + std::strerror(error != 0 ? error : errno));
+    ::close(fd);
+    return status;
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return fd;
 }
 
 }  // namespace
@@ -175,8 +303,10 @@ void TcpSiloServer::AcceptLoop() {
 
 void TcpSiloServer::ServeConnection(int connection_fd) {
   int fd = connection_fd;
+  const DeadlinePoint no_deadline = DeadlinePoint::Unbounded();
   while (!stopping_.load()) {
-    Result<std::vector<uint8_t>> request = ReadFrame(fd);
+    Result<std::vector<uint8_t>> request =
+        ReadFrame(fd, no_deadline, nullptr);
     if (!request.ok()) break;  // closed or broken: drop the connection
     // A request may arrive inside a trace envelope; the carried trace id
     // becomes this thread's context so silo-side spans correlate with the
@@ -192,7 +322,7 @@ void TcpSiloServer::ServeConnection(int connection_fd) {
     // Count before replying so a client that has decoded the response
     // already observes the increment.
     requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (!WriteFrame(fd, frame).ok()) break;
+    if (!WriteFrame(fd, frame, no_deadline, nullptr).ok()) break;
   }
   {
     std::lock_guard<std::mutex> lock(workers_mu_);
@@ -203,26 +333,111 @@ void TcpSiloServer::ServeConnection(int connection_fd) {
 
 // --- TcpNetwork ------------------------------------------------------------
 
+TcpNetwork::SiloPool::SiloPool(int silo_id, uint16_t pool_port)
+    : port(pool_port) {
+  const std::string silo = std::to_string(silo_id);
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  requests_total = &registry.GetCounter(
+      "fra_silo_requests_total", {{"silo", silo}, {"transport", "tcp"}});
+  timeouts_total = &registry.GetCounter(
+      "fra_silo_timeouts_total", {{"silo", silo}, {"transport", "tcp"}});
+  open_gauge =
+      &registry.GetGauge("fra_tcp_pool_open_connections", {{"silo", silo}});
+  busy_gauge =
+      &registry.GetGauge("fra_tcp_pool_busy_connections", {{"silo", silo}});
+}
+
+void TcpNetwork::SiloPool::UpdateGauges() {
+  open_gauge->Set(static_cast<double>(open));
+  busy_gauge->Set(static_cast<double>(open - idle.size()));
+}
+
 TcpNetwork::~TcpNetwork() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, connection] : connections_) {
-    std::lock_guard<std::mutex> connection_lock(connection->mu);
-    CloseFd(&connection->fd);
+  for (auto& [id, pool] : pools_) {
+    std::lock_guard<std::mutex> pool_lock(pool->mu);
+    pool->closed = true;  // checked-out fds close at Release
+    for (int fd : pool->idle) ::close(fd);
+    pool->open -= pool->idle.size();
+    pool->idle.clear();
+    pool->UpdateGauges();
   }
 }
 
 Status TcpNetwork::AddSilo(int silo_id, uint16_t port) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto connection = std::make_unique<Connection>();
-  connection->port = port;
   const auto [it, inserted] =
-      connections_.emplace(silo_id, std::move(connection));
+      pools_.emplace(silo_id, std::make_unique<SiloPool>(silo_id, port));
   (void)it;
   if (!inserted) {
     return Status::AlreadyExists("silo id " + std::to_string(silo_id) +
                                  " already registered");
   }
   return Status::OK();
+}
+
+Result<int> TcpNetwork::Acquire(SiloPool* pool,
+                                const DeadlinePoint& deadline,
+                                bool* timed_out) {
+  std::unique_lock<std::mutex> lock(pool->mu);
+  for (;;) {
+    if (!pool->idle.empty()) {
+      const int fd = pool->idle.back();
+      pool->idle.pop_back();
+      pool->UpdateGauges();
+      return fd;
+    }
+    if (pool->open < options_.max_connections_per_silo) {
+      ++pool->open;  // reserve the slot while dialling unlocked
+      pool->UpdateGauges();
+      lock.unlock();
+      const DeadlinePoint connect_deadline = DeadlinePoint::Earliest(
+          DeadlinePoint::After(options_.connect_timeout_ms), deadline);
+      Result<int> dialled =
+          DialLoopback(pool->port, connect_deadline, timed_out);
+      if (!dialled.ok()) {
+        lock.lock();
+        --pool->open;
+        pool->UpdateGauges();
+        pool->released.notify_one();
+      }
+      return dialled;
+    }
+    // Pool exhausted: wait for a Release (deadline-bounded).
+    if (!deadline.bounded) {
+      pool->released.wait(lock);
+    } else if (pool->released.wait_for(
+                   lock, std::chrono::milliseconds(deadline.RemainingMs())) ==
+                   std::cv_status::timeout &&
+               pool->idle.empty() &&
+               pool->open >= options_.max_connections_per_silo) {
+      return DeadlineExceeded("waiting for a pooled connection", timed_out);
+    }
+  }
+}
+
+// A transport error on one connection usually means the silo process
+// restarted, which invalidates every pooled connection to it at once —
+// close them so the retry dials fresh instead of popping another stale fd.
+void TcpNetwork::FlushIdle(SiloPool* pool) {
+  std::lock_guard<std::mutex> lock(pool->mu);
+  for (int fd : pool->idle) ::close(fd);
+  pool->open -= pool->idle.size();
+  pool->idle.clear();
+  pool->UpdateGauges();
+  pool->released.notify_all();
+}
+
+void TcpNetwork::Release(SiloPool* pool, int fd, bool reusable) {
+  std::lock_guard<std::mutex> lock(pool->mu);
+  if (reusable && !pool->closed) {
+    pool->idle.push_back(fd);
+  } else {
+    ::close(fd);
+    --pool->open;
+  }
+  pool->UpdateGauges();
+  pool->released.notify_one();
 }
 
 Result<std::vector<uint8_t>> TcpNetwork::Call(
@@ -235,75 +450,79 @@ Result<std::vector<uint8_t>> TcpNetwork::Call(
       trace_id != 0 ? WrapWithTraceId(trace_id, request)
                     : std::vector<uint8_t>();
   const std::vector<uint8_t>& wire = trace_id != 0 ? wrapped : request;
-  Connection* connection = nullptr;
+  SiloPool* pool = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = connections_.find(silo_id);
-    if (it == connections_.end()) {
+    const auto it = pools_.find(silo_id);
+    if (it == pools_.end()) {
       return Status::Unavailable("no silo registered under id " +
                                  std::to_string(silo_id));
     }
-    connection = it->second.get();
+    pool = it->second.get();
   }
 
-  std::lock_guard<std::mutex> connection_lock(connection->mu);
-  // Try the existing connection once; on failure reconnect and retry once
-  // (the silo process may have restarted between calls).
+  const DeadlinePoint deadline =
+      DeadlinePoint::After(options_.request_timeout_ms);
+  // Try a pooled connection once; on a transport error reconnect and
+  // retry once (the silo process may have restarted between calls). A
+  // deadline expiry is terminal: retrying cannot finish in time.
+  Status last_failure = Status::OK();
   for (int attempt = 0; attempt < 2; ++attempt) {
-    if (connection->fd < 0) {
-      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-      if (fd < 0) {
-        return Status::IOError(std::string("socket: ") +
-                               std::strerror(errno));
-      }
-      sockaddr_in address{};
-      address.sin_family = AF_INET;
-      address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      address.sin_port = htons(connection->port);
-      if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
-                    sizeof(address)) < 0) {
-        const Status status = Status::Unavailable(
-            std::string("connect: ") + std::strerror(errno));
-        ::close(fd);
-        return status;
-      }
-      const int enable = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-      connection->fd = fd;
+    bool timed_out = false;
+    Result<int> acquired = Acquire(pool, deadline, &timed_out);
+    if (!acquired.ok()) {
+      if (timed_out) pool->timeouts_total->Increment();
+      // Dial failures (connection refused, timeout) are returned as-is:
+      // a fresh attempt would dial the same dead endpoint.
+      return acquired.status();
     }
+    const int fd = std::move(acquired).ValueOrDie();
 
-    const Status written = WriteFrame(connection->fd, wire);
+    const Status written = WriteFrame(fd, wire, deadline, &timed_out);
     if (!written.ok()) {
-      CloseFd(&connection->fd);
+      Release(pool, fd, /*reusable=*/false);
+      if (timed_out) {
+        pool->timeouts_total->Increment();
+        return written;
+      }
+      last_failure = written;
+      FlushIdle(pool);
       continue;  // reconnect and retry
     }
-    Result<std::vector<uint8_t>> response = ReadFrame(connection->fd);
+    Result<std::vector<uint8_t>> response =
+        ReadFrame(fd, deadline, &timed_out);
     if (!response.ok()) {
-      CloseFd(&connection->fd);
+      // A timed-out connection is never pooled again: the silo may still
+      // send the stale response, which would poison the next exchange.
+      Release(pool, fd, /*reusable=*/false);
+      if (timed_out) {
+        pool->timeouts_total->Increment();
+        return response.status();
+      }
+      last_failure = response.status();
+      FlushIdle(pool);
       continue;
     }
+    Release(pool, fd, /*reusable=*/true);
     stats_.RecordExchange(wire.size(), response->size());
-    MetricsRegistry::Default()
-        .GetCounter("fra_silo_requests_total",
-                    {{"silo", std::to_string(silo_id)},
-                     {"transport", "tcp"}})
-        .Increment();
+    pool->requests_total->Increment();
     return response;
   }
   return Status::Unavailable("silo " + std::to_string(silo_id) +
-                             " unreachable after reconnect");
+                             " unreachable after reconnect: " +
+                             last_failure.ToString());
 }
 
 size_t TcpNetwork::num_silos() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return connections_.size();
+  return pools_.size();
 }
 
 std::vector<int> TcpNetwork::silo_ids() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> ids;
-  ids.reserve(connections_.size());
-  for (const auto& [id, connection] : connections_) ids.push_back(id);
+  ids.reserve(pools_.size());
+  for (const auto& [id, pool] : pools_) ids.push_back(id);
   return ids;
 }
 

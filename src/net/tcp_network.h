@@ -2,6 +2,7 @@
 #define FRA_NET_TCP_NETWORK_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -16,14 +17,19 @@
 
 namespace fra {
 
+class Counter;
+class Gauge;
+
 /// Serves one SiloEndpoint over TCP — the silo side of the paper's
 /// deployment, where every data provider runs on its own machine.
 ///
-/// The wire protocol is trivial framing: a 4-byte little-endian length
-/// followed by the message payload (the same encoded messages the
-/// in-process network carries). One request/response pair per frame
-/// exchange; each accepted connection is served by its own thread, so a
-/// provider may keep several concurrent connections.
+/// The wire protocol is trivial framing: a 4-byte big-endian (network
+/// byte order) length followed by the message payload (the same encoded
+/// messages the in-process network carries). One request/response pair
+/// per frame exchange; each accepted connection is served by its own
+/// thread, so a provider may keep several concurrent connections — the
+/// provider-side connection pool (TcpNetwork below) relies on this to
+/// keep several exchanges with one silo in flight.
 class TcpSiloServer {
  public:
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port), starts the
@@ -67,14 +73,34 @@ class TcpSiloServer {
   std::unordered_set<int> active_fds_;
 };
 
-/// The provider-side transport over real sockets: one persistent
-/// connection per silo, (re)established lazily, with one in-flight
-/// request per connection (concurrent Calls to the *same* silo serialise
-/// on its connection; Calls to different silos proceed in parallel —
-/// matching the single-core silo model of the in-process substrate).
+/// The provider-side transport over real sockets: a small pool of
+/// persistent connections per silo, (re)established lazily, so
+/// concurrent Calls to the *same* silo proceed in parallel up to
+/// Options::max_connections_per_silo (the silo server spawns one thread
+/// per accepted connection). Every Call observes a deadline: connect,
+/// send, and receive are poll-bounded, and a hung or unreachable silo
+/// yields Status::Unavailable within Options::request_timeout_ms instead
+/// of blocking a worker forever — feeding the provider's
+/// retry_on_silo_failure rotation.
 class TcpNetwork : public Network {
  public:
-  TcpNetwork() = default;
+  struct Options {
+    /// Upper bound on concurrently open connections per silo. A Call
+    /// that finds the pool exhausted waits (deadline-bounded) for a
+    /// connection to be released.
+    size_t max_connections_per_silo = 8;
+    /// Time allowed for establishing one TCP connection, in
+    /// milliseconds; <= 0 disables the bound. Also clipped by the
+    /// request deadline when one is set.
+    int connect_timeout_ms = 5000;
+    /// Deadline for one whole Call — pool acquire, connect if needed,
+    /// request write, response read — in milliseconds; <= 0 disables
+    /// the bound (a hung silo then blocks the calling worker forever).
+    int request_timeout_ms = 30000;
+  };
+
+  TcpNetwork() : TcpNetwork(Options()) {}
+  explicit TcpNetwork(const Options& options) : options_(options) {}
   ~TcpNetwork() override;
 
   TcpNetwork(const TcpNetwork&) = delete;
@@ -90,15 +116,44 @@ class TcpNetwork : public Network {
   size_t num_silos() const override;
   std::vector<int> silo_ids() const override;
 
+  const Options& options() const { return options_; }
+
  private:
-  struct Connection {
-    std::mutex mu;       // one in-flight exchange at a time
-    uint16_t port = 0;
-    int fd = -1;         // -1 = not connected
+  /// Connection pool of one silo. `open` counts every live socket
+  /// (idle + checked out); gauges mirror it into the metrics registry.
+  struct SiloPool {
+    SiloPool(int silo_id, uint16_t port);
+
+    const uint16_t port;
+    std::mutex mu;  // guards idle/open
+    std::condition_variable released;
+    std::vector<int> idle;  // connected fds ready for checkout
+    size_t open = 0;
+    bool closed = false;  // network destroyed: release() closes fds
+
+    // Registry instruments, resolved once per silo.
+    Counter* requests_total;
+    Counter* timeouts_total;
+    Gauge* open_gauge;
+    Gauge* busy_gauge;
+
+    void UpdateGauges();  // callers hold mu
   };
 
+  /// Checks a connection out of `pool`, dialling a new one when the pool
+  /// has spare capacity. Blocks (deadline-bounded) when `open` has
+  /// reached max_connections_per_silo. Sets *timed_out when the failure
+  /// was the deadline.
+  Result<int> Acquire(SiloPool* pool, const struct DeadlinePoint& deadline,
+                      bool* timed_out);
+  /// Returns a connection to the pool (`reusable`) or closes it.
+  void Release(SiloPool* pool, int fd, bool reusable);
+  /// Closes every idle connection of `pool` (stale after a silo restart).
+  void FlushIdle(SiloPool* pool);
+
+  const Options options_;
   mutable std::mutex mu_;  // guards the map structure
-  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::unordered_map<int, std::unique_ptr<SiloPool>> pools_;
 };
 
 }  // namespace fra

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "baseline/brute_force.h"
 #include "federation/federation.h"
 #include "tests/test_util.h"
@@ -419,6 +421,84 @@ TEST(ServiceProviderTest, MultiSiloSamplingAveragesAcrossSilos) {
   const CommStats::Snapshot before = provider.comm();
   ASSERT_TRUE(provider.Execute(query, FraAlgorithm::kNonIidEst).ok());
   EXPECT_EQ((provider.comm() - before).messages, 5UL);
+}
+
+TEST(ServiceProviderTest, BatchPreservesResultsAroundAFailingQuery) {
+  auto federation = MakeFederation(IidPartitions(5000, 3, 70));
+  ServiceProvider& provider = federation->provider();
+
+  // Query 2 must fail under a sampling estimator (MIN needs EXACT);
+  // its neighbours must still be answered.
+  std::vector<FraQuery> queries(5, {QueryRange::MakeCircle({30, 30}, 20),
+                                    AggregateKind::kCount});
+  queries[2].kind = AggregateKind::kMin;
+
+  // Without the per-query channel the batch fails as a unit, naming the
+  // offending query.
+  const auto failed = provider.ExecuteBatch(queries, FraAlgorithm::kIidEst);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.status().IsInvalidArgument());
+  EXPECT_NE(failed.status().message().find("batch query 2"),
+            std::string::npos)
+      << failed.status().ToString();
+
+  // With it, every successful answer survives and the failure is
+  // reported positionally.
+  std::vector<Status> statuses;
+  const auto partial = provider.ExecuteBatch(queries, FraAlgorithm::kIidEst,
+                                             nullptr, &statuses);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  ASSERT_EQ(partial->size(), queries.size());
+  ASSERT_EQ(statuses.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i == 2) {
+      EXPECT_TRUE(statuses[i].IsInvalidArgument());
+      EXPECT_TRUE(std::isnan((*partial)[i]));
+    } else {
+      EXPECT_TRUE(statuses[i].ok()) << statuses[i].ToString();
+      EXPECT_GT((*partial)[i], 0.0);
+    }
+  }
+}
+
+TEST(ServiceProviderTest, RatioEstimateSurvivesZeroSumDenominator) {
+  // Signed measures that cancel inside the sampled silo's intersecting
+  // cells: the grid-aggregate SUM over those cells is exactly 0 while
+  // plenty of objects exist. The component-wise ratio of an earlier
+  // revision collapsed the SUM estimate to 0; the single count-ratio
+  // scale of Alg. 2 keeps it anchored to the silo's actual answer.
+  //
+  // Layout: the query rect covers y <= 9; the cell y in [8,10) straddles
+  // its edge. Each silo holds +1-measure objects inside the range and
+  // -1-measure objects in the same cells above the edge, so every
+  // intersecting cell sums to 0.
+  std::vector<ObjectSet> partitions(2);
+  for (size_t s = 0; s < 2; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      const double x = 1.0 + static_cast<double>(i) + 0.2 * (s + 1);
+      partitions[s].push_back({{x, 8.5}, +1.0});   // inside the range
+      partitions[s].push_back({{x, 9.5}, -1.0});   // same cell, outside
+    }
+  }
+  auto federation = MakeFederation(std::move(partitions));
+  ServiceProvider& provider = federation->provider();
+
+  const QueryRange range = QueryRange::MakeRect({0, 0}, {60, 9});
+  const double exact =
+      provider.Execute({range, AggregateKind::kSum}, FraAlgorithm::kExact)
+          .ValueOrDie();
+  ASSERT_DOUBLE_EQ(exact, 100.0);  // all +1 objects, none of the -1s
+
+  for (int silo = 0; silo < 2; ++silo) {
+    const double estimate =
+        provider
+            .ExecuteWithSilo({range, AggregateKind::kSum},
+                             FraAlgorithm::kIidEst, silo)
+            .ValueOrDie();
+    // Each silo's local answer is +50 and the count ratio is 2: the
+    // estimate lands on the federation truth instead of 0.
+    EXPECT_NEAR(estimate, exact, 0.05 * exact) << "silo " << silo;
+  }
 }
 
 }  // namespace

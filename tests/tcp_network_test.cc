@@ -4,15 +4,25 @@
 
 #include "net/tcp_network.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "federation/service_provider.h"
 #include "federation/silo.h"
 #include "net/message.h"
 #include "tests/test_util.h"
+#include "util/metrics.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace fra {
@@ -37,6 +47,63 @@ class FailingEndpoint : public SiloEndpoint {
     return Status::Internal("endpoint exploded");
   }
 };
+
+// Adds a fixed service delay in front of `inner` — a 1-silo latency
+// model for exercising the connection pool's parallelism.
+class DelayingEndpoint : public SiloEndpoint {
+ public:
+  DelayingEndpoint(SiloEndpoint* inner, int delay_ms)
+      : inner_(inner), delay_ms_(delay_ms) {}
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms_));
+    return inner_->HandleMessage(request);
+  }
+
+ private:
+  SiloEndpoint* inner_;
+  const int delay_ms_;
+};
+
+// Once armed, blocks every request until Release() — a hung silo that
+// still lets the federation set up (Alg. 1) beforehand, and that lets
+// the test unblock the server's handler threads at teardown.
+class HangingEndpoint : public SiloEndpoint {
+ public:
+  explicit HangingEndpoint(SiloEndpoint* inner) : inner_(inner) {}
+  ~HangingEndpoint() override { Release(); }
+
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) override {
+    if (armed_.load()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      released_cv_.wait(lock, [this] { return released_; });
+      return Status::Unavailable("silo was hung");
+    }
+    return inner_->HandleMessage(request);
+  }
+
+  void Arm() { armed_.store(true); }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    released_cv_.notify_all();
+  }
+
+ private:
+  SiloEndpoint* inner_;
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;
+  std::condition_variable released_cv_;
+  bool released_ = false;
+};
+
+uint64_t TimeoutsFor(int silo_id) {
+  return MetricsRegistry::Default()
+      .GetCounter("fra_silo_timeouts_total",
+                  {{"silo", std::to_string(silo_id)}, {"transport", "tcp"}})
+      .Value();
+}
 
 TEST(TcpNetworkTest, RoundTripEcho) {
   EchoEndpoint endpoint;
@@ -248,6 +315,217 @@ TEST(TcpNetworkTest, DuplicateRegistrationRejected) {
   ASSERT_TRUE(network.AddSilo(1, 12345).ok());
   EXPECT_EQ(network.AddSilo(1, 12346).code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(network.num_silos(), 1UL);
+}
+
+TEST(TcpNetworkTest, FramesOnTheWireUseNetworkByteOrder) {
+  // A hand-rolled client speaking raw big-endian frames must
+  // interoperate with the server: the frame format is part of the wire
+  // contract (docs/wire_protocol.md), not an implementation detail.
+  EchoEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(server->port());
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)),
+      0);
+
+  // 3-byte payload framed with an explicit big-endian length prefix.
+  const uint8_t frame[] = {0x00, 0x00, 0x00, 0x03, 'f', 'r', 'a'};
+  ASSERT_EQ(::send(fd, frame, sizeof(frame), 0),
+            static_cast<ssize_t>(sizeof(frame)));
+
+  uint8_t echoed[sizeof(frame)] = {0};
+  size_t got = 0;
+  while (got < sizeof(frame)) {
+    const ssize_t n = ::recv(fd, echoed + got, sizeof(frame) - got, 0);
+    ASSERT_GT(n, 0);
+    got += static_cast<size_t>(n);
+  }
+  // Length prefix comes back big-endian too, payload byte-exact.
+  EXPECT_EQ(echoed[0], 0x00);
+  EXPECT_EQ(echoed[1], 0x00);
+  EXPECT_EQ(echoed[2], 0x00);
+  EXPECT_EQ(echoed[3], 0x03);
+  EXPECT_EQ(echoed[4], 'f');
+  EXPECT_EQ(echoed[5], 'r');
+  EXPECT_EQ(echoed[6], 'a');
+  ::close(fd);
+}
+
+TEST(TcpNetworkTest, PooledConnectionsLetOneSiloServeConcurrentCalls) {
+  // 8 concurrent calls against a silo that takes ~60 ms per request:
+  // with one pooled connection per in-flight call they overlap (wall
+  // clock ~1 service time), where the old single-connection transport
+  // serialised them (~8 service times).
+  constexpr int kDelayMs = 60;
+  constexpr int kCallers = 8;
+  EchoEndpoint echo;
+  DelayingEndpoint slow(&echo, kDelayMs);
+  auto server = TcpSiloServer::Start(&slow).ValueOrDie();
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(1, server->port()).ok());
+
+  Timer timer;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kCallers; ++t) {
+    threads.emplace_back([&network, &failures, t] {
+      const std::vector<uint8_t> payload = {static_cast<uint8_t>(t)};
+      auto response = network.Call(1, payload);
+      if (!response.ok() || *response != payload) ++failures;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double elapsed_ms = timer.ElapsedMillis();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(echo.calls.load(), kCallers);
+  // Sequential would be kCallers * kDelayMs = 480 ms; allow generous
+  // scheduling slack while still proving the overlap.
+  EXPECT_LT(elapsed_ms, kCallers * kDelayMs / 2.0);
+}
+
+TEST(TcpNetworkTest, DeadlineFiresOnHungSiloWhileOtherSiloProceeds) {
+  // One hung silo and one healthy one behind the same network: calls to
+  // the healthy silo keep completing while the hung call is in flight,
+  // and the hung call comes back Unavailable within the configured
+  // deadline instead of blocking its worker forever.
+  EchoEndpoint inner;
+  HangingEndpoint hung(&inner);
+  auto hung_server = TcpSiloServer::Start(&hung).ValueOrDie();
+  EchoEndpoint healthy;
+  auto healthy_server = TcpSiloServer::Start(&healthy).ValueOrDie();
+
+  TcpNetwork::Options options;
+  options.request_timeout_ms = 300;
+  TcpNetwork network(options);
+  ASSERT_TRUE(network.AddSilo(7, hung_server->port()).ok());
+  ASSERT_TRUE(network.AddSilo(8, healthy_server->port()).ok());
+  hung.Arm();
+
+  const uint64_t timeouts_before = TimeoutsFor(7);
+  std::atomic<int> healthy_ok{0};
+  std::thread hung_caller([&network] {
+    Timer timer;
+    const auto response = network.Call(7, {1, 2, 3});
+    EXPECT_TRUE(response.status().IsUnavailable())
+        << response.status().ToString();
+    // Bounded: the 300 ms deadline, not a blocking read. The generous
+    // upper bound only guards against an unbounded hang on slow CI.
+    EXPECT_GE(timer.ElapsedMillis(), 250.0);
+    EXPECT_LT(timer.ElapsedMillis(), 5000.0);
+  });
+  // While the hung call is pending, the healthy silo stays responsive.
+  std::vector<std::thread> healthy_callers;
+  for (int t = 0; t < 8; ++t) {
+    healthy_callers.emplace_back([&network, &healthy_ok] {
+      for (int i = 0; i < 10; ++i) {
+        if (network.Call(8, {9}).ok()) ++healthy_ok;
+      }
+    });
+  }
+  for (auto& caller : healthy_callers) caller.join();
+  hung_caller.join();
+
+  EXPECT_EQ(healthy_ok.load(), 80);
+  EXPECT_GT(TimeoutsFor(7), timeouts_before);
+  hung.Release();
+}
+
+TEST(TcpNetworkTest, FederationExecutesPastAHungSiloWithinDeadline) {
+  // The ISSUE-level scenario: >= 8 parallel Execute calls through a real
+  // TcpNetwork while one of three silos hangs mid-operation. Queries
+  // that sample the hung silo time out (Unavailable) and rotate to a
+  // healthy candidate (retry_on_silo_failure), so every call succeeds
+  // in bounded time.
+  std::vector<ObjectSet> partitions;
+  for (int s = 0; s < 3; ++s) {
+    partitions.push_back(testing::RandomObjects(3000, kDomain, 40 + s));
+  }
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+
+  std::vector<std::unique_ptr<Silo>> silos;
+  std::vector<std::unique_ptr<HangingEndpoint>> endpoints;
+  std::vector<std::unique_ptr<TcpSiloServer>> servers;
+  TcpNetwork::Options net_options;
+  net_options.request_timeout_ms = 400;
+  TcpNetwork network(net_options);
+  for (int s = 0; s < 3; ++s) {
+    silos.push_back(Silo::Create(s, partitions[s], silo_options).ValueOrDie());
+    endpoints.push_back(std::make_unique<HangingEndpoint>(silos.back().get()));
+    servers.push_back(TcpSiloServer::Start(endpoints.back().get()).ValueOrDie());
+    ASSERT_TRUE(network.AddSilo(s, servers.back()->port()).ok());
+  }
+  auto provider = ServiceProvider::Create(&network).ValueOrDie();
+  endpoints[2]->Arm();  // silo 2 hangs after Alg. 1 setup
+
+  const uint64_t timeouts_before = TimeoutsFor(2);
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 15),
+                       AggregateKind::kCount};
+  Timer timer;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&provider, &query, &ok] {
+      for (int i = 0; i < 3; ++i) {
+        if (provider->Execute(query, FraAlgorithm::kIidEst).ok()) ++ok;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(ok.load(), 24);  // hung-silo draws rotated to healthy silos
+  // Worst case every query drew silo 2 first: 3 sequential timeouts per
+  // thread (~1.2 s) plus healthy round trips — far under this bound, and
+  // impossible under the old transport, which blocked forever.
+  EXPECT_LT(timer.ElapsedMillis(), 30000.0);
+  EXPECT_GT(TimeoutsFor(2), timeouts_before);
+  endpoints[2]->Release();
+}
+
+TEST(TcpNetworkTest, ExactFanOutOverlapsSiloLatencies) {
+  // Acceptance shape: 8 silos behind a per-call latency model; the
+  // EXACT fan-out must cost ~max(latency), not the 8x sum the old
+  // sequential fan-out paid.
+  constexpr int kSilos = 8;
+  constexpr int kDelayMs = 60;
+  std::vector<ObjectSet> partitions;
+  for (int s = 0; s < kSilos; ++s) {
+    partitions.push_back(testing::RandomObjects(500, kDomain, 60 + s));
+  }
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+
+  std::vector<std::unique_ptr<Silo>> silos;
+  std::vector<std::unique_ptr<DelayingEndpoint>> endpoints;
+  std::vector<std::unique_ptr<TcpSiloServer>> servers;
+  TcpNetwork network;
+  for (int s = 0; s < kSilos; ++s) {
+    silos.push_back(Silo::Create(s, partitions[s], silo_options).ValueOrDie());
+    endpoints.push_back(
+        std::make_unique<DelayingEndpoint>(silos.back().get(), kDelayMs));
+    servers.push_back(TcpSiloServer::Start(endpoints.back().get()).ValueOrDie());
+    ASSERT_TRUE(network.AddSilo(s, servers.back()->port()).ok());
+  }
+  auto provider = ServiceProvider::Create(&network).ValueOrDie();
+
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 15),
+                       AggregateKind::kCount};
+  // Warm the pool (first fan-out dials one connection per silo).
+  ASSERT_TRUE(provider->Execute(query, FraAlgorithm::kExact).ok());
+  Timer timer;
+  ASSERT_TRUE(provider->Execute(query, FraAlgorithm::kExact).ok());
+  const double elapsed_ms = timer.ElapsedMillis();
+  // <= 2x the single-silo latency (sequential would be ~8x).
+  EXPECT_LT(elapsed_ms, 2.0 * kDelayMs);
 }
 
 }  // namespace
