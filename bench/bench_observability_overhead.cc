@@ -1,0 +1,163 @@
+// What does the observability layer cost on the query path? Three
+// scenarios over the same in-process federation and IID-est workload:
+//
+//   baseline   health tracking on (the default), auditor off, no scraper
+//   audit 1%   the default production auditor rate — 1% of approximate
+//              answers re-executed EXACT on the batch pool
+//   scraped    auditor off, an admin server being scraped continuously
+//              (GET /metrics in a tight loop) during the query storm
+//
+// The foreground number is what a caller of ExecuteBatch sees; "drained"
+// additionally waits for the background audit replays, bounding the
+// total extra work the auditor schedules.
+//
+//   ./build/bench/bench_observability_overhead
+//   FRA_BENCH_SCALE=smoke ./build/bench/bench_observability_overhead
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "eval/workload.h"
+#include "federation/federation.h"
+#include "obs/admin_server.h"
+#include "tests/test_util.h"
+#include "util/timer.h"
+
+namespace {
+
+struct ScenarioResult {
+  double foreground_ms = 0.0;
+  double drained_ms = 0.0;
+  // Per-query latency from fra_query_latency_microseconds{IID-est},
+  // read back out of the registry like the figure benches do.
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t scrapes = 0;
+};
+
+// One timed ExecuteBatch round over a freshly built federation (same
+// seed everywhere, so the three scenarios answer identical queries).
+ScenarioResult RunScenario(double audit_sample_rate, bool scrape,
+                           size_t num_objects, size_t num_queries,
+                           int repetitions) {
+  // Scenarios share the process-wide registry; start each from zero so
+  // the read-back below only sees this scenario's queries.
+  fra::MetricsRegistry::Default().Reset();
+
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = num_objects;
+  data_options.seed = 42;
+  fra::FederationDataset dataset =
+      fra::GenerateMobilityData(data_options).ValueOrDie();
+
+  fra::WorkloadOptions workload;
+  workload.num_queries = num_queries;
+  workload.radius_km = 4.0;
+  const std::vector<fra::FraQuery> queries =
+      fra::GenerateQueries(dataset.company_partitions, workload).ValueOrDie();
+
+  fra::FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;
+  options.provider.audit_sample_rate = audit_sample_rate;
+  auto federation =
+      fra::Federation::Create(std::move(dataset.company_partitions), options)
+          .ValueOrDie();
+  fra::ServiceProvider& provider = federation->provider();
+
+  std::unique_ptr<fra::AdminServer> admin;
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<uint64_t> scrapes{0};
+  std::thread scraper;
+  if (scrape) {
+    admin = fra::AdminServer::Start().ValueOrDie();
+    scraper = std::thread([&] {
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        if (fra::testing::HttpGet(admin->port(), "/metrics").ok()) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  ScenarioResult result;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    fra::Timer timer;
+    FRA_CHECK_OK(
+        provider.ExecuteBatch(queries, fra::FraAlgorithm::kIidEst).status());
+    result.foreground_ms += timer.ElapsedMillis();
+    provider.WaitForAudits();
+    result.drained_ms += timer.ElapsedMillis();
+  }
+  result.foreground_ms /= repetitions;
+  result.drained_ms /= repetitions;
+
+  for (const auto& [labels, histogram] :
+       fra::MetricsRegistry::Default().HistogramsNamed(
+           "fra_query_latency_microseconds")) {
+    for (const auto& [key, value] : labels) {
+      if (key == "algorithm" && value == "IID-est") {
+        result.p50_us = histogram->Quantile(0.50);
+        result.p99_us = histogram->Quantile(0.99);
+      }
+    }
+  }
+
+  if (scrape) {
+    stop_scraper.store(true, std::memory_order_relaxed);
+    scraper.join();
+    result.scrapes = scrapes.load(std::memory_order_relaxed);
+    admin->Stop();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const char* scale = std::getenv("FRA_BENCH_SCALE");
+  const bool smoke = scale != nullptr && std::strcmp(scale, "smoke") == 0;
+  const size_t num_objects = smoke ? 20000 : 200000;
+  const size_t num_queries = smoke ? 200 : 2000;
+  const int repetitions = smoke ? 2 : 5;
+
+  std::printf(
+      "IID-est batch of %zu queries, %zu objects, mean of %d rounds\n\n",
+      num_queries, num_objects, repetitions);
+
+  struct Row {
+    const char* name;
+    double audit_rate;
+    bool scrape;
+  };
+  const Row rows[] = {
+      {"baseline (auditor off)", 0.0, false},
+      {"audit 1%", 0.01, false},
+      {"scraped (/metrics loop)", 0.0, true},
+  };
+
+  double baseline_ms = 0.0;
+  std::printf("%-26s %14s %14s %10s %10s %10s\n", "scenario", "foreground ms",
+              "drained ms", "p50 us", "p99 us", "overhead");
+  for (const Row& row : rows) {
+    const ScenarioResult result = RunScenario(
+        row.audit_rate, row.scrape, num_objects, num_queries, repetitions);
+    if (baseline_ms == 0.0) baseline_ms = result.foreground_ms;
+    const double overhead =
+        (result.foreground_ms - baseline_ms) / baseline_ms * 100.0;
+    std::printf("%-26s %14.2f %14.2f %10.2f %10.2f %+9.1f%%\n", row.name,
+                result.foreground_ms, result.drained_ms, result.p50_us,
+                result.p99_us, overhead);
+    if (row.scrape) {
+      std::printf("  (scraper completed %llu /metrics requests during the "
+                  "storm)\n",
+                  static_cast<unsigned long long>(result.scrapes));
+    }
+  }
+  return 0;
+}

@@ -1,9 +1,11 @@
 // Runs a 1000-query ExecuteBatch per algorithm against a synthetic
-// federation, then dumps everything the observability layer collected:
+// federation with the accuracy auditor sampling 10% of approximate
+// answers, then dumps everything the observability layer collected:
 // per-algorithm latency histograms (p50/p95/p99), per-silo query counts,
-// communication byte counters, the full Prometheus-text and JSON exports,
-// and the spans of one traced query. Every metric and span name printed
-// here is documented in docs/observability.md.
+// communication byte counters, the audited relative-error distribution
+// against the (eps, delta) guarantee, the full Prometheus-text and JSON
+// exports, and the spans of one traced query. Every metric and span name
+// printed here is documented in docs/observability.md.
 //
 //   ./build/examples/metrics_dump
 
@@ -70,6 +72,44 @@ void PrintOneTrace() {
   }
 }
 
+// The auditor's verdict: one row per audited estimator with the relative
+// error distribution, plus the guarantee check the (eps, delta) contract
+// promises — p-quantile error <= eps for all but a delta fraction.
+void PrintAuditReport(const fra::ServiceProvider& provider) {
+  const fra::AccuracyAuditor* auditor = provider.auditor();
+  if (auditor == nullptr) {
+    std::printf("\n(auditing disabled — audit_sample_rate == 0)\n");
+    return;
+  }
+  const fra::AccuracyAuditor::Snapshot snapshot = auditor->snapshot();
+  std::printf("\n=== Accuracy audit (eps=%.3f, delta=%.3f, sample rate %.0f%%) ===\n",
+              provider.options().epsilon, provider.options().delta,
+              100.0 * auditor->options().sample_rate);
+  std::printf("approximate answers considered %" PRIu64
+              ", audited %" PRIu64 ", replay failures %" PRIu64 "\n",
+              snapshot.considered, snapshot.audited, snapshot.failures);
+  const auto errors = fra::MetricsRegistry::Default().HistogramsNamed(
+      "fra_estimate_relative_error");
+  if (!errors.empty()) {
+    std::printf("%-16s %8s %10s %10s %10s %10s\n", "algorithm", "audits",
+                "mean", "p50", "p95", "p99");
+    for (const auto& [labels, histogram] : errors) {
+      std::string algorithm = "?";
+      for (const auto& [key, value] : labels) {
+        if (key == "algorithm") algorithm = value;
+      }
+      std::printf("%-16s %8" PRIu64 " %10.4f %10.4f %10.4f %10.4f\n",
+                  algorithm.c_str(), histogram->Count(), histogram->Mean(),
+                  histogram->Quantile(0.50), histogram->Quantile(0.95),
+                  histogram->Quantile(0.99));
+    }
+  }
+  std::printf("guarantee violations (relative error > eps): %" PRIu64
+              " of %" PRIu64 " audited (delta allows %.1f)\n",
+              snapshot.violations, snapshot.audited,
+              provider.options().delta * static_cast<double>(snapshot.audited));
+}
+
 }  // namespace
 
 int main() {
@@ -79,7 +119,7 @@ int main() {
   fra::MobilityDataOptions data_options;
   data_options.num_objects = 100000;
   data_options.seed = 42;
-  data_options.non_iid = true;
+  data_options.non_iid = false;
   auto dataset_result = fra::GenerateMobilityData(data_options);
   if (!dataset_result.ok()) {
     std::fprintf(stderr, "data generation failed: %s\n",
@@ -90,7 +130,7 @@ int main() {
 
   fra::WorkloadOptions workload;
   workload.num_queries = 1000;
-  workload.radius_km = 2.0;
+  workload.radius_km = 8.0;
   auto queries_result =
       fra::GenerateQueries(dataset.company_partitions, workload);
   if (!queries_result.ok()) {
@@ -106,6 +146,12 @@ int main() {
   options.silo.grid_spec.cell_length = 1.5;  // km
   options.provider.epsilon = 0.1;
   options.provider.delta = 0.01;
+  // Average three independent silo samples per query (Sec. 4 variance
+  // knob) so the estimates sit inside the audited guarantee below.
+  options.provider.silos_per_query = 3;
+  // Audit 10% of approximate answers: re-run them EXACT in the background
+  // and score the estimate against the (eps, delta) guarantee.
+  options.provider.audit_sample_rate = 0.1;
   auto federation_result =
       fra::Federation::Create(std::move(dataset.company_partitions), options);
   if (!federation_result.ok()) {
@@ -131,8 +177,12 @@ int main() {
                 fra::FraAlgorithmToString(algorithm), batch->size());
   }
 
+  // Let the background EXACT replays drain before reading their metrics.
+  provider.WaitForAudits();
+
   const fra::MetricsRegistry& registry = fra::MetricsRegistry::Default();
   fra::PrintQueryLatencyTable(registry);
+  PrintAuditReport(provider);
   PrintCounterFamily("Per-silo query counts", "fra_silo_requests_total",
                      /*bytes_family=*/false);
   PrintCounterFamily("Communication bytes", "fra_comm_bytes_total",

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# CI entry point. Three build/test stages, selectable by argument:
+#
+#   scripts/ci.sh tracing-on    # default build (FRA_ENABLE_TRACING=ON), full ctest
+#   scripts/ci.sh tracing-off   # spans compiled out, full ctest
+#   scripts/ci.sh sanitize      # ASan+UBSan, observability-labeled tests
+#   scripts/ci.sh               # all three stages in sequence
+#
+# Each stage uses its own build tree under build-ci/ so stages cannot
+# poison one another's CMake cache.
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_stage() {
+  local stage="$1"
+  local build_dir="${REPO_ROOT}/build-ci/${stage}"
+  local -a cmake_args=(-DCMAKE_BUILD_TYPE=Release)
+  local -a ctest_args=(--output-on-failure -j "${JOBS}")
+
+  case "${stage}" in
+    tracing-on)
+      cmake_args+=(-DFRA_ENABLE_TRACING=ON)
+      ;;
+    tracing-off)
+      cmake_args+=(-DFRA_ENABLE_TRACING=OFF)
+      ;;
+    sanitize)
+      cmake_args+=(
+        -DFRA_ENABLE_TRACING=ON
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        "-DCMAKE_CXX_FLAGS=-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+        "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined"
+      )
+      # The sanitized stage concentrates on the concurrency-heavy
+      # observability surface (registry races, admin server, health
+      # tracker, TCP transport); the plain stages run everything.
+      ctest_args+=(-L observability)
+      ;;
+    *)
+      echo "unknown stage: ${stage}" >&2
+      echo "usage: $0 [tracing-on|tracing-off|sanitize]" >&2
+      exit 2
+      ;;
+  esac
+
+  echo "=== stage ${stage}: configure ==="
+  cmake -S "${REPO_ROOT}" -B "${build_dir}" "${cmake_args[@]}"
+  echo "=== stage ${stage}: build ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== stage ${stage}: test ==="
+  (cd "${build_dir}" && ctest "${ctest_args[@]}")
+  echo "=== stage ${stage}: OK ==="
+}
+
+if [[ $# -eq 0 ]]; then
+  for stage in tracing-on tracing-off sanitize; do
+    run_stage "${stage}"
+  done
+else
+  for stage in "$@"; do
+    run_stage "${stage}"
+  done
+fi

@@ -69,6 +69,10 @@ Status ExperimentRunner::Prepare() {
   options.provider.epsilon = config_.epsilon;
   options.provider.delta = config_.delta;
   options.provider.seed = config_.seed + 3;
+  // The runner measures the paper's communication cost per algorithm and
+  // already scores accuracy against the centralized ground truth; the
+  // background auditor's EXACT replays would pollute both.
+  options.provider.audit_sample_rate = 0.0;
   FRA_ASSIGN_OR_RETURN(federation_,
                        Federation::Create(std::move(partitions), options));
   memory_ = federation_->MemoryUsage();

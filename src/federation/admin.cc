@@ -1,0 +1,133 @@
+#include "federation/admin.h"
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace fra {
+namespace {
+
+HttpResponse Healthz(ServiceProvider* provider) {
+  SiloHealthTracker* health = provider->health();
+  if (health == nullptr) return HttpResponse::Text("ok\n");
+  std::string unhealthy;
+  for (const auto& silo : health->Snapshot()) {
+    if (silo.state == SiloHealthTracker::State::kDown ||
+        silo.state == SiloHealthTracker::State::kProbing) {
+      if (!unhealthy.empty()) unhealthy += ", ";
+      unhealthy += "silo " + std::to_string(silo.silo_id) + " " +
+                   SiloHealthTracker::StateToString(silo.state);
+    }
+  }
+  if (unhealthy.empty()) return HttpResponse::Text("ok\n");
+  return HttpResponse::Text("unhealthy: " + unhealthy + "\n", 503);
+}
+
+HttpResponse Statusz(ServiceProvider* provider) {
+  const ServiceProvider::Options& options = provider->options();
+  std::ostringstream out;
+  out << std::boolalpha;
+  out << "{\n";
+  out << "  \"federation\": {\n";
+  out << "    \"silos\": " << provider->num_silos() << ",\n";
+  out << "    \"epsilon\": " << provider->epsilon() << ",\n";
+  out << "    \"delta\": " << provider->delta() << ",\n";
+  out << "    \"silos_per_query\": " << options.silos_per_query << ",\n";
+  out << "    \"heterogeneity\": " << provider->MeasureHeterogeneity()
+      << ",\n";
+  out << "    \"recommended_algorithm\": \""
+      << FraAlgorithmToString(provider->RecommendAlgorithm(true)) << "\",\n";
+  out << "    \"grid_memory_bytes\": " << provider->GridMemoryUsage() << "\n";
+  out << "  },\n";
+  out << "  \"build\": {\n";
+#if defined(FRA_ENABLE_TRACING) && FRA_ENABLE_TRACING
+  out << "    \"tracing_compiled\": true,\n";
+#else
+  out << "    \"tracing_compiled\": false,\n";
+#endif
+  out << "    \"tracing_enabled\": " << Tracer::Get().enabled() << "\n";
+  out << "  },\n";
+
+  out << "  \"silos\": [";
+  if (SiloHealthTracker* health = provider->health()) {
+    bool first = true;
+    for (const auto& silo : health->Snapshot()) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "    {\"silo\": " << silo.silo_id << ", \"state\": \""
+          << SiloHealthTracker::StateToString(silo.state)
+          << "\", \"latency_ewma_micros\": " << silo.latency_ewma_micros
+          << ", \"successes\": " << silo.successes
+          << ", \"failures\": " << silo.failures
+          << ", \"window_failure_ratio\": " << silo.window_failure_ratio
+          << "}";
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "],\n";
+
+  // The TCP transport mirrors its pool occupancy into these gauges; an
+  // in-process federation simply has none registered.
+  out << "  \"tcp_pools\": [";
+  {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    const auto open_gauges =
+        registry.GaugesNamed("fra_tcp_pool_open_connections");
+    const auto busy_gauges =
+        registry.GaugesNamed("fra_tcp_pool_busy_connections");
+    bool first = true;
+    for (size_t i = 0; i < open_gauges.size(); ++i) {
+      std::string silo = "-1";
+      for (const auto& [key, value] : open_gauges[i].first) {
+        if (key == "silo") silo = value;
+      }
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "    {\"silo\": " << silo
+          << ", \"open\": " << open_gauges[i].second->Value()
+          << ", \"busy\": "
+          << (i < busy_gauges.size() ? busy_gauges[i].second->Value() : 0.0)
+          << "}";
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "],\n";
+
+  out << "  \"audit\": ";
+  if (AccuracyAuditor* auditor = provider->auditor()) {
+    const AccuracyAuditor::Snapshot audit = auditor->snapshot();
+    out << "{\"sample_rate\": " << auditor->options().sample_rate
+        << ", \"considered\": " << audit.considered
+        << ", \"audited\": " << audit.audited
+        << ", \"failures\": " << audit.failures
+        << ", \"violations\": " << audit.violations
+        << ", \"max_relative_error\": " << audit.max_relative_error
+        << ", \"mean_relative_error\": " << audit.mean_relative_error
+        << "},\n";
+  } else {
+    out << "null,\n";
+  }
+
+  const CommStats::Snapshot comm = provider->comm();
+  out << "  \"comm\": {\"messages\": " << comm.messages
+      << ", \"bytes_to_silos\": " << comm.bytes_to_silos
+      << ", \"bytes_to_provider\": " << comm.bytes_to_provider << "}\n";
+  out << "}\n";
+  return HttpResponse::Json(out.str());
+}
+
+}  // namespace
+
+void InstallFederationAdminHandlers(AdminServer* server,
+                                    ServiceProvider* provider) {
+  server->AddHandler("/healthz",
+                     [provider] { return Healthz(provider); });
+  server->AddHandler("/statusz",
+                     [provider] { return Statusz(provider); });
+}
+
+}  // namespace fra

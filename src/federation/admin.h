@@ -1,0 +1,25 @@
+#ifndef FRA_FEDERATION_ADMIN_H_
+#define FRA_FEDERATION_ADMIN_H_
+
+#include "federation/service_provider.h"
+#include "obs/admin_server.h"
+
+namespace fra {
+
+/// Wires a live federation into an AdminServer:
+///
+///   /healthz  200 "ok" while every silo is selectable, 503 listing the
+///             down/probing silos otherwise (degraded silos keep the
+///             federation healthy — they still answer queries).
+///   /statusz  one JSON object: federation shape and tuning, build
+///             flags, per-silo health snapshots, TCP connection-pool
+///             occupancy, auditor counters and communication totals.
+///
+/// `provider` must outlive `server`. Without health tracking /healthz
+/// reports 200 unconditionally (liveness only).
+void InstallFederationAdminHandlers(AdminServer* server,
+                                    ServiceProvider* provider);
+
+}  // namespace fra
+
+#endif  // FRA_FEDERATION_ADMIN_H_

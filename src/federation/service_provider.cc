@@ -80,6 +80,19 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
                                     : provider->silo_ids_.size();
   provider->fanout_pool_ = std::make_unique<ThreadPool>(fanout_threads);
 
+  // Observability wiring before the first network call, so the Alg. 1
+  // grid fetch already feeds the health tracker.
+  if (options.track_silo_health) {
+    provider->health_ = std::make_unique<SiloHealthTracker>(options.health);
+    network->set_call_observer(provider->health_.get());
+  }
+  if (options.audit_sample_rate > 0.0) {
+    AccuracyAuditor::Options audit_options;
+    audit_options.sample_rate = options.audit_sample_rate;
+    audit_options.seed = options.seed ^ 0xA0D17ULL;
+    provider->auditor_ = std::make_unique<AccuracyAuditor>(audit_options);
+  }
+
   // Alg. 1: fetch every silo's grid index and merge them into g_0. The
   // fetches (round trip + deserialize) run one per silo on the fan-out
   // pool — over TCP the setup cost is max(silo latency), not the sum.
@@ -124,6 +137,20 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
   return provider;
 }
 
+ServiceProvider::~ServiceProvider() {
+  // In-flight background audits replay queries through the pools and the
+  // caller's network; drain them while every member is still alive (the
+  // fan-out pool is destroyed before the batch pool otherwise).
+  if (batch_pool_ != nullptr) batch_pool_->WaitIdle();
+  if (health_ != nullptr && network_->call_observer() == health_.get()) {
+    network_->set_call_observer(nullptr);
+  }
+}
+
+void ServiceProvider::WaitForAudits() {
+  if (batch_pool_ != nullptr) batch_pool_->WaitIdle();
+}
+
 const GridIndex& ServiceProvider::silo_grid(int silo_id) const {
   const auto it = silo_grids_.find(silo_id);
   FRA_CHECK(it != silo_grids_.end()) << "unknown silo id " << silo_id;
@@ -151,7 +178,35 @@ Result<double> ServiceProvider::Execute(const FraQuery& query,
     return ExecuteSampled(query, algorithm, NextDraw());
   }();
   RecordQueryMetrics(algorithm, result.ok(), timer.ElapsedSeconds());
+  MaybeAuditAsync(query, algorithm, result);
   return result;
+}
+
+void ServiceProvider::MaybeAuditAsync(const FraQuery& query,
+                                      FraAlgorithm algorithm,
+                                      const Result<double>& result) {
+  if (auditor_ == nullptr || algorithm == FraAlgorithm::kExact ||
+      algorithm == FraAlgorithm::kOpta || !result.ok()) {
+    return;
+  }
+  if (!auditor_->ShouldAudit()) return;
+  // Fire-and-forget on the batch pool: the replay's fan-out legs run on
+  // the (leaf) fan-out pool, so audits queued from batch workers cannot
+  // deadlock. The replay bypasses Execute so the audit traffic never
+  // shows up in fra_queries_total / query latency histograms.
+  const double estimate = *result;
+  const double epsilon = options_.epsilon;
+  const std::string name = FraAlgorithmToString(algorithm);
+  (void)batch_pool_->Submit([this, query, estimate, epsilon, name] {
+    FRA_TRACE_SPAN("provider.audit");
+    const Result<double> exact =
+        ExecuteWithSilo(query, FraAlgorithm::kExact, -1);
+    if (exact.ok()) {
+      auditor_->Record(name, estimate, *exact, epsilon);
+    } else {
+      auditor_->RecordFailure(name);
+    }
+  });
 }
 
 Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
@@ -194,20 +249,56 @@ Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
   // failed silos when retry is enabled. Averaging the summaries (not the
   // finalised values) keeps AVG/STDEV consistent: the ratio is taken once
   // on the averaged components.
+  //
+  // With health tracking on, the rotation runs over the selectable
+  // (up/degraded) candidates only, so the draw cannot land on a silo the
+  // breaker has opened for. When the backoff of a down candidate has
+  // elapsed, exactly one query per interval claims it as a recovery probe
+  // and tries it FIRST — a successful answer readmits the silo, a failure
+  // re-opens the breaker and the query rotates on as usual. All
+  // candidates down and no probe due: fail open and try everyone rather
+  // than failing the query without a single exchange.
+  std::vector<int> order;
+  order.reserve(candidates.size());
+  const auto rotate_into_order = [&](const std::vector<int>& from) {
+    const size_t start = static_cast<size_t>(draw % from.size());
+    for (size_t i = 0; i < from.size(); ++i) {
+      order.push_back(from[(start + i) % from.size()]);
+    }
+  };
+  if (health_ != nullptr) {
+    std::vector<int> selectable;
+    selectable.reserve(candidates.size());
+    for (int silo_id : candidates) {
+      if (health_->IsSelectable(silo_id)) selectable.push_back(silo_id);
+    }
+    if (!selectable.empty()) rotate_into_order(selectable);
+    if (options_.retry_on_silo_failure) {
+      // Probing costs one attempt, so only a query that can rotate away
+      // from a still-dead silo volunteers.
+      for (int silo_id : candidates) {
+        if (!health_->IsSelectable(silo_id) &&
+            health_->TryBeginProbe(silo_id)) {
+          order.insert(order.begin(), silo_id);
+          break;
+        }
+      }
+    }
+    if (order.empty()) rotate_into_order(candidates);
+  } else {
+    rotate_into_order(candidates);
+  }
+
   const size_t want =
-      std::max<size_t>(1, std::min(options_.silos_per_query,
-                                   candidates.size()));
-  size_t index = static_cast<size_t>(draw % candidates.size());
+      std::max<size_t>(1, std::min(options_.silos_per_query, order.size()));
   Status last_failure = Status::OK();
   AggregateSummary accumulated;
   double collected = 0.0;
-  const size_t attempts =
-      options_.retry_on_silo_failure ? candidates.size() : want;
+  const size_t attempts = options_.retry_on_silo_failure ? order.size() : want;
   for (size_t attempt = 0; attempt < attempts && collected < want;
        ++attempt) {
     Result<AggregateSummary> partial =
-        RunAlgorithm(query.range, algorithm, candidates[index]);
-    index = (index + 1) % candidates.size();
+        RunAlgorithm(query.range, algorithm, order[attempt]);
     if (partial.ok()) {
       accumulated.count += partial->count;
       accumulated.sum += partial->sum;
@@ -471,6 +562,7 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
         (*latencies_seconds)[i] = seconds;
       }
       RecordQueryMetrics(algorithm, result.ok(), seconds);
+      MaybeAuditAsync(queries[i], algorithm, result);
       if (result.ok()) {
         results[i] = *result;
       } else {

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "federation/query.h"
+#include "federation/silo_health.h"
 #include "index/grid_index.h"
 #include "net/network.h"
+#include "obs/accuracy_auditor.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -74,6 +76,16 @@ class ServiceProvider {
     /// estimator family (mean total-variation distance, see
     /// MeasureHeterogeneity).
     double heterogeneity_threshold = 0.05;
+    /// Track per-silo health at the network boundary and steer the
+    /// single-silo sampling toward healthy silos (docs/observability.md,
+    /// "Silo health").
+    bool track_silo_health = true;
+    /// State-machine tuning of the health tracker.
+    SiloHealthTracker::Options health;
+    /// Fraction of successful approximate queries re-executed EXACT in
+    /// the background to audit the (eps, delta) guarantee; 0 disables
+    /// the auditor.
+    double audit_sample_rate = 0.01;
   };
 
   /// Runs Alg. 1 against every silo registered with `network`.
@@ -84,6 +96,10 @@ class ServiceProvider {
       Network* network) {
     return Create(network, Options());
   }
+
+  /// Drains in-flight background audits and detaches the health tracker
+  /// from the network.
+  ~ServiceProvider();
 
   /// Executes one FRA query. Single-silo algorithms sample the silo from
   /// the provider's seeded generator. MIN/MAX require kExact.
@@ -148,6 +164,17 @@ class ServiceProvider {
   /// Communication counters of the underlying network.
   CommStats::Snapshot comm() const { return network_->stats().Read(); }
 
+  /// The per-silo health tracker (null when track_silo_health is off).
+  SiloHealthTracker* health() const { return health_.get(); }
+  /// The guarantee auditor (null when audit_sample_rate is 0).
+  AccuracyAuditor* auditor() const { return auditor_.get(); }
+
+  /// Blocks until every background audit queued so far has completed
+  /// (tests and the metrics_dump demo read auditor counters after this).
+  void WaitForAudits();
+
+  const Options& options() const { return options_; }
+
  private:
   explicit ServiceProvider(Network* network, const Options& options)
       : network_(network), options_(options), rng_(options.seed) {}
@@ -169,6 +196,12 @@ class ServiceProvider {
   Result<AggregateSummary> RunAlgorithm(const QueryRange& range,
                                         FraAlgorithm algorithm, int silo_id);
 
+  /// Audits `result` with probability audit_sample_rate: queues an EXACT
+  /// re-execution of `query` on the batch pool and scores the estimate
+  /// against it (fire-and-forget; WaitForAudits drains).
+  void MaybeAuditAsync(const FraQuery& query, FraAlgorithm algorithm,
+                       const Result<double>& result);
+
   Network* network_;
   Options options_;
   std::vector<int> silo_ids_;
@@ -179,6 +212,8 @@ class ServiceProvider {
   // fetch); separate from batch_pool_ so a batch worker that fans out
   // blocks only on leaf tasks, never on tasks queued behind itself.
   std::unique_ptr<ThreadPool> fanout_pool_;
+  std::unique_ptr<SiloHealthTracker> health_;
+  std::unique_ptr<AccuracyAuditor> auditor_;
   std::mutex rng_mu_;
   Rng rng_;
 };

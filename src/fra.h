@@ -19,11 +19,13 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "eval/workload.h"
+#include "federation/admin.h"
 #include "federation/federation.h"
 #include "federation/privacy.h"
 #include "federation/query.h"
 #include "federation/service_provider.h"
 #include "federation/silo.h"
+#include "federation/silo_health.h"
 #include "geo/circle.h"
 #include "geo/point.h"
 #include "geo/projection.h"
@@ -35,6 +37,8 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "net/tcp_network.h"
+#include "obs/accuracy_auditor.h"
+#include "obs/admin_server.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/metrics.h"

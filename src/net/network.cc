@@ -5,9 +5,45 @@
 #include <thread>
 
 #include "net/message.h"
+#include "util/timer.h"
 #include "util/trace.h"
 
 namespace fra {
+
+Network::SiloInstruments Network::InstrumentsFor(int silo_id) {
+  std::lock_guard<std::mutex> lock(instruments_mu_);
+  const auto it = instruments_.find(silo_id);
+  if (it != instruments_.end()) return it->second;
+  const MetricLabels labels = {{"silo", std::to_string(silo_id)},
+                               {"transport", transport_name()}};
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  const SiloInstruments instruments{
+      &registry.GetCounter("fra_silo_requests_total", labels),
+      &registry.GetCounter("fra_silo_timeouts_total", labels)};
+  return instruments_.emplace(silo_id, instruments).first->second;
+}
+
+Result<std::vector<uint8_t>> Network::Call(
+    int silo_id, const std::vector<uint8_t>& request) {
+  Timer timer;
+  Result<std::vector<uint8_t>> response = CallImpl(silo_id, request);
+  const double micros = timer.ElapsedMicros();
+  // The transport-agnostic accounting point (both substrates land here):
+  // successful round trips count toward fra_silo_requests_total, and any
+  // Unavailable outcome — deadline expiry, refused connection, hung or
+  // unregistered silo — toward fra_silo_timeouts_total.
+  const SiloInstruments instruments = InstrumentsFor(silo_id);
+  const Status status = response.status();
+  if (status.ok()) {
+    instruments.requests_total->Increment();
+  } else if (status.IsUnavailable()) {
+    instruments.timeouts_total->Increment();
+  }
+  if (SiloCallObserver* observer = call_observer()) {
+    observer->OnSiloCall(silo_id, status, micros);
+  }
+  return response;
+}
 
 Status InProcessNetwork::RegisterSilo(int silo_id, SiloEndpoint* endpoint) {
   if (endpoint == nullptr) {
@@ -23,7 +59,7 @@ Status InProcessNetwork::RegisterSilo(int silo_id, SiloEndpoint* endpoint) {
   return Status::OK();
 }
 
-Result<std::vector<uint8_t>> InProcessNetwork::Call(
+Result<std::vector<uint8_t>> InProcessNetwork::CallImpl(
     int silo_id, const std::vector<uint8_t>& request) {
   FRA_TRACE_SPAN("net.inprocess.call");
   SiloEndpoint* endpoint = nullptr;
@@ -46,11 +82,6 @@ Result<std::vector<uint8_t>> InProcessNetwork::Call(
   FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
                        endpoint->HandleMessage(request));
   stats_.RecordExchange(request_bytes, response.size());
-  MetricsRegistry::Default()
-      .GetCounter("fra_silo_requests_total",
-                  {{"silo", std::to_string(silo_id)},
-                   {"transport", "inprocess"}})
-      .Increment();
 
   if (latency_.fixed_micros > 0.0 || latency_.per_kb_micros > 0.0) {
     const double kb =

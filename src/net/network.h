@@ -89,10 +89,34 @@ class SiloEndpoint {
       const std::vector<uint8_t>& request) = 0;
 };
 
+/// Observes the outcome of every Network::Call — the hook the
+/// federation's SiloHealthTracker hangs off so per-silo availability is
+/// tracked at the provider/network boundary, identically for every
+/// transport. Implementations must be thread safe (calls arrive from
+/// every query worker concurrently).
+class SiloCallObserver {
+ public:
+  virtual ~SiloCallObserver() = default;
+
+  /// One completed exchange with `silo_id`: its final Status (OK on
+  /// success; Unavailable covers timeouts, refused connections and hung
+  /// silos) and the wall-clock duration of the whole Call in
+  /// microseconds.
+  virtual void OnSiloCall(int silo_id, const Status& status,
+                          double micros) = 0;
+};
+
 /// The transport the service provider speaks through: one synchronous
 /// request/response exchange per Call. Implementations must be safe for
 /// concurrent calls (the Alg. 4 framework issues them from a worker per
 /// query) and must account every exchange in stats().
+///
+/// Call itself is the transport-agnostic boundary: it times the exchange,
+/// maintains the per-silo `fra_silo_requests_total` /
+/// `fra_silo_timeouts_total` registry counters (labelled by transport),
+/// and notifies the installed SiloCallObserver — transports implement
+/// CallImpl only, so failure accounting can never diverge between the
+/// in-process and TCP substrates.
 ///
 /// Two implementations ship with the library: InProcessNetwork (below,
 /// silos in the same process — the default evaluation substrate) and
@@ -102,18 +126,50 @@ class Network {
  public:
   virtual ~Network() = default;
 
-  /// One request/response exchange with a silo.
-  virtual Result<std::vector<uint8_t>> Call(
-      int silo_id, const std::vector<uint8_t>& request) = 0;
+  /// One request/response exchange with a silo: delegates to the
+  /// transport's CallImpl, then records the outcome (counters + observer).
+  Result<std::vector<uint8_t>> Call(int silo_id,
+                                    const std::vector<uint8_t>& request);
+
+  /// Stable transport label for per-silo metrics ("inprocess", "tcp").
+  virtual const char* transport_name() const = 0;
 
   virtual size_t num_silos() const = 0;
   virtual std::vector<int> silo_ids() const = 0;
+
+  /// Installs (or clears, with nullptr) the observer notified after every
+  /// Call. At most one observer at a time; the caller must keep it alive
+  /// until it is cleared or the network is destroyed.
+  void set_call_observer(SiloCallObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+  SiloCallObserver* call_observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
 
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }
 
  protected:
+  /// The transport-specific exchange; implementations account bytes in
+  /// stats() but leave per-silo outcome recording to Call.
+  virtual Result<std::vector<uint8_t>> CallImpl(
+      int silo_id, const std::vector<uint8_t>& request) = 0;
+
   CommStats stats_;
+
+ private:
+  // Per-silo registry counters, resolved once so the per-call cost is one
+  // small map lookup under a short lock plus lock-free increments.
+  struct SiloInstruments {
+    Counter* requests_total;
+    Counter* timeouts_total;
+  };
+  SiloInstruments InstrumentsFor(int silo_id);
+
+  std::atomic<SiloCallObserver*> observer_{nullptr};
+  std::mutex instruments_mu_;
+  std::unordered_map<int, SiloInstruments> instruments_;
 };
 
 /// The federation's transport, simulated in process.
@@ -140,13 +196,15 @@ class InProcessNetwork : public Network {
   /// the network). Fails if the id is taken.
   Status RegisterSilo(int silo_id, SiloEndpoint* endpoint);
 
-  /// One request/response exchange with a silo. Accounts bytes both ways
-  /// and applies the latency model. Unknown ids yield Unavailable.
-  Result<std::vector<uint8_t>> Call(
-      int silo_id, const std::vector<uint8_t>& request) override;
-
+  const char* transport_name() const override { return "inprocess"; }
   size_t num_silos() const override;
   std::vector<int> silo_ids() const override;
+
+ protected:
+  /// One request/response exchange with a silo. Accounts bytes both ways
+  /// and applies the latency model. Unknown ids yield Unavailable.
+  Result<std::vector<uint8_t>> CallImpl(
+      int silo_id, const std::vector<uint8_t>& request) override;
 
  private:
   LatencyModel latency_;

@@ -337,10 +337,6 @@ TcpNetwork::SiloPool::SiloPool(int silo_id, uint16_t pool_port)
     : port(pool_port) {
   const std::string silo = std::to_string(silo_id);
   MetricsRegistry& registry = MetricsRegistry::Default();
-  requests_total = &registry.GetCounter(
-      "fra_silo_requests_total", {{"silo", silo}, {"transport", "tcp"}});
-  timeouts_total = &registry.GetCounter(
-      "fra_silo_timeouts_total", {{"silo", silo}, {"transport", "tcp"}});
   open_gauge =
       &registry.GetGauge("fra_tcp_pool_open_connections", {{"silo", silo}});
   busy_gauge =
@@ -440,7 +436,7 @@ void TcpNetwork::Release(SiloPool* pool, int fd, bool reusable) {
   pool->released.notify_one();
 }
 
-Result<std::vector<uint8_t>> TcpNetwork::Call(
+Result<std::vector<uint8_t>> TcpNetwork::CallImpl(
     int silo_id, const std::vector<uint8_t>& request) {
   FRA_TRACE_SPAN("net.tcp.call");
   // Under an active trace, ship the trace id ahead of the payload so the
@@ -471,7 +467,6 @@ Result<std::vector<uint8_t>> TcpNetwork::Call(
     bool timed_out = false;
     Result<int> acquired = Acquire(pool, deadline, &timed_out);
     if (!acquired.ok()) {
-      if (timed_out) pool->timeouts_total->Increment();
       // Dial failures (connection refused, timeout) are returned as-is:
       // a fresh attempt would dial the same dead endpoint.
       return acquired.status();
@@ -481,10 +476,7 @@ Result<std::vector<uint8_t>> TcpNetwork::Call(
     const Status written = WriteFrame(fd, wire, deadline, &timed_out);
     if (!written.ok()) {
       Release(pool, fd, /*reusable=*/false);
-      if (timed_out) {
-        pool->timeouts_total->Increment();
-        return written;
-      }
+      if (timed_out) return written;
       last_failure = written;
       FlushIdle(pool);
       continue;  // reconnect and retry
@@ -495,17 +487,13 @@ Result<std::vector<uint8_t>> TcpNetwork::Call(
       // A timed-out connection is never pooled again: the silo may still
       // send the stale response, which would poison the next exchange.
       Release(pool, fd, /*reusable=*/false);
-      if (timed_out) {
-        pool->timeouts_total->Increment();
-        return response.status();
-      }
+      if (timed_out) return response.status();
       last_failure = response.status();
       FlushIdle(pool);
       continue;
     }
     Release(pool, fd, /*reusable=*/true);
     stats_.RecordExchange(wire.size(), response->size());
-    pool->requests_total->Increment();
     return response;
   }
   return Status::Unavailable("silo " + std::to_string(silo_id) +

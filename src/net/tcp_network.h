@@ -17,7 +17,6 @@
 
 namespace fra {
 
-class Counter;
 class Gauge;
 
 /// Serves one SiloEndpoint over TCP — the silo side of the paper's
@@ -110,13 +109,15 @@ class TcpNetwork : public Network {
   /// TcpSiloServer's port). No connection is made until the first Call.
   Status AddSilo(int silo_id, uint16_t port);
 
-  Result<std::vector<uint8_t>> Call(
-      int silo_id, const std::vector<uint8_t>& request) override;
-
+  const char* transport_name() const override { return "tcp"; }
   size_t num_silos() const override;
   std::vector<int> silo_ids() const override;
 
   const Options& options() const { return options_; }
+
+ protected:
+  Result<std::vector<uint8_t>> CallImpl(
+      int silo_id, const std::vector<uint8_t>& request) override;
 
  private:
   /// Connection pool of one silo. `open` counts every live socket
@@ -131,9 +132,9 @@ class TcpNetwork : public Network {
     size_t open = 0;
     bool closed = false;  // network destroyed: release() closes fds
 
-    // Registry instruments, resolved once per silo.
-    Counter* requests_total;
-    Counter* timeouts_total;
+    // Registry instruments, resolved once per silo. Request/timeout
+    // counters live at the Network::Call boundary (transport-agnostic);
+    // the pool only owns its occupancy gauges.
     Gauge* open_gauge;
     Gauge* busy_gauge;
 

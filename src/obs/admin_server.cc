@@ -1,0 +1,299 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/trace.h"
+
+namespace fra {
+namespace {
+
+// Requests whose head grows past this are dropped before the headers
+// finish parsing — admin requests are a request line plus a handful of
+// headers; anything larger is a confused or hostile client.
+constexpr size_t kMaxRequestHeadBytes = 16 * 1024;
+
+/// Absolute wait bound for one connection's I/O; unbounded when the
+/// server's io_timeout_ms <= 0 (mirrors the TCP transport's
+/// DeadlinePoint, re-declared here because obs must not depend on net).
+struct IoDeadline {
+  std::chrono::steady_clock::time_point at;
+  bool bounded = false;
+
+  static IoDeadline After(int ms) {
+    IoDeadline deadline;
+    if (ms > 0) {
+      deadline.at =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+      deadline.bounded = true;
+    }
+    return deadline;
+  }
+
+  int RemainingMs() const {
+    if (!bounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at - std::chrono::steady_clock::now());
+    return std::max<int>(0, static_cast<int>(left.count()));
+  }
+};
+
+// Blocks until `fd` is ready for `events` or the deadline passes; a
+// positive poll() only promises progress, so callers loop.
+Status WaitReady(int fd, short events, const IoDeadline& deadline,
+                 const char* what) {
+  for (;;) {
+    pollfd entry{};
+    entry.fd = fd;
+    entry.events = events;
+    const int n = ::poll(&entry, 1, deadline.RemainingMs());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Unavailable(std::string("deadline exceeded: ") + what);
+    }
+    return Status::OK();
+  }
+}
+
+Status WriteAll(int fd, const std::string& data, const IoDeadline& deadline) {
+  const char* p = data.data();
+  size_t size = data.size();
+  while (size > 0) {
+    FRA_RETURN_NOT_OK(WaitReady(fd, POLLOUT, deadline, "sending response"));
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Reads until the blank line ending the request head (we never consume a
+// body: every admin route is GET). Returns the head, headers included.
+Result<std::string> ReadRequestHead(int fd, const IoDeadline& deadline) {
+  std::string head;
+  char buffer[1024];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (head.size() > kMaxRequestHeadBytes) {
+      return Status::InvalidArgument("request head too large");
+    }
+    FRA_RETURN_NOT_OK(WaitReady(fd, POLLIN, deadline, "reading request"));
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed before request completed");
+    }
+    head.append(buffer, static_cast<size_t>(n));
+  }
+  return head;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::ostringstream out;
+  out << "HTTP/1.0 " << response.status << " "
+      << StatusReason(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n";
+  if (response.status == 405) out << "Allow: GET\r\n";
+  out << "\r\n" << response.body;
+  return out.str();
+}
+
+void CloseFd(int* fd) {
+  if (*fd >= 0) {
+    ::close(*fd);
+    *fd = -1;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AdminServer>> AdminServer::Start(
+    const Options& options) {
+  std::unique_ptr<AdminServer> server(new AdminServer());
+  server->options_ = options;
+  server->InstallBuiltinHandlers();
+
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(options.port);
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t address_len = sizeof(address);
+  if (::getsockname(server->listen_fd_,
+                    reinterpret_cast<sockaddr*>(&address),
+                    &address_len) < 0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  server->port_ = ntohs(address.sin_port);
+  if (::listen(server->listen_fd_, 64) < 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    CloseFd(&listen_fd_);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    workers.swap(workers_);
+    // Wake workers blocked in recv() on live connections; each closes
+    // its own fd on exit.
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void AdminServer::AddHandler(const std::string& path, Handler handler) {
+  FRA_CHECK(!path.empty() && path[0] == '/')
+      << "handler path must start with /: " << path;
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[path] = std::move(handler);
+}
+
+void AdminServer::InstallBuiltinHandlers() {
+  MetricsRegistry* registry = options_.registry;
+  AddHandler("/metrics", [registry] {
+    HttpResponse response = HttpResponse::Text(registry->ExportPrometheus());
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return response;
+  });
+  AddHandler("/metrics.json", [registry] {
+    return HttpResponse::Json(registry->ExportJson());
+  });
+  AddHandler("/tracez", [] {
+    return HttpResponse::Json(Tracer::Get().ExportChromeTrace());
+  });
+  // Plain liveness; the federation glue overrides this with real
+  // readiness (503 while any silo is down).
+  AddHandler("/healthz", [] { return HttpResponse::Text("ok\n"); });
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int connection_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (connection_fd < 0) {
+      if (stopping_.load()) return;
+      if (errno == EINTR) continue;
+      return;  // listening socket broken; stop serving
+    }
+    const int enable = 1;
+    ::setsockopt(connection_fd, IPPROTO_TCP, TCP_NODELAY, &enable,
+                 sizeof(enable));
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    if (stopping_.load()) {
+      ::close(connection_fd);
+      return;
+    }
+    active_fds_.insert(connection_fd);
+    workers_.emplace_back([this, connection_fd] {
+      ServeConnection(connection_fd);
+    });
+  }
+}
+
+HttpResponse AdminServer::Dispatch(const std::string& method,
+                                   const std::string& path) {
+  if (method != "GET") {
+    return HttpResponse::Text("method not allowed\n", 405);
+  }
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    const auto it = handlers_.find(path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    return HttpResponse::Text("not found: " + path + "\n", 404);
+  }
+  return handler();
+}
+
+void AdminServer::ServeConnection(int connection_fd) {
+  int fd = connection_fd;
+  const IoDeadline deadline = IoDeadline::After(options_.io_timeout_ms);
+  Result<std::string> head = ReadRequestHead(fd, deadline);
+  if (head.ok()) {
+    // Request line: METHOD SP TARGET SP VERSION. The target's query
+    // string does not participate in routing.
+    std::istringstream line(head.ValueOrDie());
+    std::string method, target;
+    line >> method >> target;
+    const size_t query = target.find('?');
+    if (query != std::string::npos) target.resize(query);
+    const HttpResponse response = Dispatch(method, target);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    // A scraper that stops reading mid-response is its own problem; the
+    // deadline guarantees this send cannot wedge the worker.
+    (void)WriteAll(fd, RenderResponse(response), deadline);
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    active_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+}  // namespace fra

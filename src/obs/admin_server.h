@@ -1,0 +1,121 @@
+#ifndef FRA_OBS_ADMIN_SERVER_H_
+#define FRA_OBS_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/result.h"
+
+namespace fra {
+
+/// One admin-endpoint response: status line + content type + body.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(std::string body, int status = 200) {
+    HttpResponse response;
+    response.status = status;
+    response.body = std::move(body);
+    return response;
+  }
+  static HttpResponse Json(std::string body, int status = 200) {
+    HttpResponse response;
+    response.status = status;
+    response.content_type = "application/json";
+    response.body = std::move(body);
+    return response;
+  }
+};
+
+/// Minimal embedded HTTP/1.0 admin server — the scrape/debug surface of
+/// a deployed federation. Serves GET only, one request per connection
+/// (Connection: close), each accepted connection on its own thread, all
+/// socket I/O poll-bounded so a stuck scraper cannot wedge a worker
+/// (same discipline as the TCP transport's deadline handling).
+///
+/// Built-in routes:
+///   /metrics       Prometheus text exposition of the registry
+///   /metrics.json  the same data as JSON
+///   /tracez        recorded spans as a Chrome trace-event JSON array
+///   /healthz       liveness (overridable via AddHandler for readiness)
+///
+/// AddHandler registers additional paths (the federation layer installs
+/// /healthz and /statusz via InstallFederationAdminHandlers). Handlers
+/// run on the connection's thread and must be thread safe.
+class AdminServer {
+ public:
+  using Handler = std::function<HttpResponse()>;
+
+  struct Options {
+    /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
+    uint16_t port = 0;
+    /// Registry served by /metrics and /metrics.json.
+    MetricsRegistry* registry = &MetricsRegistry::Default();
+    /// Deadline for reading one request and writing its response; a
+    /// client stalling past this is dropped. <= 0 disables the bound.
+    int io_timeout_ms = 5000;
+  };
+
+  /// Binds, starts the accept loop, and serves until Stop()/destruction.
+  static Result<std::unique_ptr<AdminServer>> Start(const Options& options);
+  static Result<std::unique_ptr<AdminServer>> Start() {
+    return Start(Options{});
+  }
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Stops accepting, closes all connections, joins all threads.
+  ~AdminServer();
+
+  /// The bound port.
+  uint16_t port() const { return port_; }
+
+  /// Registers (or replaces) the handler serving GET `path`. The path
+  /// must start with '/'; query strings are stripped before matching.
+  void AddHandler(const std::string& path, Handler handler);
+
+  /// Requests answered so far (any status).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  void Stop();
+
+ private:
+  AdminServer() = default;
+
+  void AcceptLoop();
+  void ServeConnection(int connection_fd);
+  HttpResponse Dispatch(const std::string& method, const std::string& path);
+  void InstallBuiltinHandlers();
+
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mu_;  // guards workers_ and active_fds_
+  std::vector<std::thread> workers_;
+  // Connection fds currently being served; Stop() shuts them down so
+  // workers blocked in recv() wake up and exit.
+  std::unordered_set<int> active_fds_;
+  mutable std::mutex handlers_mu_;
+  std::map<std::string, Handler> handlers_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_OBS_ADMIN_SERVER_H_

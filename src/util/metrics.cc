@@ -258,6 +258,20 @@ MetricsRegistry::CountersNamed(const std::string& name) const {
   return out;
 }
 
+std::vector<std::pair<MetricLabels, const Gauge*>>
+MetricsRegistry::GaugesNamed(const std::string& name) const {
+  std::vector<std::pair<MetricLabels, const Gauge*>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = families_.find(name);
+  if (it == families_.end() || it->second.kind != Kind::kGauge) {
+    return out;
+  }
+  for (const auto& [key, instance] : it->second.instances) {
+    out.emplace_back(instance.labels, instance.gauge.get());
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ExportPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;

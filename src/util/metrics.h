@@ -122,6 +122,8 @@ class MetricsRegistry {
       const std::string& name) const;
   std::vector<std::pair<MetricLabels, const Counter*>> CountersNamed(
       const std::string& name) const;
+  std::vector<std::pair<MetricLabels, const Gauge*>> GaugesNamed(
+      const std::string& name) const;
 
   /// Prometheus text exposition format (families sorted by name,
   /// instances by label value).

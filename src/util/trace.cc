@@ -2,12 +2,35 @@
 
 #include <algorithm>
 #include <atomic>
+#include <iomanip>
+#include <sstream>
 
 namespace fra {
 namespace {
 
 thread_local uint64_t t_current_trace_id = 0;
 std::atomic<uint64_t> g_next_trace_id{1};
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
 
 uint64_t NowNanos(std::chrono::steady_clock::time_point tp) {
   return static_cast<uint64_t>(
@@ -82,6 +105,32 @@ std::vector<uint64_t> Tracer::TraceIds() const {
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.clear();
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  const std::vector<SpanRecord> spans = AllSpans();
+  std::ostringstream out;
+  // Fixed notation: span starts are steady-clock nanoseconds, large
+  // enough that default formatting would go scientific and drop the
+  // sub-microsecond digits the viewer sorts by.
+  out << std::fixed << std::setprecision(3);
+  out << "[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    // Complete ("X") events; ts/dur are microseconds by the format's
+    // definition. One synthetic tid per trace id lines every trace up as
+    // its own track in the viewer.
+    out << "\n  {\"name\": \"" << EscapeJson(span.name)
+        << "\", \"cat\": \"fra\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << span.trace_id << ", \"ts\": "
+        << static_cast<double>(span.start_nanos) / 1e3 << ", \"dur\": "
+        << static_cast<double>(span.duration_nanos) / 1e3
+        << ", \"args\": {\"trace_id\": " << span.trace_id << "}}";
+  }
+  out << "\n]\n";
+  return out.str();
 }
 
 TraceSpan::~TraceSpan() {

@@ -76,6 +76,12 @@ class Tracer {
   std::vector<uint64_t> TraceIds() const;
   void Clear();
 
+  /// The buffer as a Chrome trace-event JSON array (complete "X" events,
+  /// one per span, ts/dur in microseconds, one tid per trace id) —
+  /// loadable as-is in chrome://tracing or Perfetto. Served by the admin
+  /// server's /tracez and written by examples/trace_dump.
+  std::string ExportChromeTrace() const;
+
  private:
   Tracer() = default;
   std::atomic<bool> enabled_{false};

@@ -15,11 +15,14 @@
 #include <vector>
 
 #include "net/message.h"
+#include "tests/test_util.h"
 #include "util/stats.h"
 #include "util/trace.h"
 
 namespace fra {
 namespace {
+
+using testing::JsonChecker;
 
 TEST(CounterTest, ConcurrentIncrementsAllLand) {
   Counter counter;
@@ -293,6 +296,51 @@ TEST(TraceEnvelopeTest, TruncatedEnvelopeLeftForDecoderToReject) {
   std::vector<uint8_t> truncated = {kTraceEnvelopeTag, 1, 2};
   EXPECT_EQ(StripTraceEnvelope(&truncated), 0UL);
   EXPECT_EQ(truncated.size(), 3UL);
+}
+
+TEST(MetricsRegistryTest, RegistrationUpdateAndExportRaceSafely) {
+  // 8 threads concurrently registering fresh label sets, updating shared
+  // instruments, and exporting both formats — the scrape-during-load
+  // pattern the admin server produces. Every increment must land; every
+  // export must be internally consistent (no torn families).
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 300;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        registry
+            .GetCounter("race_counter",
+                        {{"thread", std::to_string(t)},
+                         {"round", std::to_string(i % 7)}})
+            .Increment();
+        registry.GetCounter("race_shared_counter").Increment();
+        registry
+            .GetHistogram("race_histogram",
+                          {{"thread", std::to_string(t)}})
+            .Observe(static_cast<double>(i));
+        if (i % 50 == 0) {
+          const std::string text = registry.ExportPrometheus();
+          EXPECT_NE(text.find("race_shared_counter"), std::string::npos);
+          EXPECT_FALSE(registry.ExportJson().empty());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("race_shared_counter").Value(),
+            static_cast<uint64_t>(kThreads) * kRounds);
+  uint64_t histogram_total = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    histogram_total += registry
+                           .GetHistogram("race_histogram",
+                                         {{"thread", std::to_string(t)}})
+                           .Count();
+  }
+  EXPECT_EQ(histogram_total, static_cast<uint64_t>(kThreads) * kRounds);
+  EXPECT_TRUE(JsonChecker::IsValid(registry.ExportJson()));
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+// SiloHealthTracker: the circuit-breaker state machine directly, and the
+// provider-level behaviour it exists for — single-silo sampling avoiding
+// a dead silo and readmitting it after recovery, on the in-process
+// transport (the TCP side is covered by admin_server_test.cc).
+
+#include "federation/silo_health.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "federation/service_provider.h"
+#include "federation/silo.h"
+#include "net/network.h"
+#include "tests/test_util.h"
+#include "util/metrics.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {40, 40}};
+
+SiloHealthTracker::Options FastOptions() {
+  SiloHealthTracker::Options options;
+  options.window = 4;
+  options.min_samples = 2;
+  options.degraded_failure_ratio = 0.5;
+  options.down_after_consecutive_failures = 3;
+  options.probe_backoff_ms = 60;
+  options.ewma_alpha = 0.5;
+  return options;
+}
+
+const Status kLinkDown = Status::Unavailable("link down");
+
+TEST(SiloHealthTest, SuccessesKeepSiloUpAndFeedEwma) {
+  SiloHealthTracker tracker(FastOptions());
+  tracker.OnSiloCall(7, Status::OK(), 100.0);
+  EXPECT_EQ(tracker.state(7), SiloHealthTracker::State::kUp);
+  EXPECT_TRUE(tracker.IsSelectable(7));
+  EXPECT_DOUBLE_EQ(tracker.LatencyEwmaMicros(7), 100.0);
+  tracker.OnSiloCall(7, Status::OK(), 200.0);
+  // alpha = 0.5: 0.5 * 200 + 0.5 * 100.
+  EXPECT_DOUBLE_EQ(tracker.LatencyEwmaMicros(7), 150.0);
+  EXPECT_DOUBLE_EQ(
+      MetricsRegistry::Default()
+          .GetGauge("fra_silo_latency_ewma_micros", {{"silo", "7"}})
+          .Value(),
+      150.0);
+}
+
+TEST(SiloHealthTest, UnknownSilosReportUp) {
+  SiloHealthTracker tracker(FastOptions());
+  EXPECT_EQ(tracker.state(42), SiloHealthTracker::State::kUp);
+  EXPECT_TRUE(tracker.IsSelectable(42));
+  EXPECT_FALSE(tracker.TryBeginProbe(42));
+}
+
+TEST(SiloHealthTest, ApplicationErrorsAreNotHealthFailures) {
+  SiloHealthTracker tracker(FastOptions());
+  for (int i = 0; i < 10; ++i) {
+    tracker.OnSiloCall(1, Status::InvalidArgument("bad query"), 10.0);
+  }
+  // The silo answered — it is alive, whatever it said.
+  EXPECT_EQ(tracker.state(1), SiloHealthTracker::State::kUp);
+}
+
+TEST(SiloHealthTest, FailureRatioDegradesAndRecovers) {
+  SiloHealthTracker tracker(FastOptions());
+  tracker.OnSiloCall(3, Status::OK(), 10.0);
+  tracker.OnSiloCall(3, kLinkDown, 10.0);
+  tracker.OnSiloCall(3, Status::OK(), 10.0);
+  // Window {ok, fail, ok, fail}: ratio 0.5 >= 0.5 -> degraded.
+  tracker.OnSiloCall(3, kLinkDown, 10.0);
+  EXPECT_EQ(tracker.state(3), SiloHealthTracker::State::kDegraded);
+  // Degraded silos stay selectable.
+  EXPECT_TRUE(tracker.IsSelectable(3));
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Default()
+                       .GetGauge("fra_silo_health_state", {{"silo", "3"}})
+                       .Value(),
+                   1.0);
+  // Successes wash the failures out of the window -> back to up.
+  for (int i = 0; i < 4; ++i) tracker.OnSiloCall(3, Status::OK(), 10.0);
+  EXPECT_EQ(tracker.state(3), SiloHealthTracker::State::kUp);
+}
+
+TEST(SiloHealthTest, ConsecutiveFailuresOpenBreakerAndProbeReadmits) {
+  SiloHealthTracker tracker(FastOptions());
+  tracker.OnSiloCall(5, Status::OK(), 10.0);
+  for (int i = 0; i < 3; ++i) tracker.OnSiloCall(5, kLinkDown, 10.0);
+  EXPECT_EQ(tracker.state(5), SiloHealthTracker::State::kDown);
+  EXPECT_FALSE(tracker.IsSelectable(5));
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Default()
+                       .GetGauge("fra_silo_health_state", {{"silo", "5"}})
+                       .Value(),
+                   2.0);
+
+  // The breaker rests for probe_backoff_ms; no probe before that.
+  EXPECT_FALSE(tracker.TryBeginProbe(5));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(tracker.TryBeginProbe(5));
+  EXPECT_EQ(tracker.state(5), SiloHealthTracker::State::kProbing);
+  // Only one caller per interval gets the probe.
+  EXPECT_FALSE(tracker.TryBeginProbe(5));
+
+  // Failed probe re-opens the breaker.
+  tracker.OnSiloCall(5, kLinkDown, 10.0);
+  EXPECT_EQ(tracker.state(5), SiloHealthTracker::State::kDown);
+
+  // Next interval: probe again, this time the silo answers -> up, with a
+  // clean window (the stale failures must not carry over).
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(tracker.TryBeginProbe(5));
+  tracker.OnSiloCall(5, Status::OK(), 10.0);
+  EXPECT_EQ(tracker.state(5), SiloHealthTracker::State::kUp);
+  EXPECT_TRUE(tracker.IsSelectable(5));
+  // One wobble after readmission may degrade (the fresh window is short)
+  // but must not re-open the breaker.
+  tracker.OnSiloCall(5, kLinkDown, 10.0);
+  EXPECT_TRUE(tracker.IsSelectable(5));
+}
+
+TEST(SiloHealthTest, SnapshotReportsEverySilo) {
+  SiloHealthTracker tracker(FastOptions());
+  tracker.OnSiloCall(1, Status::OK(), 10.0);
+  tracker.OnSiloCall(2, kLinkDown, 10.0);
+  const auto snapshot = tracker.Snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].silo_id, 1);
+  EXPECT_EQ(snapshot[0].successes, 1u);
+  EXPECT_EQ(snapshot[1].silo_id, 2);
+  EXPECT_EQ(snapshot[1].failures, 1u);
+  EXPECT_DOUBLE_EQ(snapshot[1].window_failure_ratio, 1.0);
+}
+
+/// Wraps a real silo: while armed, every data-plane request fails at the
+/// transport level (Unavailable, as a dead link would); the grid build
+/// always passes so Alg. 1 succeeds.
+class RecoverableSilo : public SiloEndpoint {
+ public:
+  explicit RecoverableSilo(std::unique_ptr<Silo> inner)
+      : inner_(std::move(inner)) {}
+
+  void Arm() { armed_.store(true); }
+  void Disarm() { armed_.store(false); }
+
+  Result<std::vector<uint8_t>> HandleMessage(
+      const std::vector<uint8_t>& request) override {
+    FRA_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(request));
+    if (type != MessageType::kBuildGridRequest && armed_.load()) {
+      return Status::Unavailable("silo unreachable");
+    }
+    return inner_->HandleMessage(request);
+  }
+
+ private:
+  std::unique_ptr<Silo> inner_;
+  std::atomic<bool> armed_{false};
+};
+
+struct HealthFederation {
+  std::unique_ptr<InProcessNetwork> network;
+  std::vector<std::unique_ptr<RecoverableSilo>> silos;
+  std::unique_ptr<ServiceProvider> provider;
+};
+
+HealthFederation MakeFederation(size_t num_silos, int probe_backoff_ms) {
+  HealthFederation result;
+  result.network = std::make_unique<InProcessNetwork>();
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+  for (size_t i = 0; i < num_silos; ++i) {
+    auto silo =
+        Silo::Create(static_cast<int>(i),
+                     testing::RandomObjects(2000, kDomain, 77 + i),
+                     silo_options)
+            .ValueOrDie();
+    result.silos.push_back(
+        std::make_unique<RecoverableSilo>(std::move(silo)));
+    FRA_CHECK_OK(result.network->RegisterSilo(static_cast<int>(i),
+                                              result.silos.back().get()));
+  }
+  ServiceProvider::Options options;
+  options.audit_sample_rate = 0.0;  // keep the comm pattern deterministic
+  options.health.down_after_consecutive_failures = 2;
+  options.health.probe_backoff_ms = probe_backoff_ms;
+  result.provider =
+      ServiceProvider::Create(result.network.get(), options).ValueOrDie();
+  return result;
+}
+
+uint64_t InprocessRequests(int silo_id) {
+  return MetricsRegistry::Default()
+      .GetCounter("fra_silo_requests_total",
+                  {{"silo", std::to_string(silo_id)},
+                   {"transport", "inprocess"}})
+      .Value();
+}
+
+uint64_t InprocessTimeouts(int silo_id) {
+  return MetricsRegistry::Default()
+      .GetCounter("fra_silo_timeouts_total",
+                  {{"silo", std::to_string(silo_id)},
+                   {"transport", "inprocess"}})
+      .Value();
+}
+
+TEST(SiloHealthProviderTest, SamplingAvoidsDownSiloAndReadmitsIt) {
+  HealthFederation federation = MakeFederation(3, /*probe_backoff_ms=*/400);
+  ServiceProvider& provider = *federation.provider;
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 12),
+                       AggregateKind::kCount};
+
+  // Healthy federation: queries succeed, all silos up.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(provider.Execute(query, FraAlgorithm::kIidEst).ok());
+  }
+  ASSERT_EQ(provider.health()->state(0), SiloHealthTracker::State::kUp);
+
+  // Kill silo 0's link. Queries keep succeeding (rotation), and the
+  // in-process transport's failures land in fra_silo_timeouts_total —
+  // the accounting is transport-agnostic, not a TCP special case.
+  const uint64_t timeouts_before = InprocessTimeouts(0);
+  federation.silos[0]->Arm();
+  for (int i = 0;
+       i < 30 && provider.health()->state(0) != SiloHealthTracker::State::kDown;
+       ++i) {
+    ASSERT_TRUE(provider.Execute(query, FraAlgorithm::kIidEst).ok());
+  }
+  ASSERT_EQ(provider.health()->state(0), SiloHealthTracker::State::kDown);
+  EXPECT_GT(InprocessTimeouts(0), timeouts_before);
+
+  // While the breaker is open (well inside the probe backoff), sampling
+  // must not touch silo 0 at all: its counters freeze.
+  const uint64_t requests_during_down = InprocessRequests(0);
+  const uint64_t timeouts_during_down = InprocessTimeouts(0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(provider.Execute(query, FraAlgorithm::kIidEst).ok());
+  }
+  EXPECT_EQ(InprocessRequests(0), requests_during_down);
+  EXPECT_EQ(InprocessTimeouts(0), timeouts_during_down);
+
+  // Recover the silo; after the backoff one query probes it and the
+  // tracker readmits it into the sampling pool.
+  federation.silos[0]->Disarm();
+  std::this_thread::sleep_for(std::chrono::milliseconds(450));
+  for (int i = 0;
+       i < 50 && provider.health()->state(0) != SiloHealthTracker::State::kUp;
+       ++i) {
+    ASSERT_TRUE(provider.Execute(query, FraAlgorithm::kIidEst).ok());
+    if (provider.health()->state(0) == SiloHealthTracker::State::kDown) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  EXPECT_EQ(provider.health()->state(0), SiloHealthTracker::State::kUp);
+  EXPECT_GT(InprocessRequests(0), requests_during_down);
+}
+
+TEST(SiloHealthProviderTest, AllSilosDownFailsOpen) {
+  HealthFederation federation = MakeFederation(2, /*probe_backoff_ms=*/50);
+  ServiceProvider& provider = *federation.provider;
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 12),
+                       AggregateKind::kCount};
+  for (auto& silo : federation.silos) silo->Arm();
+  // Everything is dead: queries fail, but each one still tried real
+  // exchanges (fail open) instead of giving up without any attempt.
+  const uint64_t before =
+      InprocessTimeouts(0) + InprocessTimeouts(1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(provider.Execute(query, FraAlgorithm::kIidEst).ok());
+  }
+  EXPECT_GT(InprocessTimeouts(0) + InprocessTimeouts(1), before);
+
+  // Recovery works from the fully-dead state too.
+  for (auto& silo : federation.silos) silo->Disarm();
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  bool recovered = false;
+  for (int i = 0; i < 50 && !recovered; ++i) {
+    recovered = provider.Execute(query, FraAlgorithm::kIidEst).ok();
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(recovered);
+}
+
+}  // namespace
+}  // namespace fra

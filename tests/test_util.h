@@ -1,12 +1,21 @@
 #ifndef FRA_TESTS_TEST_UTIL_H_
 #define FRA_TESTS_TEST_UTIL_H_
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "agg/spatial_object.h"
 #include "geo/range.h"
 #include "geo/rect.h"
 #include "util/random.h"
+#include "util/result.h"
 
 namespace fra {
 namespace testing {
@@ -64,6 +73,167 @@ inline QueryRange RandomRange(const Rect& domain, double max_radius,
   return QueryRange::MakeRect({center.x - radius, center.y - radius},
                               {center.x + radius, center.y + radius});
 }
+
+/// One blocking HTTP GET against 127.0.0.1:`port`, full response
+/// (status line, headers and body) returned raw. Deliberately simple —
+/// the admin server closes the connection after one response, so
+/// read-until-EOF is the whole protocol.
+struct HttpReply {
+  int status = 0;
+  std::string headers;
+  std::string body;
+};
+
+inline Result<HttpReply> HttpGet(uint16_t port, const std::string& target,
+                                 const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket");
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                sizeof(address)) < 0) {
+    ::close(fd);
+    return Status::IOError(std::string("connect: ") + std::strerror(errno));
+  }
+  const std::string request = method + " " + target +
+                              " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Status::IOError("recv");
+    }
+    if (n == 0) break;
+    raw.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  HttpReply reply;
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::IOError("malformed response: " + raw);
+  }
+  reply.headers = raw.substr(0, head_end);
+  reply.body = raw.substr(head_end + 4);
+  // "HTTP/1.0 200 OK" -> 200
+  const size_t space = reply.headers.find(' ');
+  if (space == std::string::npos) return Status::IOError("no status code");
+  reply.status = std::atoi(reply.headers.c_str() + space + 1);
+  return reply;
+}
+
+/// Minimal JSON validity checker (recursive descent over the full
+/// grammar, no DOM): enough to golden-test that exported documents parse.
+class JsonChecker {
+ public:
+  static bool IsValid(const std::string& text) {
+    JsonChecker checker(text);
+    checker.SkipSpace();
+    if (!checker.Value()) return false;
+    checker.SkipSpace();
+    return checker.pos_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool Eat(char c) {
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        ++pos_;
+      }
+    }
+    return false;
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Eat('.')) {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipSpace();
+    const char c = Peek();
+    if (c == '{') {
+      ++pos_;
+      SkipSpace();
+      if (Eat('}')) return true;
+      for (;;) {
+        SkipSpace();
+        if (!String()) return false;
+        SkipSpace();
+        if (!Eat(':')) return false;
+        if (!Value()) return false;
+        SkipSpace();
+        if (Eat(',')) continue;
+        return Eat('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipSpace();
+      if (Eat(']')) return true;
+      for (;;) {
+        if (!Value()) return false;
+        SkipSpace();
+        if (Eat(',')) continue;
+        return Eat(']');
+      }
+    }
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
 
 }  // namespace testing
 }  // namespace fra
