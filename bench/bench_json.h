@@ -1,0 +1,140 @@
+#ifndef FRA_BENCH_BENCH_JSON_H_
+#define FRA_BENCH_BENCH_JSON_H_
+
+// Machine-readable bench output: a minimal JSON builder (objects, arrays,
+// scalars — all this repo's BENCH_*.json files need) plus the git
+// revision stamp, so CI and regression tooling can diff runs without
+// scraping the human-readable tables.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace fra {
+namespace bench {
+
+/// The revision a bench binary was built from: the FRA_GIT_SHA
+/// environment variable when set (CI overrides for dirty trees), else
+/// the sha captured at configure time, else "unknown".
+inline std::string GitSha() {
+  const char* env = std::getenv("FRA_GIT_SHA");
+  if (env != nullptr && env[0] != '\0') return env;
+#ifdef FRA_GIT_SHA
+  return FRA_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+/// Streaming JSON builder. Call Key() before every member of an object;
+/// commas and quoting are handled internally. No validation beyond that —
+/// the caller is trusted to balance Begin/End.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& name) {
+    MaybeComma();
+    Quote(name);
+    out_ += ':';
+    need_comma_ = false;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& value) {
+    MaybeComma();
+    Quote(value);
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& Number(double value) {
+    MaybeComma();
+    if (std::isfinite(value)) {
+      char buffer[40];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+      out_ += buffer;
+    } else {
+      out_ += "null";  // JSON has no NaN/Inf
+    }
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& Int(long long value) {
+    MaybeComma();
+    out_ += std::to_string(value);
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& Bool(bool value) {
+    MaybeComma();
+    out_ += value ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char bracket) {
+    MaybeComma();
+    out_ += bracket;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& Close(char bracket) {
+    out_ += bracket;
+    need_comma_ = true;
+    return *this;
+  }
+  void MaybeComma() {
+    if (need_comma_) out_ += ',';
+  }
+  void Quote(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+/// Writes `json` to `path` (with a trailing newline) and logs the
+/// location; bench output files land in the working directory by
+/// convention (BENCH_<name>.json).
+inline bool WriteJsonFile(const std::string& path, const std::string& json) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "%s\n", json.c_str());
+  std::fclose(file);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace bench
+}  // namespace fra
+
+#endif  // FRA_BENCH_BENCH_JSON_H_

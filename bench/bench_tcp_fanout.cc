@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "federation/service_provider.h"
 #include "federation/silo.h"
 #include "net/tcp_network.h"
@@ -58,6 +59,16 @@ int main() {
   std::printf("%4s %14s %14s %10s\n", "m", "mean query ms", "serial ms (m·d)",
               "speedup");
 
+  fra::bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("tcp_fanout");
+  json.Key("git_sha").String(fra::bench::GitSha());
+  json.Key("scale").String(smoke ? "smoke" : "default");
+  json.Key("delay_ms").Int(delay_ms);
+  json.Key("repetitions").Int(repetitions);
+  json.Key("objects_per_silo").Int(static_cast<long long>(objects_per_silo));
+  json.Key("points").BeginArray();
+
   for (size_t m : {1UL, 2UL, 4UL, 8UL}) {
     std::vector<std::unique_ptr<fra::Silo>> silos;
     std::vector<std::unique_ptr<DelayingEndpoint>> delayed;
@@ -100,6 +111,15 @@ int main() {
     const double serial_ms = static_cast<double>(m) * delay_ms;
     std::printf("%4zu %14.2f %14.1f %9.1fx\n", m, mean_ms, serial_ms,
                 serial_ms / mean_ms);
+    json.BeginObject();
+    json.Key("num_silos").Int(static_cast<long long>(m));
+    json.Key("mean_query_ms").Number(mean_ms);
+    json.Key("serial_ms").Number(serial_ms);
+    json.Key("speedup").Number(serial_ms / mean_ms);
+    json.EndObject();
   }
+  json.EndArray();
+  json.EndObject();
+  fra::bench::WriteJsonFile("BENCH_tcp_fanout.json", json.str());
   return 0;
 }

@@ -4,7 +4,8 @@
 #   scripts/ci.sh tracing-on    # default build (FRA_ENABLE_TRACING=ON), full ctest
 #   scripts/ci.sh tracing-off   # spans compiled out, full ctest
 #   scripts/ci.sh sanitize      # ASan+UBSan, observability-labeled tests
-#   scripts/ci.sh               # all three stages in sequence
+#   scripts/ci.sh bench-smoke   # bench harnesses at smoke scale + BENCH_*.json
+#   scripts/ci.sh               # all four stages in sequence
 #
 # Each stage uses its own build tree under build-ci/ so stages cannot
 # poison one another's CMake cache.
@@ -39,9 +40,16 @@ run_stage() {
       # tracker, TCP transport); the plain stages run everything.
       ctest_args+=(-L observability)
       ;;
+    bench-smoke)
+      # Bench harnesses at FRA_BENCH_SCALE=smoke (the label sets the env
+      # var): guards the coalescing throughput path end to end and that
+      # the machine-readable BENCH_*.json artifacts keep being written.
+      cmake_args+=(-DFRA_ENABLE_TRACING=ON)
+      ctest_args+=(-L bench_smoke)
+      ;;
     *)
       echo "unknown stage: ${stage}" >&2
-      echo "usage: $0 [tracing-on|tracing-off|sanitize]" >&2
+      echo "usage: $0 [tracing-on|tracing-off|sanitize|bench-smoke]" >&2
       exit 2
       ;;
   esac
@@ -52,11 +60,21 @@ run_stage() {
   cmake --build "${build_dir}" -j "${JOBS}"
   echo "=== stage ${stage}: test ==="
   (cd "${build_dir}" && ctest "${ctest_args[@]}")
+  if [[ "${stage}" == "bench-smoke" ]]; then
+    echo "=== stage ${stage}: bench artifacts ==="
+    local -a artifacts
+    mapfile -t artifacts < <(find "${build_dir}" -maxdepth 2 -name 'BENCH_*.json')
+    if [[ ${#artifacts[@]} -eq 0 ]]; then
+      echo "no BENCH_*.json artifacts written" >&2
+      exit 1
+    fi
+    ls -l "${artifacts[@]}"
+  fi
   echo "=== stage ${stage}: OK ==="
 }
 
 if [[ $# -eq 0 ]]; then
-  for stage in tracing-on tracing-off sanitize; do
+  for stage in tracing-on tracing-off sanitize bench-smoke; do
     run_stage "${stage}"
   done
 else

@@ -1,6 +1,8 @@
 #include "federation/service_provider.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -15,16 +17,37 @@ namespace {
 
 // Every query that enters through Execute / ExecuteBatch lands here once:
 // outcome counter plus the per-algorithm latency histogram the throughput
-// bench and metrics_dump read back (see docs/observability.md).
+// bench and metrics_dump read back (see docs/observability.md). Registry
+// references stay valid for its lifetime, so resolve each (algorithm,
+// outcome) instrument once instead of paying the label-map allocations
+// and registry lock on every query.
 void RecordQueryMetrics(FraAlgorithm algorithm, bool ok, double seconds) {
-  const std::string name = FraAlgorithmToString(algorithm);
-  MetricsRegistry::Default()
-      .GetCounter("fra_queries_total",
-                  {{"algorithm", name}, {"result", ok ? "ok" : "error"}})
-      .Increment();
-  MetricsRegistry::Default()
-      .GetHistogram("fra_query_latency_microseconds", {{"algorithm", name}})
-      .Observe(seconds * 1e6);
+  struct Instruments {
+    Counter* ok = nullptr;
+    Counter* error = nullptr;
+    Histogram* latency = nullptr;
+  };
+  static const std::array<Instruments, 6> kInstruments = [] {
+    std::array<Instruments, 6> out{};
+    for (FraAlgorithm a :
+         {FraAlgorithm::kExact, FraAlgorithm::kOpta, FraAlgorithm::kIidEst,
+          FraAlgorithm::kIidEstLsr, FraAlgorithm::kNonIidEst,
+          FraAlgorithm::kNonIidEstLsr}) {
+      const std::string name = FraAlgorithmToString(a);
+      MetricsRegistry& registry = MetricsRegistry::Default();
+      out[static_cast<size_t>(a)] = {
+          &registry.GetCounter("fra_queries_total",
+                               {{"algorithm", name}, {"result", "ok"}}),
+          &registry.GetCounter("fra_queries_total",
+                               {{"algorithm", name}, {"result", "error"}}),
+          &registry.GetHistogram("fra_query_latency_microseconds",
+                                 {{"algorithm", name}})};
+    }
+    return out;
+  }();
+  const Instruments& instruments = kInstruments[static_cast<size_t>(algorithm)];
+  (ok ? instruments.ok : instruments.error)->Increment();
+  instruments.latency->Observe(seconds * 1e6);
 }
 
 // Ratio estimate ans' = res * (numer / denom) (Alg. 2 line 8). The paper
@@ -65,6 +88,9 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
       options.delta >= 1.0) {
     return Status::InvalidArgument("require epsilon > 0 and delta in (0,1)");
   }
+  if (options.coalescing.enabled && options.coalescing.max_batch_size == 0) {
+    return Status::InvalidArgument("coalescing.max_batch_size must be >= 1");
+  }
 
   auto provider =
       std::unique_ptr<ServiceProvider>(new ServiceProvider(network, options));
@@ -79,6 +105,14 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
                                     ? options.fanout_threads
                                     : provider->silo_ids_.size();
   provider->fanout_pool_ = std::make_unique<ThreadPool>(fanout_threads);
+
+  if (options.coalescing.enabled) {
+    RequestCoalescer::Options coalescer_options;
+    coalescer_options.max_batch_size = options.coalescing.max_batch_size;
+    coalescer_options.max_batch_delay_us = options.coalescing.max_batch_delay_us;
+    provider->coalescer_ =
+        std::make_unique<RequestCoalescer>(network, coalescer_options);
+  }
 
   // Observability wiring before the first network call, so the Alg. 1
   // grid fetch already feeds the health tracker.
@@ -142,6 +176,9 @@ ServiceProvider::~ServiceProvider() {
   // caller's network; drain them while every member is still alive (the
   // fan-out pool is destroyed before the batch pool otherwise).
   if (batch_pool_ != nullptr) batch_pool_->WaitIdle();
+  // Flush the coalescer (reason=shutdown) while the network and health
+  // observer are still attached.
+  coalescer_.reset();
   if (health_ != nullptr && network_->call_observer() == health_.get()) {
     network_->set_call_observer(nullptr);
   }
@@ -354,6 +391,12 @@ Result<AggregateSummary> ServiceProvider::RunAlgorithm(const QueryRange& range,
   return Status::InvalidArgument("unknown algorithm");
 }
 
+Result<std::vector<uint8_t>> ServiceProvider::CallSilo(
+    int silo_id, const std::vector<uint8_t>& request) {
+  if (coalescer_ != nullptr) return coalescer_->Call(silo_id, request);
+  return network_->Call(silo_id, request);
+}
+
 Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
                                                     bool histogram) {
   FRA_TRACE_SPAN("provider.fan_out");
@@ -377,7 +420,7 @@ Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
     ScopedTraceId trace_scope(trace_id);
     partials[i] = [&]() -> Result<AggregateSummary> {
       FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                           network_->Call(silo_ids_[i], encoded));
+                           CallSilo(silo_ids_[i], encoded));
       return DecodeSummaryResponse(response);
     }();
   };
@@ -425,7 +468,7 @@ Result<AggregateSummary> ServiceProvider::RunIidEst(const QueryRange& range,
   request.sum0 = static_cast<double>(sumk.count);
 
   FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                       network_->Call(silo_id, request.Encode()));
+                       CallSilo(silo_id, request.Encode()));
   FRA_ASSIGN_OR_RETURN(AggregateSummary res_k, DecodeSummaryResponse(response));
   FRA_TRACE_SPAN("provider.rescale");
   return RatioEstimate(res_k, sum0, sumk);
@@ -476,7 +519,7 @@ Result<AggregateSummary> ServiceProvider::RunNonIidEst(const QueryRange& range,
   request.full_vector = !boundary_only;
 
   FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                       network_->Call(silo_id, request.Encode()));
+                       CallSilo(silo_id, request.Encode()));
   FRA_ASSIGN_OR_RETURN(std::vector<CellContribution> contributions,
                        DecodeCellVectorResponse(response));
   if (contributions.size() != expected_cells.size()) {
@@ -543,13 +586,15 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
     for (uint64_t& draw : draws) draw = rng_.NextUint64();
   }
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    futures.push_back(batch_pool_->Submit([this, &queries, &results,
-                                           &statuses, &draws, algorithm,
-                                           single_silo, latencies_seconds,
-                                           i] {
+  // One pool task per WORKER, not per query: workers pull the next query
+  // off a shared index, so a 10k-query batch costs num_threads() task
+  // submissions instead of 10k queue/future round trips.
+  std::atomic<size_t> next_query{0};
+  const auto worker = [this, &queries, &results, &statuses, &draws,
+                       algorithm, single_silo, latencies_seconds,
+                       &next_query] {
+    for (size_t i = next_query.fetch_add(1); i < queries.size();
+         i = next_query.fetch_add(1)) {
       ScopedTraceId trace_scope(Tracer::Get().enabled() ? NewTraceId() : 0);
       Timer timer;
       Result<double> result = [&]() -> Result<double> {
@@ -568,7 +613,14 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
       } else {
         statuses[i] = result.status();
       }
-    }));
+    }
+  };
+  const size_t workers =
+      std::min(queries.size(), batch_pool_->num_threads());
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    futures.push_back(batch_pool_->Submit(worker));
   }
   for (auto& future : futures) future.get();
 

@@ -10,6 +10,7 @@
 #include "federation/silo_health.h"
 #include "index/grid_index.h"
 #include "net/network.h"
+#include "net/request_coalescer.h"
 #include "obs/accuracy_auditor.h"
 #include "util/random.h"
 #include "util/result.h"
@@ -86,6 +87,19 @@ class ServiceProvider {
     /// the background to audit the (eps, delta) guarantee; 0 disables
     /// the auditor.
     double audit_sample_rate = 0.01;
+    /// Per-silo request coalescing (docs/wire_protocol.md, "Batch
+    /// frames"): data-plane silo requests issued by concurrent queries
+    /// are staged per silo and shipped as one kAggregateBatchRequest
+    /// frame when `max_batch_size` requests are staged or the oldest has
+    /// waited `max_batch_delay_us`. Amortises framing and syscalls under
+    /// Alg. 4 load; a lone query pays at most the delay. Control-plane
+    /// traffic (Alg. 1 grid fetch, SyncGrids) always goes direct.
+    struct CoalescingOptions {
+      bool enabled = false;
+      size_t max_batch_size = 16;
+      int max_batch_delay_us = 200;
+    };
+    CoalescingOptions coalescing;
   };
 
   /// Runs Alg. 1 against every silo registered with `network`.
@@ -196,6 +210,11 @@ class ServiceProvider {
   Result<AggregateSummary> RunAlgorithm(const QueryRange& range,
                                         FraAlgorithm algorithm, int silo_id);
 
+  /// Data-plane exchange with one silo: through the coalescer when
+  /// enabled, a direct Network::Call otherwise.
+  Result<std::vector<uint8_t>> CallSilo(int silo_id,
+                                        const std::vector<uint8_t>& request);
+
   /// Audits `result` with probability audit_sample_rate: queues an EXACT
   /// re-execution of `query` on the batch pool and scores the estimate
   /// against it (fire-and-forget; WaitForAudits drains).
@@ -214,6 +233,8 @@ class ServiceProvider {
   std::unique_ptr<ThreadPool> fanout_pool_;
   std::unique_ptr<SiloHealthTracker> health_;
   std::unique_ptr<AccuracyAuditor> auditor_;
+  // Micro-batches data-plane silo calls (null when coalescing is off).
+  std::unique_ptr<RequestCoalescer> coalescer_;
   std::mutex rng_mu_;
   Rng rng_;
 };

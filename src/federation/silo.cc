@@ -1,6 +1,8 @@
 #include "federation/silo.h"
 
+#include <algorithm>
 #include <fstream>
+#include <thread>
 #include <utility>
 
 #include "util/logging.h"
@@ -15,6 +17,7 @@ Result<std::unique_ptr<Silo>> Silo::Create(int id, ObjectSet objects,
   silo->id_ = id;
   silo->num_objects_ = objects.size();
   silo->serialize_execution_ = options.serialize_execution;
+  silo->batch_workers_ = options.batch_workers;
   silo->compact_fraction_ = options.compact_fraction;
   silo->lsr_seed_ = options.lsr_seed;
   silo->rtree_options_ = options.rtree;
@@ -336,13 +339,69 @@ Result<std::vector<uint8_t>> Silo::HandleMessage(
     const std::vector<uint8_t>& request) {
   FRA_TRACE_SPAN("silo.handle_message");
   FRA_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(request));
-  BinaryReader reader(request);
+  if (type == MessageType::kAggregateBatchRequest) {
+    return HandleBatchRequest(request);
+  }
 
   // Model a single-core silo: local work for concurrent queries queues up.
   std::unique_lock<std::mutex> execution_lock;
   if (serialize_execution_) {
     execution_lock = std::unique_lock<std::mutex>(execution_mu_);
   }
+  return HandleSingleLocked(type, request);
+}
+
+ThreadPool* Silo::batch_pool() {
+  std::lock_guard<std::mutex> lock(batch_pool_mu_);
+  if (!batch_pool_) {
+    size_t workers = batch_workers_;
+    if (workers == 0) {
+      const size_t hw = std::thread::hardware_concurrency();
+      workers = std::min<size_t>(4, hw == 0 ? 1 : hw);
+    }
+    batch_pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return batch_pool_.get();
+}
+
+Result<std::vector<uint8_t>> Silo::HandleBatchRequest(
+    const std::vector<uint8_t>& request) {
+  FRA_TRACE_SPAN("silo.handle_batch");
+  auto entries = DecodeBatchRequest(request);
+  if (!entries.ok()) return EncodeErrorResponse(entries.status());
+
+  // One answer slot per entry; positions are the batch contract. A failed
+  // entry becomes an embedded error response, never a failed batch.
+  std::vector<std::vector<uint8_t>> responses(entries->size());
+  auto answer = [this](const std::vector<uint8_t>& entry) {
+    auto type = PeekMessageType(entry);
+    if (!type.ok()) return EncodeErrorResponse(type.status());
+    if (*type == MessageType::kAggregateBatchRequest) {
+      return EncodeErrorResponse(
+          Status::InvalidArgument("nested batch requests are not supported"));
+    }
+    auto response = HandleSingleLocked(*type, entry);
+    if (!response.ok()) return EncodeErrorResponse(response.status());
+    return *std::move(response);
+  };
+
+  if (serialize_execution_) {
+    // Single-core silo: the batch still executes serially — coalescing
+    // saves wire round trips and framing, not silo CPU.
+    std::lock_guard<std::mutex> lock(execution_mu_);
+    for (size_t i = 0; i < entries->size(); ++i) {
+      responses[i] = answer((*entries)[i]);
+    }
+  } else {
+    ParallelFor(batch_pool(), entries->size(),
+                [&](size_t i) { responses[i] = answer((*entries)[i]); });
+  }
+  return EncodeBatchResponse(responses);
+}
+
+Result<std::vector<uint8_t>> Silo::HandleSingleLocked(
+    MessageType type, const std::vector<uint8_t>& request) {
+  BinaryReader reader(request);
 
   // Everything leaving the silo passes the DP boundary: scalar answers,
   // per-cell vectors, grid payloads and grid deltas are perturbed when

@@ -16,6 +16,7 @@
 #include "net/message.h"
 #include "net/network.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace fra {
 
@@ -49,6 +50,13 @@ class Silo : public SiloEndpoint {
     bool build_histogram = true;
     /// Serialise local query execution (single-core silo model).
     bool serialize_execution = true;
+    /// Worker threads answering the entries of one kAggregateBatchRequest
+    /// in parallel (multi-core silo; only effective when
+    /// serialize_execution is false — a single-core silo executes batch
+    /// entries serially under its lock). 0 picks a small default from the
+    /// hardware concurrency. The pool is created lazily on the first
+    /// batched request, so unbatched deployments pay nothing.
+    size_t batch_workers = 0;
     /// Auto-compact when the ingest delta exceeds this fraction of the
     /// base partition (0 disables auto-compaction).
     double compact_fraction = 0.02;
@@ -145,6 +153,20 @@ class Silo : public SiloEndpoint {
  private:
   Silo() = default;
 
+  /// Dispatches one decoded (non-batch) request; callers hold
+  /// execution_mu_ when serialize_execution is on.
+  Result<std::vector<uint8_t>> HandleSingleLocked(
+      MessageType type, const std::vector<uint8_t>& request);
+  /// kAggregateBatchRequest: decodes the entry table and answers every
+  /// entry — serially under the execution lock for a single-core silo, in
+  /// parallel on the local batch pool otherwise. Per-entry failures are
+  /// embedded as error-response entries so the batch itself still
+  /// round-trips.
+  Result<std::vector<uint8_t>> HandleBatchRequest(
+      const std::vector<uint8_t>& request);
+  /// The lazily created batch worker pool.
+  ThreadPool* batch_pool();
+
   // Unlocked implementations; public entry points take execution_mu_.
   void IngestLocked(const ObjectSet& batch);
   void CompactLocked();
@@ -170,6 +192,9 @@ class Silo : public SiloEndpoint {
   uint64_t compactions_ = 0;
   std::unique_ptr<LaplaceMechanism> dp_;
   mutable std::mutex execution_mu_;
+  size_t batch_workers_ = 0;
+  std::mutex batch_pool_mu_;  // guards lazy batch_pool_ creation
+  std::unique_ptr<ThreadPool> batch_pool_;
 };
 
 }  // namespace fra

@@ -318,6 +318,11 @@ size_t GridIndex::MemoryUsage() const {
 }
 
 void GridIndex::Serialize(BinaryWriter* writer) const {
+  // Header (5 doubles + 2 u64 dimensions) plus one fixed-width summary
+  // per cell: reserving once avoids log(n) reallocations of a payload
+  // that reaches tens of MB for city-scale grids.
+  writer->Reserve(5 * sizeof(double) + 2 * sizeof(uint64_t) +
+                  cells_.size() * AggregateSummary::kWireSize);
   writer->WriteDouble(spec_.domain.min.x);
   writer->WriteDouble(spec_.domain.min.y);
   writer->WriteDouble(spec_.domain.max.x);

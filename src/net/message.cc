@@ -209,6 +209,9 @@ namespace {
 std::vector<uint8_t> EncodeCellList(MessageType type,
                                     const std::vector<CellContribution>& cells) {
   BinaryWriter writer;
+  writer.Reserve(1 + sizeof(uint32_t) +
+                 cells.size() *
+                     (sizeof(uint32_t) + AggregateSummary::kWireSize));
   writer.WriteU8(static_cast<uint8_t>(type));
   writer.WriteU32(static_cast<uint32_t>(cells.size()));
   for (const CellContribution& cell : cells) {
@@ -250,6 +253,7 @@ std::vector<uint8_t> EncodeCellVectorResponse(
 std::vector<uint8_t> EncodeGridPayloadResponse(
     const std::vector<uint8_t>& grid_bytes) {
   BinaryWriter writer;
+  writer.Reserve(1 + sizeof(uint32_t) + grid_bytes.size());
   writer.WriteU8(static_cast<uint8_t>(MessageType::kGridPayloadResponse));
   writer.WriteU32(static_cast<uint32_t>(grid_bytes.size()));
   writer.AppendRaw(grid_bytes.data(), grid_bytes.size());
@@ -315,6 +319,79 @@ std::vector<uint8_t> EncodeBuildGridRequest() {
   BinaryWriter writer;
   writer.WriteU8(static_cast<uint8_t>(MessageType::kBuildGridRequest));
   return writer.Release();
+}
+
+namespace {
+
+std::vector<uint8_t> EncodeBatchFrame(
+    MessageType type, const std::vector<std::vector<uint8_t>>& entries) {
+  BinaryWriter writer;
+  size_t total = 1 + sizeof(uint32_t);
+  for (const std::vector<uint8_t>& entry : entries) {
+    total += sizeof(uint32_t) + entry.size();
+  }
+  writer.Reserve(total);
+  writer.WriteU8(static_cast<uint8_t>(type));
+  writer.WriteU32(static_cast<uint32_t>(entries.size()));
+  for (const std::vector<uint8_t>& entry : entries) {
+    writer.WriteU32(static_cast<uint32_t>(entry.size()));
+    writer.AppendRaw(entry.data(), entry.size());
+  }
+  return writer.Release();
+}
+
+Result<std::vector<std::vector<uint8_t>>> DecodeBatchEntries(
+    BinaryReader* reader) {
+  uint32_t n = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU32(&n));
+  // Each entry costs at least its 4-byte length prefix; a corrupted count
+  // must be rejected before any allocation proportional to it.
+  if (static_cast<size_t>(n) > reader->Remaining() / sizeof(uint32_t)) {
+    return Status::OutOfRange("batch entry table exceeds payload");
+  }
+  std::vector<std::vector<uint8_t>> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t length = 0;
+    FRA_RETURN_NOT_OK(reader->ReadU32(&length));
+    if (length > reader->Remaining()) {
+      return Status::OutOfRange("truncated batch entry");
+    }
+    std::vector<uint8_t> entry;
+    FRA_RETURN_NOT_OK(reader->ReadBytes(length, &entry));
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeBatchRequest(
+    const std::vector<std::vector<uint8_t>>& entries) {
+  return EncodeBatchFrame(MessageType::kAggregateBatchRequest, entries);
+}
+
+Result<std::vector<std::vector<uint8_t>>> DecodeBatchRequest(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  FRA_RETURN_NOT_OK(
+      ExpectType(&reader, MessageType::kAggregateBatchRequest));
+  return DecodeBatchEntries(&reader);
+}
+
+std::vector<uint8_t> EncodeBatchResponse(
+    const std::vector<std::vector<uint8_t>>& entries) {
+  return EncodeBatchFrame(MessageType::kAggregateBatchResponse, entries);
+}
+
+Result<std::vector<std::vector<uint8_t>>> DecodeBatchResponse(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader reader(payload);
+  // A silo that failed before assembling the batch answers with a plain
+  // error response; surface its carried Status like every other decoder.
+  FRA_RETURN_NOT_OK(
+      ConsumeResponseHeader(&reader, MessageType::kAggregateBatchResponse));
+  return DecodeBatchEntries(&reader);
 }
 
 }  // namespace fra

@@ -23,12 +23,14 @@ enum class MessageType : uint8_t {
   kAggregateRequest = 2,    // local range aggregation (exact / LSR / OPTA)
   kCellVectorRequest = 3,   // NonIID-est: per-boundary-cell contributions
   kGridDeltaRequest = 4,    // delta sync: cells changed since last sync
+  kAggregateBatchRequest = 5,  // coalesced: n embedded requests, one frame
   // Silo -> provider.
   kGridPayloadResponse = 17,
   kSummaryResponse = 18,
   kCellVectorResponse = 19,
   kErrorResponse = 20,
   kGridDeltaResponse = 21,
+  kAggregateBatchResponse = 22,  // n embedded responses, positional
 };
 
 /// How a silo should answer an aggregate request locally.
@@ -121,6 +123,22 @@ Result<std::vector<uint8_t>> DecodeGridPayloadResponse(
 
 /// Encodes a plain grid-build request (type tag only).
 std::vector<uint8_t> EncodeBuildGridRequest();
+
+/// Batch frames (request coalescing): `n` independently encoded messages
+/// packed into one wire exchange. Entries are opaque length-prefixed
+/// payloads — each request entry is a complete encoded request and each
+/// response entry a complete encoded response, so per-entry failures
+/// travel as embedded kErrorResponse entries and one bad sub-query cannot
+/// poison its batch. Entry order is positional: response entry i answers
+/// request entry i. Batches must not nest.
+std::vector<uint8_t> EncodeBatchRequest(
+    const std::vector<std::vector<uint8_t>>& entries);
+Result<std::vector<std::vector<uint8_t>>> DecodeBatchRequest(
+    const std::vector<uint8_t>& payload);
+std::vector<uint8_t> EncodeBatchResponse(
+    const std::vector<std::vector<uint8_t>>& entries);
+Result<std::vector<std::vector<uint8_t>>> DecodeBatchResponse(
+    const std::vector<uint8_t>& payload);
 
 /// Delta sync (streaming ingest): the provider polls a silo for the grid
 /// cells that changed since the last poll; the silo answers with their

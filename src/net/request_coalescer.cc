@@ -1,0 +1,182 @@
+#include "net/request_coalescer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "net/message.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace fra {
+namespace {
+
+// Batch-size distribution buckets: powers of two up to well past any
+// sensible max_batch_size.
+const std::vector<double>& BatchSizeBuckets() {
+  static const std::vector<double> kBuckets = {1,  2,  4,   8,   16,
+                                               32, 64, 128, 256, 512};
+  return kBuckets;
+}
+
+}  // namespace
+
+RequestCoalescer::RequestCoalescer(Network* network, const Options& options)
+    : network_(network), options_(options) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  flushes_size_ =
+      &registry.GetCounter("fra_batch_flushes_total", {{"reason", "size"}});
+  flushes_deadline_ = &registry.GetCounter("fra_batch_flushes_total",
+                                           {{"reason", "deadline"}});
+  flushes_shutdown_ = &registry.GetCounter("fra_batch_flushes_total",
+                                           {{"reason", "shutdown"}});
+  batch_size_ =
+      &registry.GetHistogram("fra_batch_size", {}, BatchSizeBuckets());
+  staged_gauge_ = &registry.GetGauge("fra_coalescer_staged_requests");
+}
+
+RequestCoalescer::~RequestCoalescer() {
+  // Stop every flusher; each drains its queue (reason=shutdown) on exit,
+  // so no staged caller is left waiting forever.
+  std::vector<SiloQueue*> queues;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues.reserve(queues_.size());
+    for (auto& [id, queue] : queues_) queues.push_back(queue.get());
+  }
+  for (SiloQueue* queue : queues) {
+    {
+      std::lock_guard<std::mutex> lock(queue->mu);
+      queue->stopping = true;
+    }
+    queue->wake.notify_all();
+  }
+  for (SiloQueue* queue : queues) {
+    if (queue->flusher.joinable()) queue->flusher.join();
+  }
+}
+
+RequestCoalescer::SiloQueue* RequestCoalescer::QueueFor(int silo_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find(silo_id);
+  if (it == queues_.end()) {
+    it = queues_.emplace(silo_id, std::make_unique<SiloQueue>()).first;
+    SiloQueue* queue = it->second.get();
+    queue->flusher =
+        std::thread([this, silo_id, queue] { FlusherLoop(silo_id, queue); });
+  }
+  return it->second.get();
+}
+
+Result<std::vector<uint8_t>> RequestCoalescer::Call(
+    int silo_id, const std::vector<uint8_t>& request) {
+  FRA_TRACE_SPAN("net.coalesce.call");
+  SiloQueue* queue = QueueFor(silo_id);
+  auto pending = std::make_unique<Pending>();
+  pending->request = request;
+  std::future<Result<std::vector<uint8_t>>> future =
+      pending->promise.get_future();
+
+  std::vector<std::unique_ptr<Pending>> to_send;
+  {
+    std::lock_guard<std::mutex> lock(queue->mu);
+    if (queue->staged.empty()) {
+      queue->oldest_at = std::chrono::steady_clock::now();
+    }
+    queue->staged.push_back(std::move(pending));
+    staged_gauge_->Add(1.0);
+    if (queue->staged.size() >= std::max<size_t>(1, options_.max_batch_size)) {
+      to_send.swap(queue->staged);
+    }
+  }
+  if (!to_send.empty()) {
+    // Size trigger: the staging caller ships the batch itself — no thread
+    // hop, and several full batches to one silo can be in flight at once.
+    SendBatch(silo_id, std::move(to_send), "size");
+  } else {
+    // The flusher (re)arms its deadline off the oldest staged entry.
+    queue->wake.notify_one();
+  }
+  return future.get();
+}
+
+void RequestCoalescer::FlusherLoop(int silo_id, SiloQueue* queue) {
+  const auto delay =
+      std::chrono::microseconds(std::max(0, options_.max_batch_delay_us));
+  std::unique_lock<std::mutex> lock(queue->mu);
+  while (!queue->stopping) {
+    if (queue->staged.empty()) {
+      queue->wake.wait(lock);
+      continue;
+    }
+    const auto deadline = queue->oldest_at + delay;
+    if (std::chrono::steady_clock::now() < deadline) {
+      queue->wake.wait_until(lock, deadline);
+      continue;  // re-evaluate: staged may have been size-flushed
+    }
+    std::vector<std::unique_ptr<Pending>> batch;
+    batch.swap(queue->staged);
+    lock.unlock();
+    SendBatch(silo_id, std::move(batch), "deadline");
+    lock.lock();
+  }
+  // Shutdown: ship what is still staged so every caller gets an answer.
+  std::vector<std::unique_ptr<Pending>> batch;
+  batch.swap(queue->staged);
+  lock.unlock();
+  if (!batch.empty()) SendBatch(silo_id, std::move(batch), "shutdown");
+}
+
+void RequestCoalescer::SendBatch(int silo_id,
+                                 std::vector<std::unique_ptr<Pending>> batch,
+                                 const char* reason) {
+  FRA_TRACE_SPAN("net.coalesce.flush");
+  staged_gauge_->Add(-static_cast<double>(batch.size()));
+  batch_size_->Observe(static_cast<double>(batch.size()));
+  if (std::strcmp(reason, "size") == 0) {
+    flushes_size_->Increment();
+  } else if (std::strcmp(reason, "deadline") == 0) {
+    flushes_deadline_->Increment();
+  } else {
+    flushes_shutdown_->Increment();
+  }
+
+  std::vector<std::vector<uint8_t>> entries;
+  entries.reserve(batch.size());
+  for (std::unique_ptr<Pending>& pending : batch) {
+    entries.push_back(std::move(pending->request));
+  }
+
+  const auto fail_all = [&batch](const Status& status) {
+    for (std::unique_ptr<Pending>& pending : batch) {
+      pending->promise.set_value(status);
+    }
+  };
+
+  Result<std::vector<uint8_t>> response =
+      network_->Call(silo_id, EncodeBatchRequest(entries));
+  if (!response.ok()) {
+    // Hung / unreachable silo: the Network deadline already bounded the
+    // wait, and every staged query shares the outcome.
+    fail_all(response.status());
+    return;
+  }
+  Result<std::vector<std::vector<uint8_t>>> decoded =
+      DecodeBatchResponse(*response);
+  if (!decoded.ok()) {
+    fail_all(decoded.status());
+    return;
+  }
+  if (decoded->size() != batch.size()) {
+    fail_all(Status::Internal("batch response entry count mismatch: sent " +
+                              std::to_string(batch.size()) + ", received " +
+                              std::to_string(decoded->size())));
+    return;
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->promise.set_value(std::move((*decoded)[i]));
+  }
+}
+
+}  // namespace fra

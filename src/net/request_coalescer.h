@@ -1,0 +1,121 @@
+#ifndef FRA_NET_REQUEST_COALESCER_H_
+#define FRA_NET_REQUEST_COALESCER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "util/result.h"
+
+namespace fra {
+
+class Counter;
+class Gauge;
+class Histogram;
+
+/// Dynamic micro-batching of the multi-query wire path.
+///
+/// Under Alg. 4 the provider keeps |Q|/m queries in flight per silo, and
+/// at high throughput the hot path is dominated by per-request fixed
+/// costs — wire framing, send/recv syscalls, connection-pool contention —
+/// not by aggregation. The coalescer amortises that fixed cost: callers
+/// stage their encoded silo request into a per-silo buffer and block on a
+/// completion future; everything staged for one silo is packed into a
+/// single kAggregateBatchRequest frame and shipped over one pooled
+/// connection when either trigger fires:
+///
+///   * size    — the buffer reached max_batch_size (the staging caller
+///               sends the batch itself, so several batches to one silo
+///               can be in flight concurrently),
+///   * deadline — the oldest staged request has waited max_batch_delay_us
+///               (a per-silo flusher thread sends, bounding the latency a
+///               lone query pays for batching),
+///   * shutdown — destruction flushes whatever is still staged.
+///
+/// The response frame's entries are scattered positionally back to the
+/// waiting callers. Per-entry failures arrive as embedded error-response
+/// entries, so one bad sub-query cannot poison its batch; a failure of
+/// the batch exchange itself (hung silo, decode error) fails every staged
+/// request with the same Status — the underlying Network::Call deadline
+/// therefore bounds how long any batched query can hang.
+///
+/// Observable state (docs/observability.md): fra_batch_flushes_total
+/// {reason=size|deadline|shutdown}, the fra_batch_size histogram, and the
+/// fra_coalescer_staged_requests gauge.
+///
+/// Thread safe. The wrapped network must outlive the coalescer; callers
+/// must not race destruction with in-flight Call()s.
+class RequestCoalescer {
+ public:
+  struct Options {
+    /// Flush as soon as this many requests are staged for one silo.
+    /// 1 still exercises the batch wire path (one entry per frame).
+    size_t max_batch_size = 16;
+    /// Flush when the oldest staged request has waited this long, so a
+    /// lone query is delayed at most this much. <= 0 flushes eagerly.
+    int max_batch_delay_us = 200;
+  };
+
+  RequestCoalescer(Network* network, const Options& options);
+
+  RequestCoalescer(const RequestCoalescer&) = delete;
+  RequestCoalescer& operator=(const RequestCoalescer&) = delete;
+
+  /// Flushes every staged request (reason=shutdown) and joins the
+  /// per-silo flusher threads.
+  ~RequestCoalescer();
+
+  /// Stages `request` for `silo_id` and blocks until its response entry
+  /// (or the batch's failure Status) arrives. The payload returned is
+  /// exactly what an un-coalesced Network::Call would have produced.
+  Result<std::vector<uint8_t>> Call(int silo_id,
+                                    const std::vector<uint8_t>& request);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Pending {
+    std::vector<uint8_t> request;
+    std::promise<Result<std::vector<uint8_t>>> promise;
+  };
+  struct SiloQueue {
+    std::mutex mu;
+    std::condition_variable wake;
+    std::vector<std::unique_ptr<Pending>> staged;
+    std::chrono::steady_clock::time_point oldest_at;
+    bool stopping = false;
+    std::thread flusher;
+  };
+
+  SiloQueue* QueueFor(int silo_id);
+  void FlusherLoop(int silo_id, SiloQueue* queue);
+  /// Ships one batch and scatters the response entries (or the failure)
+  /// to every staged promise. Runs on the triggering caller (size), the
+  /// silo's flusher thread (deadline), or the destructor (shutdown).
+  void SendBatch(int silo_id, std::vector<std::unique_ptr<Pending>> batch,
+                 const char* reason);
+
+  Network* const network_;
+  const Options options_;
+
+  std::mutex mu_;  // guards queues_ map structure
+  std::unordered_map<int, std::unique_ptr<SiloQueue>> queues_;
+
+  // Registry instruments, resolved once.
+  Counter* flushes_size_;
+  Counter* flushes_deadline_;
+  Counter* flushes_shutdown_;
+  Histogram* batch_size_;
+  Gauge* staged_gauge_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_NET_REQUEST_COALESCER_H_

@@ -341,6 +341,10 @@ TcpNetwork::SiloPool::SiloPool(int silo_id, uint16_t pool_port)
       &registry.GetGauge("fra_tcp_pool_open_connections", {{"silo", silo}});
   busy_gauge =
       &registry.GetGauge("fra_tcp_pool_busy_connections", {{"silo", silo}});
+  inflight_batches_gauge =
+      &registry.GetGauge("fra_tcp_inflight_batches", {{"silo", silo}});
+  batch_frames_total =
+      &registry.GetCounter("fra_tcp_batch_frames_total", {{"silo", silo}});
 }
 
 void TcpNetwork::SiloPool::UpdateGauges() {
@@ -455,6 +459,22 @@ Result<std::vector<uint8_t>> TcpNetwork::CallImpl(
                                  std::to_string(silo_id));
     }
     pool = it->second.get();
+  }
+
+  // Coalesced-frame accounting: peek the ORIGINAL payload's type (the
+  // trace envelope would hide it) and hold the in-flight gauge across
+  // every return path of the exchange below.
+  struct BatchInflight {
+    Gauge* gauge = nullptr;
+    ~BatchInflight() {
+      if (gauge != nullptr) gauge->Add(-1.0);
+    }
+  } batch_inflight;
+  if (!request.empty() && static_cast<MessageType>(request[0]) ==
+                              MessageType::kAggregateBatchRequest) {
+    pool->batch_frames_total->Increment();
+    pool->inflight_batches_gauge->Add(1.0);
+    batch_inflight.gauge = pool->inflight_batches_gauge;
   }
 
   const DeadlinePoint deadline =

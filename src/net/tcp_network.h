@@ -17,6 +17,7 @@
 
 namespace fra {
 
+class Counter;
 class Gauge;
 
 /// Serves one SiloEndpoint over TCP — the silo side of the paper's
@@ -134,9 +135,13 @@ class TcpNetwork : public Network {
 
     // Registry instruments, resolved once per silo. Request/timeout
     // counters live at the Network::Call boundary (transport-agnostic);
-    // the pool only owns its occupancy gauges.
+    // the pool owns its occupancy gauges plus the coalesced-frame
+    // accounting (how many kAggregateBatchRequest exchanges are on the
+    // wire to this silo right now, and how many it has carried total).
     Gauge* open_gauge;
     Gauge* busy_gauge;
+    Gauge* inflight_batches_gauge;
+    Counter* batch_frames_total;
 
     void UpdateGauges();  // callers hold mu
   };

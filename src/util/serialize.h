@@ -19,6 +19,14 @@ class BinaryWriter {
  public:
   BinaryWriter() = default;
 
+  /// Size hint: pre-allocates room for `additional_bytes` more bytes on
+  /// top of what is already buffered. Serializers that know their encoded
+  /// size up front (grid payloads, batch frames, cell lists) reserve once
+  /// instead of growing the buffer through repeated reallocation.
+  void Reserve(size_t additional_bytes) {
+    buffer_.reserve(buffer_.size() + additional_bytes);
+  }
+
   void WriteU8(uint8_t v) { buffer_.push_back(v); }
   void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
@@ -74,6 +82,16 @@ class BinaryReader {
       return Status::OutOfRange("truncated string payload");
     }
     out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  /// Reads exactly `len` raw bytes (bounds-checked) into `out`.
+  Status ReadBytes(size_t len, std::vector<uint8_t>* out) {
+    if (len > Remaining()) {
+      return Status::OutOfRange("truncated byte payload");
+    }
+    out->assign(data_ + pos_, data_ + pos_ + len);
     pos_ += len;
     return Status::OK();
   }

@@ -38,6 +38,13 @@ std::vector<std::vector<uint8_t>> ValidMessages() {
       EncodeGridDeltaResponse(contributions),
       EncodeErrorResponse(Status::Internal("x")),
       EncodeGridPayloadResponse({1, 2, 3}),
+      // Batch frames: a populated request, the zero-entry edge case, and a
+      // response that mixes a summary with an embedded per-entry error.
+      EncodeBatchRequest({aggregate.Encode(), cells.Encode()}),
+      EncodeBatchRequest({}),
+      EncodeBatchResponse({EncodeSummaryResponse(summary),
+                           EncodeErrorResponse(Status::Unavailable("down"))}),
+      EncodeBatchResponse({}),
   };
 }
 
@@ -52,6 +59,8 @@ void DecodeEverything(const std::vector<uint8_t>& payload) {
   (void)AggregateRequest::Decode(&aggregate_reader);
   BinaryReader cell_reader(payload);
   (void)CellVectorRequest::Decode(&cell_reader);
+  (void)DecodeBatchRequest(payload);
+  (void)DecodeBatchResponse(payload);
 }
 
 TEST(MessageFuzzTest, EveryTruncationOfEveryMessageIsHandled) {
@@ -86,6 +95,75 @@ TEST(MessageFuzzTest, RandomGarbageIsHandled) {
     }
     DecodeEverything(garbage);
   }
+}
+
+// Targeted batch-frame malformations: every one must yield a Status, not
+// a crash or an over-read.
+TEST(MessageFuzzTest, TruncatedBatchEntryTableIsAnError) {
+  AggregateRequest aggregate;
+  aggregate.range = QueryRange::MakeCircle({1, 2}, 3);
+  std::vector<uint8_t> frame =
+      EncodeBatchRequest({aggregate.Encode(), aggregate.Encode()});
+  for (size_t length = 0; length < frame.size(); ++length) {
+    std::vector<uint8_t> truncated(frame.begin(), frame.begin() + length);
+    auto decoded = DecodeBatchRequest(truncated);
+    EXPECT_FALSE(decoded.ok()) << "length " << length;
+  }
+}
+
+TEST(MessageFuzzTest, BatchEntryCountExceedingPayloadIsAnError) {
+  // Claim 2^31 entries in a frame with a handful of bytes behind the
+  // count: the decoder must reject the table instead of allocating or
+  // reading past the payload.
+  std::vector<uint8_t> frame = EncodeBatchRequest({});
+  ASSERT_GE(frame.size(), 5u);
+  frame[1] = 0x00;
+  frame[2] = 0x00;
+  frame[3] = 0x00;
+  frame[4] = 0x80;  // little-endian count = 2^31
+  EXPECT_FALSE(DecodeBatchRequest(frame).ok());
+}
+
+TEST(MessageFuzzTest, CorruptedBatchEntryLengthIsAnError) {
+  AggregateRequest aggregate;
+  aggregate.range = QueryRange::MakeCircle({1, 2}, 3);
+  std::vector<uint8_t> frame = EncodeBatchRequest({aggregate.Encode()});
+  // The first entry's length prefix sits right after tag + count.
+  ASSERT_GE(frame.size(), 9u);
+  frame[5] = 0xFF;
+  frame[6] = 0xFF;
+  frame[7] = 0xFF;
+  frame[8] = 0x7F;
+  EXPECT_FALSE(DecodeBatchRequest(frame).ok());
+}
+
+TEST(MessageFuzzTest, ZeroEntryBatchRoundTrips) {
+  auto request_entries = DecodeBatchRequest(EncodeBatchRequest({}));
+  ASSERT_TRUE(request_entries.ok());
+  EXPECT_TRUE(request_entries->empty());
+  auto response_entries = DecodeBatchResponse(EncodeBatchResponse({}));
+  ASSERT_TRUE(response_entries.ok());
+  EXPECT_TRUE(response_entries->empty());
+}
+
+TEST(MessageFuzzTest, PerEntryErrorStatusRoundTrips) {
+  AggregateSummary summary;
+  summary.Add(3.0);
+  const Status failure = Status::Unavailable("silo melted");
+  auto entries = DecodeBatchResponse(EncodeBatchResponse(
+      {EncodeSummaryResponse(summary), EncodeErrorResponse(failure)}));
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 2u);
+  // Entry 0 decodes to the summary, entry 1 surfaces the embedded error
+  // through the standard response decoder.
+  auto ok_entry = DecodeSummaryResponse((*entries)[0]);
+  ASSERT_TRUE(ok_entry.ok());
+  EXPECT_EQ(ok_entry->count, summary.count);
+  auto error_entry = DecodeSummaryResponse((*entries)[1]);
+  ASSERT_FALSE(error_entry.ok());
+  EXPECT_TRUE(error_entry.status().IsUnavailable());
+  EXPECT_NE(error_entry.status().message().find("silo melted"),
+            std::string::npos);
 }
 
 TEST(MessageFuzzTest, SiloSurvivesTruncatedAndCorruptedRequests) {

@@ -186,5 +186,57 @@ TEST(MessageTest, BuildGridRequestIsOneTagByte) {
             MessageType::kBuildGridRequest);
 }
 
+TEST(MessageTest, BatchRequestRoundTrip) {
+  AggregateRequest aggregate;
+  aggregate.range = QueryRange::MakeCircle({10, 20}, 3);
+  aggregate.mode = LocalQueryMode::kLsr;
+  CellVectorRequest cells;
+  cells.range = QueryRange::MakeRect({0, 0}, {5, 5});
+
+  const std::vector<std::vector<uint8_t>> entries = {
+      aggregate.Encode(), cells.Encode(), EncodeBuildGridRequest()};
+  const std::vector<uint8_t> frame = EncodeBatchRequest(entries);
+  EXPECT_EQ(PeekMessageType(frame).ValueOrDie(),
+            MessageType::kAggregateBatchRequest);
+
+  auto decoded = DecodeBatchRequest(frame);
+  ASSERT_TRUE(decoded.ok());
+  // Entries come back byte-identical and in order.
+  EXPECT_EQ(*decoded, entries);
+}
+
+TEST(MessageTest, BatchResponseRoundTrip) {
+  AggregateSummary summary;
+  summary.Add(1.5);
+  summary.Add(-2.0);
+  const std::vector<std::vector<uint8_t>> entries = {
+      EncodeSummaryResponse(summary),
+      EncodeErrorResponse(Status::Unavailable("leg down"))};
+  const std::vector<uint8_t> frame = EncodeBatchResponse(entries);
+  EXPECT_EQ(PeekMessageType(frame).ValueOrDie(),
+            MessageType::kAggregateBatchResponse);
+
+  auto decoded = DecodeBatchResponse(frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, entries);
+}
+
+TEST(MessageTest, BatchDecodersRejectWrongType) {
+  const std::vector<uint8_t> request_frame = EncodeBatchRequest({});
+  const std::vector<uint8_t> response_frame = EncodeBatchResponse({});
+  EXPECT_FALSE(DecodeBatchRequest(response_frame).ok());
+  EXPECT_FALSE(DecodeBatchResponse(request_frame).ok());
+}
+
+TEST(MessageTest, BatchResponseDecoderSurfacesWholeBatchError) {
+  // A silo that fails to decode the batch frame itself answers with a
+  // plain error response; the batch decoder must surface that Status.
+  const std::vector<uint8_t> error =
+      EncodeErrorResponse(Status::InvalidArgument("bad frame"));
+  auto decoded = DecodeBatchResponse(error);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace fra

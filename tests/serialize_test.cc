@@ -130,5 +130,38 @@ TEST(SerializeTest, PositionTracksConsumption) {
   EXPECT_EQ(reader.Remaining(), 4UL);
 }
 
+TEST(SerializeTest, ReserveIsASizeHintOnly) {
+  BinaryWriter writer;
+  writer.WriteU32(7);
+  writer.Reserve(1024);
+  // Capacity grows, contents and size are untouched.
+  EXPECT_GE(writer.buffer().capacity(), 1024UL + 4UL);
+  EXPECT_EQ(writer.size(), 4UL);
+  writer.WriteU32(8);
+  BinaryReader reader(writer.buffer());
+  uint32_t a = 0, b = 0;
+  ASSERT_TRUE(reader.ReadU32(&a).ok());
+  ASSERT_TRUE(reader.ReadU32(&b).ok());
+  EXPECT_EQ(a, 7U);
+  EXPECT_EQ(b, 8U);
+}
+
+TEST(SerializeTest, ReadBytesRoundTripsAndBoundsChecks) {
+  BinaryWriter writer;
+  const std::vector<uint8_t> raw = {1, 2, 3, 4, 5};
+  writer.AppendRaw(raw.data(), raw.size());
+
+  BinaryReader reader(writer.buffer());
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(reader.ReadBytes(3, &out).ok());
+  EXPECT_EQ(out, (std::vector<uint8_t>{1, 2, 3}));
+  // Asking for more than remains must fail without consuming anything.
+  EXPECT_TRUE(reader.ReadBytes(3, &out).IsOutOfRange());
+  EXPECT_EQ(reader.Remaining(), 2UL);
+  ASSERT_TRUE(reader.ReadBytes(2, &out).ok());
+  EXPECT_EQ(out, (std::vector<uint8_t>{4, 5}));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
 }  // namespace
 }  // namespace fra
