@@ -20,15 +20,18 @@
 // regression tooling: qps, p50/p99, batch-size distribution, git sha.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "bench/bench_json.h"
 #include "bench/fig_common.h"
 #include "eval/report.h"
+#include "federation/federation.h"
 #include "federation/service_provider.h"
 #include "federation/silo.h"
 #include "net/tcp_network.h"
@@ -51,6 +54,105 @@ double QuantileOf(std::vector<double> sorted_ascending, double q) {
   const size_t index = static_cast<size_t>(
       q * static_cast<double>(sorted_ascending.size() - 1));
   return sorted_ascending[index];
+}
+
+// --- Answer-cache sweep (docs/caching.md) ----------------------------------
+//
+// A Zipf-popular pool of overlapping ranges replayed against an in-process
+// federation at three cache configurations: off, exact layer only, and
+// exact + tile layer (kFraction boundaries, so warm queries need zero silo
+// exchanges). The metric that matters is silo RPCs *per query* — the
+// provider-side work the cache absorbs — plus an auditor-verified check
+// that tile-assembled answers still respect the (eps, delta) regime.
+
+struct CacheRun {
+  double qps = 0.0;
+  double rpcs_per_query = 0.0;
+  uint64_t messages = 0;
+  uint64_t exact_hits = 0;
+  uint64_t tile_hits = 0;
+  uint64_t tile_misses = 0;
+  // Verification federation (audits on) — accuracy of the served answers.
+  uint64_t audited = 0;
+  uint64_t violations = 0;
+  double mean_relative_error = 0.0;
+  double max_relative_error = 0.0;
+};
+
+std::unique_ptr<fra::Federation> MakeCacheFederation(
+    size_t objects, size_t silos, const fra::Rect& domain,
+    const fra::ServiceProvider::Options::CacheOptions& cache,
+    double audit_rate) {
+  // A mixture of uniform background and per-silo hotspots: heterogeneous
+  // enough that NonIID-est is the natural estimator choice.
+  std::vector<fra::ObjectSet> partitions(silos);
+  fra::Rng rng(777);
+  for (size_t i = 0; i < objects; ++i) {
+    const size_t s = i % silos;
+    fra::Point p;
+    if (i % 3 == 0) {
+      const double cx = 20.0 + 15.0 * static_cast<double>(s);
+      p = {rng.NextGaussian(cx, 6.0), rng.NextGaussian(cx, 6.0)};
+      p.x = std::clamp(p.x, domain.min.x, domain.max.x);
+      p.y = std::clamp(p.y, domain.min.y, domain.max.y);
+    } else {
+      p = {rng.NextDouble(domain.min.x, domain.max.x),
+           rng.NextDouble(domain.min.y, domain.max.y)};
+    }
+    partitions[s].push_back({p, static_cast<double>(rng.NextInt64(0, 9))});
+  }
+  fra::FederationOptions options;
+  options.silo.grid_spec.domain = domain;
+  options.silo.grid_spec.cell_length = 2.0;
+  options.provider.cache = cache;
+  options.provider.audit_sample_rate = audit_rate;
+  return fra::Federation::Create(std::move(partitions), options).ValueOrDie();
+}
+
+// Runs `queries` twice: a measurement federation with audits off (clean
+// comm counters => RPCs/query and qps), and a verification federation
+// with audits on (the auditor replays a sample EXACT — including
+// cache-served answers — and scores relative error).
+CacheRun RunCacheSweep(
+    size_t objects, size_t silos, const fra::Rect& domain,
+    const fra::ServiceProvider::Options::CacheOptions& cache,
+    const std::vector<fra::FraQuery>& queries) {
+  CacheRun run;
+  {
+    auto federation =
+        MakeCacheFederation(objects, silos, domain, cache, /*audit=*/0.0);
+    fra::ServiceProvider& provider = federation->provider();
+    const fra::CommStats::Snapshot before = provider.comm();
+    fra::Timer timer;
+    FRA_CHECK_OK(provider.ExecuteBatch(queries, fra::FraAlgorithm::kNonIidEst)
+                     .status());
+    run.qps = static_cast<double>(queries.size()) / timer.ElapsedSeconds();
+    run.messages = (provider.comm() - before).messages;
+    run.rpcs_per_query = static_cast<double>(run.messages) /
+                         static_cast<double>(queries.size());
+    if (const fra::ProviderCache* pc = provider.cache()) {
+      run.exact_hits = provider.cache()->exact().counters().hits;
+      run.tile_hits = provider.cache()->tiles().counters().hits;
+      run.tile_misses = provider.cache()->tiles().counters().misses;
+      (void)pc;
+    }
+  }
+  {
+    auto federation =
+        MakeCacheFederation(objects, silos, domain, cache, /*audit=*/0.25);
+    fra::ServiceProvider& provider = federation->provider();
+    FRA_CHECK_OK(provider.ExecuteBatch(queries, fra::FraAlgorithm::kNonIidEst)
+                     .status());
+    provider.WaitForAudits();
+    if (const fra::AccuracyAuditor* auditor = provider.auditor()) {
+      const fra::AccuracyAuditor::Snapshot audit = auditor->snapshot();
+      run.audited = audit.audited;
+      run.violations = audit.violations;
+      run.mean_relative_error = audit.mean_relative_error;
+      run.max_relative_error = audit.max_relative_error;
+    }
+  }
+  return run;
 }
 
 // One ExecuteBatch sweep of `queries` over the TCP federation, with
@@ -302,5 +404,139 @@ int main() {
   json.EndObject();  // root
 
   fra::bench::WriteJsonFile("BENCH_throughput.json", json.str());
+
+  // --- Answer cache: Zipf-overlapping ranges, three configurations ---------
+  const fra::Rect cache_domain{{0, 0}, {80, 80}};
+  const size_t cache_silos = 4;
+  const size_t cache_objects = smoke ? 8000 : 60000;
+  const size_t distinct_ranges = smoke ? 64 : 512;
+  const size_t cache_queries = smoke ? 512 : 8192;
+
+  // The range pool: rects of mixed size; every other one snapped to the
+  // 2.0 cell grid so a share of the workload is boundary-free (the tile
+  // layer's best case), the rest exercises boundary handling.
+  fra::Rng cache_rng(20220416);
+  std::vector<fra::QueryRange> pool;
+  pool.reserve(distinct_ranges);
+  for (size_t r = 0; r < distinct_ranges; ++r) {
+    double x = cache_rng.NextDouble(0.0, 60.0);
+    double y = cache_rng.NextDouble(0.0, 60.0);
+    double w = cache_rng.NextDouble(6.0, 20.0);
+    double h = cache_rng.NextDouble(6.0, 20.0);
+    if (r % 2 == 0) {
+      const auto snap = [](double v) { return 2.0 * std::floor(v / 2.0); };
+      x = snap(x);
+      y = snap(y);
+      w = std::max(2.0, snap(w));
+      h = std::max(2.0, snap(h));
+    }
+    pool.push_back(fra::QueryRange::MakeRect({x, y}, {x + w, y + h}));
+  }
+  // Zipf(s=1) popularity over the pool, drawn via the precomputed CDF.
+  std::vector<double> zipf_cdf(distinct_ranges, 0.0);
+  double zipf_norm = 0.0;
+  for (size_t r = 0; r < distinct_ranges; ++r) {
+    zipf_norm += 1.0 / static_cast<double>(r + 1);
+    zipf_cdf[r] = zipf_norm;
+  }
+  for (double& c : zipf_cdf) c /= zipf_norm;
+  std::vector<fra::FraQuery> cache_workload;
+  cache_workload.reserve(cache_queries);
+  for (size_t q = 0; q < cache_queries; ++q) {
+    const double u = cache_rng.NextDouble(0.0, 1.0);
+    const size_t r = static_cast<size_t>(
+        std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u) -
+        zipf_cdf.begin());
+    cache_workload.push_back(
+        {pool[std::min(r, distinct_ranges - 1)], fra::AggregateKind::kCount});
+  }
+
+  using CacheOptions = fra::ServiceProvider::Options::CacheOptions;
+  CacheOptions cache_off;
+  cache_off.enabled = false;
+  CacheOptions cache_exact;
+  cache_exact.enabled = true;
+  cache_exact.tile_layer = false;
+  CacheOptions cache_tile;
+  cache_tile.enabled = true;
+  cache_tile.tile_layer = true;
+  cache_tile.min_tile_coverage = 0.0;  // serve and warm from the first touch
+  cache_tile.boundary_mode = CacheOptions::BoundaryMode::kFraction;
+
+  struct NamedConfig {
+    const char* name;
+    const CacheOptions* options;
+  };
+  const NamedConfig configs[] = {{"off", &cache_off},
+                                 {"exact_layer", &cache_exact},
+                                 {"tile_layer", &cache_tile}};
+
+  std::printf("\n=== Answer cache (Zipf ranges: %zu distinct, %zu queries, "
+              "m=%zu, NonIID-est) ===\n",
+              distinct_ranges, cache_queries, cache_silos);
+  std::printf("%-12s %12s %16s %12s %10s %12s %12s\n", "cache", "qps",
+              "silo RPC/query", "audited", "violations", "mean RE", "max RE");
+
+  fra::bench::JsonWriter cache_json;
+  cache_json.BeginObject();
+  cache_json.Key("bench").String("cache");
+  cache_json.Key("git_sha").String(fra::bench::GitSha());
+  cache_json.Key("scale").String(scale_env != nullptr ? scale_env : "default");
+  cache_json.Key("num_silos").Int(static_cast<long long>(cache_silos));
+  cache_json.Key("num_objects").Int(static_cast<long long>(cache_objects));
+  cache_json.Key("distinct_ranges").Int(
+      static_cast<long long>(distinct_ranges));
+  cache_json.Key("num_queries").Int(static_cast<long long>(cache_queries));
+  cache_json.Key("zipf_s").Number(1.0);
+  cache_json.Key("algorithm").String(
+      fra::FraAlgorithmToString(fra::FraAlgorithm::kNonIidEst));
+  cache_json.Key("configs").BeginArray();
+
+  double off_rpcs = 0.0;
+  double tile_rpcs = 0.0;
+  for (const NamedConfig& config : configs) {
+    const CacheRun run = RunCacheSweep(cache_objects, cache_silos,
+                                       cache_domain, *config.options,
+                                       cache_workload);
+    if (std::strcmp(config.name, "off") == 0) off_rpcs = run.rpcs_per_query;
+    if (std::strcmp(config.name, "tile_layer") == 0) {
+      tile_rpcs = run.rpcs_per_query;
+    }
+    std::printf("%-12s %12.1f %16.4f %12llu %10llu %12.4f %12.4f\n",
+                config.name, run.qps, run.rpcs_per_query,
+                static_cast<unsigned long long>(run.audited),
+                static_cast<unsigned long long>(run.violations),
+                run.mean_relative_error, run.max_relative_error);
+    cache_json.BeginObject();
+    cache_json.Key("cache").String(config.name);
+    cache_json.Key("qps").Number(run.qps);
+    cache_json.Key("silo_rpcs_per_query").Number(run.rpcs_per_query);
+    cache_json.Key("silo_messages").Int(static_cast<long long>(run.messages));
+    cache_json.Key("exact_hits").Int(static_cast<long long>(run.exact_hits));
+    cache_json.Key("tile_hits").Int(static_cast<long long>(run.tile_hits));
+    cache_json.Key("tile_misses").Int(
+        static_cast<long long>(run.tile_misses));
+    cache_json.Key("audited").Int(static_cast<long long>(run.audited));
+    cache_json.Key("violations").Int(static_cast<long long>(run.violations));
+    cache_json.Key("mean_relative_error").Number(run.mean_relative_error);
+    cache_json.Key("max_relative_error").Number(run.max_relative_error);
+    cache_json.EndObject();
+  }
+  cache_json.EndArray();
+  const double rpc_reduction =
+      tile_rpcs > 0.0 ? off_rpcs / tile_rpcs
+                      : std::numeric_limits<double>::infinity();
+  cache_json.Key("rpc_reduction_tile_vs_off").Number(
+      tile_rpcs > 0.0 ? rpc_reduction : -1.0);
+  cache_json.EndObject();
+  if (tile_rpcs > 0.0) {
+    std::printf("tile-layer silo-RPC reduction vs off: %.1fx "
+                "(acceptance bar: >=3x)\n", rpc_reduction);
+  } else {
+    std::printf("tile-layer silo-RPC reduction vs off: inf "
+                "(zero silo RPCs; acceptance bar: >=3x)\n");
+  }
+
+  fra::bench::WriteJsonFile("BENCH_cache.json", cache_json.str());
   return 0;
 }

@@ -5,7 +5,8 @@
 #   scripts/ci.sh tracing-off   # spans compiled out, full ctest
 #   scripts/ci.sh sanitize      # ASan+UBSan, observability-labeled tests
 #   scripts/ci.sh bench-smoke   # bench harnesses at smoke scale + BENCH_*.json
-#   scripts/ci.sh               # all four stages in sequence
+#   scripts/ci.sh docs-check    # docs link + metric-drift check (no build)
+#   scripts/ci.sh               # all five stages in sequence
 #
 # Each stage uses its own build tree under build-ci/ so stages cannot
 # poison one another's CMake cache.
@@ -17,6 +18,15 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 run_stage() {
   local stage="$1"
+
+  # docs-check is pure text analysis — no configure/build/test cycle.
+  if [[ "${stage}" == "docs-check" ]]; then
+    echo "=== stage ${stage}: docs link + drift check ==="
+    "${REPO_ROOT}/scripts/check_docs.sh" "${REPO_ROOT}"
+    echo "=== stage ${stage}: OK ==="
+    return
+  fi
+
   local build_dir="${REPO_ROOT}/build-ci/${stage}"
   local -a cmake_args=(-DCMAKE_BUILD_TYPE=Release)
   local -a ctest_args=(--output-on-failure -j "${JOBS}")
@@ -49,7 +59,7 @@ run_stage() {
       ;;
     *)
       echo "unknown stage: ${stage}" >&2
-      echo "usage: $0 [tracing-on|tracing-off|sanitize|bench-smoke]" >&2
+      echo "usage: $0 [tracing-on|tracing-off|sanitize|bench-smoke|docs-check]" >&2
       exit 2
       ;;
   esac
@@ -74,7 +84,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-  for stage in tracing-on tracing-off sanitize bench-smoke; do
+  for stage in docs-check tracing-on tracing-off sanitize bench-smoke; do
     run_stage "${stage}"
   done
 else

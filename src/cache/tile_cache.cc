@@ -1,0 +1,224 @@
+#include "cache/tile_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace fra {
+namespace {
+
+const std::vector<double>& CoverageBuckets() {
+  static const std::vector<double> kBuckets = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                               0.6, 0.7, 0.8, 0.9, 1.0};
+  return kBuckets;
+}
+
+}  // namespace
+
+TileCache::TileCache(size_t rows, size_t cols, const Options& options)
+    : options_(options),
+      rows_(rows),
+      cols_(cols),
+      tile_cols_((cols + options.tile_size - 1) / options.tile_size),
+      hits_total_(&MetricsRegistry::Default().GetCounter(
+          "fra_cache_hits_total", {{"layer", "tile"}})),
+      misses_total_(&MetricsRegistry::Default().GetCounter(
+          "fra_cache_misses_total", {{"layer", "tile"}})),
+      evictions_total_(&MetricsRegistry::Default().GetCounter(
+          "fra_cache_evictions_total", {{"layer", "tile"}})),
+      invalidations_total_(&MetricsRegistry::Default().GetCounter(
+          "fra_cache_invalidations_total", {{"layer", "tile"}})),
+      coverage_histogram_(&MetricsRegistry::Default().GetHistogram(
+          "fra_cache_tile_coverage", {}, CoverageBuckets())) {
+  FRA_CHECK(options_.tile_size > 0) << "tile_size must be >= 1";
+}
+
+size_t TileCache::TileIdOf(size_t cell_id) const {
+  const size_t row = cell_id / cols_;
+  const size_t col = cell_id % cols_;
+  return TileRowOf(row) * tile_cols_ + TileColOf(col);
+}
+
+void TileCache::FillTileLocked(size_t tile_id, Tile* tile,
+                               const CellSource& source) {
+  const size_t t = options_.tile_size;
+  const size_t base_row = (tile_id / tile_cols_) * t;
+  const size_t base_col = (tile_id % tile_cols_) * t;
+  tile->cells.assign(t * t, AggregateSummary());
+  for (size_t r = 0; r < t && base_row + r < rows_; ++r) {
+    for (size_t c = 0; c < t && base_col + c < cols_; ++c) {
+      tile->cells[r * t + c] = source((base_row + r) * cols_ + base_col + c);
+    }
+  }
+  // Tile-local 2-D prefix sums over the linear components: entry (r, c)
+  // aggregates the local cell block [0, r) x [0, c), same convention as
+  // GridIndex's cumulative arrays.
+  const size_t stride = t + 1;
+  tile->prefix_count.assign(stride * stride, 0.0);
+  tile->prefix_sum.assign(stride * stride, 0.0);
+  tile->prefix_sum_sqr.assign(stride * stride, 0.0);
+  for (size_t r = 0; r < t; ++r) {
+    for (size_t c = 0; c < t; ++c) {
+      const AggregateSummary& cell = tile->cells[r * t + c];
+      const size_t at = (r + 1) * stride + (c + 1);
+      tile->prefix_count[at] = static_cast<double>(cell.count) +
+                               tile->prefix_count[at - 1] +
+                               tile->prefix_count[at - stride] -
+                               tile->prefix_count[at - stride - 1];
+      tile->prefix_sum[at] = cell.sum + tile->prefix_sum[at - 1] +
+                             tile->prefix_sum[at - stride] -
+                             tile->prefix_sum[at - stride - 1];
+      tile->prefix_sum_sqr[at] = cell.sum_sqr + tile->prefix_sum_sqr[at - 1] +
+                                 tile->prefix_sum_sqr[at - stride] -
+                                 tile->prefix_sum_sqr[at - stride - 1];
+    }
+  }
+  tile->valid = true;
+}
+
+void TileCache::AddBlockFromTileLocked(const Tile& tile, size_t tile_id,
+                                       size_t row0, size_t col0, size_t row1,
+                                       size_t col1,
+                                       AggregateSummary* out) const {
+  const size_t t = options_.tile_size;
+  const size_t base_row = (tile_id / tile_cols_) * t;
+  const size_t base_col = (tile_id % tile_cols_) * t;
+  // Clip the global block to this tile's extent, in local coordinates.
+  const size_t lr0 = row0 > base_row ? row0 - base_row : 0;
+  const size_t lc0 = col0 > base_col ? col0 - base_col : 0;
+  const size_t lr1 = std::min(row1 - base_row, t - 1);
+  const size_t lc1 = std::min(col1 - base_col, t - 1);
+  const size_t stride = t + 1;
+  const auto block = [&](const std::vector<double>& prefix) {
+    return prefix[(lr1 + 1) * stride + (lc1 + 1)] -
+           prefix[lr0 * stride + (lc1 + 1)] -
+           prefix[(lr1 + 1) * stride + lc0] + prefix[lr0 * stride + lc0];
+  };
+  out->count += static_cast<uint64_t>(block(tile.prefix_count) + 0.5);
+  out->sum += block(tile.prefix_sum);
+  out->sum_sqr += block(tile.prefix_sum_sqr);
+}
+
+TileCache::Plan TileCache::Assemble(bool has_block, size_t row0, size_t col0,
+                                    size_t row1, size_t col1,
+                                    const std::vector<uint32_t>& boundary_cells,
+                                    const CellSource& source) {
+  Plan plan;
+  // The set of tiles this query needs: those covering the contained
+  // block plus those holding each boundary cell.
+  std::vector<size_t> required;
+  if (has_block) {
+    for (size_t tr = TileRowOf(row0); tr <= TileRowOf(row1); ++tr) {
+      for (size_t tc = TileColOf(col0); tc <= TileColOf(col1); ++tc) {
+        required.push_back(tr * tile_cols_ + tc);
+      }
+    }
+  }
+  for (uint32_t cell : boundary_cells) required.push_back(TileIdOf(cell));
+  std::sort(required.begin(), required.end());
+  required.erase(std::unique(required.begin(), required.end()),
+                 required.end());
+  plan.tiles_required = required.size();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t valid_before = 0;
+  for (size_t tile_id : required) {
+    const auto it = tiles_.find(tile_id);
+    if (it != tiles_.end() && it->second.valid) ++valid_before;
+  }
+  plan.coverage = required.empty()
+                      ? 1.0
+                      : static_cast<double>(valid_before) /
+                            static_cast<double>(required.size());
+  coverage_histogram_->Observe(plan.coverage);
+  plan.servable = plan.coverage >= options_.min_coverage;
+
+  // Fill what is missing or stale (warming happens even when the query
+  // itself falls through to the normal path) and refresh recency.
+  for (size_t tile_id : required) {
+    auto it = tiles_.find(tile_id);
+    if (it == tiles_.end()) {
+      it = tiles_.emplace(tile_id, Tile()).first;
+      lru_.push_front(tile_id);
+      it->second.lru_it = lru_.begin();
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    }
+    Tile& tile = it->second;
+    if (!tile.valid) {
+      FillTileLocked(tile_id, &tile, source);
+      ++valid_count_;
+      ++plan.tiles_filled;
+      ++counters_.misses;
+      misses_total_->Increment();
+    } else {
+      ++counters_.hits;
+      hits_total_->Increment();
+    }
+  }
+  // LRU eviction; the required tiles sit at the front, so the tail is
+  // always evictable unless the capacity is smaller than one query's
+  // working set (then nothing more can be dropped).
+  while (tiles_.size() > options_.max_tiles &&
+         lru_.size() > required.size()) {
+    const size_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = tiles_.find(victim);
+    if (it->second.valid) --valid_count_;
+    tiles_.erase(it);
+    ++counters_.evictions;
+    evictions_total_->Increment();
+  }
+
+  if (has_block) {
+    for (size_t tr = TileRowOf(row0); tr <= TileRowOf(row1); ++tr) {
+      for (size_t tc = TileColOf(col0); tc <= TileColOf(col1); ++tc) {
+        const size_t tile_id = tr * tile_cols_ + tc;
+        AddBlockFromTileLocked(tiles_.at(tile_id), tile_id, row0, col0, row1,
+                               col1, &plan.interior);
+      }
+    }
+  }
+  plan.boundary.reserve(boundary_cells.size());
+  const size_t t = options_.tile_size;
+  for (uint32_t cell : boundary_cells) {
+    const Tile& tile = tiles_.at(TileIdOf(cell));
+    const size_t row = cell / cols_;
+    const size_t col = cell % cols_;
+    plan.boundary.push_back(
+        tile.cells[(row % t) * t + (col % t)]);
+  }
+  return plan;
+}
+
+size_t TileCache::Invalidate(const std::vector<size_t>& cells) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t invalidated = 0;
+  for (size_t cell : cells) {
+    const auto it = tiles_.find(TileIdOf(cell));
+    if (it == tiles_.end() || !it->second.valid) continue;
+    it->second.valid = false;
+    --valid_count_;
+    ++invalidated;
+  }
+  counters_.invalidations += invalidated;
+  invalidations_total_->Increment(invalidated);
+  return invalidated;
+}
+
+TileCache::Counters TileCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t TileCache::cached_tiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tiles_.size();
+}
+
+size_t TileCache::valid_tiles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return valid_count_;
+}
+
+}  // namespace fra

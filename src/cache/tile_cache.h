@@ -1,0 +1,136 @@
+#ifndef FRA_CACHE_TILE_CACHE_H_
+#define FRA_CACHE_TILE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "util/metrics.h"
+
+namespace fra {
+
+/// Tile layer of the provider-side cache (docs/caching.md): grid-aligned
+/// partial aggregates, bookkept in square tiles of `tile_size` x
+/// `tile_size` grid cells.
+///
+/// Each cached tile snapshots the federation-wide per-cell summaries (the
+/// provider's merged grid g_0 at fill time) together with a tile-local
+/// 2-D prefix-sum array, so the fully contained cell block of a fresh
+/// range is assembled in O(tiles) constant-time block reads — no silo is
+/// contacted for anything a valid tile already covers; only the boundary
+/// cells of the range still need refinement (see
+/// ServiceProvider::Options::CacheOptions::BoundaryMode).
+///
+/// Dynamic updates invalidate affected tiles only (Invalidate), never the
+/// whole layer; an invalid tile is refilled from the post-sync grid on
+/// its next use, which is what makes cached answers catch up with
+/// ingested data instead of going permanently stale.
+///
+/// Thread safe. Feeds `fra_cache_{hits,misses,evictions,
+/// invalidations}_total{layer="tile"}` and the `fra_cache_tile_coverage`
+/// histogram (fraction of the tiles a query needed that were already
+/// cached and valid).
+class TileCache {
+ public:
+  struct Options {
+    /// Grid cells per tile side.
+    size_t tile_size = 4;
+    /// Maximum cached tiles; least recently used tiles evict beyond this.
+    size_t max_tiles = 4096;
+    /// Serve a query from tiles only when at least this fraction of the
+    /// tiles it needs was already cached and valid; colder queries fall
+    /// through to the normal path (and warm the tiles they touched).
+    double min_coverage = 1.0;
+  };
+
+  /// Supplies the current summary of one grid cell when a tile is filled.
+  using CellSource = std::function<AggregateSummary(size_t cell_id)>;
+
+  TileCache(size_t rows, size_t cols, const Options& options);
+
+  struct Plan {
+    /// Coverage met — the caller may serve from `interior` + `boundary`.
+    bool servable = false;
+    /// Valid fraction of the required tiles before this call filled any.
+    double coverage = 0.0;
+    /// Prefix-sum aggregate of the contained-cell block (count/sum/
+    /// sum_sqr only; extrema are not tracked by tiles).
+    AggregateSummary interior;
+    /// Cached g_0 summary per requested boundary cell, same order.
+    std::vector<AggregateSummary> boundary;
+    size_t tiles_required = 0;
+    size_t tiles_filled = 0;
+  };
+
+  /// Assembles a serving plan for a range classified into the contained
+  /// block [row0..row1] x [col0..col1] (`has_block` false for an empty
+  /// block) plus `boundary_cells`. Missing or invalidated tiles are
+  /// (re)filled from `source`; coverage is judged before the fill.
+  Plan Assemble(bool has_block, size_t row0, size_t col0, size_t row1,
+                size_t col1, const std::vector<uint32_t>& boundary_cells,
+                const CellSource& source);
+
+  /// Dynamic-update notification: marks the tiles containing `cells`
+  /// invalid. Returns the number of valid tiles invalidated.
+  size_t Invalidate(const std::vector<size_t>& cells);
+
+  struct Counters {
+    uint64_t hits = 0;           // required tiles found valid
+    uint64_t misses = 0;         // required tiles (re)filled
+    uint64_t evictions = 0;      // tiles dropped by LRU pressure
+    uint64_t invalidations = 0;  // tiles flipped invalid by updates
+  };
+  Counters counters() const;
+  size_t cached_tiles() const;
+  size_t valid_tiles() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Tile {
+    bool valid = false;
+    // Row-major tile_size x tile_size cell summaries (cells past the grid
+    // edge stay empty) and the (tile_size+1)^2 prefix arrays over their
+    // linear components.
+    std::vector<AggregateSummary> cells;
+    std::vector<double> prefix_count;
+    std::vector<double> prefix_sum;
+    std::vector<double> prefix_sum_sqr;
+    std::list<size_t>::iterator lru_it;
+  };
+
+  size_t TileRowOf(size_t row) const { return row / options_.tile_size; }
+  size_t TileColOf(size_t col) const { return col / options_.tile_size; }
+  size_t TileIdOf(size_t cell_id) const;
+  void FillTileLocked(size_t tile_id, Tile* tile, const CellSource& source);
+  // Aggregate of the cell block clipped to one tile, O(1) via the tile's
+  // prefix sums.
+  void AddBlockFromTileLocked(const Tile& tile, size_t tile_id, size_t row0,
+                              size_t col0, size_t row1, size_t col1,
+                              AggregateSummary* out) const;
+
+  const Options options_;
+  const size_t rows_;
+  const size_t cols_;
+  const size_t tile_cols_;  // tiles per tile row
+
+  mutable std::mutex mu_;
+  std::unordered_map<size_t, Tile> tiles_;
+  // Front = most recently used tile id.
+  std::list<size_t> lru_;
+  size_t valid_count_ = 0;
+  Counters counters_;
+  Counter* hits_total_;
+  Counter* misses_total_;
+  Counter* evictions_total_;
+  Counter* invalidations_total_;
+  Histogram* coverage_histogram_;
+};
+
+}  // namespace fra
+
+#endif  // FRA_CACHE_TILE_CACHE_H_

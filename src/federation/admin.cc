@@ -112,6 +112,24 @@ HttpResponse Statusz(ServiceProvider* provider) {
     out << "null,\n";
   }
 
+  out << "  \"cache\": ";
+  if (ProviderCache* cache = provider->cache()) {
+    const AnswerCache::Counters exact = cache->exact().counters();
+    const TileCache::Counters tiles = cache->tiles().counters();
+    out << "{\"epoch\": " << cache->epoch()
+        << ", \"exact\": {\"entries\": " << cache->exact().size()
+        << ", \"hits\": " << exact.hits << ", \"misses\": " << exact.misses
+        << ", \"evictions\": " << exact.evictions << "}"
+        << ", \"tiles\": {\"cached\": " << cache->tiles().cached_tiles()
+        << ", \"valid\": " << cache->tiles().valid_tiles()
+        << ", \"hits\": " << tiles.hits << ", \"misses\": " << tiles.misses
+        << ", \"evictions\": " << tiles.evictions
+        << ", \"invalidations\": " << tiles.invalidations << "}"
+        << "},\n";
+  } else {
+    out << "null,\n";
+  }
+
   const CommStats::Snapshot comm = provider->comm();
   out << "  \"comm\": {\"messages\": " << comm.messages
       << ", \"bytes_to_silos\": " << comm.bytes_to_silos

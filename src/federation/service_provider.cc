@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <optional>
+#include <string>
 
 #include "net/message.h"
 #include "util/logging.h"
@@ -91,6 +93,16 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
   if (options.coalescing.enabled && options.coalescing.max_batch_size == 0) {
     return Status::InvalidArgument("coalescing.max_batch_size must be >= 1");
   }
+  if (options.cache.enabled) {
+    if (options.cache.tile_layer && options.cache.tile_size == 0) {
+      return Status::InvalidArgument("cache.tile_size must be >= 1");
+    }
+    if (options.cache.min_tile_coverage < 0.0 ||
+        options.cache.min_tile_coverage > 1.0) {
+      return Status::InvalidArgument(
+          "cache.min_tile_coverage must be in [0, 1]");
+    }
+  }
 
   auto provider =
       std::unique_ptr<ServiceProvider>(new ServiceProvider(network, options));
@@ -161,6 +173,21 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
   for (const auto& [id, grid] : provider->silo_grids_) parts.push_back(&grid);
   FRA_ASSIGN_OR_RETURN(provider->merged_grid_, GridIndex::Merge(parts));
 
+  // The answer cache needs the merged grid's geometry, so it comes up
+  // after Alg. 1.
+  if (options.cache.enabled) {
+    ProviderCache::Options cache_options;
+    cache_options.exact.capacity = options.cache.exact_capacity;
+    cache_options.range_quantum = options.cache.range_quantum;
+    cache_options.tile_layer = options.cache.tile_layer;
+    cache_options.tiles.tile_size = options.cache.tile_size;
+    cache_options.tiles.max_tiles = options.cache.max_tiles;
+    cache_options.tiles.min_coverage = options.cache.min_tile_coverage;
+    provider->cache_ = std::make_unique<ProviderCache>(
+        provider->merged_grid_.rows(), provider->merged_grid_.cols(),
+        cache_options);
+  }
+
   // Deployment-shape gauges for the most recently created provider.
   MetricsRegistry::Default()
       .GetGauge("fra_federation_silos")
@@ -207,33 +234,68 @@ Result<double> ServiceProvider::Execute(const FraQuery& query,
   ScopedTraceId trace_scope(Tracer::Get().enabled() ? NewTraceId()
                                                     : CurrentTraceId());
   Timer timer;
+  bool from_cache = false;
   Result<double> result = [&]() -> Result<double> {
     FRA_TRACE_SPAN("provider.execute");
-    if (!IsSingleSilo(algorithm)) {
-      return ExecuteWithSilo(query, algorithm, -1);
-    }
-    return ExecuteSampled(query, algorithm, NextDraw());
+    const uint64_t draw = IsSingleSilo(algorithm) ? NextDraw() : 0;
+    return ExecuteCached(query, algorithm, draw, &from_cache);
   }();
   RecordQueryMetrics(algorithm, result.ok(), timer.ElapsedSeconds());
-  MaybeAuditAsync(query, algorithm, result);
+  MaybeAuditAsync(query, algorithm, result, from_cache);
+  return result;
+}
+
+Result<double> ServiceProvider::ExecuteCached(const FraQuery& query,
+                                              FraAlgorithm algorithm,
+                                              uint64_t draw,
+                                              bool* served_from_cache) {
+  *served_from_cache = false;
+  std::string key;
+  if (cache_ != nullptr) {
+    // The data epoch is part of the key, so entries cached before a
+    // SyncGrids that observed changes can never be returned afterwards —
+    // they just age out of the LRU.
+    key = cache_->MakeKey(query.range, static_cast<uint8_t>(query.kind),
+                          static_cast<uint8_t>(algorithm), options_.epsilon,
+                          options_.delta);
+    if (const std::optional<double> hit = cache_->exact().Lookup(key)) {
+      *served_from_cache = true;
+      return *hit;
+    }
+  }
+  bool from_tile = false;
+  Result<double> result =
+      IsSingleSilo(algorithm)
+          ? ExecuteSampled(query, algorithm, draw, &from_tile)
+          : ExecuteWithSilo(query, algorithm, -1);
+  if (from_tile) *served_from_cache = true;
+  if (cache_ != nullptr && result.ok()) {
+    cache_->exact().Insert(key, *result);
+  }
   return result;
 }
 
 void ServiceProvider::MaybeAuditAsync(const FraQuery& query,
                                       FraAlgorithm algorithm,
-                                      const Result<double>& result) {
-  if (auditor_ == nullptr || algorithm == FraAlgorithm::kExact ||
-      algorithm == FraAlgorithm::kOpta || !result.ok()) {
-    return;
-  }
+                                      const Result<double>& result,
+                                      bool from_cache) {
+  if (auditor_ == nullptr || !result.ok()) return;
+  // EXACT/OPTA answers are deterministic replays of themselves — nothing
+  // to audit — unless a cache layer produced them, in which case the
+  // audit measures staleness against the live federation.
+  const bool deterministic = algorithm == FraAlgorithm::kExact ||
+                             algorithm == FraAlgorithm::kOpta;
+  if (deterministic && !from_cache) return;
   if (!auditor_->ShouldAudit()) return;
   // Fire-and-forget on the batch pool: the replay's fan-out legs run on
   // the (leaf) fan-out pool, so audits queued from batch workers cannot
   // deadlock. The replay bypasses Execute so the audit traffic never
-  // shows up in fra_queries_total / query latency histograms.
+  // shows up in fra_queries_total / query latency histograms — and never
+  // consults the cache, so the baseline is always live.
   const double estimate = *result;
   const double epsilon = options_.epsilon;
-  const std::string name = FraAlgorithmToString(algorithm);
+  const std::string name = std::string(FraAlgorithmToString(algorithm)) +
+                           (from_cache ? "+cache" : "");
   (void)batch_pool_->Submit([this, query, estimate, epsilon, name] {
     FRA_TRACE_SPAN("provider.audit");
     const Result<double> exact =
@@ -248,7 +310,8 @@ void ServiceProvider::MaybeAuditAsync(const FraQuery& query,
 
 Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
                                                FraAlgorithm algorithm,
-                                               uint64_t draw) {
+                                               uint64_t draw,
+                                               bool* served_from_tile) {
   // Candidate silos: all of them, or — per the Sec. 4.2.2 remark for
   // non-overlapping coverage — only those whose grid index reports data in
   // cells touching the range (known provider-side from Alg. 1, no comm).
@@ -279,6 +342,71 @@ Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
     return Status::InvalidArgument(
         std::string(AggregateKindToString(query.kind)) +
         " requires the EXACT algorithm");
+  }
+
+  // Tile layer: when the cache already holds (valid) tiles covering the
+  // range's contained-cell block, the interior needs no silo at all —
+  // only the boundary cells still want refinement. In kFraction mode
+  // even those are answered from the cached g_0 aggregates (zero silo
+  // exchanges); in kSiloRefine mode the query falls through to the
+  // normal sampling below but runs the NonIID boundary path with the
+  // cached interior. Cold tiles are filled from merged_grid_ as a side
+  // effect, warming the cache for the next overlapping query.
+  TileAssembly assembly;
+  bool use_tiles = false;
+  if (cache_ != nullptr && cache_->tile_layer_enabled()) {
+    FRA_TRACE_SPAN("provider.tile_assemble");
+    const GridIndex::RangeCellClassification cls =
+        merged_grid_.ClassifyRangeCells(query.range);
+    if (cls.block_ok) {
+      TileCache::Plan plan = cache_->tiles().Assemble(
+          cls.contained > 0, cls.row0, cls.col0, cls.row1, cls.col1,
+          cls.boundary_cells,
+          [this](size_t cell_id) { return merged_grid_.cell(cell_id); });
+      if (plan.servable) {
+        // The prefix-summed interior carries no extrema; make that
+        // explicit so Finalize cannot report stale min/max.
+        plan.interior.min = AggregateSummary().min;
+        plan.interior.max = AggregateSummary().max;
+        if (cls.boundary_cells.empty()) {
+          // Cell-aligned range: the tiles ARE the answer.
+          if (served_from_tile != nullptr) *served_from_tile = true;
+          double value = 0.0;
+          FRA_RETURN_NOT_OK(plan.interior.Finalize(query.kind, &value));
+          return value;
+        }
+        using BoundaryMode = Options::CacheOptions::BoundaryMode;
+        if (options_.cache.boundary_mode == BoundaryMode::kFraction) {
+          AggregateSummary estimate = plan.interior;
+          for (size_t i = 0; i < cls.boundary_cells.size(); ++i) {
+            const AggregateSummary& g0_cell = plan.boundary[i];
+            if (g0_cell.count == 0) continue;
+            const uint32_t cell_id = cls.boundary_cells[i];
+            const Rect cell_rect = merged_grid_.CellRect(
+                merged_grid_.RowOf(cell_id), merged_grid_.ColOf(cell_id));
+            const double area = cell_rect.Area();
+            const double fraction =
+                area > 0.0
+                    ? std::clamp(
+                          query.range.IntersectionArea(cell_rect) / area, 0.0,
+                          1.0)
+                    : 0.0;
+            estimate.count += static_cast<uint64_t>(std::llround(
+                static_cast<double>(g0_cell.count) * fraction));
+            estimate.sum += g0_cell.sum * fraction;
+            estimate.sum_sqr += g0_cell.sum_sqr * fraction;
+          }
+          if (served_from_tile != nullptr) *served_from_tile = true;
+          double value = 0.0;
+          FRA_RETURN_NOT_OK(estimate.Finalize(query.kind, &value));
+          return value;
+        }
+        assembly.interior = plan.interior;
+        assembly.boundary_cells = cls.boundary_cells;
+        assembly.boundary_g0 = std::move(plan.boundary);
+        use_tiles = true;
+      }
+    }
   }
 
   // Visit candidates in a rotated order starting from the random draw;
@@ -335,7 +463,9 @@ Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
   for (size_t attempt = 0; attempt < attempts && collected < want;
        ++attempt) {
     Result<AggregateSummary> partial =
-        RunAlgorithm(query.range, algorithm, order[attempt]);
+        use_tiles ? RunNonIidEst(query.range, order[attempt],
+                                 UsesLsr(algorithm), &assembly)
+                  : RunAlgorithm(query.range, algorithm, order[attempt]);
     if (partial.ok()) {
       accumulated.count += partial->count;
       accumulated.sum += partial->sum;
@@ -350,6 +480,7 @@ Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
     return Status::Unavailable("all candidate silos failed; last error: " +
                                last_failure.ToString());
   }
+  if (use_tiles && served_from_tile != nullptr) *served_from_tile = true;
   const AggregateSummary mean = accumulated.Scaled(1.0 / collected);
   double value = 0.0;
   FRA_RETURN_NOT_OK(mean.Finalize(query.kind, &value));
@@ -474,9 +605,9 @@ Result<AggregateSummary> ServiceProvider::RunIidEst(const QueryRange& range,
   return RatioEstimate(res_k, sum0, sumk);
 }
 
-Result<AggregateSummary> ServiceProvider::RunNonIidEst(const QueryRange& range,
-                                                       int silo_id,
-                                                       bool use_lsr) {
+Result<AggregateSummary> ServiceProvider::RunNonIidEst(
+    const QueryRange& range, int silo_id, bool use_lsr,
+    const TileAssembly* tiles) {
   FRA_TRACE_SPAN("provider.non_iid_est");
   const auto grid_it = silo_grids_.find(silo_id);
   if (grid_it == silo_grids_.end()) {
@@ -489,18 +620,27 @@ Result<AggregateSummary> ServiceProvider::RunNonIidEst(const QueryRange& range,
   // optimisation (default), fully covered cells contribute their exact
   // federation-wide aggregate (Sec. 4.2.2 remark) and only boundary cells
   // need the sampled silo's clipped contributions; the unoptimised Alg. 3
-  // requests the vector for every intersecting cell.
-  const bool boundary_only = options_.non_iid_boundary_only;
+  // requests the vector for every intersecting cell. A tile-cache
+  // assembly short-circuits the classification entirely: the interior
+  // block and the boundary cells' g_0 summaries were already recovered
+  // from cached tiles.
+  const bool boundary_only =
+      tiles != nullptr || options_.non_iid_boundary_only;
   AggregateSummary interior;
   std::vector<uint32_t> expected_cells;
-  merged_grid_.ForEachIntersectingCell(
-      range, [&](size_t cell_id, CellRelation relation) {
-        if (boundary_only && relation == CellRelation::kContained) {
-          interior.Merge(merged_grid_.cell(cell_id));
-        } else {
-          expected_cells.push_back(static_cast<uint32_t>(cell_id));
-        }
-      });
+  if (tiles != nullptr) {
+    interior = tiles->interior;
+    expected_cells = tiles->boundary_cells;
+  } else {
+    merged_grid_.ForEachIntersectingCell(
+        range, [&](size_t cell_id, CellRelation relation) {
+          if (boundary_only && relation == CellRelation::kContained) {
+            interior.Merge(merged_grid_.cell(cell_id));
+          } else {
+            expected_cells.push_back(static_cast<uint32_t>(cell_id));
+          }
+        });
+  }
   // Drop the exact min/max of the interior cells: the boundary estimate
   // below cannot extend them, so the combined summary must not pretend to
   // carry extrema.
@@ -533,7 +673,9 @@ Result<AggregateSummary> ServiceProvider::RunNonIidEst(const QueryRange& range,
     if (res_i.cell_id != expected_cells[i]) {
       return Status::Internal("silo cell vector id mismatch");
     }
-    const AggregateSummary& g0_cell = merged_grid_.cell(res_i.cell_id);
+    const AggregateSummary& g0_cell = tiles != nullptr
+                                          ? tiles->boundary_g0[i]
+                                          : merged_grid_.cell(res_i.cell_id);
     if (g0_cell.count == 0) continue;  // nothing anywhere in this cell
     const AggregateSummary& gk_cell = silo_grid.cell(res_i.cell_id);
     if (gk_cell.count == 0) {
@@ -597,17 +739,17 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
          i = next_query.fetch_add(1)) {
       ScopedTraceId trace_scope(Tracer::Get().enabled() ? NewTraceId() : 0);
       Timer timer;
+      bool from_cache = false;
       Result<double> result = [&]() -> Result<double> {
         FRA_TRACE_SPAN("provider.execute");
-        return single_silo ? ExecuteSampled(queries[i], algorithm, draws[i])
-                           : ExecuteWithSilo(queries[i], algorithm, -1);
+        return ExecuteCached(queries[i], algorithm, draws[i], &from_cache);
       }();
       const double seconds = timer.ElapsedSeconds();
       if (latencies_seconds != nullptr) {
         (*latencies_seconds)[i] = seconds;
       }
       RecordQueryMetrics(algorithm, result.ok(), seconds);
-      MaybeAuditAsync(queries[i], algorithm, result);
+      MaybeAuditAsync(queries[i], algorithm, result, from_cache);
       if (result.ok()) {
         results[i] = *result;
       } else {
@@ -678,11 +820,17 @@ FraAlgorithm ServiceProvider::RecommendAlgorithm(bool use_lsr) const {
 Status ServiceProvider::SyncGrids() {
   const std::vector<uint8_t> request = EncodeGridDeltaRequest();
   bool any_change = false;
+  std::vector<size_t> changed_cells;
   for (int silo_id : silo_ids_) {
     FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
                          network_->Call(silo_id, request));
+    uint64_t data_version = 0;
     FRA_ASSIGN_OR_RETURN(std::vector<CellContribution> changed,
-                         DecodeGridDeltaResponse(response));
+                         DecodeGridDeltaResponse(response, &data_version));
+    if (data_version != 0) {
+      std::lock_guard<std::mutex> lock(versions_mu_);
+      silo_data_versions_[silo_id] = data_version;
+    }
     if (changed.empty()) continue;
     any_change = true;
     GridIndex& silo_grid = silo_grids_.at(silo_id);
@@ -690,6 +838,7 @@ Status ServiceProvider::SyncGrids() {
       if (cell.cell_id >= silo_grid.num_cells()) {
         return Status::Internal("delta sync cell id out of range");
       }
+      changed_cells.push_back(cell.cell_id);
       // g_0's cell changes by the same difference as the silo's cell.
       const AggregateSummary& old = silo_grid.cell(cell.cell_id);
       AggregateSummary merged = merged_grid_.cell(cell.cell_id);
@@ -707,8 +856,23 @@ Status ServiceProvider::SyncGrids() {
   if (any_change) {
     merged_grid_.CommitUpdates();
     merged_grid_.ClearChangedCells();
+    if (cache_ != nullptr) {
+      // Bump the data epoch (orphaning every exact-layer entry) and
+      // invalidate exactly the tiles the changed cells fall in; tiles
+      // elsewhere keep serving.
+      std::sort(changed_cells.begin(), changed_cells.end());
+      changed_cells.erase(
+          std::unique(changed_cells.begin(), changed_cells.end()),
+          changed_cells.end());
+      cache_->OnDataChanged(changed_cells);
+    }
   }
   return Status::OK();
+}
+
+std::map<int, uint64_t> ServiceProvider::silo_data_versions() const {
+  std::lock_guard<std::mutex> lock(versions_mu_);
+  return silo_data_versions_;
 }
 
 size_t ServiceProvider::GridMemoryUsage() const {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "cache/provider_cache.h"
 #include "federation/query.h"
 #include "federation/silo_health.h"
 #include "index/grid_index.h"
@@ -100,6 +101,43 @@ class ServiceProvider {
       int max_batch_delay_us = 200;
     };
     CoalescingOptions coalescing;
+    /// Provider-side two-layer answer cache (docs/caching.md): an LRU of
+    /// finalised answers keyed on (range, F, algorithm, eps, delta, data
+    /// epoch) plus a tile layer of grid-aligned partial aggregates that
+    /// answers warm ranges without contacting any silo for their covered
+    /// cells. SyncGrids bumps the data epoch and invalidates affected
+    /// tiles. Off by default: cached answers refresh on SyncGrids only,
+    /// a freshness trade the deployment must opt into.
+    struct CacheOptions {
+      bool enabled = false;
+      /// Exact-layer LRU capacity (answers).
+      size_t exact_capacity = 1024;
+      /// Snap range coordinates to multiples of this before keying, so
+      /// near-identical ranges share an entry; 0 keys exact bits.
+      double range_quantum = 0.0;
+      /// Tile layer on/off (applies to the single-silo estimators only;
+      /// EXACT/OPTA answers are never tile-assembled).
+      bool tile_layer = true;
+      /// Grid cells per tile side.
+      size_t tile_size = 4;
+      /// Tile LRU capacity.
+      size_t max_tiles = 4096;
+      /// Serve from tiles only when at least this fraction of the tiles
+      /// a query needs was already cached and valid; colder queries take
+      /// the normal path (and warm their tiles for the next query).
+      double min_tile_coverage = 1.0;
+      /// Boundary (partially covered) cells of a tile-assembled answer:
+      /// `kSiloRefine` asks the sampled silo for its clipped per-cell
+      /// contributions and rescales per cell (one exchange — the
+      /// NonIID-est boundary path with cached interior); `kFraction`
+      /// scales the cached federation-wide cell aggregates by the
+      /// intersected-area fraction (zero exchanges, within-cell
+      /// uniformity assumption — see docs/caching.md for the error
+      /// argument).
+      enum class BoundaryMode { kSiloRefine, kFraction };
+      BoundaryMode boundary_mode = BoundaryMode::kSiloRefine;
+    };
+    CacheOptions cache;
   };
 
   /// Runs Alg. 1 against every silo registered with `network`.
@@ -182,6 +220,12 @@ class ServiceProvider {
   SiloHealthTracker* health() const { return health_.get(); }
   /// The guarantee auditor (null when audit_sample_rate is 0).
   AccuracyAuditor* auditor() const { return auditor_.get(); }
+  /// The two-layer answer cache (null when Options::cache is disabled).
+  ProviderCache* cache() const { return cache_.get(); }
+
+  /// Last data version reported by each silo over the delta-sync path
+  /// (0 until the first SyncGrids after an ingest).
+  std::map<int, uint64_t> silo_data_versions() const;
 
   /// Blocks until every background audit queued so far has completed
   /// (tests and the metrics_dump demo read auditor counters after this).
@@ -196,17 +240,40 @@ class ServiceProvider {
   /// One uniform 64-bit draw from the provider's stream (thread safe).
   uint64_t NextDraw();
 
+  /// Interior + boundary aggregates a tile-cache plan recovered for a
+  /// range (ExecuteSampled builds it, RunNonIidEst consumes it): the
+  /// contained-cell block is already summed and every boundary cell's
+  /// federation-wide g_0 summary is at hand, so the only silo work left
+  /// is the boundary refinement.
+  struct TileAssembly {
+    AggregateSummary interior;
+    std::vector<uint32_t> boundary_cells;
+    std::vector<AggregateSummary> boundary_g0;
+  };
+
+  /// Cache-aware Execute body: exact-layer lookup, then the normal
+  /// execution path (which may itself serve from tiles), then insert.
+  /// `*served_from_cache` reports whether either cache layer shaped the
+  /// answer (audits treat such answers as estimates even for kExact).
+  Result<double> ExecuteCached(const FraQuery& query, FraAlgorithm algorithm,
+                               uint64_t draw, bool* served_from_cache);
+
   /// Executes a single-silo algorithm with the silo chosen from `draw`:
   /// candidates are the relevant silos (when enabled), and failures
-  /// rotate to the next candidate (when enabled).
-  Result<double> ExecuteSampled(const FraQuery& query,
-                                FraAlgorithm algorithm, uint64_t draw);
+  /// rotate to the next candidate (when enabled). `*served_from_tile`
+  /// (optional) reports whether the tile layer supplied the interior.
+  Result<double> ExecuteSampled(const FraQuery& query, FraAlgorithm algorithm,
+                                uint64_t draw,
+                                bool* served_from_tile = nullptr);
 
   Result<AggregateSummary> RunFanOut(const QueryRange& range, bool histogram);
   Result<AggregateSummary> RunIidEst(const QueryRange& range, int silo_id,
                                      bool use_lsr);
+  /// With `tiles` non-null, the interior and the boundary cells' g_0
+  /// summaries come from the tile cache instead of merged_grid_ walks.
   Result<AggregateSummary> RunNonIidEst(const QueryRange& range, int silo_id,
-                                        bool use_lsr);
+                                        bool use_lsr,
+                                        const TileAssembly* tiles = nullptr);
   Result<AggregateSummary> RunAlgorithm(const QueryRange& range,
                                         FraAlgorithm algorithm, int silo_id);
 
@@ -217,9 +284,11 @@ class ServiceProvider {
 
   /// Audits `result` with probability audit_sample_rate: queues an EXACT
   /// re-execution of `query` on the batch pool and scores the estimate
-  /// against it (fire-and-forget; WaitForAudits drains).
+  /// against it (fire-and-forget; WaitForAudits drains). Cache-served
+  /// answers are audit-eligible even for EXACT/OPTA — staleness is
+  /// exactly what the auditor should surface for them.
   void MaybeAuditAsync(const FraQuery& query, FraAlgorithm algorithm,
-                       const Result<double>& result);
+                       const Result<double>& result, bool from_cache);
 
   Network* network_;
   Options options_;
@@ -235,6 +304,10 @@ class ServiceProvider {
   std::unique_ptr<AccuracyAuditor> auditor_;
   // Micro-batches data-plane silo calls (null when coalescing is off).
   std::unique_ptr<RequestCoalescer> coalescer_;
+  // Two-layer answer cache (null when Options::cache is disabled).
+  std::unique_ptr<ProviderCache> cache_;
+  mutable std::mutex versions_mu_;  // guards silo_data_versions_
+  std::map<int, uint64_t> silo_data_versions_;
   std::mutex rng_mu_;
   Rng rng_;
 };

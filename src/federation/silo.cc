@@ -95,6 +95,7 @@ void Silo::IngestLocked(const ObjectSet& batch) {
     delta_.push_back(o);
   }
   num_objects_ += batch.size();
+  if (!batch.empty()) ++data_version_;
   if (compact_fraction_ > 0.0 &&
       static_cast<double>(delta_.size()) >
           compact_fraction_ * static_cast<double>(lsr_.size())) {
@@ -136,6 +137,11 @@ void Silo::CompactLocked() {
 size_t Silo::pending_ingest() const {
   std::lock_guard<std::mutex> lock(execution_mu_);
   return delta_.size();
+}
+
+uint64_t Silo::data_version() const {
+  std::lock_guard<std::mutex> lock(execution_mu_);
+  return data_version_;
 }
 
 namespace {
@@ -466,7 +472,8 @@ Result<std::vector<uint8_t>> Silo::HandleSingleLocked(
         changed.push_back(contribution);
       }
       grid_.ClearChangedCells();
-      return EncodeGridDeltaResponse(perturb_cells(std::move(changed)));
+      return EncodeGridDeltaResponse(perturb_cells(std::move(changed)),
+                                     data_version_);
     }
     case MessageType::kCellVectorRequest: {
       FRA_TRACE_SPAN("silo.cell_vector");

@@ -131,6 +131,13 @@ class Silo : public SiloEndpoint {
   /// Objects ingested since the last Compact().
   size_t pending_ingest() const;
 
+  /// Monotonic count of Ingest() batches absorbed by this silo process.
+  /// Shipped to the provider in every grid-delta response so the
+  /// dynamic-update epoch of the provider-side answer cache can be tied
+  /// to concrete silo updates (docs/caching.md). Not persisted by
+  /// snapshots — it versions the running process, not the data set.
+  uint64_t data_version() const;
+
   /// The silo's grid index g_i (tests and in-process provider setup).
   const GridIndex& grid() const { return grid_; }
 
@@ -190,6 +197,7 @@ class Silo : public SiloEndpoint {
   // local query until folded into the trees.
   ObjectSet delta_;
   uint64_t compactions_ = 0;
+  uint64_t data_version_ = 0;
   std::unique_ptr<LaplaceMechanism> dp_;
   mutable std::mutex execution_mu_;
   size_t batch_workers_ = 0;

@@ -157,6 +157,39 @@ void GridIndex::ForEachIntersectingCell(
   }
 }
 
+GridIndex::RangeCellClassification GridIndex::ClassifyRangeCells(
+    const QueryRange& range) const {
+  RangeCellClassification out;
+  size_t min_row = rows_;
+  size_t max_row = 0;
+  size_t min_col = cols_;
+  size_t max_col = 0;
+  ForEachIntersectingCell(range, [&](size_t cell_id, CellRelation relation) {
+    if (relation == CellRelation::kContained) {
+      const size_t row = RowOf(cell_id);
+      const size_t col = ColOf(cell_id);
+      min_row = std::min(min_row, row);
+      max_row = std::max(max_row, row);
+      min_col = std::min(min_col, col);
+      max_col = std::max(max_col, col);
+      ++out.contained;
+    } else {
+      out.boundary_cells.push_back(static_cast<uint32_t>(cell_id));
+    }
+  });
+  if (out.contained == 0) {
+    out.block_ok = true;  // the empty block
+    return out;
+  }
+  out.row0 = min_row;
+  out.row1 = max_row;
+  out.col0 = min_col;
+  out.col1 = max_col;
+  out.block_ok = out.contained ==
+                 (max_row - min_row + 1) * (max_col - min_col + 1);
+  return out;
+}
+
 AggregateSummary GridIndex::BlockAggregate(size_t row0, size_t col0,
                                            size_t row1, size_t col1) const {
   FRA_CHECK_LE(row0, row1);

@@ -92,6 +92,25 @@ class GridIndex {
       const QueryRange& range,
       const std::function<void(size_t, CellRelation)>& fn) const;
 
+  /// Partition of the cells intersecting a range into the rectangular
+  /// block of fully contained cells and the list of boundary (partially
+  /// covered) cells — the shape the provider-side tile cache assembles
+  /// answers from (src/cache, docs/caching.md).
+  struct RangeCellClassification {
+    /// True when the contained cells are exactly the block
+    /// [row0..row1] x [col0..col1] (always true for rectangle ranges and
+    /// for ranges with no contained cell; circles whose contained cells
+    /// stagger per row report false, and callers fall back to the
+    /// per-cell path).
+    bool block_ok = false;
+    size_t row0 = 0, col0 = 0, row1 = 0, col1 = 0;  // valid iff contained > 0
+    size_t contained = 0;
+    /// Cells intersecting but not contained, ascending cell id — the
+    /// order a silo enumerates its boundary contributions in.
+    std::vector<uint32_t> boundary_cells;
+  };
+  RangeCellClassification ClassifyRangeCells(const QueryRange& range) const;
+
   /// Aggregate of all cells intersecting `range` — the paper's sum_0 /
   /// sum_k. Uses the cumulative-array fast path: O(1) for rectangles,
   /// O(rows) for circles. The returned summary's min/max fields are not

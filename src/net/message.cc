@@ -221,8 +221,12 @@ std::vector<uint8_t> EncodeCellList(MessageType type,
   return writer.Release();
 }
 
+// With `trailing_version` non-null, a u64 following the cell entries is
+// read when present (older encoders simply end the payload there, which
+// decodes as version 0).
 Result<std::vector<CellContribution>> DecodeCellList(
-    MessageType type, const std::vector<uint8_t>& payload) {
+    MessageType type, const std::vector<uint8_t>& payload,
+    uint64_t* trailing_version = nullptr) {
   BinaryReader reader(payload);
   FRA_RETURN_NOT_OK(ConsumeResponseHeader(&reader, type));
   uint32_t n = 0;
@@ -239,6 +243,12 @@ Result<std::vector<CellContribution>> DecodeCellList(
     FRA_RETURN_NOT_OK(reader.ReadU32(&cells[i].cell_id));
     FRA_RETURN_NOT_OK(
         AggregateSummary::Deserialize(&reader, &cells[i].summary));
+  }
+  if (trailing_version != nullptr) {
+    *trailing_version = 0;
+    if (reader.Remaining() >= sizeof(uint64_t)) {
+      FRA_RETURN_NOT_OK(reader.ReadU64(trailing_version));
+    }
   }
   return cells;
 }
@@ -290,13 +300,24 @@ std::vector<uint8_t> EncodeGridDeltaRequest() {
 }
 
 std::vector<uint8_t> EncodeGridDeltaResponse(
-    const std::vector<CellContribution>& cells) {
-  return EncodeCellList(MessageType::kGridDeltaResponse, cells);
+    const std::vector<CellContribution>& cells, uint64_t data_version) {
+  std::vector<uint8_t> payload =
+      EncodeCellList(MessageType::kGridDeltaResponse, cells);
+  BinaryWriter writer;
+  writer.Reserve(payload.size() + sizeof(uint64_t));
+  writer.AppendRaw(payload.data(), payload.size());
+  writer.WriteU64(data_version);
+  return writer.Release();
 }
 
 Result<std::vector<CellContribution>> DecodeGridDeltaResponse(
-    const std::vector<uint8_t>& payload) {
-  return DecodeCellList(MessageType::kGridDeltaResponse, payload);
+    const std::vector<uint8_t>& payload, uint64_t* data_version) {
+  uint64_t version = 0;
+  FRA_ASSIGN_OR_RETURN(
+      std::vector<CellContribution> cells,
+      DecodeCellList(MessageType::kGridDeltaResponse, payload, &version));
+  if (data_version != nullptr) *data_version = version;
+  return cells;
 }
 
 Result<std::vector<uint8_t>> DecodeGridPayloadResponse(

@@ -143,11 +143,18 @@ Result<std::vector<std::vector<uint8_t>>> DecodeBatchResponse(
 /// Delta sync (streaming ingest): the provider polls a silo for the grid
 /// cells that changed since the last poll; the silo answers with their
 /// full current summaries (idempotent replacement on the provider side).
+///
+/// The response carries a trailing `u64 data_version` — the silo's
+/// monotonic ingest counter — so the provider can stamp its caches with
+/// the update it just observed (docs/caching.md). The field is
+/// backward/forward compatible: a decoder reads it only when the bytes
+/// are present (`*data_version` = 0 otherwise), and pre-versioned
+/// decoders ignore the trailing bytes.
 std::vector<uint8_t> EncodeGridDeltaRequest();
 std::vector<uint8_t> EncodeGridDeltaResponse(
-    const std::vector<CellContribution>& cells);
+    const std::vector<CellContribution>& cells, uint64_t data_version = 0);
 Result<std::vector<CellContribution>> DecodeGridDeltaResponse(
-    const std::vector<uint8_t>& payload);
+    const std::vector<uint8_t>& payload, uint64_t* data_version = nullptr);
 
 }  // namespace fra
 

@@ -273,5 +273,69 @@ TEST(GridIndexTest, WholeDomainQueryCoversTotal) {
   EXPECT_EQ(grid.IntersectingCellsAggregate(all).count, 700UL);
 }
 
+TEST(GridIndexTest, ClassifyRangeCellsAlignedRectBlockAndEdgeCells) {
+  const auto grid = GridIndex::Build({}, SpecWithLength(2.5)).ValueOrDie();
+  // Exactly cells [0..1] x [0..1]. Intersection tests use closed edges,
+  // so the rect also *touches* row 2 / col 2 — those show up as
+  // zero-area boundary cells (5 of them along the top and right edges),
+  // which is what lets area-fraction boundary handling contribute 0 for
+  // them (see TileCache / CacheOptions::BoundaryMode::kFraction).
+  const auto cls =
+      grid.ClassifyRangeCells(QueryRange::MakeRect({0, 0}, {5, 5}));
+  EXPECT_TRUE(cls.block_ok);
+  EXPECT_EQ(cls.contained, 4UL);
+  EXPECT_EQ(cls.row0, 0UL);
+  EXPECT_EQ(cls.col0, 0UL);
+  EXPECT_EQ(cls.row1, 1UL);
+  EXPECT_EQ(cls.col1, 1UL);
+  EXPECT_EQ(cls.boundary_cells.size(), 5UL);
+  const QueryRange range = QueryRange::MakeRect({0, 0}, {5, 5});
+  for (const uint32_t cell_id : cls.boundary_cells) {
+    const Rect cell_rect = grid.CellRect(grid.RowOf(cell_id), grid.ColOf(cell_id));
+    EXPECT_EQ(range.IntersectionArea(cell_rect), 0.0) << "cell " << cell_id;
+  }
+}
+
+TEST(GridIndexTest, ClassifyRangeCellsMatchesForEachEnumeration) {
+  const auto grid = GridIndex::Build({}, SpecWithLength(1.3)).ValueOrDie();
+  Rng rng(35);
+  for (int q = 0; q < 40; ++q) {
+    const QueryRange range =
+        testing::RandomRange(kDomain, 4.0, q % 2 == 0, &rng);
+    const auto cls = grid.ClassifyRangeCells(range);
+    std::vector<uint32_t> boundary;
+    size_t contained = 0;
+    grid.ForEachIntersectingCell(
+        range, [&](size_t cell_id, CellRelation relation) {
+          if (relation == CellRelation::kContained) {
+            ++contained;
+          } else {
+            boundary.push_back(static_cast<uint32_t>(cell_id));
+          }
+        });
+    EXPECT_EQ(cls.boundary_cells, boundary) << "query " << q;
+    EXPECT_EQ(cls.contained, contained) << "query " << q;
+    if (cls.block_ok && contained > 0) {
+      // The reported block reproduces the contained-cell aggregate.
+      size_t cells = (cls.row1 - cls.row0 + 1) * (cls.col1 - cls.col0 + 1);
+      EXPECT_EQ(cells, contained) << "query " << q;
+    }
+  }
+}
+
+TEST(GridIndexTest, ClassifyRangeCellsCircleContainedBlockMayBeRagged) {
+  const auto grid = GridIndex::Build({}, SpecWithLength(1.0)).ValueOrDie();
+  // A large circle's contained cells form a disc, not a rectangle: the
+  // classification must refuse the block rather than misreport it.
+  const auto cls =
+      grid.ClassifyRangeCells(QueryRange::MakeCircle({5, 5}, 4.5));
+  ASSERT_GT(cls.contained, 0UL);
+  if (!cls.block_ok) {
+    const size_t block =
+        (cls.row1 - cls.row0 + 1) * (cls.col1 - cls.col0 + 1);
+    EXPECT_NE(block, cls.contained);
+  }
+}
+
 }  // namespace
 }  // namespace fra

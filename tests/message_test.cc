@@ -228,6 +228,42 @@ TEST(MessageTest, BatchDecodersRejectWrongType) {
   EXPECT_FALSE(DecodeBatchResponse(request_frame).ok());
 }
 
+TEST(MessageTest, GridDeltaResponseCarriesDataVersion) {
+  std::vector<CellContribution> cells(2);
+  cells[0].cell_id = 7;
+  cells[0].summary.Add(1.5);
+  cells[1].cell_id = 9;
+  cells[1].summary.Add(-2.0);
+
+  const std::vector<uint8_t> frame = EncodeGridDeltaResponse(cells, 42);
+  uint64_t version = 0;
+  auto decoded = DecodeGridDeltaResponse(frame, &version);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(version, 42UL);
+  ASSERT_EQ(decoded->size(), 2UL);
+  EXPECT_EQ((*decoded)[0].cell_id, 7UL);
+  EXPECT_EQ((*decoded)[1].summary.count, 1UL);
+
+  // Callers that don't care about the version may ignore it.
+  EXPECT_TRUE(DecodeGridDeltaResponse(frame).ok());
+}
+
+TEST(MessageTest, GridDeltaResponseLegacyFrameDecodesAsVersionZero) {
+  // A pre-versioned frame (no trailing u64) must still decode; the
+  // version defaults to 0, meaning "unreported".
+  std::vector<CellContribution> cells(1);
+  cells[0].cell_id = 3;
+  cells[0].summary.Add(1.0);
+  std::vector<uint8_t> frame = EncodeGridDeltaResponse(cells, 42);
+  frame.resize(frame.size() - sizeof(uint64_t));  // strip the version
+  uint64_t version = 99;
+  auto decoded = DecodeGridDeltaResponse(frame, &version);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(version, 0UL);
+  ASSERT_EQ(decoded->size(), 1UL);
+  EXPECT_EQ((*decoded)[0].cell_id, 3UL);
+}
+
 TEST(MessageTest, BatchResponseDecoderSurfacesWholeBatchError) {
   // A silo that fails to decode the batch frame itself answers with a
   // plain error response; the batch decoder must surface that Status.
