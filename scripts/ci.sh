@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point. Three build/test stages, selectable by argument:
 #
-#   scripts/ci.sh tracing-on    # default build (FRA_ENABLE_TRACING=ON), full ctest
-#   scripts/ci.sh tracing-off   # spans compiled out, full ctest
-#   scripts/ci.sh sanitize      # ASan+UBSan, observability-labeled tests
-#   scripts/ci.sh bench-smoke   # bench harnesses at smoke scale + BENCH_*.json
-#   scripts/ci.sh docs-check    # docs link + metric-drift check (no build)
-#   scripts/ci.sh               # all five stages in sequence
+#   scripts/ci.sh tracing-on      # default build (FRA_ENABLE_TRACING=ON), full ctest
+#   scripts/ci.sh tracing-off     # spans compiled out, full ctest
+#   scripts/ci.sh sanitize        # ASan+UBSan, observability-labeled tests
+#   scripts/ci.sh sanitize-thread # TSan, net-labeled tests (reactor/TCP/coalescer)
+#   scripts/ci.sh bench-smoke     # bench harnesses at smoke scale + BENCH_*.json
+#   scripts/ci.sh docs-check      # docs link + metric-drift check (no build)
+#   scripts/ci.sh                 # all six stages in sequence
 #
 # Each stage uses its own build tree under build-ci/ so stages cannot
 # poison one another's CMake cache.
@@ -46,9 +47,23 @@ run_stage() {
         "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=address,undefined"
       )
       # The sanitized stage concentrates on the concurrency-heavy
-      # observability surface (registry races, admin server, health
-      # tracker, TCP transport); the plain stages run everything.
-      ctest_args+=(-L observability)
+      # surfaces (registry races, admin server, health tracker, the
+      # reactor and TCP transport); the plain stages run everything.
+      # -L is a regex: this selects both label families.
+      ctest_args+=(-L 'observability|net')
+      ;;
+    sanitize-thread)
+      cmake_args+=(
+        -DFRA_ENABLE_TRACING=ON
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+        "-DCMAKE_CXX_FLAGS=-fsanitize=thread -fno-omit-frame-pointer"
+        "-DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread"
+      )
+      # TSan over the event-loop surface: reactor internals, the TCP
+      # transport's client/server state machines, and the coalescer's
+      # reactor-timer flush path. These are the tests where a
+      # cross-thread ordering bug would actually live.
+      ctest_args+=(-L net)
       ;;
     bench-smoke)
       # Bench harnesses at FRA_BENCH_SCALE=smoke (the label sets the env
@@ -59,7 +74,7 @@ run_stage() {
       ;;
     *)
       echo "unknown stage: ${stage}" >&2
-      echo "usage: $0 [tracing-on|tracing-off|sanitize|bench-smoke|docs-check]" >&2
+      echo "usage: $0 [tracing-on|tracing-off|sanitize|sanitize-thread|bench-smoke|docs-check]" >&2
       exit 2
       ;;
   esac
@@ -84,7 +99,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-  for stage in docs-check tracing-on tracing-off sanitize bench-smoke; do
+  for stage in docs-check tracing-on tracing-off sanitize sanitize-thread bench-smoke; do
     run_stage "${stage}"
   done
 else

@@ -56,6 +56,16 @@ Status ConsumeResponseHeader(BinaryReader* reader, MessageType expected) {
 
 }  // namespace
 
+Status ValidateFramePayloadSize(size_t payload_size) {
+  if (payload_size > kMaxFrameBytes) {
+    return Status::OutOfRange(
+        "frame payload of " + std::to_string(payload_size) +
+        " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+        "-byte frame limit");
+  }
+  return Status::OK();
+}
+
 std::vector<uint8_t> WrapWithTraceId(uint64_t trace_id,
                                      const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> wrapped;

@@ -13,6 +13,18 @@
 
 namespace fra {
 
+/// Hard upper bound on a single wire frame's payload, enforced on BOTH
+/// sides of a connection. Receive side: a length prefix above this is
+/// treated as a protocol violation and the connection dropped. Send
+/// side: ValidateFramePayloadSize rejects the payload before any bytes
+/// hit the socket — the length prefix is a u32, so an unchecked payload
+/// over 4 GiB would be silently truncated by the cast and desync the
+/// stream for every later frame on the connection.
+constexpr uint32_t kMaxFrameBytes = 256u << 20;  // 256 MiB
+
+/// OK when `payload_size` fits in one frame; OutOfRange otherwise.
+Status ValidateFramePayloadSize(size_t payload_size);
+
 /// Wire-level message kinds exchanged between the service provider and
 /// data silos. Every provider<->silo interaction is one request/response
 /// pair of these, serialised through BinaryWriter so that the measured

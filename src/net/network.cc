@@ -23,17 +23,14 @@ Network::SiloInstruments Network::InstrumentsFor(int silo_id) {
   return instruments_.emplace(silo_id, instruments).first->second;
 }
 
-Result<std::vector<uint8_t>> Network::Call(
-    int silo_id, const std::vector<uint8_t>& request) {
-  Timer timer;
-  Result<std::vector<uint8_t>> response = CallImpl(silo_id, request);
-  const double micros = timer.ElapsedMicros();
-  // The transport-agnostic accounting point (both substrates land here):
-  // successful round trips count toward fra_silo_requests_total, and any
-  // Unavailable outcome — deadline expiry, refused connection, hung or
-  // unregistered silo — toward fra_silo_timeouts_total.
+// The transport-agnostic accounting point (every Call and CallAsync of
+// both substrates lands here): successful round trips count toward
+// fra_silo_requests_total, and any Unavailable outcome — deadline
+// expiry, refused connection, hung or unregistered silo — toward
+// fra_silo_timeouts_total.
+void Network::RecordOutcome(int silo_id, const Status& status,
+                            double micros) {
   const SiloInstruments instruments = InstrumentsFor(silo_id);
-  const Status status = response.status();
   if (status.ok()) {
     instruments.requests_total->Increment();
   } else if (status.IsUnavailable()) {
@@ -42,7 +39,36 @@ Result<std::vector<uint8_t>> Network::Call(
   if (SiloCallObserver* observer = call_observer()) {
     observer->OnSiloCall(silo_id, status, micros);
   }
+}
+
+Result<std::vector<uint8_t>> Network::Call(
+    int silo_id, const std::vector<uint8_t>& request) {
+  Timer timer;
+  Result<std::vector<uint8_t>> response = CallImpl(silo_id, request);
+  RecordOutcome(silo_id, response.status(), timer.ElapsedMicros());
   return response;
+}
+
+void Network::CallAsync(int silo_id, const std::vector<uint8_t>& request,
+                        CallCallback done) {
+  const auto start = std::chrono::steady_clock::now();
+  CallAsyncImpl(
+      silo_id, request,
+      [this, silo_id, start,
+       done = std::move(done)](Result<std::vector<uint8_t>> response) {
+        const double micros =
+            std::chrono::duration_cast<std::chrono::duration<double,
+                                                             std::micro>>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        RecordOutcome(silo_id, response.status(), micros);
+        done(std::move(response));
+      });
+}
+
+void Network::CallAsyncImpl(int silo_id, const std::vector<uint8_t>& request,
+                            CallCallback done) {
+  done(CallImpl(silo_id, request));
 }
 
 Status InProcessNetwork::RegisterSilo(int silo_id, SiloEndpoint* endpoint) {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -13,6 +14,8 @@
 #include "util/status.h"
 
 namespace fra {
+
+class Reactor;
 
 /// Aggregate communication counters for a federation. All methods are
 /// thread safe; the evaluation layer snapshots before/after a query batch
@@ -124,12 +127,32 @@ class SiloCallObserver {
 /// deployment shape).
 class Network {
  public:
+  /// Completion of one asynchronous exchange. Reactor transports invoke
+  /// it on an event-loop thread — callbacks must be quick and must never
+  /// block on another Call through the same network.
+  using CallCallback = std::function<void(Result<std::vector<uint8_t>>)>;
+
   virtual ~Network() = default;
 
   /// One request/response exchange with a silo: delegates to the
   /// transport's CallImpl, then records the outcome (counters + observer).
   Result<std::vector<uint8_t>> Call(int silo_id,
                                     const std::vector<uint8_t>& request);
+
+  /// The non-blocking variant: `done` fires exactly once with the
+  /// outcome, and the per-silo counters/observer are recorded in front of
+  /// it — identically to Call, which is implemented over the same
+  /// accounting. Transports without a native async path (in-process, the
+  /// legacy pooled TCP mode) run the exchange synchronously on the
+  /// calling thread before returning.
+  void CallAsync(int silo_id, const std::vector<uint8_t>& request,
+                 CallCallback done);
+
+  /// The event-loop substrate driving this transport's async calls, or
+  /// nullptr for purely synchronous transports. The RequestCoalescer
+  /// uses it to flush deadline-triggered batches from the reactor
+  /// instead of a dedicated flusher thread per silo.
+  virtual Reactor* reactor() { return nullptr; }
 
   /// Stable transport label for per-silo metrics ("inprocess", "tcp").
   virtual const char* transport_name() const = 0;
@@ -156,6 +179,12 @@ class Network {
   virtual Result<std::vector<uint8_t>> CallImpl(
       int silo_id, const std::vector<uint8_t>& request) = 0;
 
+  /// The transport-specific async exchange; the default degrades to the
+  /// synchronous CallImpl on the calling thread. Implementations must
+  /// invoke `done` exactly once and leave outcome recording to CallAsync.
+  virtual void CallAsyncImpl(int silo_id, const std::vector<uint8_t>& request,
+                             CallCallback done);
+
   CommStats stats_;
 
  private:
@@ -166,6 +195,8 @@ class Network {
     Counter* timeouts_total;
   };
   SiloInstruments InstrumentsFor(int silo_id);
+  /// The transport-agnostic accounting shared by Call and CallAsync.
+  void RecordOutcome(int silo_id, const Status& status, double micros);
 
   std::atomic<SiloCallObserver*> observer_{nullptr};
   std::mutex instruments_mu_;

@@ -1,0 +1,448 @@
+#include "net/reactor.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "net/message.h"
+#include "util/logging.h"
+
+namespace fra {
+
+// --- TimerWheel ------------------------------------------------------------
+
+TimerWheel::TimerWheel(Clock::time_point now, int tick_ms)
+    : origin_(now), tick_ms_(std::max(1, tick_ms)) {}
+
+uint64_t TimerWheel::TickFor(Clock::time_point at) const {
+  if (at <= origin_) return 0;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(at - origin_)
+          .count();
+  // Round up: a deadline mid-tick fires on the tick after it, never early.
+  return (static_cast<uint64_t>(elapsed) + tick_ms_ - 1) / tick_ms_;
+}
+
+uint64_t TimerWheel::FloorTickFor(Clock::time_point at) const {
+  if (at <= origin_) return 0;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(at - origin_)
+          .count();
+  return static_cast<uint64_t>(elapsed) / tick_ms_;
+}
+
+uint64_t TimerWheel::ScheduleAt(Clock::time_point deadline, Callback fn) {
+  const uint64_t id = next_id_++;
+  Entry entry;
+  entry.id = id;
+  entry.expiry_tick = std::max(TickFor(deadline), current_tick_ + 1);
+  entry.fn = std::move(fn);
+  const size_t slot = entry.expiry_tick % kSlots;
+  slots_[slot].push_back(std::move(entry));
+  index_.emplace(id, std::make_pair(slot, std::prev(slots_[slot].end())));
+  if (min_valid_) {
+    min_expiry_ = index_.size() == 1
+                      ? slots_[slot].back().expiry_tick
+                      : std::min(min_expiry_, slots_[slot].back().expiry_tick);
+  }
+  return id;
+}
+
+bool TimerWheel::Cancel(uint64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  const auto [slot, entry_it] = it->second;
+  const uint64_t expiry = entry_it->expiry_tick;
+  slots_[slot].erase(entry_it);
+  index_.erase(it);
+  if (index_.empty()) {
+    min_expiry_ = kNoExpiry;
+    min_valid_ = true;
+  } else if (min_valid_ && expiry == min_expiry_) {
+    min_valid_ = false;  // recompute lazily
+  }
+  return true;
+}
+
+void TimerWheel::RecomputeMinExpiry() {
+  min_expiry_ = kNoExpiry;
+  for (const auto& slot : slots_) {
+    for (const Entry& entry : slot) {
+      min_expiry_ = std::min(min_expiry_, entry.expiry_tick);
+    }
+  }
+  min_valid_ = true;
+}
+
+void TimerWheel::Advance(Clock::time_point now) {
+  // Floor, where scheduling ceils: an entry fires only once `now` has
+  // actually reached its deadline, never up to a tick early.
+  const uint64_t target_tick = FloorTickFor(now);
+  if (target_tick <= current_tick_) return;
+  if (index_.empty()) {
+    current_tick_ = target_tick;
+    return;
+  }
+  // Collect every due entry first, then fire: callbacks may re-enter
+  // ScheduleAt/Cancel without invalidating this sweep.
+  std::vector<Callback> due;
+  while (current_tick_ < target_tick) {
+    ++current_tick_;
+    auto& slot = slots_[current_tick_ % kSlots];
+    for (auto it = slot.begin(); it != slot.end();) {
+      if (it->expiry_tick <= current_tick_) {
+        due.push_back(std::move(it->fn));
+        index_.erase(it->id);
+        it = slot.erase(it);
+      } else {
+        ++it;  // a later wheel round
+      }
+    }
+    if (index_.empty()) {
+      current_tick_ = target_tick;
+      break;
+    }
+  }
+  if (!due.empty()) min_valid_ = false;
+  if (index_.empty()) {
+    min_expiry_ = kNoExpiry;
+    min_valid_ = true;
+  }
+  for (Callback& fn : due) fn();
+}
+
+int TimerWheel::NextTimeoutMs(Clock::time_point now) {
+  if (index_.empty()) return -1;
+  if (!min_valid_) RecomputeMinExpiry();
+  const auto deadline = origin_ + std::chrono::milliseconds(
+                                      static_cast<int64_t>(min_expiry_) *
+                                      tick_ms_);
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+          .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(
+      std::min<int64_t>(left, std::numeric_limits<int>::max()));
+}
+
+// --- EventLoop -------------------------------------------------------------
+
+EventLoop::EventLoop() : wheel_(TimerWheel::Clock::now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  FRA_CHECK(epoll_fd_ >= 0) << "epoll_create1: " << std::strerror(errno);
+  wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  FRA_CHECK(wakeup_fd_ >= 0) << "eventfd: " << std::strerror(errno);
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wakeup_fd_;
+  FRA_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &event) == 0)
+      << "epoll_ctl(wakeup): " << std::strerror(errno);
+}
+
+EventLoop::~EventLoop() {
+  if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void EventLoop::DrainWakeup() {
+  uint64_t value = 0;
+  while (::read(wakeup_fd_, &value, sizeof(value)) > 0) {
+  }
+}
+
+void EventLoop::RunQueuedTasks() {
+  std::vector<Task> tasks;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    tasks.swap(tasks_);
+  }
+  for (Task& task : tasks) task();
+}
+
+void EventLoop::Run() {
+  loop_thread_id_.store(std::this_thread::get_id(),
+                        std::memory_order_release);
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int timeout_ms;
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      timeout_ms =
+          tasks_.empty() ? wheel_.NextTimeoutMs(TimerWheel::Clock::now()) : 0;
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    FRA_CHECK(n >= 0 || errno == EINTR)
+        << "epoll_wait: " << std::strerror(errno);
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        DrainWakeup();
+        continue;
+      }
+      // Copy: a handler may deregister (even itself) mid-dispatch.
+      const auto it = handlers_.find(fd);
+      if (it == handlers_.end()) continue;
+      FdHandler handler = it->second;
+      handler(events[i].events);
+    }
+    RunQueuedTasks();
+    wheel_.Advance(TimerWheel::Clock::now());
+  }
+  // Final drain, atomic with the exited_ flip: every Submit that returned
+  // true sees its task run here, and every later Submit sees exited_
+  // under the same mutex and refuses — no stranded tasks.
+  std::vector<Task> last;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    exited_.store(true, std::memory_order_release);
+    last.swap(tasks_);
+  }
+  for (Task& task : last) task();
+}
+
+void EventLoop::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  const uint64_t one = 1;
+  (void)!::write(wakeup_fd_, &one, sizeof(one));
+}
+
+bool EventLoop::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    if (exited_.load(std::memory_order_acquire)) return false;
+    tasks_.push_back(std::move(task));
+  }
+  const uint64_t one = 1;
+  (void)!::write(wakeup_fd_, &one, sizeof(one));
+  return true;
+}
+
+bool EventLoop::SubmitAndWait(Task task) {
+  if (InLoopThread()) {
+    task();
+    return true;
+  }
+  std::promise<void> done;
+  std::future<void> future = done.get_future();
+  if (!Submit([&task, &done] {
+        task();
+        done.set_value();
+      })) {
+    return false;
+  }
+  future.wait();
+  return true;
+}
+
+Status EventLoop::RegisterFd(int fd, uint32_t events, FdHandler handler) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+    return Status::IOError(std::string("epoll_ctl(add): ") +
+                           std::strerror(errno));
+  }
+  handlers_[fd] = std::move(handler);
+  return Status::OK();
+}
+
+Status EventLoop::UpdateFd(int fd, uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event) != 0) {
+    return Status::IOError(std::string("epoll_ctl(mod): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::DeregisterFd(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+uint64_t EventLoop::ScheduleTimerAfter(std::chrono::milliseconds delay,
+                                       TimerWheel::Callback fn) {
+  return wheel_.ScheduleAfter(delay, std::move(fn));
+}
+
+uint64_t EventLoop::ScheduleTimerAt(TimerWheel::Clock::time_point deadline,
+                                    TimerWheel::Callback fn) {
+  return wheel_.ScheduleAt(deadline, std::move(fn));
+}
+
+bool EventLoop::CancelTimer(uint64_t id) { return wheel_.Cancel(id); }
+
+// --- Reactor ---------------------------------------------------------------
+
+size_t Reactor::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, std::min(4u, hw == 0 ? 1u : hw));
+}
+
+Reactor::Reactor(size_t num_threads) {
+  const size_t n = num_threads == 0 ? DefaultThreadCount() : num_threads;
+  loops_.reserve(n);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    loops_.push_back(std::make_unique<EventLoop>());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([loop = loops_[i].get()] { loop->Run(); });
+  }
+}
+
+Reactor::~Reactor() { Stop(); }
+
+void Reactor::Stop() {
+  if (stopped_.exchange(true)) return;
+  for (auto& loop : loops_) loop->Stop();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+EventLoop* Reactor::NextLoop() {
+  return loops_[next_.fetch_add(1, std::memory_order_relaxed) % loops_.size()]
+      .get();
+}
+
+// --- framing state machines ------------------------------------------------
+
+Status FrameReader::Drain(int fd, const FrameSink& on_frame) {
+  for (;;) {
+    if (!in_payload_) {
+      while (header_filled_ < sizeof(header_)) {
+        const ssize_t n = ::recv(fd, header_ + header_filled_,
+                                 sizeof(header_) - header_filled_, 0);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+          return Status::IOError(std::string("recv: ") +
+                                 std::strerror(errno));
+        }
+        if (n == 0) return Status::Unavailable("peer closed connection");
+        header_filled_ += static_cast<size_t>(n);
+      }
+      uint32_t wire_length = 0;
+      std::memcpy(&wire_length, header_, sizeof(wire_length));
+      const uint32_t length = ntohl(wire_length);
+      if (length > kMaxFrameBytes) {
+        return Status::OutOfRange("frame exceeds limit");
+      }
+      payload_.assign(length, 0);
+      payload_filled_ = 0;
+      in_payload_ = true;
+    }
+    while (payload_filled_ < payload_.size()) {
+      const ssize_t n = ::recv(fd, payload_.data() + payload_filled_,
+                               payload_.size() - payload_filled_, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+        return Status::IOError(std::string("recv: ") + std::strerror(errno));
+      }
+      if (n == 0) return Status::Unavailable("peer closed connection");
+      payload_filled_ += static_cast<size_t>(n);
+    }
+    // Frame complete; reset before the sink runs so a re-entrant look at
+    // the reader sees a clean state.
+    std::vector<uint8_t> payload = std::move(payload_);
+    payload_ = {};
+    payload_filled_ = 0;
+    header_filled_ = 0;
+    in_payload_ = false;
+    if (!on_frame(std::move(payload))) return Status::OK();
+  }
+}
+
+void FrameWriter::EnqueueFrame(std::vector<uint8_t> payload) {
+  const uint32_t wire_length = htonl(static_cast<uint32_t>(payload.size()));
+  std::vector<uint8_t> header(sizeof(wire_length));
+  std::memcpy(header.data(), &wire_length, sizeof(wire_length));
+  pending_bytes_ += header.size() + payload.size();
+  queue_.push_back(std::move(header));
+  if (!payload.empty()) queue_.push_back(std::move(payload));
+}
+
+Status FrameWriter::Flush(int fd) {
+  while (!queue_.empty()) {
+    std::vector<uint8_t>& front = queue_.front();
+    if (front.empty()) {
+      queue_.pop_front();
+      continue;
+    }
+    const ssize_t n = ::send(fd, front.data() + front_offset_,
+                             front.size() - front_offset_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    front_offset_ += static_cast<size_t>(n);
+    pending_bytes_ -= static_cast<size_t>(n);
+    if (front_offset_ == front.size()) {
+      queue_.pop_front();
+      front_offset_ = 0;
+    }
+  }
+  return Status::OK();
+}
+
+// --- accept policy / fd helpers --------------------------------------------
+
+AcceptAction ClassifyAcceptErrno(int err) {
+  switch (err) {
+    // Per-connection failures surfaced through accept(): the handshake
+    // aborted before we got the socket. Nothing is wrong with the
+    // listener — take the next connection.
+    case EINTR:
+    case ECONNABORTED:
+#ifdef EPROTO
+    case EPROTO:
+#endif
+      return AcceptAction::kRetry;
+    // Resource exhaustion: accepting again immediately would spin (the
+    // pending connection stays queued), so pause briefly and retry —
+    // never kill the listener over a transient fd-limit spike.
+    case EMFILE:
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return AcceptAction::kBackoff;
+    // The listening socket itself is gone (typically Stop() closed it).
+    case EBADF:
+    case EINVAL:
+    case ENOTSOCK:
+    case EOPNOTSUPP:
+      return AcceptAction::kFatal;
+    default:
+      // Unknown errno: stay alive, but back off so a persistent failure
+      // cannot spin the accept loop.
+      return AcceptAction::kBackoff;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace fra

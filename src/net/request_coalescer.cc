@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "net/message.h"
+#include "net/reactor.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -23,7 +24,9 @@ const std::vector<double>& BatchSizeBuckets() {
 }  // namespace
 
 RequestCoalescer::RequestCoalescer(Network* network, const Options& options)
-    : network_(network), options_(options) {
+    : network_(network),
+      options_(options),
+      use_reactor_(network->reactor() != nullptr) {
   MetricsRegistry& registry = MetricsRegistry::Default();
   flushes_size_ =
       &registry.GetCounter("fra_batch_flushes_total", {{"reason", "size"}});
@@ -37,22 +40,54 @@ RequestCoalescer::RequestCoalescer(Network* network, const Options& options)
 }
 
 RequestCoalescer::~RequestCoalescer() {
-  // Stop every flusher; each drains its queue (reason=shutdown) on exit,
-  // so no staged caller is left waiting forever.
-  std::vector<SiloQueue*> queues;
+  std::vector<std::pair<int, SiloQueue*>> queues;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queues.reserve(queues_.size());
-    for (auto& [id, queue] : queues_) queues.push_back(queue.get());
+    for (auto& [id, queue] : queues_) queues.emplace_back(id, queue.get());
   }
-  for (SiloQueue* queue : queues) {
+  if (use_reactor_) {
+    // Disarm every pending deadline timer on its loop (SubmitAndWait
+    // also serialises after any still-queued arming task), then ship
+    // what is still staged so every caller gets an answer. The shutdown
+    // batch's completion captures no coalescer state, so it may safely
+    // land after this destructor returns.
+    for (auto& [silo_id, queue] : queues) {
+      {
+        std::lock_guard<std::mutex> lock(queue->mu);
+        queue->stopping = true;
+      }
+      if (queue->loop != nullptr) {
+        queue->loop->SubmitAndWait([queue] {
+          std::lock_guard<std::mutex> lock(queue->mu);
+          if (queue->timer_armed) {
+            queue->timer_armed = false;
+            if (queue->timer_id != 0) {
+              queue->loop->CancelTimer(queue->timer_id);
+              queue->timer_id = 0;
+            }
+          }
+        });
+      }
+      std::vector<std::unique_ptr<Pending>> batch;
+      {
+        std::lock_guard<std::mutex> lock(queue->mu);
+        batch.swap(queue->staged);
+      }
+      if (!batch.empty()) SendBatch(silo_id, std::move(batch), "shutdown");
+    }
+    return;
+  }
+  // Thread substrate: stop every flusher; each drains its queue
+  // (reason=shutdown) on exit, so no staged caller is left waiting.
+  for (auto& [silo_id, queue] : queues) {
     {
       std::lock_guard<std::mutex> lock(queue->mu);
       queue->stopping = true;
     }
     queue->wake.notify_all();
   }
-  for (SiloQueue* queue : queues) {
+  for (auto& [silo_id, queue] : queues) {
     if (queue->flusher.joinable()) queue->flusher.join();
   }
 }
@@ -63,8 +98,12 @@ RequestCoalescer::SiloQueue* RequestCoalescer::QueueFor(int silo_id) {
   if (it == queues_.end()) {
     it = queues_.emplace(silo_id, std::make_unique<SiloQueue>()).first;
     SiloQueue* queue = it->second.get();
-    queue->flusher =
-        std::thread([this, silo_id, queue] { FlusherLoop(silo_id, queue); });
+    if (use_reactor_) {
+      queue->loop = network_->reactor()->NextLoop();
+    } else {
+      queue->flusher =
+          std::thread([this, silo_id, queue] { FlusherLoop(silo_id, queue); });
+    }
   }
   return it->second.get();
 }
@@ -72,13 +111,31 @@ RequestCoalescer::SiloQueue* RequestCoalescer::QueueFor(int silo_id) {
 Result<std::vector<uint8_t>> RequestCoalescer::Call(
     int silo_id, const std::vector<uint8_t>& request) {
   FRA_TRACE_SPAN("net.coalesce.call");
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<uint8_t>>>>();
+  std::future<Result<std::vector<uint8_t>>> future = promise->get_future();
+  Stage(silo_id, request, [promise](Result<std::vector<uint8_t>> response) {
+    promise->set_value(std::move(response));
+  });
+  return future.get();
+}
+
+void RequestCoalescer::CallAsync(int silo_id,
+                                 const std::vector<uint8_t>& request,
+                                 CallCallback done) {
+  Stage(silo_id, request, std::move(done));
+}
+
+void RequestCoalescer::Stage(int silo_id, const std::vector<uint8_t>& request,
+                             CallCallback done) {
   SiloQueue* queue = QueueFor(silo_id);
   auto pending = std::make_unique<Pending>();
   pending->request = request;
-  std::future<Result<std::vector<uint8_t>>> future =
-      pending->promise.get_future();
+  pending->done = std::move(done);
 
   std::vector<std::unique_ptr<Pending>> to_send;
+  const char* reason = "size";
+  bool arm = false;
   {
     std::lock_guard<std::mutex> lock(queue->mu);
     if (queue->staged.empty()) {
@@ -88,17 +145,101 @@ Result<std::vector<uint8_t>> RequestCoalescer::Call(
     staged_gauge_->Add(1.0);
     if (queue->staged.size() >= std::max<size_t>(1, options_.max_batch_size)) {
       to_send.swap(queue->staged);
+    } else if (use_reactor_) {
+      if (options_.max_batch_delay_us <= 0) {
+        // Eager mode: nothing to wait for, ship the lone entry now.
+        to_send.swap(queue->staged);
+        reason = "deadline";
+      } else if (!queue->timer_armed && !queue->stopping) {
+        queue->timer_armed = true;
+        arm = true;
+      }
+    } else {
+      // The flusher (re)arms its deadline off the oldest staged entry.
+      // Signal while still holding the lock: once a caller's entry is
+      // observable (staged gauge), the destructor may run — its shutdown
+      // flush acquires this same mutex before the queue is freed, so the
+      // cv must not be touched after the lock is released.
+      queue->wake.notify_one();
     }
   }
   if (!to_send.empty()) {
-    // Size trigger: the staging caller ships the batch itself — no thread
-    // hop, and several full batches to one silo can be in flight at once.
-    SendBatch(silo_id, std::move(to_send), "size");
-  } else {
-    // The flusher (re)arms its deadline off the oldest staged entry.
-    queue->wake.notify_one();
+    // Size trigger: the staging caller ships the batch itself — no
+    // thread hop, and several full batches to one silo can be in flight
+    // at once.
+    SendBatch(silo_id, std::move(to_send), reason);
+  } else if (arm) {
+    ArmDeadline(silo_id, queue);
   }
-  return future.get();
+}
+
+void RequestCoalescer::ArmDeadline(int silo_id, SiloQueue* queue) {
+  // ScheduleTimerAfter is loop-thread-only, so the arming itself hops
+  // onto the loop. The wheel's 1 ms tick floor is fine: rounding the
+  // batch window up can only grow batches, never starve a caller
+  // (the size trigger still fires from the staging thread).
+  const auto delay = std::chrono::milliseconds(
+      std::max<int>(1, (options_.max_batch_delay_us + 999) / 1000));
+  const bool submitted = queue->loop->Submit([this, silo_id, queue, delay] {
+    const uint64_t id = queue->loop->ScheduleTimerAfter(
+        delay, [this, silo_id, queue] { OnDeadline(silo_id, queue); });
+    std::lock_guard<std::mutex> lock(queue->mu);
+    if (queue->timer_armed) {
+      queue->timer_id = id;
+    } else {
+      // Destruction disarmed while this task was queued.
+      queue->loop->CancelTimer(id);
+    }
+  });
+  if (!submitted) {
+    // The loop has exited (the network stopped first). Ship inline so
+    // the staged callers still complete — the exchange itself will
+    // report the network's shutdown state.
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::lock_guard<std::mutex> lock(queue->mu);
+      queue->timer_armed = false;
+      batch.swap(queue->staged);
+    }
+    if (!batch.empty()) SendBatch(silo_id, std::move(batch), "deadline");
+  }
+}
+
+void RequestCoalescer::OnDeadline(int silo_id, SiloQueue* queue) {
+  const auto delay =
+      std::chrono::microseconds(std::max(0, options_.max_batch_delay_us));
+  std::vector<std::unique_ptr<Pending>> batch;
+  bool rearm = false;
+  TimerWheel::Clock::time_point rearm_at{};
+  {
+    std::lock_guard<std::mutex> lock(queue->mu);
+    queue->timer_armed = false;
+    queue->timer_id = 0;
+    if (!queue->staged.empty()) {
+      const auto deadline = queue->oldest_at + delay;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        batch.swap(queue->staged);
+      } else if (!queue->stopping) {
+        // A size flush consumed the batch this timer was armed for and
+        // younger entries have been staged since: give them their full
+        // window.
+        queue->timer_armed = true;
+        rearm = true;
+        rearm_at = deadline;
+      }
+    }
+  }
+  if (rearm) {
+    const uint64_t id = queue->loop->ScheduleTimerAt(
+        rearm_at, [this, silo_id, queue] { OnDeadline(silo_id, queue); });
+    std::lock_guard<std::mutex> lock(queue->mu);
+    if (queue->timer_armed) {
+      queue->timer_id = id;
+    } else {
+      queue->loop->CancelTimer(id);
+    }
+  }
+  if (!batch.empty()) SendBatch(silo_id, std::move(batch), "deadline");
 }
 
 void RequestCoalescer::FlusherLoop(int silo_id, SiloQueue* queue) {
@@ -148,35 +289,45 @@ void RequestCoalescer::SendBatch(int silo_id,
     entries.push_back(std::move(pending->request));
   }
 
-  const auto fail_all = [&batch](const Status& status) {
-    for (std::unique_ptr<Pending>& pending : batch) {
-      pending->promise.set_value(status);
-    }
-  };
-
-  Result<std::vector<uint8_t>> response =
-      network_->Call(silo_id, EncodeBatchRequest(entries));
-  if (!response.ok()) {
-    // Hung / unreachable silo: the Network deadline already bounded the
-    // wait, and every staged query shares the outcome.
-    fail_all(response.status());
-    return;
-  }
-  Result<std::vector<std::vector<uint8_t>>> decoded =
-      DecodeBatchResponse(*response);
-  if (!decoded.ok()) {
-    fail_all(decoded.status());
-    return;
-  }
-  if (decoded->size() != batch.size()) {
-    fail_all(Status::Internal("batch response entry count mismatch: sent " +
-                              std::to_string(batch.size()) + ", received " +
-                              std::to_string(decoded->size())));
-    return;
-  }
-  for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i]->promise.set_value(std::move((*decoded)[i]));
-  }
+  // The scatter captures only the batch itself — never `this` — so a
+  // batch still in flight when the coalescer is destroyed completes
+  // safely (the network outlives the coalescer by contract). On a
+  // reactor transport it runs on an event-loop thread; on synchronous
+  // transports CallAsync degrades to an inline exchange, preserving the
+  // old blocking behaviour of size- and flusher-triggered sends.
+  auto shared =
+      std::make_shared<std::vector<std::unique_ptr<Pending>>>(std::move(batch));
+  network_->CallAsync(
+      silo_id, EncodeBatchRequest(entries),
+      [shared](Result<std::vector<uint8_t>> response) {
+        const auto fail_all = [&shared](const Status& status) {
+          for (std::unique_ptr<Pending>& pending : *shared) {
+            pending->done(status);
+          }
+        };
+        if (!response.ok()) {
+          // Hung / unreachable silo: the Network deadline already bounded
+          // the wait, and every staged query shares the outcome.
+          fail_all(response.status());
+          return;
+        }
+        Result<std::vector<std::vector<uint8_t>>> decoded =
+            DecodeBatchResponse(*response);
+        if (!decoded.ok()) {
+          fail_all(decoded.status());
+          return;
+        }
+        if (decoded->size() != shared->size()) {
+          fail_all(Status::Internal(
+              "batch response entry count mismatch: sent " +
+              std::to_string(shared->size()) + ", received " +
+              std::to_string(decoded->size())));
+          return;
+        }
+        for (size_t i = 0; i < shared->size(); ++i) {
+          (*shared)[i]->done(std::move((*decoded)[i]));
+        }
+      });
 }
 
 }  // namespace fra

@@ -17,6 +17,7 @@
 namespace fra {
 
 class Counter;
+class EventLoop;
 class Gauge;
 class Histogram;
 
@@ -26,24 +27,32 @@ class Histogram;
 /// at high throughput the hot path is dominated by per-request fixed
 /// costs — wire framing, send/recv syscalls, connection-pool contention —
 /// not by aggregation. The coalescer amortises that fixed cost: callers
-/// stage their encoded silo request into a per-silo buffer and block on a
-/// completion future; everything staged for one silo is packed into a
-/// single kAggregateBatchRequest frame and shipped over one pooled
-/// connection when either trigger fires:
+/// stage their encoded silo request into a per-silo buffer and wait for
+/// completion (a future in Call, a callback in CallAsync); everything
+/// staged for one silo is packed into a single kAggregateBatchRequest
+/// frame and shipped in one exchange when either trigger fires:
 ///
 ///   * size    — the buffer reached max_batch_size (the staging caller
-///               sends the batch itself, so several batches to one silo
-///               can be in flight concurrently),
+///               ships the batch, so several batches to one silo can be
+///               in flight concurrently),
 ///   * deadline — the oldest staged request has waited max_batch_delay_us
-///               (a per-silo flusher thread sends, bounding the latency a
-///               lone query pays for batching),
+///               (bounding the latency a lone query pays for batching),
 ///   * shutdown — destruction flushes whatever is still staged.
+///
+/// The deadline trigger runs on one of two substrates:
+///
+///   * reactor — when the wrapped network exposes a Reactor (TcpNetwork's
+///     default mode), the deadline is a timer-wheel entry on one of its
+///     event loops and batches ship through Network::CallAsync; the
+///     coalescer owns no threads at all.
+///   * thread  — otherwise (in-process network, legacy TCP pool) a
+///     per-silo flusher thread arms the deadline, exactly as before.
 ///
 /// The response frame's entries are scattered positionally back to the
 /// waiting callers. Per-entry failures arrive as embedded error-response
 /// entries, so one bad sub-query cannot poison its batch; a failure of
 /// the batch exchange itself (hung silo, decode error) fails every staged
-/// request with the same Status — the underlying Network::Call deadline
+/// request with the same Status — the underlying Network deadline
 /// therefore bounds how long any batched query can hang.
 ///
 /// Observable state (docs/observability.md): fra_batch_flushes_total
@@ -51,15 +60,22 @@ class Histogram;
 /// fra_coalescer_staged_requests gauge.
 ///
 /// Thread safe. The wrapped network must outlive the coalescer; callers
-/// must not race destruction with in-flight Call()s.
+/// must not race destruction with in-flight Call()s/CallAsync()s. The
+/// blocking Call must not be invoked from one of the reactor's loop
+/// threads (it would deadlock waiting for that loop); CallAsync is safe
+/// anywhere.
 class RequestCoalescer {
  public:
+  using CallCallback = Network::CallCallback;
+
   struct Options {
     /// Flush as soon as this many requests are staged for one silo.
     /// 1 still exercises the batch wire path (one entry per frame).
     size_t max_batch_size = 16;
     /// Flush when the oldest staged request has waited this long, so a
     /// lone query is delayed at most this much. <= 0 flushes eagerly.
+    /// On the reactor substrate the wheel's 1 ms tick rounds the delay
+    /// up to the next millisecond.
     int max_batch_delay_us = 200;
   };
 
@@ -68,8 +84,9 @@ class RequestCoalescer {
   RequestCoalescer(const RequestCoalescer&) = delete;
   RequestCoalescer& operator=(const RequestCoalescer&) = delete;
 
-  /// Flushes every staged request (reason=shutdown) and joins the
-  /// per-silo flusher threads.
+  /// Flushes every staged request (reason=shutdown); joins the per-silo
+  /// flusher threads (thread substrate) or cancels the armed deadline
+  /// timers (reactor substrate).
   ~RequestCoalescer();
 
   /// Stages `request` for `silo_id` and blocks until its response entry
@@ -78,32 +95,56 @@ class RequestCoalescer {
   Result<std::vector<uint8_t>> Call(int silo_id,
                                     const std::vector<uint8_t>& request);
 
+  /// The non-blocking variant: stages `request` and returns; `done`
+  /// fires exactly once with the response entry or the batch's failure.
+  /// On the reactor substrate `done` runs on an event-loop thread — it
+  /// must be quick and must never block on another exchange through the
+  /// same network.
+  void CallAsync(int silo_id, const std::vector<uint8_t>& request,
+                 CallCallback done);
+
   const Options& options() const { return options_; }
 
  private:
   struct Pending {
     std::vector<uint8_t> request;
-    std::promise<Result<std::vector<uint8_t>>> promise;
+    CallCallback done;
   };
   struct SiloQueue {
-    std::mutex mu;
+    std::mutex mu;  // guards staged/oldest_at/stopping/timer_*
     std::condition_variable wake;
     std::vector<std::unique_ptr<Pending>> staged;
     std::chrono::steady_clock::time_point oldest_at;
     bool stopping = false;
-    std::thread flusher;
+    std::thread flusher;  // thread substrate only
+
+    // Reactor substrate: the loop owning this silo's deadline timer.
+    EventLoop* loop = nullptr;
+    bool timer_armed = false;
+    uint64_t timer_id = 0;  // 0 while the arming task is still queued
   };
 
   SiloQueue* QueueFor(int silo_id);
-  void FlusherLoop(int silo_id, SiloQueue* queue);
-  /// Ships one batch and scatters the response entries (or the failure)
-  /// to every staged promise. Runs on the triggering caller (size), the
-  /// silo's flusher thread (deadline), or the destructor (shutdown).
+  /// The shared staging path behind Call and CallAsync.
+  void Stage(int silo_id, const std::vector<uint8_t>& request,
+             CallCallback done);
+  void FlusherLoop(int silo_id, SiloQueue* queue);  // thread substrate
+  /// Reactor substrate: schedules the deadline timer on the queue's loop.
+  void ArmDeadline(int silo_id, SiloQueue* queue);
+  /// Reactor substrate, loop thread: fires the deadline flush, or
+  /// re-arms when a size flush already took the batch the timer was
+  /// armed for.
+  void OnDeadline(int silo_id, SiloQueue* queue);
+  /// Ships one batch via Network::CallAsync and scatters the response
+  /// entries (or the failure) to every staged caller. The completion is
+  /// self-contained — it captures no coalescer state — so an in-flight
+  /// batch cannot race destruction.
   void SendBatch(int silo_id, std::vector<std::unique_ptr<Pending>> batch,
                  const char* reason);
 
   Network* const network_;
   const Options options_;
+  const bool use_reactor_;  // network_->reactor() != nullptr at ctor time
 
   std::mutex mu_;  // guards queues_ map structure
   std::unordered_map<int, std::unique_ptr<SiloQueue>> queues_;

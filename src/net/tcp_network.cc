@@ -5,6 +5,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,18 +14,21 @@
 #include <cstring>
 
 #include <algorithm>
+#include <future>
 #include <string>
+#include <utility>
 
 #include "net/message.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/trace.h"
 
 namespace fra {
 
 /// A fixed point in time every socket wait measures against; the
-/// never-expiring default means "block forever" (server-side reads,
-/// request_timeout_ms <= 0).
+/// never-expiring default means "block forever" (legacy server-side
+/// reads, request_timeout_ms <= 0).
 struct DeadlinePoint {
   std::chrono::steady_clock::time_point at;
   bool bounded = false;
@@ -61,10 +65,18 @@ struct DeadlinePoint {
 
 namespace {
 
-// Frames above this are rejected before allocation (a corrupted length
-// prefix must not cause a huge allocation). Grid payloads for city-scale
-// grids are a few MB; 256 MB is far beyond any legitimate message.
-constexpr uint32_t kMaxFrameBytes = 256u << 20;
+// Server-side read backpressure: stop reading new requests off a
+// connection while this many responses are pending on it, or while this
+// much response data is buffered for a reader that has stopped draining
+// (the slow-scraper case) — the loop stays responsive to every other
+// connection either way.
+constexpr size_t kMaxServerPipeline = 256;
+constexpr size_t kServerWriterPauseBytes = 4u << 20;
+
+// Accept backoff after resource exhaustion (EMFILE/ENFILE/...): long
+// enough for fds to free up, short enough that the listener recovers
+// promptly.
+constexpr int kAcceptBackoffMs = 20;
 
 Status DeadlineExceeded(const char* what, bool* timed_out) {
   if (timed_out != nullptr) *timed_out = true;
@@ -128,9 +140,12 @@ Status ReadAll(int fd, void* data, size_t size, const DeadlinePoint& deadline,
 }
 
 // Frame layout: u32 length in network byte order (big-endian), then
-// `length` payload bytes — see docs/wire_protocol.md.
+// `length` payload bytes — see docs/wire_protocol.md. The send-side
+// size guard mirrors the receive guard: an unchecked payload over 4 GiB
+// would be silently truncated by the u32 cast and desync the stream.
 Status WriteFrame(int fd, const std::vector<uint8_t>& payload,
                   const DeadlinePoint& deadline, bool* timed_out) {
+  FRA_RETURN_NOT_OK(ValidateFramePayloadSize(payload.size()));
   const uint32_t length = htonl(static_cast<uint32_t>(payload.size()));
   FRA_RETURN_NOT_OK(WriteAll(fd, &length, sizeof(length), deadline,
                              timed_out));
@@ -165,19 +180,23 @@ void CloseFd(int* fd) {
   }
 }
 
-// Non-blocking connect to 127.0.0.1:port bounded by `deadline`.
+void SetNoDelay(int fd) {
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+}
+
+// Non-blocking connect to 127.0.0.1:port bounded by `deadline` (the
+// legacy blocking pool's dial; the reactor path dials via the loop).
 Result<int> DialLoopback(uint16_t port, const DeadlinePoint& deadline,
                          bool* timed_out) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    const Status status =
-        Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+  const Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
     ::close(fd);
-    return status;
+    return nonblocking;
   }
   sockaddr_in address{};
   address.sin_family = AF_INET;
@@ -205,99 +224,394 @@ Result<int> DialLoopback(uint16_t port, const DeadlinePoint& deadline,
     ::close(fd);
     return status;
   }
-  const int enable = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  SetNoDelay(fd);
   return fd;
+}
+
+// Handler workers back every blocking HandleMessage in reactor mode;
+// enough of them to overlap blocking silo work even on small machines.
+size_t DefaultHandlerThreads() {
+  return std::max<size_t>(8, std::thread::hardware_concurrency());
 }
 
 }  // namespace
 
 // --- TcpSiloServer ---------------------------------------------------------
 
+/// One accepted connection's state machine. Owned by shared_ptr: the
+/// epoll handler, in-flight handler-pool tasks, and their loop-thread
+/// completions all hold references, and `closed` lets a completion that
+/// arrives after the connection died return without touching the socket.
+/// Everything here is touched only from the connection's loop thread.
+struct TcpSiloServer::Conn {
+  int fd = -1;
+  EventLoop* loop = nullptr;
+  FrameReader reader;
+  FrameWriter writer;
+  uint32_t interest = EPOLLIN;
+  bool closed = false;
+  // Peer closed its write side while responses are still pending: finish
+  // writing them, then close (matches the legacy sequential loop, which
+  // only noticed EOF after replying).
+  bool draining = false;
+
+  /// Ordered response pipelining: one slot per request, in arrival
+  /// order. Workers complete out of order; responses flush in order.
+  struct Slot {
+    bool done = false;
+    std::vector<uint8_t> response;
+  };
+  std::deque<std::shared_ptr<Slot>> slots;
+};
+
 Result<std::unique_ptr<TcpSiloServer>> TcpSiloServer::Start(
     SiloEndpoint* endpoint, uint16_t port) {
+  return Start(endpoint, port, Options{});
+}
+
+Result<std::unique_ptr<TcpSiloServer>> TcpSiloServer::Start(
+    SiloEndpoint* endpoint, uint16_t port, const Options& options) {
   if (endpoint == nullptr) {
     return Status::InvalidArgument("null endpoint");
   }
   auto server = std::unique_ptr<TcpSiloServer>(new TcpSiloServer());
   server->endpoint_ = endpoint;
+  server->options_ = options;
+  FRA_RETURN_NOT_OK(server->StartListener(port));
+  if (options.use_reactor) {
+    FRA_RETURN_NOT_OK(server->StartReactor());
+  } else {
+    server->accept_thread_ = std::thread([raw = server.get()] {
+      raw->AcceptLoop();
+    });
+  }
+  return server;
+}
 
-  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (server->listen_fd_ < 0) {
+Status TcpSiloServer::StartListener(uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   const int enable = 1;
-  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable,
-               sizeof(enable));
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
 
   sockaddr_in address{};
   address.sin_family = AF_INET;
   address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   address.sin_port = htons(port);
-  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&address),
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&address),
              sizeof(address)) < 0) {
     return Status::IOError(std::string("bind: ") + std::strerror(errno));
   }
   socklen_t address_length = sizeof(address);
-  if (::getsockname(server->listen_fd_,
-                    reinterpret_cast<sockaddr*>(&address),
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&address),
                     &address_length) < 0) {
     return Status::IOError(std::string("getsockname: ") +
                            std::strerror(errno));
   }
-  server->port_ = ntohs(address.sin_port);
-  if (::listen(server->listen_fd_, 64) < 0) {
+  port_ = ntohs(address.sin_port);
+  if (::listen(listen_fd_, 256) < 0) {
     return Status::IOError(std::string("listen: ") + std::strerror(errno));
   }
-  server->accept_thread_ = std::thread([raw = server.get()] {
-    raw->AcceptLoop();
+  return Status::OK();
+}
+
+Status TcpSiloServer::StartReactor() {
+  FRA_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+  if (options_.reactor != nullptr) {
+    reactor_ = options_.reactor;
+  } else {
+    owned_reactor_ = std::make_unique<Reactor>(options_.reactor_threads);
+    reactor_ = owned_reactor_.get();
+  }
+  handler_pool_ = std::make_unique<ThreadPool>(
+      options_.worker_threads > 0 ? options_.worker_threads
+                                  : DefaultHandlerThreads());
+  accept_loop_ = reactor_->loop(0);
+  Status registered = Status::OK();
+  accept_loop_->SubmitAndWait([this, &registered] {
+    registered = accept_loop_->RegisterFd(
+        listen_fd_, EPOLLIN, [this](uint32_t) { OnAcceptReady(); });
   });
-  return server;
+  return registered;
+}
+
+void TcpSiloServer::OnAcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      EventLoop* loop = reactor_->NextLoop();
+      loop->Submit([this, fd, loop] { AdoptConnection(fd, loop); });
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    switch (ClassifyAcceptErrno(errno)) {
+      case AcceptAction::kRetry:
+        continue;
+      case AcceptAction::kBackoff:
+        // Level-triggered epoll would spin on the still-pending
+        // connection; park the listener and re-arm shortly.
+        (void)accept_loop_->UpdateFd(listen_fd_, 0);
+        accept_loop_->ScheduleTimerAfter(
+            std::chrono::milliseconds(kAcceptBackoffMs), [this] {
+              if (!stopping_.load() && listen_fd_ >= 0) {
+                (void)accept_loop_->UpdateFd(listen_fd_, EPOLLIN);
+              }
+            });
+        return;
+      case AcceptAction::kFatal:
+        // The listening socket itself is gone (normally Stop()).
+        accept_loop_->DeregisterFd(listen_fd_);
+        return;
+    }
+  }
+}
+
+void TcpSiloServer::AdoptConnection(int fd, EventLoop* loop) {
+  auto conn = std::make_shared<Conn>();
+  conn->fd = fd;
+  conn->loop = loop;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    conns_.insert(conn);
+  }
+  const Status registered = loop->RegisterFd(
+      fd, EPOLLIN, [this, conn](uint32_t events) { OnConnEvent(conn, events); });
+  if (!registered.ok()) {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn);
+    ::close(fd);
+  }
+}
+
+void TcpSiloServer::OnConnEvent(const std::shared_ptr<Conn>& conn,
+                                uint32_t events) {
+  if (conn->closed) return;
+  if (events & EPOLLOUT) {
+    if (!conn->writer.Flush(conn->fd).ok()) {
+      CloseConn(conn);
+      return;
+    }
+    if (conn->draining && conn->slots.empty() && !conn->writer.has_pending()) {
+      CloseConn(conn);
+      return;
+    }
+    UpdateConnInterest(conn);
+  }
+  if (events & EPOLLIN) {
+    const Status drained =
+        conn->reader.Drain(conn->fd, [&](std::vector<uint8_t> payload) {
+          DispatchRequest(conn, std::move(payload));
+          return conn->slots.size() < kMaxServerPipeline &&
+                 conn->writer.pending_bytes() < kServerWriterPauseBytes;
+        });
+    if (!drained.ok()) {
+      if (drained.IsUnavailable() &&
+          (!conn->slots.empty() || conn->writer.has_pending())) {
+        // Clean peer close with responses still owed: drain writes first.
+        conn->draining = true;
+      } else {
+        CloseConn(conn);
+        return;
+      }
+    }
+    UpdateConnInterest(conn);
+    return;
+  }
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConn(conn);
+  }
+}
+
+void TcpSiloServer::DispatchRequest(const std::shared_ptr<Conn>& conn,
+                                    std::vector<uint8_t> request) {
+  auto slot = std::make_shared<Conn::Slot>();
+  conn->slots.push_back(slot);
+  // The loop never blocks on query execution: HandleMessage runs on the
+  // worker pool, and its completion hops back to the connection's loop.
+  handler_pool_->Submit([this, conn, slot,
+                         request = std::move(request)]() mutable {
+    // A request may arrive inside a trace envelope; the carried trace id
+    // becomes this worker's context so silo-side spans correlate with
+    // the provider-side ones (0 when the envelope is absent).
+    const uint64_t trace_id = StripTraceEnvelope(&request);
+    ScopedTraceId trace_scope(trace_id);
+    Result<std::vector<uint8_t>> response = endpoint_->HandleMessage(request);
+    std::vector<uint8_t> frame =
+        response.ok() ? std::move(response).ValueOrDie()
+                      : EncodeErrorResponse(response.status());
+    conn->loop->Submit([this, conn, slot, frame = std::move(frame)]() mutable {
+      if (conn->closed) return;
+      slot->done = true;
+      slot->response = std::move(frame);
+      FlushReadyResponses(conn);
+    });
+  });
+}
+
+void TcpSiloServer::FlushReadyResponses(const std::shared_ptr<Conn>& conn) {
+  while (!conn->slots.empty() && conn->slots.front()->done) {
+    // Count before replying so a client that has decoded the response
+    // already observes the increment.
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    conn->writer.EnqueueFrame(std::move(conn->slots.front()->response));
+    conn->slots.pop_front();
+  }
+  if (!conn->writer.Flush(conn->fd).ok()) {
+    CloseConn(conn);
+    return;
+  }
+  if (conn->draining && conn->slots.empty() && !conn->writer.has_pending()) {
+    CloseConn(conn);
+    return;
+  }
+  UpdateConnInterest(conn);
+}
+
+void TcpSiloServer::UpdateConnInterest(const std::shared_ptr<Conn>& conn) {
+  uint32_t want = 0;
+  const bool paused = conn->draining ||
+                      conn->slots.size() >= kMaxServerPipeline ||
+                      conn->writer.pending_bytes() >= kServerWriterPauseBytes;
+  if (!paused) want |= EPOLLIN;
+  if (conn->writer.has_pending()) want |= EPOLLOUT;
+  if (want != conn->interest) {
+    if (!conn->loop->UpdateFd(conn->fd, want).ok()) {
+      CloseConn(conn);
+      return;
+    }
+    conn->interest = want;
+  }
+}
+
+void TcpSiloServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  conn->loop->DeregisterFd(conn->fd);
+  ::close(conn->fd);
+  conn->fd = -1;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn);
 }
 
 TcpSiloServer::~TcpSiloServer() { Stop(); }
 
 void TcpSiloServer::Stop() {
   if (stopping_.exchange(true)) return;
-  // Shut the listening socket down; accept() wakes with an error.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    CloseFd(&listen_fd_);
+  if (options_.use_reactor) {
+    if (accept_loop_ != nullptr) {
+      accept_loop_->SubmitAndWait([this] {
+        if (listen_fd_ >= 0) {
+          accept_loop_->DeregisterFd(listen_fd_);
+          CloseFd(&listen_fd_);
+        }
+      });
+    }
+    // Drain in-flight handlers; their completions land on the loops and
+    // flush whatever responses the sockets will still take.
+    handler_pool_.reset();
+    std::vector<std::shared_ptr<Conn>> conns;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns.assign(conns_.begin(), conns_.end());
+    }
+    // SubmitAndWait doubles as a barrier: completions queued above run
+    // before the close (per-loop FIFO), so graceful responses go out.
+    for (const std::shared_ptr<Conn>& conn : conns) {
+      conn->loop->SubmitAndWait([this, conn] { CloseConn(conn); });
+    }
+    if (owned_reactor_) owned_reactor_->Stop();
+    return;
   }
+  // Legacy mode: shut the listening socket down; accept() wakes with an
+  // error classified kFatal. The fd itself is closed only after the
+  // accept thread joins — it reads listen_fd_ unsynchronized, so the
+  // join must order that read before the close's write.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  CloseFd(&listen_fd_);
+  std::unordered_map<int, std::thread> workers;
+  std::vector<std::thread> retired;
   {
     std::lock_guard<std::mutex> lock(workers_mu_);
     workers.swap(workers_);
+    retired.swap(retired_);
     // Wake workers blocked in recv() on live connections; each closes
     // its own fd on exit.
     for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  for (std::thread& worker : workers) {
+  for (auto& [fd, worker] : workers) {
+    if (worker.joinable()) worker.join();
+  }
+  for (std::thread& worker : retired) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t TcpSiloServer::tracked_connection_threads() const {
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return workers_.size() + retired_.size();
+}
+
+size_t TcpSiloServer::open_connections() const {
+  if (options_.use_reactor) {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    return conns_.size();
+  }
+  std::lock_guard<std::mutex> lock(workers_mu_);
+  return active_fds_.size();
+}
+
+void TcpSiloServer::ReapRetired() {
+  std::vector<std::thread> retired;
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    retired.swap(retired_);
+  }
+  for (std::thread& worker : retired) {
     if (worker.joinable()) worker.join();
   }
 }
 
 void TcpSiloServer::AcceptLoop() {
   while (!stopping_.load()) {
+    // Join connection threads that have finished since the last accept:
+    // under churn the tracked set stays bounded by the number of LIVE
+    // connections instead of growing one dead thread per connection ever
+    // accepted.
+    ReapRetired();
     const int connection_fd = ::accept(listen_fd_, nullptr, nullptr);
     if (connection_fd < 0) {
       if (stopping_.load()) return;
-      if (errno == EINTR) continue;
-      return;  // listening socket broken; stop serving
+      switch (ClassifyAcceptErrno(errno)) {
+        case AcceptAction::kRetry:
+          continue;
+        case AcceptAction::kBackoff:
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(kAcceptBackoffMs));
+          continue;
+        case AcceptAction::kFatal:
+          return;  // the listening socket itself is gone
+      }
+      continue;
     }
-    const int enable = 1;
-    ::setsockopt(connection_fd, IPPROTO_TCP, TCP_NODELAY, &enable,
-                 sizeof(enable));
+    SetNoDelay(connection_fd);
     std::lock_guard<std::mutex> lock(workers_mu_);
     if (stopping_.load()) {
       ::close(connection_fd);
       return;
     }
     active_fds_.insert(connection_fd);
-    workers_.emplace_back([this, connection_fd] {
-      ServeConnection(connection_fd);
-    });
+    workers_.emplace(connection_fd, std::thread([this, connection_fd] {
+                       ServeConnection(connection_fd);
+                     }));
   }
 }
 
@@ -308,9 +622,6 @@ void TcpSiloServer::ServeConnection(int connection_fd) {
     Result<std::vector<uint8_t>> request =
         ReadFrame(fd, no_deadline, nullptr);
     if (!request.ok()) break;  // closed or broken: drop the connection
-    // A request may arrive inside a trace envelope; the carried trace id
-    // becomes this thread's context so silo-side spans correlate with the
-    // provider-side ones (0 when the envelope is absent).
     std::vector<uint8_t> payload = std::move(request).ValueOrDie();
     const uint64_t trace_id = StripTraceEnvelope(&payload);
     ScopedTraceId trace_scope(trace_id);
@@ -319,19 +630,554 @@ void TcpSiloServer::ServeConnection(int connection_fd) {
     const std::vector<uint8_t> frame =
         response.ok() ? std::move(response).ValueOrDie()
                       : EncodeErrorResponse(response.status());
-    // Count before replying so a client that has decoded the response
-    // already observes the increment.
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     if (!WriteFrame(fd, frame, no_deadline, nullptr).ok()) break;
   }
   {
     std::lock_guard<std::mutex> lock(workers_mu_);
     active_fds_.erase(fd);
+    // Hand this thread's own handle to the retired list for the accept
+    // loop to join — a thread cannot join itself. The map entry must go
+    // before close(): the OS may reuse the fd for the next accept.
+    const auto it = workers_.find(fd);
+    if (it != workers_.end()) {
+      retired_.push_back(std::move(it->second));
+      workers_.erase(it);
+    }
   }
   CloseFd(&fd);
 }
 
-// --- TcpNetwork ------------------------------------------------------------
+// --- TcpNetwork: reactor-mode state ----------------------------------------
+
+/// One in-flight call. Created on the caller's thread, then owned by the
+/// silo's loop: queued, bound to a connection, finished exactly once.
+struct TcpNetwork::Op {
+  std::vector<uint8_t> wire;  // trace-wrapped request bytes
+  CallCallback done;
+  uint64_t timer_id = 0;  // request deadline on the loop's wheel
+  bool finished = false;
+  int attempts = 0;  // transport-error retries consumed
+  bool is_batch = false;
+  ClientConn* bound = nullptr;  // connection carrying it, once assigned
+};
+
+/// One non-blocking connection of a silo. Loop-thread only.
+struct TcpNetwork::ClientConn {
+  int fd = -1;
+  enum State { kConnecting, kReady } state = kConnecting;
+  FrameReader reader;
+  FrameWriter writer;
+  uint32_t interest = 0;
+  uint64_t connect_timer = 0;
+  bool closed = false;
+  /// Requests on the wire, oldest first: response i answers entry i.
+  std::deque<std::shared_ptr<Op>> inflight;
+};
+
+/// One registered silo: its event loop, the not-yet-assigned op queue,
+/// its connections, and the registry instruments the legacy pool also
+/// maintains (same metric families either mode).
+struct TcpNetwork::SiloState {
+  SiloState(int id, uint16_t silo_port) : silo_id(id), port(silo_port) {
+    const std::string silo = std::to_string(silo_id);
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    open_gauge =
+        &registry.GetGauge("fra_tcp_pool_open_connections", {{"silo", silo}});
+    busy_gauge =
+        &registry.GetGauge("fra_tcp_pool_busy_connections", {{"silo", silo}});
+    inflight_batches_gauge =
+        &registry.GetGauge("fra_tcp_inflight_batches", {{"silo", silo}});
+    batch_frames_total =
+        &registry.GetCounter("fra_tcp_batch_frames_total", {{"silo", silo}});
+  }
+
+  const int silo_id;
+  const uint16_t port;
+  EventLoop* loop = nullptr;
+  bool shutdown = false;
+  std::deque<std::shared_ptr<Op>> queue;
+  std::vector<std::shared_ptr<ClientConn>> conns;
+
+  Gauge* open_gauge;
+  Gauge* busy_gauge;
+  Gauge* inflight_batches_gauge;
+  Counter* batch_frames_total;
+};
+
+TcpNetwork::TcpNetwork(const Options& options) : options_(options) {
+  if (options_.use_reactor) {
+    if (options_.reactor != nullptr) {
+      reactor_ = options_.reactor;
+    } else {
+      owned_reactor_ = std::make_unique<Reactor>(options_.reactor_threads);
+      reactor_ = owned_reactor_.get();
+    }
+  }
+}
+
+TcpNetwork::~TcpNetwork() {
+  std::vector<SiloState*> states;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, state] : silos_) states.push_back(state.get());
+  }
+  for (SiloState* state : states) {
+    state->loop->SubmitAndWait([this, state] {
+      state->shutdown = true;
+      const std::vector<std::shared_ptr<ClientConn>> conns = state->conns;
+      for (const std::shared_ptr<ClientConn>& conn : conns) {
+        const std::deque<std::shared_ptr<Op>> inflight =
+            std::move(conn->inflight);
+        conn->inflight.clear();
+        RemoveConn(state, conn);
+        for (const std::shared_ptr<Op>& op : inflight) {
+          FinishOp(state, op,
+                   Status::Unavailable("tcp network is shutting down"));
+        }
+      }
+      while (!state->queue.empty()) {
+        const std::shared_ptr<Op> op = state->queue.front();
+        state->queue.pop_front();
+        FinishOp(state, op,
+                 Status::Unavailable("tcp network is shutting down"));
+      }
+      UpdateGauges(state);
+    });
+  }
+  if (owned_reactor_) owned_reactor_->Stop();
+
+  // Legacy pools.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, pool] : pools_) {
+    std::lock_guard<std::mutex> pool_lock(pool->mu);
+    pool->closed = true;  // checked-out fds close at Release
+    for (int fd : pool->idle) ::close(fd);
+    pool->open -= pool->idle.size();
+    pool->idle.clear();
+    pool->UpdateGauges();
+  }
+}
+
+Status TcpNetwork::AddSilo(int silo_id, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.use_reactor) {
+    auto state = std::make_unique<SiloState>(silo_id, port);
+    state->loop = reactor_->NextLoop();
+    const auto [it, inserted] = silos_.emplace(silo_id, std::move(state));
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("silo id " + std::to_string(silo_id) +
+                                   " already registered");
+    }
+    return Status::OK();
+  }
+  const auto [it, inserted] =
+      pools_.emplace(silo_id, std::make_unique<SiloPool>(silo_id, port));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("silo id " + std::to_string(silo_id) +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> TcpNetwork::CallImpl(
+    int silo_id, const std::vector<uint8_t>& request) {
+  if (!options_.use_reactor) return LegacyCall(silo_id, request);
+  FRA_TRACE_SPAN("net.tcp.call");
+  auto promise =
+      std::make_shared<std::promise<Result<std::vector<uint8_t>>>>();
+  std::future<Result<std::vector<uint8_t>>> future = promise->get_future();
+  CallOnReactor(silo_id, request,
+                [promise](Result<std::vector<uint8_t>> outcome) {
+                  promise->set_value(std::move(outcome));
+                });
+  return future.get();
+}
+
+void TcpNetwork::CallAsyncImpl(int silo_id,
+                               const std::vector<uint8_t>& request,
+                               CallCallback done) {
+  if (!options_.use_reactor) {
+    done(LegacyCall(silo_id, request));
+    return;
+  }
+  CallOnReactor(silo_id, request, std::move(done));
+}
+
+void TcpNetwork::CallOnReactor(int silo_id,
+                               const std::vector<uint8_t>& request,
+                               CallCallback done) {
+  SiloState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = silos_.find(silo_id);
+    if (it != silos_.end()) state = it->second.get();
+  }
+  if (state == nullptr) {
+    done(Status::Unavailable("no silo registered under id " +
+                             std::to_string(silo_id)));
+    return;
+  }
+  auto op = std::make_shared<Op>();
+  // Under an active trace, ship the trace id ahead of the payload so the
+  // silo process records its spans under the same id. The caller's
+  // thread holds the trace context, so the wrap happens here, not on the
+  // loop.
+  const uint64_t trace_id = CurrentTraceId();
+  op->wire = trace_id != 0 ? WrapWithTraceId(trace_id, request) : request;
+  const Status frame_size = ValidateFramePayloadSize(op->wire.size());
+  if (!frame_size.ok()) {
+    done(frame_size);
+    return;
+  }
+  op->is_batch = !request.empty() && static_cast<MessageType>(request[0]) ==
+                                         MessageType::kAggregateBatchRequest;
+  op->done = std::move(done);
+  if (!state->loop->Submit([this, state, op] { EnqueueOp(state, op); })) {
+    op->done(Status::Unavailable("tcp network is shutting down"));
+  }
+}
+
+void TcpNetwork::EnqueueOp(SiloState* state, const std::shared_ptr<Op>& op) {
+  if (state->shutdown) {
+    op->finished = true;
+    op->done(Status::Unavailable("tcp network is shutting down"));
+    return;
+  }
+  if (op->is_batch) {
+    state->batch_frames_total->Increment();
+    state->inflight_batches_gauge->Add(1.0);
+  }
+  if (options_.request_timeout_ms > 0) {
+    // The whole call under one wheel entry: queueing, connecting,
+    // sending, waiting. Expiry is terminal — a retry could not finish in
+    // time — and poisons the carrying connection, whose late response
+    // would desync positional matching.
+    op->timer_id = state->loop->ScheduleTimerAfter(
+        std::chrono::milliseconds(options_.request_timeout_ms),
+        [this, state, op] {
+          op->timer_id = 0;
+          if (op->finished) return;
+          ClientConn* bound = op->bound;
+          FinishOp(state, op,
+                   Status::Unavailable(
+                       "deadline exceeded: waiting for response from silo " +
+                       std::to_string(state->silo_id)));
+          if (bound != nullptr) {
+            for (const std::shared_ptr<ClientConn>& conn : state->conns) {
+              if (conn.get() == bound) {
+                HandleConnFailure(
+                    state, conn,
+                    Status::Unavailable("connection abandoned after deadline"));
+                break;
+              }
+            }
+          }
+        });
+  }
+  state->queue.push_back(op);
+  DispatchQueue(state);
+}
+
+void TcpNetwork::FinishOp(SiloState* state, const std::shared_ptr<Op>& op,
+                          Result<std::vector<uint8_t>> outcome) {
+  if (op->finished) return;
+  op->finished = true;
+  op->bound = nullptr;
+  if (op->timer_id != 0) {
+    state->loop->CancelTimer(op->timer_id);
+    op->timer_id = 0;
+  }
+  if (op->is_batch) state->inflight_batches_gauge->Add(-1.0);
+  if (outcome.ok()) {
+    stats_.RecordExchange(op->wire.size(), outcome.ValueOrDie().size());
+  }
+  op->done(std::move(outcome));
+}
+
+void TcpNetwork::DispatchQueue(SiloState* state) {
+  if (state->shutdown) return;
+  const auto pop_next = [state]() -> std::shared_ptr<Op> {
+    while (!state->queue.empty()) {
+      std::shared_ptr<Op> op = state->queue.front();
+      state->queue.pop_front();
+      if (!op->finished) return op;
+    }
+    return nullptr;
+  };
+  // 1. Idle ready connections take work first (the pool-parallelism the
+  //    legacy mode provided).
+  for (const std::shared_ptr<ClientConn>& conn : state->conns) {
+    if (state->queue.empty()) break;
+    if (!conn->closed && conn->state == ClientConn::kReady &&
+        conn->inflight.empty()) {
+      const std::shared_ptr<Op> op = pop_next();
+      if (op == nullptr) break;
+      AssignOp(state, conn, op);
+    }
+  }
+  // 2. Below the connection cap with more queued work than connections
+  //    being established: dial.
+  size_t connecting = 0;
+  for (const std::shared_ptr<ClientConn>& conn : state->conns) {
+    if (conn->state == ClientConn::kConnecting) ++connecting;
+  }
+  while (!state->queue.empty() &&
+         state->conns.size() < options_.max_connections_per_silo &&
+         connecting < state->queue.size()) {
+    DialConn(state);
+    if (state->shutdown || state->queue.empty()) break;
+    ++connecting;
+  }
+  // 3. At the cap: pipeline onto the least-loaded ready connection —
+  //    in-flight capacity beyond connection count is what makes 10k
+  //    concurrent calls cost wheel entries instead of sockets.
+  while (!state->queue.empty() &&
+         state->conns.size() >= options_.max_connections_per_silo) {
+    std::shared_ptr<ClientConn> best;
+    for (const std::shared_ptr<ClientConn>& conn : state->conns) {
+      if (conn->closed || conn->state != ClientConn::kReady) continue;
+      if (conn->inflight.size() >= options_.max_pipeline_per_connection) {
+        continue;
+      }
+      if (best == nullptr || conn->inflight.size() < best->inflight.size()) {
+        best = conn;
+      }
+    }
+    if (best == nullptr) break;  // all connecting or saturated: wait
+    const std::shared_ptr<Op> op = pop_next();
+    if (op == nullptr) break;
+    AssignOp(state, best, op);
+  }
+  UpdateGauges(state);
+}
+
+void TcpNetwork::AssignOp(SiloState* state,
+                          const std::shared_ptr<ClientConn>& conn,
+                          const std::shared_ptr<Op>& op) {
+  op->bound = conn.get();
+  conn->inflight.push_back(op);
+  conn->writer.EnqueueFrame(op->wire);  // keep op->wire for a retry
+  if (!conn->writer.Flush(conn->fd).ok()) {
+    HandleConnFailure(state, conn,
+                      Status::IOError("send failed on pooled connection"));
+    return;
+  }
+  const uint32_t want =
+      EPOLLIN | (conn->writer.has_pending() ? EPOLLOUT : 0u);
+  if (want != conn->interest) {
+    if (state->loop->UpdateFd(conn->fd, want).ok()) conn->interest = want;
+  }
+}
+
+void TcpNetwork::DialConn(SiloState* state) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    const Status status =
+        Status::IOError(std::string("socket: ") + std::strerror(errno));
+    while (!state->queue.empty()) {
+      const std::shared_ptr<Op> op = state->queue.front();
+      state->queue.pop_front();
+      FinishOp(state, op, status);
+    }
+    return;
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(state->port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&address), sizeof(address)) <
+      0 && errno != EINPROGRESS) {
+    const Status status =
+        Status::Unavailable(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    // Dial failures fail every queued op as-is: a fresh attempt would
+    // dial the same dead endpoint (legacy semantics).
+    while (!state->queue.empty()) {
+      const std::shared_ptr<Op> op = state->queue.front();
+      state->queue.pop_front();
+      FinishOp(state, op, status);
+    }
+    return;
+  }
+  auto conn = std::make_shared<ClientConn>();
+  conn->fd = fd;
+  conn->state = ClientConn::kConnecting;
+  state->conns.push_back(conn);
+  const Status registered = state->loop->RegisterFd(
+      fd, EPOLLOUT,
+      [this, state, conn](uint32_t events) { OnConnEvent(state, conn, events); });
+  if (!registered.ok()) {
+    HandleConnFailure(state, conn, registered);
+    return;
+  }
+  conn->interest = EPOLLOUT;
+  if (options_.connect_timeout_ms > 0) {
+    conn->connect_timer = state->loop->ScheduleTimerAfter(
+        std::chrono::milliseconds(options_.connect_timeout_ms),
+        [this, state, conn] {
+          conn->connect_timer = 0;
+          if (conn->closed || conn->state != ClientConn::kConnecting) return;
+          HandleConnFailure(
+              state, conn,
+              Status::Unavailable("deadline exceeded: connecting to silo " +
+                                  std::to_string(state->silo_id)));
+        });
+  }
+}
+
+void TcpNetwork::OnConnEvent(SiloState* state,
+                             const std::shared_ptr<ClientConn>& conn,
+                             uint32_t events) {
+  if (conn->closed) return;
+  if (conn->state == ClientConn::kConnecting) {
+    int error = 0;
+    socklen_t error_length = sizeof(error);
+    if (::getsockopt(conn->fd, SOL_SOCKET, SO_ERROR, &error, &error_length) <
+            0 ||
+        error != 0) {
+      HandleConnFailure(
+          state, conn,
+          Status::Unavailable(std::string("connect: ") +
+                              std::strerror(error != 0 ? error : errno)));
+      return;
+    }
+    conn->state = ClientConn::kReady;
+    SetNoDelay(conn->fd);
+    if (conn->connect_timer != 0) {
+      state->loop->CancelTimer(conn->connect_timer);
+      conn->connect_timer = 0;
+    }
+    if (state->loop->UpdateFd(conn->fd, EPOLLIN).ok()) {
+      conn->interest = EPOLLIN;
+    }
+    DispatchQueue(state);
+    return;
+  }
+  if (events & EPOLLIN) {
+    bool protocol_violation = false;
+    const Status drained =
+        conn->reader.Drain(conn->fd, [&](std::vector<uint8_t> payload) {
+          if (conn->inflight.empty()) {
+            protocol_violation = true;
+            return false;
+          }
+          const std::shared_ptr<Op> op = conn->inflight.front();
+          conn->inflight.pop_front();
+          op->bound = nullptr;
+          FinishOp(state, op, std::move(payload));
+          return true;
+        });
+    if (protocol_violation) {
+      HandleConnFailure(state, conn,
+                        Status::IOError("unexpected response frame"));
+      return;
+    }
+    if (!drained.ok()) {
+      HandleConnFailure(state, conn, drained);
+      return;
+    }
+    DispatchQueue(state);  // completed responses freed pipeline capacity
+    if (conn->closed) return;
+  }
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    HandleConnFailure(state, conn, Status::Unavailable("connection reset"));
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (!conn->writer.Flush(conn->fd).ok()) {
+      HandleConnFailure(state, conn,
+                        Status::IOError("send failed on pooled connection"));
+      return;
+    }
+    const uint32_t want =
+        EPOLLIN | (conn->writer.has_pending() ? EPOLLOUT : 0u);
+    if (want != conn->interest) {
+      if (state->loop->UpdateFd(conn->fd, want).ok()) conn->interest = want;
+    }
+  }
+}
+
+void TcpNetwork::HandleConnFailure(SiloState* state,
+                                   const std::shared_ptr<ClientConn>& conn,
+                                   const Status& status) {
+  if (conn->closed) return;
+  const bool was_connecting = conn->state == ClientConn::kConnecting;
+  const std::deque<std::shared_ptr<Op>> inflight = std::move(conn->inflight);
+  conn->inflight.clear();
+  RemoveConn(state, conn);
+
+  // A transport error on one connection usually means the silo process
+  // restarted, which invalidates every pooled connection to it at once —
+  // close the idle ones so retries dial fresh instead of landing on
+  // another stale socket.
+  std::vector<std::shared_ptr<Op>> requeue;
+  for (const std::shared_ptr<Op>& op : inflight) {
+    if (op->finished) continue;
+    op->bound = nullptr;
+    if (op->attempts == 0) {
+      op->attempts = 1;
+      requeue.push_back(op);
+    } else {
+      FinishOp(state, op,
+               Status::Unavailable("silo " + std::to_string(state->silo_id) +
+                                   " unreachable after reconnect: " +
+                                   status.ToString()));
+    }
+  }
+  if (!requeue.empty()) {
+    const std::vector<std::shared_ptr<ClientConn>> conns = state->conns;
+    for (const std::shared_ptr<ClientConn>& other : conns) {
+      if (!other->closed && other->state == ClientConn::kReady &&
+          other->inflight.empty()) {
+        RemoveConn(state, other);
+      }
+    }
+    for (auto it = requeue.rbegin(); it != requeue.rend(); ++it) {
+      state->queue.push_front(*it);
+    }
+  }
+  if (was_connecting) {
+    // Dial failure: every op waiting for a connection shares the
+    // outcome — a fresh attempt would dial the same dead endpoint.
+    while (!state->queue.empty()) {
+      const std::shared_ptr<Op> op = state->queue.front();
+      state->queue.pop_front();
+      FinishOp(state, op, status);
+    }
+  }
+  DispatchQueue(state);
+}
+
+void TcpNetwork::RemoveConn(SiloState* state,
+                            const std::shared_ptr<ClientConn>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  if (conn->connect_timer != 0) {
+    state->loop->CancelTimer(conn->connect_timer);
+    conn->connect_timer = 0;
+  }
+  state->loop->DeregisterFd(conn->fd);
+  ::close(conn->fd);
+  conn->fd = -1;
+  state->conns.erase(
+      std::remove(state->conns.begin(), state->conns.end(), conn),
+      state->conns.end());
+}
+
+void TcpNetwork::UpdateGauges(SiloState* state) {
+  size_t busy = 0;
+  for (const std::shared_ptr<ClientConn>& conn : state->conns) {
+    if (!conn->inflight.empty()) ++busy;
+  }
+  state->open_gauge->Set(static_cast<double>(state->conns.size()));
+  state->busy_gauge->Set(static_cast<double>(busy));
+}
+
+// --- TcpNetwork: legacy blocking pool --------------------------------------
 
 TcpNetwork::SiloPool::SiloPool(int silo_id, uint16_t pool_port)
     : port(pool_port) {
@@ -350,30 +1196,6 @@ TcpNetwork::SiloPool::SiloPool(int silo_id, uint16_t pool_port)
 void TcpNetwork::SiloPool::UpdateGauges() {
   open_gauge->Set(static_cast<double>(open));
   busy_gauge->Set(static_cast<double>(open - idle.size()));
-}
-
-TcpNetwork::~TcpNetwork() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [id, pool] : pools_) {
-    std::lock_guard<std::mutex> pool_lock(pool->mu);
-    pool->closed = true;  // checked-out fds close at Release
-    for (int fd : pool->idle) ::close(fd);
-    pool->open -= pool->idle.size();
-    pool->idle.clear();
-    pool->UpdateGauges();
-  }
-}
-
-Status TcpNetwork::AddSilo(int silo_id, uint16_t port) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] =
-      pools_.emplace(silo_id, std::make_unique<SiloPool>(silo_id, port));
-  (void)it;
-  if (!inserted) {
-    return Status::AlreadyExists("silo id " + std::to_string(silo_id) +
-                                 " already registered");
-  }
-  return Status::OK();
 }
 
 Result<int> TcpNetwork::Acquire(SiloPool* pool,
@@ -440,16 +1262,17 @@ void TcpNetwork::Release(SiloPool* pool, int fd, bool reusable) {
   pool->released.notify_one();
 }
 
-Result<std::vector<uint8_t>> TcpNetwork::CallImpl(
+Result<std::vector<uint8_t>> TcpNetwork::LegacyCall(
     int silo_id, const std::vector<uint8_t>& request) {
   FRA_TRACE_SPAN("net.tcp.call");
   // Under an active trace, ship the trace id ahead of the payload so the
-  // silo process records its spans under the same id.
+  // silo process records its spans under the same trace id.
   const uint64_t trace_id = CurrentTraceId();
   const std::vector<uint8_t> wrapped =
       trace_id != 0 ? WrapWithTraceId(trace_id, request)
                     : std::vector<uint8_t>();
   const std::vector<uint8_t>& wire = trace_id != 0 ? wrapped : request;
+  FRA_RETURN_NOT_OK(ValidateFramePayloadSize(wire.size()));
   SiloPool* pool = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -523,14 +1346,19 @@ Result<std::vector<uint8_t>> TcpNetwork::CallImpl(
 
 size_t TcpNetwork::num_silos() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return pools_.size();
+  return options_.use_reactor ? silos_.size() : pools_.size();
 }
 
 std::vector<int> TcpNetwork::silo_ids() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<int> ids;
-  ids.reserve(pools_.size());
-  for (const auto& [id, pool] : pools_) ids.push_back(id);
+  if (options_.use_reactor) {
+    ids.reserve(silos_.size());
+    for (const auto& [id, state] : silos_) ids.push_back(id);
+  } else {
+    ids.reserve(pools_.size());
+    for (const auto& [id, pool] : pools_) ids.push_back(id);
+  }
   return ids;
 }
 

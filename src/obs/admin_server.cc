@@ -3,7 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -13,7 +13,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "net/reactor.h"
 #include "util/logging.h"
 #include "util/trace.h"
 
@@ -25,90 +27,9 @@ namespace {
 // headers; anything larger is a confused or hostile client.
 constexpr size_t kMaxRequestHeadBytes = 16 * 1024;
 
-/// Absolute wait bound for one connection's I/O; unbounded when the
-/// server's io_timeout_ms <= 0 (mirrors the TCP transport's
-/// DeadlinePoint, re-declared here because obs must not depend on net).
-struct IoDeadline {
-  std::chrono::steady_clock::time_point at;
-  bool bounded = false;
-
-  static IoDeadline After(int ms) {
-    IoDeadline deadline;
-    if (ms > 0) {
-      deadline.at =
-          std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
-      deadline.bounded = true;
-    }
-    return deadline;
-  }
-
-  int RemainingMs() const {
-    if (!bounded) return -1;
-    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-        at - std::chrono::steady_clock::now());
-    return std::max<int>(0, static_cast<int>(left.count()));
-  }
-};
-
-// Blocks until `fd` is ready for `events` or the deadline passes; a
-// positive poll() only promises progress, so callers loop.
-Status WaitReady(int fd, short events, const IoDeadline& deadline,
-                 const char* what) {
-  for (;;) {
-    pollfd entry{};
-    entry.fd = fd;
-    entry.events = events;
-    const int n = ::poll(&entry, 1, deadline.RemainingMs());
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("poll: ") + std::strerror(errno));
-    }
-    if (n == 0) {
-      return Status::Unavailable(std::string("deadline exceeded: ") + what);
-    }
-    return Status::OK();
-  }
-}
-
-Status WriteAll(int fd, const std::string& data, const IoDeadline& deadline) {
-  const char* p = data.data();
-  size_t size = data.size();
-  while (size > 0) {
-    FRA_RETURN_NOT_OK(WaitReady(fd, POLLOUT, deadline, "sending response"));
-    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return Status::IOError(std::string("send: ") + std::strerror(errno));
-    }
-    p += n;
-    size -= static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-// Reads until the blank line ending the request head (we never consume a
-// body: every admin route is GET). Returns the head, headers included.
-Result<std::string> ReadRequestHead(int fd, const IoDeadline& deadline) {
-  std::string head;
-  char buffer[1024];
-  while (head.find("\r\n\r\n") == std::string::npos &&
-         head.find("\n\n") == std::string::npos) {
-    if (head.size() > kMaxRequestHeadBytes) {
-      return Status::InvalidArgument("request head too large");
-    }
-    FRA_RETURN_NOT_OK(WaitReady(fd, POLLIN, deadline, "reading request"));
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return Status::IOError(std::string("recv: ") + std::strerror(errno));
-    }
-    if (n == 0) {
-      return Status::IOError("connection closed before request completed");
-    }
-    head.append(buffer, static_cast<size_t>(n));
-  }
-  return head;
-}
+// Accept backoff after resource exhaustion (EMFILE/ENFILE/...), matching
+// the TCP transport's listener policy.
+constexpr int kAcceptBackoffMs = 20;
 
 const char* StatusReason(int status) {
   switch (status) {
@@ -146,6 +67,21 @@ void CloseFd(int* fd) {
 
 }  // namespace
 
+/// One scrape connection: accumulate the request head, then flush the
+/// buffered response. Touched only from its loop thread; `closed` guards
+/// against the io-deadline timer racing a completed close.
+struct AdminServer::HttpConn {
+  int fd = -1;
+  EventLoop* loop = nullptr;
+  std::string head;      // request bytes until the blank line
+  std::string out;       // rendered response
+  size_t out_offset = 0;
+  bool writing = false;  // head complete, response queued
+  uint32_t interest = EPOLLIN;
+  uint64_t timer_id = 0;  // io_timeout deadline
+  bool closed = false;
+};
+
 Result<std::unique_ptr<AdminServer>> AdminServer::Start(
     const Options& options) {
   std::unique_ptr<AdminServer> server(new AdminServer());
@@ -178,9 +114,23 @@ Result<std::unique_ptr<AdminServer>> AdminServer::Start(
   if (::listen(server->listen_fd_, 64) < 0) {
     return Status::IOError(std::string("listen: ") + std::strerror(errno));
   }
-  server->accept_thread_ = std::thread([raw = server.get()] {
-    raw->AcceptLoop();
+  FRA_RETURN_NOT_OK(SetNonBlocking(server->listen_fd_));
+
+  if (options.reactor != nullptr) {
+    server->reactor_ = options.reactor;
+  } else {
+    // Scrape traffic is light; one loop thread is plenty.
+    server->owned_reactor_ = std::make_unique<Reactor>(1);
+    server->reactor_ = server->owned_reactor_.get();
+  }
+  server->accept_loop_ = server->reactor_->loop(0);
+  AdminServer* raw = server.get();
+  Status registered = Status::OK();
+  server->accept_loop_->SubmitAndWait([raw, &registered] {
+    registered = raw->accept_loop_->RegisterFd(
+        raw->listen_fd_, EPOLLIN, [raw](uint32_t) { raw->OnAcceptReady(); });
   });
+  FRA_RETURN_NOT_OK(registered);
   return server;
 }
 
@@ -188,22 +138,23 @@ AdminServer::~AdminServer() { Stop(); }
 
 void AdminServer::Stop() {
   if (stopping_.exchange(true)) return;
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    CloseFd(&listen_fd_);
+  if (accept_loop_ != nullptr) {
+    accept_loop_->SubmitAndWait([this] {
+      if (listen_fd_ >= 0) {
+        accept_loop_->DeregisterFd(listen_fd_);
+        CloseFd(&listen_fd_);
+      }
+    });
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  std::vector<std::shared_ptr<HttpConn>> conns;
   {
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    workers.swap(workers_);
-    // Wake workers blocked in recv() on live connections; each closes
-    // its own fd on exit.
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.assign(conns_.begin(), conns_.end());
   }
-  for (std::thread& worker : workers) {
-    if (worker.joinable()) worker.join();
+  for (const std::shared_ptr<HttpConn>& conn : conns) {
+    conn->loop->SubmitAndWait([this, conn] { CloseConn(conn); });
   }
+  if (owned_reactor_) owned_reactor_->Stop();
 }
 
 void AdminServer::AddHandler(const std::string& path, Handler handler) {
@@ -231,27 +182,155 @@ void AdminServer::InstallBuiltinHandlers() {
   AddHandler("/healthz", [] { return HttpResponse::Text("ok\n"); });
 }
 
-void AdminServer::AcceptLoop() {
-  while (!stopping_.load()) {
-    const int connection_fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (connection_fd < 0) {
-      if (stopping_.load()) return;
-      if (errno == EINTR) continue;
-      return;  // listening socket broken; stop serving
+void AdminServer::OnAcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      const int enable = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+      EventLoop* loop = reactor_->NextLoop();
+      loop->Submit([this, fd, loop] { AdoptConnection(fd, loop); });
+      continue;
     }
-    const int enable = 1;
-    ::setsockopt(connection_fd, IPPROTO_TCP, TCP_NODELAY, &enable,
-                 sizeof(enable));
-    std::lock_guard<std::mutex> lock(workers_mu_);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    switch (ClassifyAcceptErrno(errno)) {
+      case AcceptAction::kRetry:
+        continue;
+      case AcceptAction::kBackoff:
+        (void)accept_loop_->UpdateFd(listen_fd_, 0);
+        accept_loop_->ScheduleTimerAfter(
+            std::chrono::milliseconds(kAcceptBackoffMs), [this] {
+              if (!stopping_.load() && listen_fd_ >= 0) {
+                (void)accept_loop_->UpdateFd(listen_fd_, EPOLLIN);
+              }
+            });
+        return;
+      case AcceptAction::kFatal:
+        accept_loop_->DeregisterFd(listen_fd_);
+        return;
+    }
+  }
+}
+
+void AdminServer::AdoptConnection(int fd, EventLoop* loop) {
+  auto conn = std::make_shared<HttpConn>();
+  conn->fd = fd;
+  conn->loop = loop;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
     if (stopping_.load()) {
-      ::close(connection_fd);
+      ::close(fd);
       return;
     }
-    active_fds_.insert(connection_fd);
-    workers_.emplace_back([this, connection_fd] {
-      ServeConnection(connection_fd);
-    });
+    conns_.insert(conn);
   }
+  const Status registered = loop->RegisterFd(
+      fd, EPOLLIN,
+      [this, conn](uint32_t events) { OnConnEvent(conn, events); });
+  if (!registered.ok()) {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.erase(conn);
+    ::close(fd);
+    return;
+  }
+  if (options_.io_timeout_ms > 0) {
+    conn->timer_id = loop->ScheduleTimerAfter(
+        std::chrono::milliseconds(options_.io_timeout_ms), [this, conn] {
+          conn->timer_id = 0;
+          CloseConn(conn);  // stalled scraper: drop it
+        });
+  }
+}
+
+void AdminServer::OnConnEvent(const std::shared_ptr<HttpConn>& conn,
+                              uint32_t events) {
+  if (conn->closed) return;
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    CloseConn(conn);
+    return;
+  }
+  if ((events & EPOLLIN) && !conn->writing) OnReadable(conn);
+  if (conn->closed) return;
+  if (conn->writing) OnWritable(conn);
+}
+
+void AdminServer::OnReadable(const std::shared_ptr<HttpConn>& conn) {
+  char buffer[1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConn(conn);
+      return;
+    }
+    if (n == 0) {
+      // Closed before the blank line: nothing to answer.
+      CloseConn(conn);
+      return;
+    }
+    conn->head.append(buffer, static_cast<size_t>(n));
+    if (conn->head.size() > kMaxRequestHeadBytes) {
+      CloseConn(conn);
+      return;
+    }
+    if (conn->head.find("\r\n\r\n") != std::string::npos ||
+        conn->head.find("\n\n") != std::string::npos) {
+      break;
+    }
+  }
+  // Request line: METHOD SP TARGET SP VERSION. The target's query
+  // string does not participate in routing. We never consume a body:
+  // every admin route is GET.
+  std::istringstream line(conn->head);
+  std::string method, target;
+  line >> method >> target;
+  const size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+  const HttpResponse response = Dispatch(method, target);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  conn->out = RenderResponse(response);
+  conn->writing = true;
+  OnWritable(conn);
+}
+
+void AdminServer::OnWritable(const std::shared_ptr<HttpConn>& conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Socket full: wait for EPOLLOUT (the io deadline still bounds
+        // how long a non-draining scraper can hold the connection).
+        if (conn->interest != EPOLLOUT &&
+            conn->loop->UpdateFd(conn->fd, EPOLLOUT).ok()) {
+          conn->interest = EPOLLOUT;
+        }
+        return;
+      }
+      CloseConn(conn);
+      return;
+    }
+    conn->out_offset += static_cast<size_t>(n);
+  }
+  CloseConn(conn);  // one exchange per connection (Connection: close)
+}
+
+void AdminServer::CloseConn(const std::shared_ptr<HttpConn>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  if (conn->timer_id != 0) {
+    conn->loop->CancelTimer(conn->timer_id);
+    conn->timer_id = 0;
+  }
+  conn->loop->DeregisterFd(conn->fd);
+  ::close(conn->fd);
+  conn->fd = -1;
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn);
 }
 
 HttpResponse AdminServer::Dispatch(const std::string& method,
@@ -269,31 +348,6 @@ HttpResponse AdminServer::Dispatch(const std::string& method,
     return HttpResponse::Text("not found: " + path + "\n", 404);
   }
   return handler();
-}
-
-void AdminServer::ServeConnection(int connection_fd) {
-  int fd = connection_fd;
-  const IoDeadline deadline = IoDeadline::After(options_.io_timeout_ms);
-  Result<std::string> head = ReadRequestHead(fd, deadline);
-  if (head.ok()) {
-    // Request line: METHOD SP TARGET SP VERSION. The target's query
-    // string does not participate in routing.
-    std::istringstream line(head.ValueOrDie());
-    std::string method, target;
-    line >> method >> target;
-    const size_t query = target.find('?');
-    if (query != std::string::npos) target.resize(query);
-    const HttpResponse response = Dispatch(method, target);
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    // A scraper that stops reading mid-response is its own problem; the
-    // deadline guarantees this send cannot wedge the worker.
-    (void)WriteAll(fd, RenderResponse(response), deadline);
-  }
-  {
-    std::lock_guard<std::mutex> lock(workers_mu_);
-    active_fds_.erase(fd);
-  }
-  ::close(fd);
 }
 
 }  // namespace fra

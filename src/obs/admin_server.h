@@ -8,7 +8,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <unordered_set>
 #include <vector>
 
@@ -16,6 +15,9 @@
 #include "util/result.h"
 
 namespace fra {
+
+class EventLoop;
+class Reactor;
 
 /// One admin-endpoint response: status line + content type + body.
 struct HttpResponse {
@@ -40,9 +42,15 @@ struct HttpResponse {
 
 /// Minimal embedded HTTP/1.0 admin server — the scrape/debug surface of
 /// a deployed federation. Serves GET only, one request per connection
-/// (Connection: close), each accepted connection on its own thread, all
-/// socket I/O poll-bounded so a stuck scraper cannot wedge a worker
-/// (same discipline as the TCP transport's deadline handling).
+/// (Connection: close).
+///
+/// All connections are served from an epoll event loop (the same reactor
+/// substrate as the TCP transport — pass Options::reactor to share the
+/// federation's loops, or leave it null for an internal single-thread
+/// reactor): non-blocking reads accumulate the request head, responses
+/// are buffered and flushed as the socket accepts them, and a per-
+/// connection timer drops clients stalling past io_timeout_ms — a stuck
+/// scraper holds one idle connection's state, never a thread.
 ///
 /// Built-in routes:
 ///   /metrics       Prometheus text exposition of the registry
@@ -52,7 +60,9 @@ struct HttpResponse {
 ///
 /// AddHandler registers additional paths (the federation layer installs
 /// /healthz and /statusz via InstallFederationAdminHandlers). Handlers
-/// run on the connection's thread and must be thread safe.
+/// run on the event loop serving the connection: they must be thread
+/// safe and quick — a handler that blocks stalls every connection on
+/// that loop.
 class AdminServer {
  public:
   using Handler = std::function<HttpResponse()>;
@@ -65,9 +75,14 @@ class AdminServer {
     /// Deadline for reading one request and writing its response; a
     /// client stalling past this is dropped. <= 0 disables the bound.
     int io_timeout_ms = 5000;
+    /// Serve from this externally owned reactor (e.g. the TcpNetwork's)
+    /// instead of an internal single-thread one. Must outlive the
+    /// server; call Stop() before stopping a shared reactor.
+    Reactor* reactor = nullptr;
   };
 
-  /// Binds, starts the accept loop, and serves until Stop()/destruction.
+  /// Binds, registers with the event loop, and serves until
+  /// Stop()/destruction.
   static Result<std::unique_ptr<AdminServer>> Start(const Options& options);
   static Result<std::unique_ptr<AdminServer>> Start() {
     return Start(Options{});
@@ -76,7 +91,7 @@ class AdminServer {
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
 
-  /// Stops accepting, closes all connections, joins all threads.
+  /// Stops accepting and closes all connections.
   ~AdminServer();
 
   /// The bound port.
@@ -94,10 +109,16 @@ class AdminServer {
   void Stop();
 
  private:
+  struct HttpConn;  // per-connection state machine (admin_server.cc)
+
   AdminServer() = default;
 
-  void AcceptLoop();
-  void ServeConnection(int connection_fd);
+  void OnAcceptReady();
+  void AdoptConnection(int fd, EventLoop* loop);
+  void OnConnEvent(const std::shared_ptr<HttpConn>& conn, uint32_t events);
+  void OnReadable(const std::shared_ptr<HttpConn>& conn);
+  void OnWritable(const std::shared_ptr<HttpConn>& conn);
+  void CloseConn(const std::shared_ptr<HttpConn>& conn);
   HttpResponse Dispatch(const std::string& method, const std::string& path);
   void InstallBuiltinHandlers();
 
@@ -106,12 +127,13 @@ class AdminServer {
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> requests_served_{0};
-  std::thread accept_thread_;
-  std::mutex workers_mu_;  // guards workers_ and active_fds_
-  std::vector<std::thread> workers_;
-  // Connection fds currently being served; Stop() shuts them down so
-  // workers blocked in recv() wake up and exit.
-  std::unordered_set<int> active_fds_;
+
+  std::unique_ptr<Reactor> owned_reactor_;
+  Reactor* reactor_ = nullptr;  // owned_reactor_.get() or Options::reactor
+  EventLoop* accept_loop_ = nullptr;
+  mutable std::mutex conns_mu_;
+  std::unordered_set<std::shared_ptr<HttpConn>> conns_;
+
   mutable std::mutex handlers_mu_;
   std::map<std::string, Handler> handlers_;
 };

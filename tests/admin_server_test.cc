@@ -90,6 +90,12 @@ TEST(AdminServerTest, CustomHandlersAndHealthzDefault) {
 
 TEST(AdminServerTest, ScrapesStayConsistentUnderWriteLoad) {
   auto server = AdminServer::Start().ValueOrDie();
+  // Register one family up front: each test runs in its own process, so
+  // without this the first scrape can race the writer threads' first
+  // GetCounter and legitimately see an empty registry (empty body).
+  MetricsRegistry::Default()
+      .GetCounter("fra_admin_load_counter", {{"writer", "main"}})
+      .Increment();
   std::atomic<bool> stop{false};
   std::vector<std::thread> writers;
   for (int t = 0; t < 4; ++t) {
@@ -104,7 +110,8 @@ TEST(AdminServerTest, ScrapesStayConsistentUnderWriteLoad) {
         HttpGet(server->port(), i % 2 == 0 ? "/metrics" : "/metrics.json")
             .ValueOrDie();
     ASSERT_EQ(reply.status, 200);
-    ASSERT_FALSE(reply.body.empty());
+    ASSERT_FALSE(reply.body.empty()) << "i=" << i << " headers:\n"
+                                     << reply.headers;
   }
   stop.store(true);
   for (auto& writer : writers) writer.join();

@@ -267,7 +267,11 @@ TEST(CoalescerTest, ShutdownFlushesStagedRequests) {
   request.mode = LocalQueryMode::kExact;
 
   Result<std::vector<uint8_t>> staged_response = Status::Internal("unset");
-  std::thread caller([&] { staged_response = coalescer->Call(0, request.Encode()); });
+  // The caller thread takes a raw pointer up front: it must not read the
+  // unique_ptr object itself, which the main thread mutates via reset().
+  RequestCoalescer* raw = coalescer.get();
+  std::thread caller(
+      [&, raw] { staged_response = raw->Call(0, request.Encode()); });
   // Wait until the request is actually staged, then destroy.
   while (MetricsRegistry::Default()
              .GetGauge("fra_coalescer_staged_requests")
