@@ -8,24 +8,16 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
+
+#include "util/build_info.h"
 
 namespace fra {
 namespace bench {
 
-/// The revision a bench binary was built from: the FRA_GIT_SHA
-/// environment variable when set (CI overrides for dirty trees), else
-/// the sha captured at configure time, else "unknown".
-inline std::string GitSha() {
-  const char* env = std::getenv("FRA_GIT_SHA");
-  if (env != nullptr && env[0] != '\0') return env;
-#ifdef FRA_GIT_SHA
-  return FRA_GIT_SHA;
-#else
-  return "unknown";
-#endif
-}
+/// The revision a bench binary was built from (util/build_info.h: the
+/// FRA_GIT_SHA env var overrides the configure-time stamp).
+inline std::string GitSha() { return BuildGitSha(); }
 
 /// Streaming JSON builder. Call Key() before every member of an object;
 /// commas and quoting are handled internally. No validation beyond that —

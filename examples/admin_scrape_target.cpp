@@ -1,0 +1,97 @@
+// Boots a small traced federation, runs a workload so every metric
+// family has samples, then serves the admin endpoints until killed (or
+// for argv[1] seconds, default 30). Prints `ADMIN_PORT=<port>` on
+// stdout once the server is up, so scripts can discover the ephemeral
+// port. This is the scrape target behind `scripts/ci.sh metrics-lint`
+// (scripts/check_metrics_exposition.sh).
+//
+//   ./build/examples/admin_scrape_target [serve_seconds]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "eval/workload.h"
+#include "federation/admin.h"
+#include "federation/federation.h"
+#include "obs/admin_server.h"
+#include "util/trace.h"
+
+int main(int argc, char** argv) {
+  int serve_seconds = 30;
+  if (argc > 1) serve_seconds = std::atoi(argv[1]);
+  if (serve_seconds <= 0) serve_seconds = 30;
+
+  fra::Tracer::Get().SetEnabled(true);
+
+  fra::MobilityDataOptions data_options;
+  data_options.num_objects = 20000;
+  data_options.seed = 11;
+  auto dataset_result = fra::GenerateMobilityData(data_options);
+  if (!dataset_result.ok()) {
+    std::fprintf(stderr, "data generation failed: %s\n",
+                 dataset_result.status().ToString().c_str());
+    return 1;
+  }
+  fra::FederationDataset dataset = std::move(dataset_result).ValueOrDie();
+
+  fra::WorkloadOptions workload;
+  workload.num_queries = 20;
+  workload.radius_km = 2.0;
+  auto queries_result =
+      fra::GenerateQueries(dataset.company_partitions, workload);
+  if (!queries_result.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 queries_result.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<fra::FraQuery> queries =
+      std::move(queries_result).ValueOrDie();
+
+  fra::FederationOptions options;
+  options.silo.grid_spec.domain = dataset.domain;
+  options.silo.grid_spec.cell_length = 1.5;  // km
+  // Capture everything: the lint script asserts /debug/flightz has
+  // records, and CI queries are far faster than the 50 ms default.
+  options.provider.flight_recorder.slow_threshold_micros = 0.0;
+  auto federation_result =
+      fra::Federation::Create(std::move(dataset.company_partitions), options);
+  if (!federation_result.ok()) {
+    std::fprintf(stderr, "federation setup failed: %s\n",
+                 federation_result.status().ToString().c_str());
+    return 1;
+  }
+  auto federation = std::move(federation_result).ValueOrDie();
+  fra::ServiceProvider& provider = federation->provider();
+
+  for (fra::FraAlgorithm algorithm :
+       {fra::FraAlgorithm::kExact, fra::FraAlgorithm::kIidEst}) {
+    auto batch = provider.ExecuteBatch(queries, algorithm);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "%s batch failed: %s\n",
+                   fra::FraAlgorithmToString(algorithm),
+                   batch.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto server_result = fra::AdminServer::Start();
+  if (!server_result.ok()) {
+    std::fprintf(stderr, "admin server failed to start: %s\n",
+                 server_result.status().ToString().c_str());
+    return 1;
+  }
+  auto server = std::move(server_result).ValueOrDie();
+  fra::InstallFederationAdminHandlers(server.get(), &provider);
+
+  std::printf("ADMIN_PORT=%u\n", static_cast<unsigned>(server->port()));
+  std::fflush(stdout);
+
+  std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  server->Stop();
+  return 0;
+}

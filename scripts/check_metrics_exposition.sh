@@ -1,0 +1,239 @@
+#!/usr/bin/env bash
+# Boots the admin scrape target, scrapes every admin endpoint over real
+# HTTP, and lints the Prometheus text exposition: family structure
+# (`# HELP` immediately followed by its `# TYPE`, no duplicate families),
+# sample/family membership (histogram `_bucket`/`_sum`/`_count`
+# suffixes), label syntax, and the exposition escaping rules (label
+# values may contain only `\\`, `\"` and `\n` escapes — never a raw
+# quote or newline). JSON endpoints must parse. This is the
+# `metrics-lint` stage of scripts/ci.sh.
+#
+#   scripts/check_metrics_exposition.sh <path-to-admin_scrape_target>
+
+set -euo pipefail
+
+if [[ $# -ne 1 || ! -x "$1" ]]; then
+  echo "usage: $0 <path-to-admin_scrape_target>" >&2
+  exit 2
+fi
+TARGET="$1"
+
+WORK_DIR="$(mktemp -d)"
+TARGET_PID=""
+cleanup() {
+  [[ -n "${TARGET_PID}" ]] && kill "${TARGET_PID}" 2>/dev/null || true
+  [[ -n "${TARGET_PID}" ]] && wait "${TARGET_PID}" 2>/dev/null || true
+  rm -rf "${WORK_DIR}"
+}
+trap cleanup EXIT
+
+echo "--- booting scrape target"
+"${TARGET}" 120 > "${WORK_DIR}/stdout" 2> "${WORK_DIR}/stderr" &
+TARGET_PID=$!
+
+# The target runs a small workload before binding; wait for the port line.
+PORT=""
+for _ in $(seq 1 240); do
+  if ! kill -0 "${TARGET_PID}" 2>/dev/null; then
+    echo "scrape target exited before serving:" >&2
+    cat "${WORK_DIR}/stderr" >&2
+    exit 1
+  fi
+  PORT="$(sed -n 's/^ADMIN_PORT=//p' "${WORK_DIR}/stdout" | head -1)"
+  [[ -n "${PORT}" ]] && break
+  sleep 0.5
+done
+if [[ -z "${PORT}" ]]; then
+  echo "scrape target never printed ADMIN_PORT=" >&2
+  exit 1
+fi
+echo "--- admin server on 127.0.0.1:${PORT}"
+
+BASE="http://127.0.0.1:${PORT}"
+scrape() {
+  local path="$1" out="$2"
+  if ! curl -fsS --max-time 10 "${BASE}${path}" -o "${out}"; then
+    echo "scrape of ${path} failed" >&2
+    exit 1
+  fi
+  echo "    GET ${path}: $(wc -c < "${out}") bytes"
+}
+
+scrape /metrics "${WORK_DIR}/metrics.txt"
+scrape /metrics.json "${WORK_DIR}/metrics.json"
+scrape /statusz "${WORK_DIR}/statusz.json"
+scrape /healthz "${WORK_DIR}/healthz.txt"
+scrape /tracez "${WORK_DIR}/tracez.json"
+scrape /debug/flightz "${WORK_DIR}/flightz.txt"
+scrape /debug/flightz.json "${WORK_DIR}/flightz.json"
+
+echo "--- linting /metrics exposition"
+python3 - "${WORK_DIR}/metrics.txt" <<'PYEOF'
+import re
+import sys
+
+path = sys.argv[1]
+errors = []
+NAME = re.compile(r'[a-zA-Z_:][a-zA-Z0-9_:]*')
+LABEL_KEY = re.compile(r'[a-zA-Z_][a-zA-Z0-9_]*')
+# A label value between the quotes: only \\, \" and \n escapes; no raw
+# quote, backslash or newline.
+VALUE_CHARS = re.compile(r'(?:\\[\\n"]|[^"\\])*')
+NUMBER = re.compile(r'[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN)$')
+
+def parse_labels(text, lineno):
+    """Parses `key="value",...}` starting after `{`; returns chars consumed."""
+    pos = 0
+    while True:
+        m = LABEL_KEY.match(text, pos)
+        if not m:
+            errors.append(f'line {lineno}: bad label key at ...{text[pos:pos+20]!r}')
+            return None
+        pos = m.end()
+        if not text.startswith('="', pos):
+            errors.append(f'line {lineno}: label missing =\"')
+            return None
+        pos += 2
+        m = VALUE_CHARS.match(text, pos)
+        pos = m.end()
+        if pos >= len(text) or text[pos] != '"':
+            errors.append(f'line {lineno}: unterminated/illegal label value')
+            return None
+        pos += 1
+        if pos < len(text) and text[pos] == ',':
+            pos += 1
+            continue
+        if pos < len(text) and text[pos] == '}':
+            return pos + 1
+        errors.append(f'line {lineno}: expected , or }} after label value')
+        return None
+
+family = None
+ftype = None
+pending_help = None
+seen = {}
+samples = 0
+families = 0
+
+with open(path, encoding='utf-8') as fh:
+    for lineno, raw in enumerate(fh, 1):
+        line = raw.rstrip('\n')
+        if not line:
+            continue
+        if line.startswith('# HELP '):
+            parts = line.split(' ', 3)
+            if len(parts) < 4 or not parts[3].strip():
+                errors.append(f'line {lineno}: HELP without text')
+                continue
+            pending_help = parts[2]
+            continue
+        if line.startswith('# TYPE '):
+            parts = line.split(' ')
+            if len(parts) != 4:
+                errors.append(f'line {lineno}: malformed TYPE line')
+                continue
+            name, mtype = parts[2], parts[3]
+            if pending_help is not None and pending_help != name:
+                errors.append(f'line {lineno}: HELP {pending_help} not followed by its TYPE')
+            # Every family the library itself registers carries help text
+            # (BuiltinHelp in util/metrics.cc); embedder families may not.
+            if pending_help is None and name.startswith('fra_'):
+                errors.append(f'line {lineno}: builtin family {name} has no # HELP')
+            pending_help = None
+            if mtype not in ('counter', 'gauge', 'histogram'):
+                errors.append(f'line {lineno}: unknown type {mtype!r} for {name}')
+            if name in seen:
+                errors.append(f'line {lineno}: duplicate family {name}')
+            seen[name] = mtype
+            family, ftype = name, mtype
+            families += 1
+            continue
+        if line.startswith('#'):
+            errors.append(f'line {lineno}: unexpected comment {line!r}')
+            continue
+        if pending_help is not None:
+            errors.append(f'line {lineno}: HELP {pending_help} not followed by its TYPE')
+            pending_help = None
+        m = NAME.match(line)
+        if not m:
+            errors.append(f'line {lineno}: unparseable sample {line!r}')
+            continue
+        name = m.group(0)
+        rest = line[m.end():]
+        if family is None:
+            errors.append(f'line {lineno}: sample before any family')
+            continue
+        allowed = {family}
+        if ftype == 'histogram':
+            allowed |= {family + '_bucket', family + '_sum', family + '_count'}
+        if name not in allowed:
+            errors.append(f'line {lineno}: sample {name} outside family {family}')
+        if rest.startswith('{'):
+            consumed = parse_labels(rest[1:], lineno)
+            if consumed is None:
+                continue
+            rest = rest[1 + consumed:]
+        if not rest.startswith(' '):
+            errors.append(f'line {lineno}: missing space before value')
+            continue
+        value = rest[1:]
+        if not NUMBER.match(value):
+            errors.append(f'line {lineno}: bad sample value {value!r}')
+        samples += 1
+
+if pending_help is not None:
+    errors.append(f'trailing HELP {pending_help} without TYPE')
+
+def require_family(name, mtype):
+    if seen.get(name) != mtype:
+        errors.append(f'expected {mtype} family {name!r} in the exposition')
+
+# Families the scrape target is guaranteed to populate: build
+# provenance, the query path, and the reactor loops of the admin
+# server itself.
+require_family('fra_build_info', 'gauge')
+require_family('fra_queries_total', 'counter')
+require_family('fra_query_latency_microseconds', 'histogram')
+require_family('fra_span_duration_microseconds', 'histogram')
+require_family('fra_reactor_loop_lag_microseconds', 'histogram')
+
+if samples == 0:
+    errors.append('no samples in the exposition')
+
+if errors:
+    for error in errors:
+        print(f'FAIL: {error}', file=sys.stderr)
+    sys.exit(1)
+print(f'    {families} families, {samples} samples: exposition well-formed')
+PYEOF
+
+echo "--- validating JSON endpoints"
+for json_file in metrics.json statusz.json tracez.json flightz.json; do
+  if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+      "${WORK_DIR}/${json_file}"; then
+    echo "${json_file} is not valid JSON" >&2
+    exit 1
+  fi
+  echo "    ${json_file}: valid JSON"
+done
+
+echo "--- checking /healthz and /debug/flightz content"
+if ! grep -q "ok" "${WORK_DIR}/healthz.txt"; then
+  echo "/healthz did not report ok:" >&2
+  cat "${WORK_DIR}/healthz.txt" >&2
+  exit 1
+fi
+if ! grep -q "^flight recorder:" "${WORK_DIR}/flightz.txt"; then
+  echo "/debug/flightz missing flight recorder header" >&2
+  exit 1
+fi
+if ! grep -q "spans:" "${WORK_DIR}/flightz.txt"; then
+  echo "/debug/flightz has no captured spans (threshold 0 should record every query)" >&2
+  exit 1
+fi
+
+kill "${TARGET_PID}" 2>/dev/null || true
+wait "${TARGET_PID}" 2>/dev/null || true
+TARGET_PID=""
+
+echo "metrics exposition lint: OK"

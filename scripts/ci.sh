@@ -6,8 +6,9 @@
 #   scripts/ci.sh sanitize        # ASan+UBSan, observability-labeled tests
 #   scripts/ci.sh sanitize-thread # TSan, net-labeled tests (reactor/TCP/coalescer)
 #   scripts/ci.sh bench-smoke     # bench harnesses at smoke scale + BENCH_*.json
+#   scripts/ci.sh metrics-lint    # boot an AdminServer, scrape + lint /metrics
 #   scripts/ci.sh docs-check      # docs link + metric-drift check (no build)
-#   scripts/ci.sh                 # all six stages in sequence
+#   scripts/ci.sh                 # all seven stages in sequence
 #
 # Each stage uses its own build tree under build-ci/ so stages cannot
 # poison one another's CMake cache.
@@ -24,6 +25,22 @@ run_stage() {
   if [[ "${stage}" == "docs-check" ]]; then
     echo "=== stage ${stage}: docs link + drift check ==="
     "${REPO_ROOT}/scripts/check_docs.sh" "${REPO_ROOT}"
+    echo "=== stage ${stage}: OK ==="
+    return
+  fi
+
+  # metrics-lint builds one binary and exercises the live admin surface
+  # over HTTP — no ctest cycle.
+  if [[ "${stage}" == "metrics-lint" ]]; then
+    local build_dir="${REPO_ROOT}/build-ci/${stage}"
+    echo "=== stage ${stage}: configure ==="
+    cmake -S "${REPO_ROOT}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release \
+      -DFRA_ENABLE_TRACING=ON
+    echo "=== stage ${stage}: build ==="
+    cmake --build "${build_dir}" -j "${JOBS}" --target admin_scrape_target
+    echo "=== stage ${stage}: scrape + lint ==="
+    "${REPO_ROOT}/scripts/check_metrics_exposition.sh" \
+      "${build_dir}/examples/admin_scrape_target"
     echo "=== stage ${stage}: OK ==="
     return
   fi
@@ -74,7 +91,7 @@ run_stage() {
       ;;
     *)
       echo "unknown stage: ${stage}" >&2
-      echo "usage: $0 [tracing-on|tracing-off|sanitize|sanitize-thread|bench-smoke|docs-check]" >&2
+      echo "usage: $0 [tracing-on|tracing-off|sanitize|sanitize-thread|bench-smoke|metrics-lint|docs-check]" >&2
       exit 2
       ;;
   esac
@@ -99,7 +116,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-  for stage in docs-check tracing-on tracing-off sanitize sanitize-thread bench-smoke; do
+  for stage in docs-check tracing-on tracing-off sanitize sanitize-thread bench-smoke metrics-lint; do
     run_stage "${stage}"
   done
 else

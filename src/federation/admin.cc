@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/build_info.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -44,11 +45,9 @@ HttpResponse Statusz(ServiceProvider* provider) {
   out << "    \"grid_memory_bytes\": " << provider->GridMemoryUsage() << "\n";
   out << "  },\n";
   out << "  \"build\": {\n";
-#if defined(FRA_ENABLE_TRACING) && FRA_ENABLE_TRACING
-  out << "    \"tracing_compiled\": true,\n";
-#else
-  out << "    \"tracing_compiled\": false,\n";
-#endif
+  out << "    \"git_sha\": \"" << BuildGitSha() << "\",\n";
+  out << "    \"build_type\": \"" << BuildTypeName() << "\",\n";
+  out << "    \"tracing_compiled\": " << BuildTracingCompiled() << ",\n";
   out << "    \"tracing_enabled\": " << Tracer::Get().enabled() << "\n";
   out << "  },\n";
 
@@ -96,6 +95,76 @@ HttpResponse Statusz(ServiceProvider* provider) {
     if (!first) out << "\n  ";
   }
   out << "],\n";
+
+  // One entry per event loop of the reactor transport (empty for an
+  // in-process federation): the fra_reactor_* health signals, summarised
+  // as mean/p99 so a glance at /statusz shows a stalled loop without a
+  // Prometheus scrape.
+  out << "  \"reactor_loops\": [";
+  {
+    MetricsRegistry& registry = MetricsRegistry::Default();
+    const auto label_value = [](const MetricLabels& labels,
+                                const std::string& key) -> std::string {
+      for (const auto& [k, v] : labels) {
+        if (k == key) return v;
+      }
+      return "";
+    };
+    const auto find_hist = [&](const char* name, const std::string& loop)
+        -> const Histogram* {
+      for (const auto& [labels, hist] : registry.HistogramsNamed(name)) {
+        if (label_value(labels, "loop") == loop) return hist;
+      }
+      return nullptr;
+    };
+    const auto emit_hist = [&](const char* key, const Histogram* hist) {
+      out << "\"" << key << "\": ";
+      if (hist == nullptr) {
+        out << "null";
+        return;
+      }
+      out << "{\"count\": " << hist->Count() << ", \"mean_micros\": "
+          << hist->Mean() << ", \"p99_micros\": " << hist->Quantile(0.99)
+          << "}";
+    };
+    bool first = true;
+    for (const auto& [labels, lag] :
+         registry.HistogramsNamed("fra_reactor_loop_lag_microseconds")) {
+      const std::string loop = label_value(labels, "loop");
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "    {\"loop\": " << (loop.empty() ? "-1" : loop) << ", ";
+      emit_hist("lag", lag);
+      out << ", ";
+      emit_hist("epoll_wait",
+                find_hist("fra_reactor_epoll_wait_microseconds", loop));
+      out << ", ";
+      emit_hist("dispatch",
+                find_hist("fra_reactor_dispatch_microseconds", loop));
+      out << ", ";
+      emit_hist("timer_drift",
+                find_hist("fra_reactor_timer_drift_microseconds", loop));
+      out << ", \"pending_timers\": ";
+      const Gauge* pending = nullptr;
+      for (const auto& [glabels, gauge] :
+           registry.GaugesNamed("fra_reactor_pending_timers")) {
+        if (label_value(glabels, "loop") == loop) pending = gauge;
+      }
+      out << (pending != nullptr ? pending->Value() : 0.0) << "}";
+    }
+    if (!first) out << "\n  ";
+  }
+  out << "],\n";
+
+  out << "  \"flight_recorder\": ";
+  if (FlightRecorder* recorder = provider->flight_recorder()) {
+    out << "{\"records\": " << recorder->size()
+        << ", \"capacity\": " << recorder->capacity()
+        << ", \"slow_threshold_micros\": "
+        << recorder->slow_threshold_micros() << "},\n";
+  } else {
+    out << "null,\n";
+  }
 
   out << "  \"audit\": ";
   if (AccuracyAuditor* auditor = provider->auditor()) {
@@ -146,6 +215,14 @@ void InstallFederationAdminHandlers(AdminServer* server,
                      [provider] { return Healthz(provider); });
   server->AddHandler("/statusz",
                      [provider] { return Statusz(provider); });
+  if (FlightRecorder* recorder = provider->flight_recorder()) {
+    server->AddHandler("/debug/flightz", [recorder] {
+      return HttpResponse::Text(recorder->RenderText());
+    });
+    server->AddHandler("/debug/flightz.json", [recorder] {
+      return HttpResponse::Json(recorder->RenderJson());
+    });
+  }
 }
 
 }  // namespace fra

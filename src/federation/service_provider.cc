@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "net/message.h"
@@ -76,6 +77,23 @@ AggregateSummary RatioEstimate(const AggregateSummary& res,
   return out;
 }
 
+// Human-readable query text for flight-recorder records, e.g.
+// "SUM over rect[(0, 0)..(10, 10)]".
+std::string DescribeQuery(const FraQuery& query) {
+  std::ostringstream out;
+  out << AggregateKindToString(query.kind) << " over ";
+  if (query.range.is_circle()) {
+    const Circle& c = query.range.circle();
+    out << "circle(center=(" << c.center.x << ", " << c.center.y
+        << "), radius=" << c.radius << ")";
+  } else {
+    const Rect& r = query.range.rect();
+    out << "rect[(" << r.min.x << ", " << r.min.y << ")..(" << r.max.x
+        << ", " << r.max.y << ")]";
+  }
+  return out.str();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
@@ -137,6 +155,13 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
     audit_options.sample_rate = options.audit_sample_rate;
     audit_options.seed = options.seed ^ 0xA0D17ULL;
     provider->auditor_ = std::make_unique<AccuracyAuditor>(audit_options);
+  }
+  if (options.flight_recorder.enabled) {
+    FlightRecorder::Options recorder_options;
+    recorder_options.capacity = options.flight_recorder.capacity;
+    recorder_options.slow_threshold_micros =
+        options.flight_recorder.slow_threshold_micros;
+    provider->recorder_ = std::make_unique<FlightRecorder>(recorder_options);
   }
 
   // Alg. 1: fetch every silo's grid index and merge them into g_0. The
@@ -226,13 +251,33 @@ uint64_t ServiceProvider::NextDraw() {
   return rng_.NextUint64();
 }
 
+uint64_t ServiceProvider::SampledTraceId() {
+  // An explicitly installed context always wins: the caller asked for
+  // this specific query to be traced.
+  const uint64_t installed = CurrentTraceId();
+  if (installed != 0) return installed;
+  if (!Tracer::Get().enabled()) return 0;
+  const size_t n = options_.trace_sample_every_n;
+  if (n <= 1) return NewTraceId();
+  return trace_sample_counter_.fetch_add(1, std::memory_order_relaxed) % n == 0
+             ? NewTraceId()
+             : 0;
+}
+
 Result<double> ServiceProvider::Execute(const FraQuery& query,
                                         FraAlgorithm algorithm) {
-  // A fresh trace id per query once the Tracer is enabled; otherwise keep
-  // whatever context the caller installed (0 by default, so the wire
-  // format stays envelope-free).
-  ScopedTraceId trace_scope(Tracer::Get().enabled() ? NewTraceId()
-                                                    : CurrentTraceId());
+  // A fresh trace id for every sampled query once the Tracer is enabled
+  // (Options::trace_sample_every_n); otherwise keep whatever context the
+  // caller installed (0 by default, so the wire format stays
+  // envelope-free).
+  ScopedTraceId trace_scope(SampledTraceId());
+  const uint64_t trace_id = CurrentTraceId();
+  QueryFlightLog flight_log;  // collects per-silo outcomes (CallSilo)
+  // Batch this thread's spans (and ingested silo spans) so the whole
+  // query takes the tracer's ring lock once at drain time, not once per
+  // span — batch workers would otherwise serialize on it.
+  std::optional<SpanCollector> span_batch;
+  if (trace_id != 0) span_batch.emplace();
   Timer timer;
   bool from_cache = false;
   Result<double> result = [&]() -> Result<double> {
@@ -240,7 +285,15 @@ Result<double> ServiceProvider::Execute(const FraQuery& query,
     const uint64_t draw = IsSingleSilo(algorithm) ? NextDraw() : 0;
     return ExecuteCached(query, algorithm, draw, &from_cache);
   }();
-  RecordQueryMetrics(algorithm, result.ok(), timer.ElapsedSeconds());
+  const double seconds = timer.ElapsedSeconds();
+  if (span_batch.has_value()) {
+    std::vector<SpanRecord> spans = span_batch->Take();
+    span_batch.reset();  // uninstall before Ingest so it reaches the ring
+    Tracer::Get().Ingest(std::move(spans), std::string());
+  }
+  RecordQueryMetrics(algorithm, result.ok(), seconds);
+  MaybeRecordFlight(query, algorithm, result, from_cache, trace_id,
+                    seconds * 1e6, &flight_log);
   MaybeAuditAsync(query, algorithm, result, from_cache);
   return result;
 }
@@ -306,6 +359,31 @@ void ServiceProvider::MaybeAuditAsync(const FraQuery& query,
       auditor_->RecordFailure(name);
     }
   });
+}
+
+void ServiceProvider::MaybeRecordFlight(const FraQuery& query,
+                                        FraAlgorithm algorithm,
+                                        const Result<double>& result,
+                                        bool from_cache, uint64_t trace_id,
+                                        double micros, QueryFlightLog* log) {
+  if (recorder_ == nullptr) return;
+  if (!recorder_->ShouldCapture(!result.ok(), micros)) return;
+  FlightRecorder::Record record;
+  record.trace_id = trace_id;
+  record.query = DescribeQuery(query);
+  record.algorithm = FraAlgorithmToString(algorithm);
+  record.cache = cache_ == nullptr ? "off" : (from_cache ? "hit" : "miss");
+  record.failed = !result.ok();
+  record.status = result.ok() ? "ok" : result.status().ToString();
+  record.duration_micros = micros;
+  record.silos = log->TakeSilos();
+  // By now the trace is complete in the Tracer: the network ingests
+  // response span sections before the decoders run, and the
+  // provider.execute root closed before the timer was read.
+  if (trace_id != 0) {
+    record.spans = Tracer::Get().SpansForTrace(trace_id);
+  }
+  recorder_->Add(std::move(record));
 }
 
 Result<double> ServiceProvider::ExecuteSampled(const FraQuery& query,
@@ -524,8 +602,23 @@ Result<AggregateSummary> ServiceProvider::RunAlgorithm(const QueryRange& range,
 
 Result<std::vector<uint8_t>> ServiceProvider::CallSilo(
     int silo_id, const std::vector<uint8_t>& request) {
-  if (coalescer_ != nullptr) return coalescer_->Call(silo_id, request);
-  return network_->Call(silo_id, request);
+  // The uniform per-silo outcome tap of the flight recorder: every
+  // data-plane exchange of a recorded query passes through here on a
+  // thread where the query's log is installed (Execute/ExecuteBatch
+  // install it; fan-out legs re-install it via QueryFlightLogScope).
+  // Background audits run on pool threads with no log — excluded by
+  // construction.
+  QueryFlightLog* log = QueryFlightLog::Current();
+  if (log == nullptr) {
+    if (coalescer_ != nullptr) return coalescer_->Call(silo_id, request);
+    return network_->Call(silo_id, request);
+  }
+  Timer timer;
+  Result<std::vector<uint8_t>> response =
+      coalescer_ != nullptr ? coalescer_->Call(silo_id, request)
+                            : network_->Call(silo_id, request);
+  log->NoteSilo(silo_id, response.status(), timer.ElapsedMicros());
+  return response;
 }
 
 Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
@@ -545,10 +638,12 @@ Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
   // are asserted bit-identical across transports and runs).
   const size_t num_silos = silo_ids_.size();
   const uint64_t trace_id = CurrentTraceId();
+  QueryFlightLog* flight = QueryFlightLog::Current();
   std::vector<Result<AggregateSummary>> partials(num_silos,
                                                  AggregateSummary());
   const auto call_silo = [&](size_t i) {
     ScopedTraceId trace_scope(trace_id);
+    QueryFlightLogScope flight_scope(flight);
     partials[i] = [&]() -> Result<AggregateSummary> {
       FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
                            CallSilo(silo_ids_[i], encoded));
@@ -737,7 +832,13 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
                        &next_query] {
     for (size_t i = next_query.fetch_add(1); i < queries.size();
          i = next_query.fetch_add(1)) {
-      ScopedTraceId trace_scope(Tracer::Get().enabled() ? NewTraceId() : 0);
+      ScopedTraceId trace_scope(SampledTraceId());
+      const uint64_t trace_id = CurrentTraceId();
+      QueryFlightLog flight_log;
+      // One ring-lock acquisition per query at drain time (see Execute):
+      // without this, every span of every worker contends on the tracer.
+      std::optional<SpanCollector> span_batch;
+      if (trace_id != 0) span_batch.emplace();
       Timer timer;
       bool from_cache = false;
       Result<double> result = [&]() -> Result<double> {
@@ -745,10 +846,17 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
         return ExecuteCached(queries[i], algorithm, draws[i], &from_cache);
       }();
       const double seconds = timer.ElapsedSeconds();
+      if (span_batch.has_value()) {
+        std::vector<SpanRecord> spans = span_batch->Take();
+        span_batch.reset();
+        Tracer::Get().Ingest(std::move(spans), std::string());
+      }
       if (latencies_seconds != nullptr) {
         (*latencies_seconds)[i] = seconds;
       }
       RecordQueryMetrics(algorithm, result.ok(), seconds);
+      MaybeRecordFlight(queries[i], algorithm, result, from_cache, trace_id,
+                        seconds * 1e6, &flight_log);
       MaybeAuditAsync(queries[i], algorithm, result, from_cache);
       if (result.ok()) {
         results[i] = *result;

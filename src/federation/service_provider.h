@@ -1,6 +1,7 @@
 #ifndef FRA_FEDERATION_SERVICE_PROVIDER_H_
 #define FRA_FEDERATION_SERVICE_PROVIDER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "net/network.h"
 #include "net/request_coalescer.h"
 #include "obs/accuracy_auditor.h"
+#include "obs/flight_recorder.h"
 #include "util/random.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
@@ -138,6 +140,29 @@ class ServiceProvider {
       BoundaryMode boundary_mode = BoundaryMode::kSiloRefine;
     };
     CacheOptions cache;
+    /// Slow-query flight recorder (docs/observability.md, "Flight
+    /// recorder"): a bounded ring of the last `capacity` queries that ran
+    /// slower than `slow_threshold_micros` or failed, each carrying its
+    /// stitched span tree, per-silo outcomes and cache disposition.
+    /// Served at /debug/flightz. The fast-path cost is one atomic load
+    /// per query, so it stays on by default.
+    struct FlightRecorderOptions {
+      bool enabled = true;
+      size_t capacity = 64;
+      double slow_threshold_micros = 50'000.0;
+    };
+    FlightRecorderOptions flight_recorder;
+    /// Head-sampling for query traces: with the Tracer enabled, every
+    /// n-th Execute/ExecuteBatch query (provider-wide counter, first
+    /// query always) starts a fresh trace; the others run untraced, so
+    /// per-query tracing cost — span capture, the wire envelope, silo
+    /// span shipping, ring residency — scales down by n
+    /// (BENCH_observability_overhead.json quantifies it). 1 traces every
+    /// query — the setting for interactive investigation. A trace id the
+    /// caller installed via ScopedTraceId is always honored as-is,
+    /// sampled or not. Flight-recorder records of unsampled queries
+    /// carry silo outcomes and cache disposition but no span tree.
+    size_t trace_sample_every_n = 8;
   };
 
   /// Runs Alg. 1 against every silo registered with `network`.
@@ -222,6 +247,8 @@ class ServiceProvider {
   AccuracyAuditor* auditor() const { return auditor_.get(); }
   /// The two-layer answer cache (null when Options::cache is disabled).
   ProviderCache* cache() const { return cache_.get(); }
+  /// The slow-query flight recorder (null when disabled).
+  FlightRecorder* flight_recorder() const { return recorder_.get(); }
 
   /// Last data version reported by each silo over the delta-sync path
   /// (0 until the first SyncGrids after an ingest).
@@ -239,6 +266,11 @@ class ServiceProvider {
 
   /// One uniform 64-bit draw from the provider's stream (thread safe).
   uint64_t NextDraw();
+
+  /// The trace id a query should run under: the caller's installed id
+  /// when present, a fresh one for every trace_sample_every_n-th query
+  /// while the Tracer is enabled, 0 otherwise.
+  uint64_t SampledTraceId();
 
   /// Interior + boundary aggregates a tile-cache plan recovered for a
   /// range (ExecuteSampled builds it, RunNonIidEst consumes it): the
@@ -290,6 +322,15 @@ class ServiceProvider {
   void MaybeAuditAsync(const FraQuery& query, FraAlgorithm algorithm,
                        const Result<double>& result, bool from_cache);
 
+  /// Captures `query` into the flight recorder when it was slow or
+  /// failed: query text, cache disposition, the silo outcomes collected
+  /// in `log`, and — when `trace_id` is nonzero — the stitched span tree
+  /// pulled from the Tracer at completion time.
+  void MaybeRecordFlight(const FraQuery& query, FraAlgorithm algorithm,
+                         const Result<double>& result, bool from_cache,
+                         uint64_t trace_id, double micros,
+                         QueryFlightLog* log);
+
   Network* network_;
   Options options_;
   std::vector<int> silo_ids_;
@@ -306,6 +347,10 @@ class ServiceProvider {
   std::unique_ptr<RequestCoalescer> coalescer_;
   // Two-layer answer cache (null when Options::cache is disabled).
   std::unique_ptr<ProviderCache> cache_;
+  // Slow-query flight recorder (null when disabled).
+  std::unique_ptr<FlightRecorder> recorder_;
+  // Head-sampling counter behind Options::trace_sample_every_n.
+  std::atomic<uint64_t> trace_sample_counter_{0};
   mutable std::mutex versions_mu_;  // guards silo_data_versions_
   std::map<int, uint64_t> silo_data_versions_;
   std::mutex rng_mu_;

@@ -378,17 +378,41 @@ Result<std::vector<uint8_t>> Silo::HandleBatchRequest(
 
   // One answer slot per entry; positions are the batch contract. A failed
   // entry becomes an embedded error response, never a failed batch.
+  //
+  // A batch mixes sub-queries staged by different provider queries, so
+  // trace context travels per entry: each may open with its own trace
+  // envelope, unwrapped here so the entry's spans land under the right
+  // trace id. Batch workers run off the transport handler thread, so
+  // their spans are gathered explicitly and merged back afterwards for
+  // the outer response's single span section.
   std::vector<std::vector<uint8_t>> responses(entries->size());
-  auto answer = [this](const std::vector<uint8_t>& entry) {
-    auto type = PeekMessageType(entry);
-    if (!type.ok()) return EncodeErrorResponse(type.status());
-    if (*type == MessageType::kAggregateBatchRequest) {
-      return EncodeErrorResponse(
-          Status::InvalidArgument("nested batch requests are not supported"));
+  std::mutex spans_mu;
+  std::vector<SpanRecord> gathered;
+  auto answer = [this, &spans_mu,
+                 &gathered](std::vector<uint8_t> entry) {
+    const uint64_t entry_trace = StripTraceEnvelope(&entry);
+    ScopedTraceId trace_scope(entry_trace);
+    SpanCollector collector;
+    auto respond = [&]() -> std::vector<uint8_t> {
+      auto type = PeekMessageType(entry);
+      if (!type.ok()) return EncodeErrorResponse(type.status());
+      if (*type == MessageType::kAggregateBatchRequest) {
+        return EncodeErrorResponse(
+            Status::InvalidArgument("nested batch requests are not supported"));
+      }
+      auto response = HandleSingleLocked(*type, entry);
+      if (!response.ok()) return EncodeErrorResponse(response.status());
+      return *std::move(response);
+    };
+    std::vector<uint8_t> encoded = respond();
+    std::vector<SpanRecord> records = collector.Take();
+    if (!records.empty()) {
+      std::lock_guard<std::mutex> lock(spans_mu);
+      gathered.insert(gathered.end(),
+                      std::make_move_iterator(records.begin()),
+                      std::make_move_iterator(records.end()));
     }
-    auto response = HandleSingleLocked(*type, entry);
-    if (!response.ok()) return EncodeErrorResponse(response.status());
-    return *std::move(response);
+    return encoded;
   };
 
   if (serialize_execution_) {
@@ -396,11 +420,23 @@ Result<std::vector<uint8_t>> Silo::HandleBatchRequest(
     // saves wire round trips and framing, not silo CPU.
     std::lock_guard<std::mutex> lock(execution_mu_);
     for (size_t i = 0; i < entries->size(); ++i) {
-      responses[i] = answer((*entries)[i]);
+      responses[i] = answer(std::move((*entries)[i]));
     }
   } else {
     ParallelFor(batch_pool(), entries->size(),
-                [&](size_t i) { responses[i] = answer((*entries)[i]); });
+                [&](size_t i) { responses[i] = answer(std::move((*entries)[i])); });
+  }
+  if (!gathered.empty()) {
+    if (SpanCollector* ambient = SpanCollector::Current()) {
+      // Transport-installed collector: the spans ride the batch
+      // response's trailing section back to the provider.
+      ambient->AddAll(std::move(gathered));
+    } else {
+      // In-process transport with no collector on this thread (e.g. a
+      // deadline flush from an event loop): feed the process tracer
+      // directly — same stitched trace, no wire bytes.
+      Tracer::Get().Ingest(std::move(gathered), "silo=" + std::to_string(id_));
+    }
   }
   return EncodeBatchResponse(responses);
 }

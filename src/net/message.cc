@@ -93,6 +93,73 @@ uint64_t StripTraceEnvelope(std::vector<uint8_t>* payload) {
   return trace_id;
 }
 
+void AppendSpanSection(const std::vector<SpanRecord>& records,
+                       std::vector<uint8_t>* payload) {
+  if (records.empty()) return;
+  BinaryWriter writer;
+  size_t blob_bytes = sizeof(uint32_t);
+  for (const SpanRecord& record : records) {
+    blob_bytes += 3 * sizeof(uint64_t) + sizeof(uint32_t) + record.name.size();
+  }
+  writer.Reserve(blob_bytes + kSpanSectionFooterBytes);
+  writer.WriteU32(static_cast<uint32_t>(records.size()));
+  for (const SpanRecord& record : records) {
+    writer.WriteU64(record.trace_id);
+    writer.WriteString(record.name);
+    writer.WriteU64(record.start_nanos);
+    writer.WriteU64(record.duration_nanos);
+  }
+  writer.WriteU32(static_cast<uint32_t>(blob_bytes));
+  writer.WriteU64(kSpanSectionMagic);
+  payload->insert(payload->end(), writer.buffer().begin(),
+                  writer.buffer().end());
+}
+
+std::vector<SpanRecord> ExtractSpanSection(std::vector<uint8_t>* payload) {
+  if (payload->size() < kSpanSectionFooterBytes) return {};
+  BinaryReader footer(
+      payload->data() + (payload->size() - kSpanSectionFooterBytes),
+      kSpanSectionFooterBytes);
+  uint32_t blob_bytes = 0;
+  uint64_t magic = 0;
+  if (!footer.ReadU32(&blob_bytes).ok() || !footer.ReadU64(&magic).ok() ||
+      magic != kSpanSectionMagic) {
+    return {};
+  }
+  if (static_cast<size_t>(blob_bytes) + kSpanSectionFooterBytes >
+      payload->size()) {
+    return {};
+  }
+  const size_t blob_start =
+      payload->size() - kSpanSectionFooterBytes - blob_bytes;
+  BinaryReader reader(payload->data() + blob_start, blob_bytes);
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count).ok()) return {};
+  // Every record costs at least its three u64s plus the name's length
+  // prefix; a count past that bound cannot be a real section.
+  constexpr size_t kMinRecordBytes = 3 * sizeof(uint64_t) + sizeof(uint32_t);
+  if (static_cast<size_t>(count) > reader.Remaining() / kMinRecordBytes) {
+    return {};
+  }
+  std::vector<SpanRecord> records;
+  records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SpanRecord record;
+    if (!reader.ReadU64(&record.trace_id).ok() ||
+        !reader.ReadString(&record.name).ok() ||
+        !reader.ReadU64(&record.start_nanos).ok() ||
+        !reader.ReadU64(&record.duration_nanos).ok()) {
+      return {};
+    }
+    records.push_back(std::move(record));
+  }
+  // The blob must parse EXACTLY — leftover bytes mean this was payload
+  // data that merely looked like a section; leave everything in place.
+  if (!reader.AtEnd()) return {};
+  payload->resize(blob_start);
+  return records;
+}
+
 void SerializeRange(const QueryRange& range, BinaryWriter* writer) {
   if (range.is_circle()) {
     writer->WriteU8(kRangeTagCircle);

@@ -10,6 +10,7 @@
 #include "util/result.h"
 #include "util/serialize.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace fra {
 
@@ -72,6 +73,37 @@ std::vector<uint8_t> WrapWithTraceId(uint64_t trace_id,
 /// and returns 0. Never fails: a truncated envelope (< 9 bytes) is left
 /// in place for the message decoder to reject.
 uint64_t StripTraceEnvelope(std::vector<uint8_t>* payload);
+
+/// Span section: the reverse half of trace propagation. A silo that
+/// recorded spans while serving a traced request ships them back as a
+/// TOLERANT TRAILING SECTION on the response payload (single and batch
+/// frames alike):
+///
+///   response_payload ‖ records_blob ‖ u32 blob_bytes ‖ u64 magic
+///
+/// where records_blob is `u32 count` followed by `count` records of
+/// `u64 trace_id ‖ string name ‖ u64 start_nanos ‖ u64 duration_nanos`
+/// (BinaryWriter little-endian encoding; SpanRecord::tag never crosses
+/// the wire — the provider tags at ingest, since only it knows which
+/// silo it called). The section is self-describing from the END of the
+/// payload, so transports strip it before any message decoder runs and
+/// old-format frames (no section) decode unchanged: a payload that does
+/// not end with the magic — or whose claimed blob fails to parse
+/// exactly — is simply a response without spans.
+constexpr uint64_t kSpanSectionMagic = 0x4652415350414E31ULL;  // "FRASPAN1"
+/// Footer bytes following the records blob (u32 blob_bytes + u64 magic).
+constexpr size_t kSpanSectionFooterBytes = sizeof(uint32_t) + sizeof(uint64_t);
+
+/// Appends the span section carrying `records` to `*payload` (no-op when
+/// `records` is empty).
+void AppendSpanSection(const std::vector<SpanRecord>& records,
+                       std::vector<uint8_t>* payload);
+
+/// If `*payload` ends with a well-formed span section, strips it and
+/// returns the carried records; otherwise leaves the payload untouched
+/// and returns an empty vector. Never fails — a malformed or absent
+/// section just means "no spans".
+std::vector<SpanRecord> ExtractSpanSection(std::vector<uint8_t>* payload);
 
 /// Serialises a query range (1 tag byte + coordinates).
 void SerializeRange(const QueryRange& range, BinaryWriter* writer);

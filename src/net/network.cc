@@ -1,8 +1,10 @@
 #include "net/network.h"
 
 #include <chrono>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "net/message.h"
 #include "util/timer.h"
@@ -41,10 +43,23 @@ void Network::RecordOutcome(int silo_id, const Status& status,
   }
 }
 
+// Responses are stripped of their span section BEFORE any decoder sees
+// the payload, so the wire extension is invisible to the message layer;
+// ingestion is a no-op while the provider-side Tracer is disabled.
+void Network::IngestResponseSpans(int silo_id,
+                                  std::vector<uint8_t>* response) {
+  std::vector<SpanRecord> records = ExtractSpanSection(response);
+  if (!records.empty()) {
+    Tracer::Get().Ingest(std::move(records),
+                         "silo=" + std::to_string(silo_id));
+  }
+}
+
 Result<std::vector<uint8_t>> Network::Call(
     int silo_id, const std::vector<uint8_t>& request) {
   Timer timer;
   Result<std::vector<uint8_t>> response = CallImpl(silo_id, request);
+  if (response.ok()) IngestResponseSpans(silo_id, &*response);
   RecordOutcome(silo_id, response.status(), timer.ElapsedMicros());
   return response;
 }
@@ -61,6 +76,7 @@ void Network::CallAsync(int silo_id, const std::vector<uint8_t>& request,
                                                              std::micro>>(
                 std::chrono::steady_clock::now() - start)
                 .count();
+        if (response.ok()) IngestResponseSpans(silo_id, &*response);
         RecordOutcome(silo_id, response.status(), micros);
         done(std::move(response));
       });
@@ -102,11 +118,27 @@ Result<std::vector<uint8_t>> InProcessNetwork::CallImpl(
   // The silo handler runs on the caller's thread, so the active trace id
   // reaches it through the thread-local context without an envelope; only
   // the byte accounting charges the envelope size TCP would ship, keeping
-  // the two transports' measured communication cost identical.
+  // the two transports' measured communication cost identical. (The
+  // response-side span section is NOT charged: its size varies with the
+  // compiled-in span set, which would make measured communication depend
+  // on the tracing build flag.)
   const size_t request_bytes =
       request.size() + (CurrentTraceId() != 0 ? kTraceEnvelopeBytes : 0);
-  FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
-                       endpoint->HandleMessage(request));
+  // A traced exchange collects the handler's spans exactly as a TCP silo
+  // would, then ingests them directly — same stitched trace, same
+  // silo=<id> tags, no wire bytes.
+  std::optional<SpanCollector> collector;
+  if (CurrentTraceId() != 0) collector.emplace();
+  Result<std::vector<uint8_t>> handled = endpoint->HandleMessage(request);
+  if (collector.has_value()) {
+    std::vector<SpanRecord> records = collector->Take();
+    collector.reset();
+    if (!records.empty()) {
+      Tracer::Get().Ingest(std::move(records),
+                           "silo=" + std::to_string(silo_id));
+    }
+  }
+  FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response, std::move(handled));
   stats_.RecordExchange(request_bytes, response.size());
 
   if (latency_.fixed_micros > 0.0 || latency_.per_kb_micros > 0.0) {

@@ -197,6 +197,12 @@ class Network {
   SiloInstruments InstrumentsFor(int silo_id);
   /// The transport-agnostic accounting shared by Call and CallAsync.
   void RecordOutcome(int silo_id, const Status& status, double micros);
+  /// Strips the tolerant trailing span section (net/message.h) off a
+  /// successful response and feeds the records to the process Tracer
+  /// tagged `silo=<id>` — the stitch point of cross-silo tracing, shared
+  /// by every transport and both call shapes. Runs before the payload
+  /// reaches any message decoder.
+  void IngestResponseSpans(int silo_id, std::vector<uint8_t>* response);
 
   std::atomic<SiloCallObserver*> observer_{nullptr};
   std::mutex instruments_mu_;

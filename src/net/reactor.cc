@@ -18,8 +18,23 @@
 
 #include "net/message.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace fra {
+namespace {
+
+// Loop ids are process-unique so every event loop — reactors owned by
+// networks, servers, admin endpoints — exports under a distinct `loop`
+// label for its whole lifetime.
+std::atomic<uint64_t> g_next_loop_id{0};
+
+double ToMicros(TimerWheel::Clock::duration d) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::micro>>(d)
+      .count();
+}
+
+}  // namespace
 
 // --- TimerWheel ------------------------------------------------------------
 
@@ -97,13 +112,13 @@ void TimerWheel::Advance(Clock::time_point now) {
   }
   // Collect every due entry first, then fire: callbacks may re-enter
   // ScheduleAt/Cancel without invalidating this sweep.
-  std::vector<Callback> due;
+  std::vector<Entry> due;
   while (current_tick_ < target_tick) {
     ++current_tick_;
     auto& slot = slots_[current_tick_ % kSlots];
     for (auto it = slot.begin(); it != slot.end();) {
       if (it->expiry_tick <= current_tick_) {
-        due.push_back(std::move(it->fn));
+        due.push_back(std::move(*it));
         index_.erase(it->id);
         it = slot.erase(it);
       } else {
@@ -120,7 +135,17 @@ void TimerWheel::Advance(Clock::time_point now) {
     min_expiry_ = kNoExpiry;
     min_valid_ = true;
   }
-  for (Callback& fn : due) fn();
+  for (Entry& entry : due) {
+    if (drift_observer_) {
+      // Lateness against the entry's scheduled tick: >= 0 by
+      // construction (fire ticks floor where scheduling ceils).
+      const auto deadline =
+          origin_ + std::chrono::milliseconds(
+                        static_cast<int64_t>(entry.expiry_tick) * tick_ms_);
+      drift_observer_(std::max(0.0, ToMicros(now - deadline)));
+    }
+    entry.fn();
+  }
 }
 
 int TimerWheel::NextTimeoutMs(Clock::time_point now) {
@@ -139,7 +164,23 @@ int TimerWheel::NextTimeoutMs(Clock::time_point now) {
 
 // --- EventLoop -------------------------------------------------------------
 
-EventLoop::EventLoop() : wheel_(TimerWheel::Clock::now()) {
+EventLoop::EventLoop()
+    : id_(g_next_loop_id.fetch_add(1, std::memory_order_relaxed)),
+      wheel_(TimerWheel::Clock::now()) {
+  const MetricLabels labels = {{"loop", std::to_string(id_)}};
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  lag_hist_ =
+      &registry.GetHistogram("fra_reactor_loop_lag_microseconds", labels);
+  wait_hist_ =
+      &registry.GetHistogram("fra_reactor_epoll_wait_microseconds", labels);
+  dispatch_hist_ =
+      &registry.GetHistogram("fra_reactor_dispatch_microseconds", labels);
+  drift_hist_ =
+      &registry.GetHistogram("fra_reactor_timer_drift_microseconds", labels);
+  pending_timers_gauge_ =
+      &registry.GetGauge("fra_reactor_pending_timers", labels);
+  wheel_.set_drift_observer(
+      [this](double late_micros) { drift_hist_->Observe(late_micros); });
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   FRA_CHECK(epoll_fd_ >= 0) << "epoll_create1: " << std::strerror(errno);
   wakeup_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
@@ -163,12 +204,20 @@ void EventLoop::DrainWakeup() {
 }
 
 void EventLoop::RunQueuedTasks() {
-  std::vector<Task> tasks;
+  std::vector<QueuedTask> tasks;
   {
     std::lock_guard<std::mutex> lock(tasks_mu_);
     tasks.swap(tasks_);
   }
-  for (Task& task : tasks) task();
+  if (tasks.empty()) return;
+  // One timestamp per drain batch: the lag of interest is scheduling
+  // delay (how long the loop took to get to the task), not intra-batch
+  // ordering.
+  const auto drained_at = TimerWheel::Clock::now();
+  for (QueuedTask& task : tasks) {
+    lag_hist_->Observe(ToMicros(drained_at - task.submitted));
+    task.fn();
+  }
 }
 
 void EventLoop::Run() {
@@ -177,15 +226,17 @@ void EventLoop::Run() {
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];
   while (!stopping_.load(std::memory_order_acquire)) {
+    const auto wait_start = TimerWheel::Clock::now();
     int timeout_ms;
     {
       std::lock_guard<std::mutex> lock(tasks_mu_);
-      timeout_ms =
-          tasks_.empty() ? wheel_.NextTimeoutMs(TimerWheel::Clock::now()) : 0;
+      timeout_ms = tasks_.empty() ? wheel_.NextTimeoutMs(wait_start) : 0;
     }
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     FRA_CHECK(n >= 0 || errno == EINTR)
         << "epoll_wait: " << std::strerror(errno);
+    const auto woke = TimerWheel::Clock::now();
+    wait_hist_->Observe(ToMicros(woke - wait_start));
     for (int i = 0; i < std::max(n, 0); ++i) {
       const int fd = events[i].data.fd;
       if (fd == wakeup_fd_) {
@@ -200,17 +251,22 @@ void EventLoop::Run() {
     }
     RunQueuedTasks();
     wheel_.Advance(TimerWheel::Clock::now());
+    // Dispatch covers everything a wakeup triggered — fd handlers,
+    // queued tasks, fired timers: the time this loop was NOT available
+    // to react to the next event.
+    dispatch_hist_->Observe(ToMicros(TimerWheel::Clock::now() - woke));
+    pending_timers_gauge_->Set(static_cast<double>(wheel_.pending()));
   }
   // Final drain, atomic with the exited_ flip: every Submit that returned
   // true sees its task run here, and every later Submit sees exited_
   // under the same mutex and refuses — no stranded tasks.
-  std::vector<Task> last;
+  std::vector<QueuedTask> last;
   {
     std::lock_guard<std::mutex> lock(tasks_mu_);
     exited_.store(true, std::memory_order_release);
     last.swap(tasks_);
   }
-  for (Task& task : last) task();
+  for (QueuedTask& task : last) task.fn();
 }
 
 void EventLoop::Stop() {
@@ -223,7 +279,7 @@ bool EventLoop::Submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(tasks_mu_);
     if (exited_.load(std::memory_order_acquire)) return false;
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(QueuedTask{std::move(task), TimerWheel::Clock::now()});
   }
   const uint64_t one = 1;
   (void)!::write(wakeup_fd_, &one, sizeof(one));

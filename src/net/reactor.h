@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -59,6 +60,13 @@ class TimerWheel {
 
   size_t pending() const { return index_.size(); }
 
+  /// Observer invoked once per fired timer with how late it ran, in
+  /// microseconds past its scheduled deadline (>= 0; the wheel never
+  /// fires early). The owning event loop installs this to feed the
+  /// fra_reactor_timer_drift_microseconds histogram.
+  using DriftObserver = std::function<void(double late_micros)>;
+  void set_drift_observer(DriftObserver fn) { drift_observer_ = std::move(fn); }
+
  private:
   struct Entry {
     uint64_t id = 0;
@@ -81,6 +89,7 @@ class TimerWheel {
   // the minimum) — the rebuild is O(pending), amortised over fire batches.
   uint64_t min_expiry_ = kNoExpiry;
   bool min_valid_ = true;  // empty wheel: valid, nothing pending
+  DriftObserver drift_observer_;
   std::array<std::list<Entry>, kSlots> slots_;
   std::unordered_map<uint64_t, std::pair<size_t, std::list<Entry>::iterator>>
       index_;
@@ -136,10 +145,23 @@ class EventLoop {
            std::this_thread::get_id();
   }
 
+  /// Process-unique id of this loop; the `loop` label on every
+  /// fra_reactor_* instrument.
+  uint64_t id() const { return id_; }
+
  private:
+  /// A cross-thread task plus its submission time, so the drain can
+  /// measure event-loop lag (submit -> run) — the headline health signal
+  /// of a reactor thread: a stalled handler shows up here first.
+  struct QueuedTask {
+    Task fn;
+    TimerWheel::Clock::time_point submitted;
+  };
+
   void RunQueuedTasks();
   void DrainWakeup();
 
+  const uint64_t id_;
   int epoll_fd_ = -1;
   int wakeup_fd_ = -1;
   std::atomic<bool> stopping_{false};
@@ -148,7 +170,14 @@ class EventLoop {
   TimerWheel wheel_;
   std::unordered_map<int, FdHandler> handlers_;  // loop thread only
   std::mutex tasks_mu_;
-  std::vector<Task> tasks_;
+  std::vector<QueuedTask> tasks_;
+  // Per-loop telemetry, resolved once at construction (loop label fixed
+  // for the loop's lifetime); all updates are lock-free.
+  Histogram* lag_hist_;
+  Histogram* wait_hist_;
+  Histogram* dispatch_hist_;
+  Histogram* drift_hist_;
+  Gauge* pending_timers_gauge_;
 };
 
 /// N event loops, one thread each — the "reactor per core" of the

@@ -130,7 +130,14 @@ void RequestCoalescer::Stage(int silo_id, const std::vector<uint8_t>& request,
                              CallCallback done) {
   SiloQueue* queue = QueueFor(silo_id);
   auto pending = std::make_unique<Pending>();
-  pending->request = request;
+  // A batch mixes entries staged by different queries, so the trace
+  // context travels per entry, captured here on the staging caller's
+  // thread: the flush may run later on an event-loop thread where the
+  // thread-local trace id is gone. The silo unwraps each entry and
+  // attributes its spans to the right trace (see Silo::HandleBatchRequest).
+  const uint64_t trace_id = CurrentTraceId();
+  pending->request =
+      trace_id != 0 ? WrapWithTraceId(trace_id, request) : request;
   pending->done = std::move(done);
 
   std::vector<std::unique_ptr<Pending>> to_send;

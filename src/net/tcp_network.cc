@@ -234,6 +234,28 @@ size_t DefaultHandlerThreads() {
   return std::max<size_t>(8, std::thread::hardware_concurrency());
 }
 
+// Server-role connection telemetry. Unlabelled process-wide instruments:
+// a production silo runs one server per process, and in-process test
+// federations aggregate meaningfully (total queued depth / unsent bytes
+// across every serving socket).
+const std::vector<double>& PipelineDepthBuckets() {
+  static const std::vector<double> kBuckets = {1,  2,  4,   8,   16,
+                                               32, 64, 128, 256, 512};
+  return kBuckets;
+}
+
+Histogram* ServerPipelineDepthHist() {
+  static Histogram* hist = &MetricsRegistry::Default().GetHistogram(
+      "fra_tcp_server_pipeline_depth", {}, PipelineDepthBuckets());
+  return hist;
+}
+
+Gauge* ServerBackpressureGauge() {
+  static Gauge* gauge =
+      &MetricsRegistry::Default().GetGauge("fra_tcp_server_backpressure_bytes");
+  return gauge;
+}
+
 }  // namespace
 
 // --- TcpSiloServer ---------------------------------------------------------
@@ -254,6 +276,20 @@ struct TcpSiloServer::Conn {
   // writing them, then close (matches the legacy sequential loop, which
   // only noticed EOF after replying).
   bool draining = false;
+  // Last pending_bytes() reported to the process-wide backpressure
+  // gauge; the gauge is kept consistent by deltas because connections
+  // live on different loop threads.
+  size_t reported_backpressure = 0;
+
+  void SyncBackpressure(const FrameWriter& writer) {
+    const size_t unsent = writer.pending_bytes();
+    if (unsent != reported_backpressure) {
+      ServerBackpressureGauge()->Add(static_cast<double>(unsent) -
+                                     static_cast<double>(
+                                         reported_backpressure));
+      reported_backpressure = unsent;
+    }
+  }
 
   /// Ordered response pipelining: one slot per request, in arrival
   /// order. Workers complete out of order; responses flush in order.
@@ -434,19 +470,29 @@ void TcpSiloServer::DispatchRequest(const std::shared_ptr<Conn>& conn,
                                     std::vector<uint8_t> request) {
   auto slot = std::make_shared<Conn::Slot>();
   conn->slots.push_back(slot);
+  // Depth at arrival: how many requests this connection has queued or
+  // executing ahead of (and including) this one.
+  ServerPipelineDepthHist()->Observe(static_cast<double>(conn->slots.size()));
   // The loop never blocks on query execution: HandleMessage runs on the
   // worker pool, and its completion hops back to the connection's loop.
   handler_pool_->Submit([this, conn, slot,
                          request = std::move(request)]() mutable {
     // A request may arrive inside a trace envelope; the carried trace id
     // becomes this worker's context so silo-side spans correlate with
-    // the provider-side ones (0 when the envelope is absent).
+    // the provider-side ones (0 when the envelope is absent). Spans the
+    // handler records under that id are captured by the collector and
+    // shipped back as the response's trailing span section.
     const uint64_t trace_id = StripTraceEnvelope(&request);
     ScopedTraceId trace_scope(trace_id);
+    SpanCollector collector;
     Result<std::vector<uint8_t>> response = endpoint_->HandleMessage(request);
     std::vector<uint8_t> frame =
         response.ok() ? std::move(response).ValueOrDie()
                       : EncodeErrorResponse(response.status());
+    // No trace-id gate: a deadline-flushed batch frame carries no outer
+    // envelope, yet its entries may each be traced — the collector holds
+    // whatever spans any of them produced (no-op when empty).
+    AppendSpanSection(collector.Take(), &frame);
     conn->loop->Submit([this, conn, slot, frame = std::move(frame)]() mutable {
       if (conn->closed) return;
       slot->done = true;
@@ -476,6 +522,7 @@ void TcpSiloServer::FlushReadyResponses(const std::shared_ptr<Conn>& conn) {
 }
 
 void TcpSiloServer::UpdateConnInterest(const std::shared_ptr<Conn>& conn) {
+  conn->SyncBackpressure(conn->writer);
   uint32_t want = 0;
   const bool paused = conn->draining ||
                       conn->slots.size() >= kMaxServerPipeline ||
@@ -494,6 +541,11 @@ void TcpSiloServer::UpdateConnInterest(const std::shared_ptr<Conn>& conn) {
 void TcpSiloServer::CloseConn(const std::shared_ptr<Conn>& conn) {
   if (conn->closed) return;
   conn->closed = true;
+  if (conn->reported_backpressure != 0) {
+    ServerBackpressureGauge()->Add(
+        -static_cast<double>(conn->reported_backpressure));
+    conn->reported_backpressure = 0;
+  }
   conn->loop->DeregisterFd(conn->fd);
   ::close(conn->fd);
   conn->fd = -1;
@@ -625,11 +677,13 @@ void TcpSiloServer::ServeConnection(int connection_fd) {
     std::vector<uint8_t> payload = std::move(request).ValueOrDie();
     const uint64_t trace_id = StripTraceEnvelope(&payload);
     ScopedTraceId trace_scope(trace_id);
+    SpanCollector collector;
     Result<std::vector<uint8_t>> response =
         endpoint_->HandleMessage(payload);
-    const std::vector<uint8_t> frame =
+    std::vector<uint8_t> frame =
         response.ok() ? std::move(response).ValueOrDie()
                       : EncodeErrorResponse(response.status());
+    AppendSpanSection(collector.Take(), &frame);
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     if (!WriteFrame(fd, frame, no_deadline, nullptr).ok()) break;
   }
@@ -690,6 +744,12 @@ struct TcpNetwork::SiloState {
         &registry.GetGauge("fra_tcp_inflight_batches", {{"silo", silo}});
     batch_frames_total =
         &registry.GetCounter("fra_tcp_batch_frames_total", {{"silo", silo}});
+    static const std::vector<double> kDepthBuckets = {1,  2,  4,   8,   16,
+                                                      32, 64, 128, 256, 512};
+    pipeline_depth_hist = &registry.GetHistogram(
+        "fra_tcp_pipeline_depth", {{"silo", silo}}, kDepthBuckets);
+    backpressure_gauge =
+        &registry.GetGauge("fra_tcp_backpressure_bytes", {{"silo", silo}});
   }
 
   const int silo_id;
@@ -703,6 +763,8 @@ struct TcpNetwork::SiloState {
   Gauge* busy_gauge;
   Gauge* inflight_batches_gauge;
   Counter* batch_frames_total;
+  Histogram* pipeline_depth_hist;  // per-assignment connection depth
+  Gauge* backpressure_gauge;       // unsent request bytes, all connections
 };
 
 TcpNetwork::TcpNetwork(const Options& options) : options_(options) {
@@ -959,6 +1021,10 @@ void TcpNetwork::AssignOp(SiloState* state,
                           const std::shared_ptr<Op>& op) {
   op->bound = conn.get();
   conn->inflight.push_back(op);
+  // Depth at assignment time: how deep this request was pipelined behind
+  // earlier in-flight ones on its connection.
+  state->pipeline_depth_hist->Observe(
+      static_cast<double>(conn->inflight.size()));
   conn->writer.EnqueueFrame(op->wire);  // keep op->wire for a retry
   if (!conn->writer.Flush(conn->fd).ok()) {
     HandleConnFailure(state, conn,
@@ -1170,11 +1236,14 @@ void TcpNetwork::RemoveConn(SiloState* state,
 
 void TcpNetwork::UpdateGauges(SiloState* state) {
   size_t busy = 0;
+  size_t unsent = 0;
   for (const std::shared_ptr<ClientConn>& conn : state->conns) {
     if (!conn->inflight.empty()) ++busy;
+    unsent += conn->writer.pending_bytes();
   }
   state->open_gauge->Set(static_cast<double>(state->conns.size()));
   state->busy_gauge->Set(static_cast<double>(busy));
+  state->backpressure_gauge->Set(static_cast<double>(unsent));
 }
 
 // --- TcpNetwork: legacy blocking pool --------------------------------------

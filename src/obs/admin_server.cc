@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "net/reactor.h"
+#include "util/build_info.h"
 #include "util/logging.h"
 #include "util/trace.h"
 
@@ -87,6 +88,8 @@ Result<std::unique_ptr<AdminServer>> AdminServer::Start(
   std::unique_ptr<AdminServer> server(new AdminServer());
   server->options_ = options;
   server->InstallBuiltinHandlers();
+  // Every scraped process carries its build provenance as a series.
+  RegisterBuildInfoMetric();
 
   server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (server->listen_fd_ < 0) {

@@ -1,0 +1,218 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+namespace fra {
+namespace {
+
+thread_local QueryFlightLog* t_current_flight_log = nullptr;
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::vector<SpanRecord> SortedSpans(const FlightRecorder::Record& record) {
+  std::vector<SpanRecord> spans = record.spans;
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_nanos != b.start_nanos) {
+                return a.start_nanos < b.start_nanos;
+              }
+              // Ties (same start): the longer span is the ancestor.
+              return a.duration_nanos > b.duration_nanos;
+            });
+  return spans;
+}
+
+/// Nesting depth per span by interval containment: a span is a child of
+/// the nearest earlier span that still covers its start. Spans arrive
+/// sorted by start, so a stack of open end-times yields the depth.
+std::vector<size_t> SpanDepths(const std::vector<SpanRecord>& spans) {
+  std::vector<size_t> depths(spans.size(), 0);
+  std::vector<uint64_t> open_ends;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const uint64_t start = spans[i].start_nanos;
+    while (!open_ends.empty() && open_ends.back() <= start) {
+      open_ends.pop_back();
+    }
+    depths[i] = open_ends.size();
+    open_ends.push_back(start + spans[i].duration_nanos);
+  }
+  return depths;
+}
+
+}  // namespace
+
+QueryFlightLog::QueryFlightLog() : previous_(t_current_flight_log) {
+  t_current_flight_log = this;
+}
+
+QueryFlightLog::~QueryFlightLog() { t_current_flight_log = previous_; }
+
+QueryFlightLog* QueryFlightLog::Current() { return t_current_flight_log; }
+
+void QueryFlightLog::NoteSilo(int silo_id, const Status& status,
+                              double micros) {
+  FlightSiloStatus entry;
+  entry.silo_id = silo_id;
+  entry.ok = status.ok();
+  entry.detail = status.ok() ? "ok" : status.ToString();
+  entry.micros = micros;
+  std::lock_guard<std::mutex> lock(mu_);
+  silos_.push_back(std::move(entry));
+}
+
+std::vector<FlightSiloStatus> QueryFlightLog::TakeSilos() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightSiloStatus> out;
+  out.swap(silos_);
+  return out;
+}
+
+QueryFlightLogScope::QueryFlightLogScope(QueryFlightLog* log)
+    : previous_(t_current_flight_log) {
+  t_current_flight_log = log;
+}
+
+QueryFlightLogScope::~QueryFlightLogScope() {
+  t_current_flight_log = previous_;
+}
+
+FlightRecorder::FlightRecorder(const Options& options)
+    : capacity_(options.capacity > 0 ? options.capacity : 1),
+      threshold_micros_(options.slow_threshold_micros) {}
+
+void FlightRecorder::Add(Record record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.sequence = next_sequence_++;
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+std::vector<FlightRecorder::Record> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Record>(records_.begin(), records_.end());
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+std::string FlightRecorder::RenderText() const {
+  const std::vector<Record> records = Snapshot();
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(0);
+  out << "flight recorder: " << records.size() << " record"
+      << (records.size() == 1 ? "" : "s") << " (capacity " << capacity_
+      << ", slow threshold " << slow_threshold_micros() << "us)\n";
+  for (const Record& record : records) {
+    out << "\n#" << record.sequence << " trace=" << record.trace_id
+        << " algorithm=" << record.algorithm << " cache=" << record.cache
+        << " duration=" << record.duration_micros << "us status="
+        << (record.failed ? record.status : "ok") << "\n";
+    out << "  query: " << record.query << "\n";
+    if (!record.silos.empty()) {
+      out << "  silos:";
+      for (const FlightSiloStatus& silo : record.silos) {
+        out << " [" << silo.silo_id << " " << (silo.ok ? "ok" : "FAIL") << " "
+            << silo.micros << "us" << (silo.ok ? "" : " " + silo.detail)
+            << "]";
+      }
+      out << "\n";
+    }
+    const std::vector<SpanRecord> spans = SortedSpans(record);
+    if (!spans.empty()) {
+      const std::vector<size_t> depths = SpanDepths(spans);
+      const uint64_t base = spans.front().start_nanos;
+      out << "  spans:\n";
+      for (size_t i = 0; i < spans.size(); ++i) {
+        out << "    ";
+        for (size_t d = 0; d < depths[i]; ++d) out << "  ";
+        out << spans[i].name << " +"
+            << static_cast<double>(spans[i].start_nanos - base) / 1e3
+            << "us " << static_cast<double>(spans[i].duration_nanos) / 1e3
+            << "us";
+        if (!spans[i].tag.empty()) out << " (" << spans[i].tag << ")";
+        out << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string FlightRecorder::RenderJson() const {
+  const std::vector<Record> records = Snapshot();
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3);
+  out << "{\n  \"capacity\": " << capacity_
+      << ",\n  \"slow_threshold_micros\": " << slow_threshold_micros()
+      << ",\n  \"records\": [";
+  bool first_record = true;
+  for (const Record& record : records) {
+    out << (first_record ? "\n" : ",\n");
+    first_record = false;
+    out << "    {\"sequence\": " << record.sequence
+        << ", \"trace_id\": " << record.trace_id << ", \"query\": \""
+        << EscapeJson(record.query) << "\", \"algorithm\": \""
+        << EscapeJson(record.algorithm) << "\", \"cache\": \""
+        << EscapeJson(record.cache) << "\", \"failed\": "
+        << (record.failed ? "true" : "false") << ", \"status\": \""
+        << EscapeJson(record.status) << "\", \"duration_micros\": "
+        << record.duration_micros << ",\n     \"silos\": [";
+    bool first_silo = true;
+    for (const FlightSiloStatus& silo : record.silos) {
+      out << (first_silo ? "" : ", ");
+      first_silo = false;
+      out << "{\"silo\": " << silo.silo_id << ", \"ok\": "
+          << (silo.ok ? "true" : "false") << ", \"micros\": " << silo.micros
+          << ", \"detail\": \"" << EscapeJson(silo.detail) << "\"}";
+    }
+    out << "],\n     \"spans\": [";
+    const std::vector<SpanRecord> spans = SortedSpans(record);
+    const std::vector<size_t> depths = SpanDepths(spans);
+    bool first_span = true;
+    for (size_t i = 0; i < spans.size(); ++i) {
+      out << (first_span ? "" : ", ");
+      first_span = false;
+      out << "{\"name\": \"" << EscapeJson(spans[i].name)
+          << "\", \"depth\": " << depths[i] << ", \"start_nanos\": "
+          << spans[i].start_nanos << ", \"duration_nanos\": "
+          << spans[i].duration_nanos;
+      if (!spans[i].tag.empty()) {
+        out << ", \"origin\": \"" << EscapeJson(spans[i].tag) << "\"";
+      }
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace fra

@@ -83,6 +83,100 @@ std::string JsonLabels(const MetricLabels& labels) {
   return out;
 }
 
+// Prometheus HELP escaping: only backslash and newline are special on a
+// HELP line (label-value escaping additionally quotes '"').
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Help text for every metric family the library itself registers, so the
+// exposition carries `# HELP` without every call site threading a string
+// through Get*. Families created by embedders pick theirs up via
+// MetricsRegistry::SetHelp. Returns "" for unknown names.
+const char* BuiltinHelp(const std::string& name) {
+  static const std::map<std::string, const char*> kHelp = {
+      {"fra_audit_failures_total",
+       "Background accuracy audits whose EXACT replay failed"},
+      {"fra_audits_total", "Background accuracy audits by outcome"},
+      {"fra_batch_flushes_total",
+       "Coalescer batch flushes by trigger (size/deadline/shutdown)"},
+      {"fra_batch_size", "Requests per flushed coalescer batch"},
+      {"fra_build_info",
+       "Constant 1; build metadata (git sha, build type, tracing) as labels"},
+      {"fra_cache_evictions_total", "Provider cache LRU evictions by layer"},
+      {"fra_cache_hits_total", "Provider cache hits by layer"},
+      {"fra_cache_invalidations_total",
+       "Tile-cache invalidations from data-epoch bumps"},
+      {"fra_cache_misses_total", "Provider cache misses by layer"},
+      {"fra_cache_tile_coverage",
+       "Fraction of needed tiles already cached per tile-served query"},
+      {"fra_coalescer_staged_requests",
+       "Requests currently staged in per-silo coalescing buffers"},
+      {"fra_comm_bytes_total",
+       "Application payload bytes exchanged with silos by direction"},
+      {"fra_comm_messages_total", "Messages exchanged with silos"},
+      {"fra_estimate_relative_error",
+       "Relative error of audited approximate answers"},
+      {"fra_federation_silos", "Silos registered with the provider"},
+      {"fra_guarantee_violations_total",
+       "Audited answers exceeding the (eps, delta) error bound"},
+      {"fra_provider_data_epoch",
+       "Data epoch of the provider cache (bumped by SyncGrids)"},
+      {"fra_provider_grid_memory_bytes",
+       "Provider-side grid index memory (g_0 plus retained silo grids)"},
+      {"fra_queries_total", "FRA queries executed by algorithm and result"},
+      {"fra_query_latency_microseconds",
+       "End-to-end FRA query latency by algorithm"},
+      {"fra_reactor_dispatch_microseconds",
+       "Time an event loop spends running handlers, tasks and timers per "
+       "wakeup"},
+      {"fra_reactor_epoll_wait_microseconds",
+       "Time an event loop spends blocked in epoll_wait per iteration"},
+      {"fra_reactor_loop_lag_microseconds",
+       "Delay between submitting a task to an event loop and running it"},
+      {"fra_reactor_pending_timers",
+       "Timers pending on an event loop's timer wheel"},
+      {"fra_reactor_timer_drift_microseconds",
+       "How late timer-wheel callbacks fire past their deadline"},
+      {"fra_silo_health_state",
+       "Health tracker state per silo (0=up 1=degraded 2=down 3=probing)"},
+      {"fra_silo_latency_ewma_micros",
+       "EWMA of per-silo request latency from the health tracker"},
+      {"fra_silo_requests_total", "Provider-to-silo requests by outcome"},
+      {"fra_silo_timeouts_total", "Provider-to-silo requests that timed out"},
+      {"fra_span_duration_microseconds", "Trace span durations by span name"},
+      {"fra_tcp_backpressure_bytes",
+       "Unsent bytes buffered toward each silo on the reactor client"},
+      {"fra_tcp_batch_frames_total",
+       "Coalesced batch frames shipped per silo"},
+      {"fra_tcp_inflight_batches", "Batch frames awaiting a silo response"},
+      {"fra_tcp_pipeline_depth",
+       "Requests in flight on one client connection when another is "
+       "pipelined"},
+      {"fra_tcp_pool_busy_connections",
+       "Connections of a silo pool currently carrying a request"},
+      {"fra_tcp_pool_open_connections", "Open connections per silo pool"},
+      {"fra_tcp_server_backpressure_bytes",
+       "Unsent response bytes buffered across silo-server connections"},
+      {"fra_tcp_server_pipeline_depth",
+       "Requests in flight on one silo-server connection when another "
+       "arrives"},
+  };
+  const auto it = kHelp.find(name);
+  return it != kHelp.end() ? it->second : "";
+}
+
 MetricLabels SortedLabels(MetricLabels labels) {
   std::sort(labels.begin(), labels.end());
   return labels;
@@ -272,10 +366,22 @@ MetricsRegistry::GaugesNamed(const std::string& name) const {
   return out;
 }
 
+void MetricsRegistry::SetHelp(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = help;
+}
+
 std::string MetricsRegistry::ExportPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   for (const auto& [name, family] : families_) {
+    const auto override_it = help_.find(name);
+    const std::string help =
+        override_it != help_.end() ? override_it->second : BuiltinHelp(name);
+    if (!help.empty()) {
+      out << "# HELP " << name << " " << EscapeHelp(help) << "\n";
+    }
     switch (family.kind) {
       case Kind::kCounter:
         out << "# TYPE " << name << " counter\n";

@@ -125,8 +125,15 @@ class MetricsRegistry {
   std::vector<std::pair<MetricLabels, const Gauge*>> GaugesNamed(
       const std::string& name) const;
 
+  /// Help text for `name` on the Prometheus exposition (`# HELP`, once
+  /// per family before `# TYPE`). The library's own families carry
+  /// built-in help; this overrides it or documents embedder-defined
+  /// families. May be called before or after the family is registered.
+  void SetHelp(const std::string& name, const std::string& help);
+
   /// Prometheus text exposition format (families sorted by name,
-  /// instances by label value).
+  /// instances by label value; `# HELP` emitted for families with known
+  /// help text).
   std::string ExportPrometheus() const;
   /// The same data as one JSON object with "counters" / "gauges" /
   /// "histograms" arrays; histograms carry p50/p95/p99.
@@ -156,6 +163,7 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::map<std::string, Family> families_;
+  std::map<std::string, std::string> help_;  // SetHelp overrides
 };
 
 }  // namespace fra

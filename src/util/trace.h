@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/metrics.h"
@@ -16,12 +17,18 @@ namespace fra {
 /// FRA_TRACE_SPAN. Each span always feeds the
 /// `fra_span_duration_microseconds{span=...}` histogram of the default
 /// registry; when the process-wide Tracer is additionally enabled at
-/// runtime, the span is also appended to a bounded in-memory ring buffer
+/// runtime AND a trace is active on the thread (non-zero current trace
+/// id — the provider samples one in
+/// ServiceProvider::Options::trace_sample_every_n queries), the span is
+/// also appended to a bounded in-memory buffer
 /// tagged with the current trace id, so one query's full path (provider
 /// dispatch -> network -> silo-local index work -> rescale) can be read
 /// back as an ordered list of timed spans. Trace ids cross the wire in a
-/// message envelope (see net/message.h and docs/wire_protocol.md), so a
-/// TCP federation records correlated spans on both sides.
+/// message envelope (see net/message.h and docs/wire_protocol.md), and
+/// silo-side spans travel back as a trailing section on response frames,
+/// so a TCP federation stitches both sides into ONE trace: the provider
+/// ingests the silo's records under the same trace id with a
+/// `silo=<id>` tag (SpanRecord::tag).
 ///
 /// Building with -DFRA_ENABLE_TRACING=OFF compiles every FRA_TRACE_SPAN
 /// to nothing; the metrics registry itself is not gated.
@@ -45,16 +52,54 @@ class ScopedTraceId {
   uint64_t previous_;
 };
 
-/// One completed span in the ring buffer.
+/// One completed span.
 struct SpanRecord {
   uint64_t trace_id = 0;
   std::string name;
   uint64_t start_nanos = 0;  // steady-clock, comparable within a process
   uint64_t duration_nanos = 0;
+  /// Where the span ran: empty for this process, "silo=<id>" for records
+  /// ingested from a silo's response frame. Never crosses the wire — the
+  /// receiving side tags at ingest, because only it knows which silo the
+  /// exchange targeted.
+  std::string tag;
 };
 
-/// Process-wide span ring buffer. Disabled by default: recording costs
-/// nothing until SetEnabled(true) (spans still update histograms).
+/// RAII thread-local sink that captures completed spans instead of (not
+/// in addition to) the Tracer ring, so a server handler can ship the
+/// spans of one request back to its caller. Server transports install
+/// one around HandleMessage; a span whose thread has a collector AND a
+/// non-zero current trace id goes to the collector — the inbound trace
+/// envelope is the propagation signal, no silo-side Tracer toggle
+/// needed. Collectors nest (batch entries inside a batch handler); each
+/// restores the previous one on destruction.
+class SpanCollector {
+ public:
+  SpanCollector();
+  ~SpanCollector();
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  /// The collector installed on this thread, or nullptr.
+  static SpanCollector* Current();
+
+  void Add(SpanRecord record) {
+    if (records_.empty()) records_.reserve(8);  // typical spans per request
+    records_.push_back(std::move(record));
+  }
+  void AddAll(std::vector<SpanRecord> records);
+  /// Drains the collected records (the collector stays installed).
+  std::vector<SpanRecord> Take();
+  size_t size() const { return records_.size(); }
+
+ private:
+  SpanCollector* previous_;
+  std::vector<SpanRecord> records_;
+};
+
+/// Process-wide span buffer, indexed per trace. Disabled by default:
+/// recording costs nothing until SetEnabled(true) (spans still update
+/// histograms).
 class Tracer {
  public:
   static Tracer& Get();
@@ -64,13 +109,27 @@ class Tracer {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Ring capacity (oldest spans are dropped first). Default 8192.
+  /// Total span budget across all traces (whole oldest traces are
+  /// dropped first). Default 8192.
   void SetCapacity(size_t capacity);
+
+  /// Per-trace span cap: a trace id that never stops producing spans (a
+  /// leaked ScopedTraceId, a runaway retry loop) drops its own oldest
+  /// spans past this instead of evicting every other trace. Default 512.
+  void SetPerTraceCapacity(size_t capacity);
 
   void Record(SpanRecord record);
 
-  /// Spans recorded under `trace_id`, in start order.
+  /// Bulk entry point for spans shipped from another process (the
+  /// trailing span section of a response frame): stamps `tag` on every
+  /// record whose tag is still empty, then records them. No-op while the
+  /// tracer is disabled, mirroring locally produced spans.
+  void Ingest(std::vector<SpanRecord> records, const std::string& tag);
+
+  /// Spans recorded under `trace_id`, in start order. O(spans in that
+  /// trace): traces are indexed, not scanned.
   std::vector<SpanRecord> SpansForTrace(uint64_t trace_id) const;
+  /// Every buffered span, grouped by trace, oldest trace first.
   std::vector<SpanRecord> AllSpans() const;
   /// Trace ids currently present in the buffer, oldest first.
   std::vector<uint64_t> TraceIds() const;
@@ -78,16 +137,25 @@ class Tracer {
 
   /// The buffer as a Chrome trace-event JSON array (complete "X" events,
   /// one per span, ts/dur in microseconds, one tid per trace id) —
-  /// loadable as-is in chrome://tracing or Perfetto. Served by the admin
-  /// server's /tracez and written by examples/trace_dump.
+  /// loadable as-is in chrome://tracing or Perfetto. Ingested silo spans
+  /// carry their tag in args. Served by the admin server's /tracez and
+  /// written by examples/trace_dump.
   std::string ExportChromeTrace() const;
 
  private:
   Tracer() = default;
+  void RecordLocked(SpanRecord record);
+  void EvictLocked();
+
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
   size_t capacity_ = 8192;
-  std::deque<SpanRecord> spans_;
+  size_t per_trace_capacity_ = 512;
+  size_t total_spans_ = 0;
+  // Insertion-ordered per-trace index: order_ lists trace ids oldest
+  // first; spans_by_trace_ holds each trace's spans in record order.
+  std::deque<uint64_t> order_;
+  std::unordered_map<uint64_t, std::deque<SpanRecord>> spans_by_trace_;
 };
 
 /// RAII stopwatch behind FRA_TRACE_SPAN. `name` must outlive the span

@@ -48,8 +48,14 @@ std::vector<std::vector<uint8_t>> ValidMessages() {
   };
 }
 
-// Tries every decoder on the payload; none may crash.
+// Tries every decoder on the payload; none may crash. The tolerant
+// layers (trace envelope, span section) run first on a scratch copy —
+// they promise to never fail, only to strip or leave alone.
 void DecodeEverything(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> scratch = payload;
+  (void)StripTraceEnvelope(&scratch);
+  scratch = payload;
+  (void)ExtractSpanSection(&scratch);
   (void)PeekMessageType(payload);
   (void)DecodeSummaryResponse(payload);
   (void)DecodeCellVectorResponse(payload);
@@ -94,6 +100,53 @@ TEST(MessageFuzzTest, RandomGarbageIsHandled) {
       byte = static_cast<uint8_t>(rng.NextUint64(256));
     }
     DecodeEverything(garbage);
+  }
+}
+
+// The span section is a tolerant trailing layer: any truncation or
+// corruption of a response carrying one must either strip a valid
+// section or leave the payload byte-identical — never crash, never
+// mangle.
+TEST(MessageFuzzTest, SpanSectionSurvivesTruncationAndCorruption) {
+  std::vector<SpanRecord> records(3);
+  records[0].trace_id = 9;
+  records[0].name = "silo.local_query";
+  records[1].trace_id = 9;
+  records[1].name = std::string(100, 'n');  // long name crosses buckets
+  records[2].trace_id = 10;
+  records[2].name = "";
+
+  for (const std::vector<uint8_t>& message : ValidMessages()) {
+    std::vector<uint8_t> with_section = message;
+    AppendSpanSection(records, &with_section);
+
+    for (size_t length = 0; length <= with_section.size(); ++length) {
+      std::vector<uint8_t> truncated(with_section.begin(),
+                                     with_section.begin() + length);
+      const std::vector<uint8_t> before = truncated;
+      const std::vector<SpanRecord> out = ExtractSpanSection(&truncated);
+      if (out.empty()) {
+        EXPECT_EQ(truncated, before);  // untouched when nothing extracts
+      }
+      DecodeEverything(truncated);
+    }
+
+    Rng rng(777);
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<uint8_t> corrupted = with_section;
+      const size_t pos = rng.NextUint64(corrupted.size());
+      corrupted[pos] ^= static_cast<uint8_t>(1 + rng.NextUint64(255));
+      const std::vector<uint8_t> before = corrupted;
+      const std::vector<SpanRecord> out = ExtractSpanSection(&corrupted);
+      if (out.empty()) {
+        EXPECT_EQ(corrupted, before);
+      } else {
+        // A flip that leaves the section parseable must still strip it
+        // cleanly down to some prefix of the original payload bytes.
+        EXPECT_LE(corrupted.size(), before.size());
+      }
+      DecodeEverything(corrupted);
+    }
   }
 }
 

@@ -264,6 +264,95 @@ TEST(MessageTest, GridDeltaResponseLegacyFrameDecodesAsVersionZero) {
   EXPECT_EQ((*decoded)[0].cell_id, 3UL);
 }
 
+TEST(MessageTest, SpanSectionRoundTrips) {
+  AggregateSummary summary;
+  summary.Add(3.0);
+  const std::vector<uint8_t> original = EncodeSummaryResponse(summary);
+
+  std::vector<SpanRecord> records(2);
+  records[0].trace_id = 77;
+  records[0].name = "silo.local_query";
+  records[0].start_nanos = 1000;
+  records[0].duration_nanos = 250;
+  records[1].trace_id = 77;
+  records[1].name = "silo.rtree";
+  records[1].start_nanos = 1100;
+  records[1].duration_nanos = 50;
+
+  std::vector<uint8_t> payload = original;
+  AppendSpanSection(records, &payload);
+  EXPECT_GT(payload.size(), original.size());
+
+  const std::vector<SpanRecord> extracted = ExtractSpanSection(&payload);
+  EXPECT_EQ(payload, original);  // the section strips off cleanly
+  ASSERT_EQ(extracted.size(), 2UL);
+  EXPECT_EQ(extracted[0].trace_id, 77UL);
+  EXPECT_EQ(extracted[0].name, "silo.local_query");
+  EXPECT_EQ(extracted[0].start_nanos, 1000UL);
+  EXPECT_EQ(extracted[0].duration_nanos, 250UL);
+  EXPECT_EQ(extracted[1].name, "silo.rtree");
+  EXPECT_TRUE(extracted[0].tag.empty());  // tags never cross the wire
+
+  // And the stripped payload still decodes as the original response.
+  auto decoded = DecodeSummaryResponse(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->count, summary.count);
+}
+
+TEST(MessageTest, SpanSectionEmptyRecordsIsANoOp) {
+  std::vector<uint8_t> payload = EncodeBuildGridRequest();
+  const std::vector<uint8_t> original = payload;
+  AppendSpanSection({}, &payload);
+  EXPECT_EQ(payload, original);
+}
+
+TEST(MessageTest, OldFormatResponseWithoutSectionDecodesUnchanged) {
+  // The tolerance contract: a frame produced by a pre-span-section
+  // build must extract to "no spans" with the payload untouched.
+  AggregateSummary summary;
+  summary.Add(1.0);
+  summary.Add(2.0);
+  for (const std::vector<uint8_t>& frame :
+       {EncodeSummaryResponse(summary),
+        EncodeErrorResponse(Status::Unavailable("down")),
+        EncodeGridPayloadResponse({9, 8, 7}),
+        EncodeBatchResponse({EncodeSummaryResponse(summary)})}) {
+    std::vector<uint8_t> payload = frame;
+    EXPECT_TRUE(ExtractSpanSection(&payload).empty());
+    EXPECT_EQ(payload, frame);
+  }
+}
+
+TEST(MessageTest, MalformedSpanSectionIsTreatedAsNoSpans) {
+  AggregateSummary summary;
+  summary.Add(5.0);
+  const std::vector<uint8_t> original = EncodeSummaryResponse(summary);
+
+  // A payload that happens to end with the magic but whose blob length
+  // points past the payload start.
+  std::vector<uint8_t> oversized = original;
+  for (int shift = 0; shift < 32; shift += 8) {
+    oversized.push_back(static_cast<uint8_t>(0xFF));  // blob_bytes (huge)
+  }
+  for (int shift = 0; shift < 64; shift += 8) {
+    oversized.push_back(
+        static_cast<uint8_t>((kSpanSectionMagic >> shift) & 0xFF));
+  }
+  std::vector<uint8_t> probe = oversized;
+  EXPECT_TRUE(ExtractSpanSection(&probe).empty());
+  EXPECT_EQ(probe, oversized);
+
+  // A well-framed section whose records blob is garbage.
+  std::vector<SpanRecord> records(1);
+  records[0].name = "x";
+  std::vector<uint8_t> corrupted = original;
+  AppendSpanSection(records, &corrupted);
+  corrupted[original.size()] ^= 0x55;  // first blob byte: record count
+  probe = corrupted;
+  EXPECT_TRUE(ExtractSpanSection(&probe).empty());
+  EXPECT_EQ(probe, corrupted);
+}
+
 TEST(MessageTest, BatchResponseDecoderSurfacesWholeBatchError) {
   // A silo that fails to decode the batch frame itself answers with a
   // plain error response; the batch decoder must surface that Status.

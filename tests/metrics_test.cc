@@ -156,8 +156,10 @@ TEST(MetricsRegistryTest, PrometheusExportGolden) {
   h.Observe(5.0);
   h.Observe(20.0);
   const std::string expected =
+      "# HELP fra_federation_silos Silos registered with the provider\n"
       "# TYPE fra_federation_silos gauge\n"
       "fra_federation_silos 6\n"
+      "# HELP fra_queries_total FRA queries executed by algorithm and result\n"
       "# TYPE fra_queries_total counter\n"
       "fra_queries_total{algorithm=\"EXACT\"} 3\n"
       "# TYPE lat_us histogram\n"
@@ -184,6 +186,31 @@ TEST(MetricsRegistryTest, JsonExportGolden) {
   EXPECT_NE(json.find("\"p95\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
   EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, HelpPrecedesTypeAndSetHelpOverrides) {
+  MetricsRegistry registry;
+  registry.GetCounter("fra_queries_total").Increment();
+  registry.GetCounter("custom_total").Increment();
+  std::string text = registry.ExportPrometheus();
+  const size_t help_pos =
+      text.find("# HELP fra_queries_total FRA queries executed");
+  const size_t type_pos = text.find("# TYPE fra_queries_total counter");
+  ASSERT_NE(help_pos, std::string::npos) << text;
+  ASSERT_NE(type_pos, std::string::npos) << text;
+  EXPECT_LT(help_pos, type_pos);
+  // No builtin help for embedder families: bare TYPE until SetHelp.
+  EXPECT_EQ(text.find("# HELP custom_total"), std::string::npos) << text;
+
+  registry.SetHelp("custom_total", "An embedder counter\nsecond line");
+  registry.SetHelp("fra_queries_total", "Overridden");
+  text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("# HELP custom_total An embedder counter\\nsecond line"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP fra_queries_total Overridden"),
+            std::string::npos)
+      << text;
 }
 
 TEST(MetricsRegistryTest, PrometheusEscapesLabelValues) {

@@ -7,6 +7,7 @@
 #include "baseline/brute_force.h"
 #include "federation/federation.h"
 #include "tests/test_util.h"
+#include "util/trace.h"
 
 namespace fra {
 namespace {
@@ -499,6 +500,43 @@ TEST(ServiceProviderTest, RatioEstimateSurvivesZeroSumDenominator) {
     // estimate lands on the federation truth instead of 0.
     EXPECT_NEAR(estimate, exact, 0.05 * exact) << "silo " << silo;
   }
+}
+
+TEST(ServiceProviderTest, TraceSamplingTracesEveryNthQuery) {
+  Tracer::Get().Clear();
+  Tracer::Get().SetEnabled(true);
+
+  InProcessNetwork network;
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+  auto silo =
+      Silo::Create(0, testing::RandomObjects(500, kDomain, 99), silo_options)
+          .ValueOrDie();
+  ASSERT_TRUE(network.RegisterSilo(0, silo.get()).ok());
+  ServiceProvider::Options options;
+  options.audit_sample_rate = 0.0;
+  options.trace_sample_every_n = 4;
+  auto provider = ServiceProvider::Create(&network, options).ValueOrDie();
+
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 10),
+                       AggregateKind::kCount};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(provider->Execute(query, FraAlgorithm::kExact).ok());
+  }
+  // Queries 0 and 4 were sampled; the other six ran untraced.
+  EXPECT_EQ(Tracer::Get().TraceIds().size(), 2UL);
+
+  // A caller-installed trace id bypasses sampling entirely.
+  const uint64_t pinned = NewTraceId();
+  {
+    ScopedTraceId scope(pinned);
+    ASSERT_TRUE(provider->Execute(query, FraAlgorithm::kExact).ok());
+  }
+  EXPECT_FALSE(Tracer::Get().SpansForTrace(pinned).empty());
+
+  Tracer::Get().SetEnabled(false);
+  Tracer::Get().Clear();
 }
 
 }  // namespace

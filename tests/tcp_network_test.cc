@@ -15,6 +15,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <set>
 #include <thread>
 
 #include "federation/service_provider.h"
@@ -308,6 +309,122 @@ TEST(TcpNetworkTest, FullFederationOverLoopbackSockets) {
       tcp_provider->ExecuteBatch(queries, FraAlgorithm::kIidEstLsr);
   ASSERT_TRUE(batch.ok()) << batch.status().ToString();
   EXPECT_EQ(batch->size(), queries.size());
+}
+
+TEST(TcpNetworkTest, StitchedTraceCoversProviderAndSiloSpans) {
+  // The acceptance scenario of cross-silo trace propagation: one query
+  // over the reactor transport yields ONE trace holding the provider's
+  // spans and the silo-side spans shipped back in the response frames'
+  // span sections, tagged with their origin silo.
+  Tracer::Get().Clear();
+  Tracer::Get().SetEnabled(true);
+
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+  std::vector<std::unique_ptr<Silo>> silos;
+  std::vector<std::unique_ptr<TcpSiloServer>> servers;
+  TcpNetwork network;  // reactor mode is the default
+  for (int s = 0; s < 2; ++s) {
+    silos.push_back(
+        Silo::Create(s, testing::RandomObjects(2000, kDomain, 30 + s),
+                     silo_options)
+            .ValueOrDie());
+    servers.push_back(TcpSiloServer::Start(silos.back().get()).ValueOrDie());
+    ASSERT_TRUE(network.AddSilo(s, servers.back()->port()).ok());
+  }
+  ServiceProvider::Options provider_options;
+  provider_options.audit_sample_rate = 0.0;
+  provider_options.trace_sample_every_n = 1;  // both queries must trace
+  auto provider =
+      ServiceProvider::Create(&network, provider_options).ValueOrDie();
+
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 12),
+                       AggregateKind::kCount};
+  for (const FraAlgorithm algorithm :
+       {FraAlgorithm::kExact, FraAlgorithm::kIidEst}) {
+    Tracer::Get().Clear();
+    ASSERT_TRUE(provider->Execute(query, algorithm).ok());
+
+    const std::vector<uint64_t> traces = Tracer::Get().TraceIds();
+    ASSERT_EQ(traces.size(), 1UL)
+        << "one query must produce exactly one trace";
+    const std::vector<SpanRecord> spans =
+        Tracer::Get().SpansForTrace(traces[0]);
+    bool saw_provider = false;
+    std::set<std::string> silo_origins;
+    for (const SpanRecord& span : spans) {
+      if (span.name == "provider.execute") {
+        EXPECT_TRUE(span.tag.empty());
+        saw_provider = true;
+      }
+      if (span.tag.rfind("silo=", 0) == 0) silo_origins.insert(span.tag);
+    }
+    EXPECT_TRUE(saw_provider);
+    if (algorithm == FraAlgorithm::kExact) {
+      // The fan-out touched both silos; both must appear in the trace.
+      EXPECT_EQ(silo_origins.size(), 2UL);
+    } else {
+      // Single-silo sampling: exactly one origin.
+      EXPECT_EQ(silo_origins.size(), 1UL);
+    }
+    // Spans come back in start order and the Chrome export carries the
+    // origin tag for the ingested ones.
+    for (size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i - 1].start_nanos, spans[i].start_nanos);
+    }
+    EXPECT_NE(Tracer::Get().ExportChromeTrace().find("origin"),
+              std::string::npos);
+  }
+
+  Tracer::Get().SetEnabled(false);
+  Tracer::Get().Clear();
+}
+
+TEST(TcpNetworkTest, ReactorTelemetryIsExported) {
+  // Driving traffic through the reactor transport must populate the
+  // fra_reactor_* loop instruments and the per-silo pipeline gauges.
+  EchoEndpoint endpoint;
+  auto server = TcpSiloServer::Start(&endpoint).ValueOrDie();
+  TcpNetwork network;
+  ASSERT_TRUE(network.AddSilo(3, server->port()).ok());
+  const std::vector<uint8_t> payload = {1, 2, 3, 4};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(network.Call(3, payload).ok());
+  }
+
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  uint64_t lag_observations = 0;
+  for (const auto& [labels, hist] :
+       registry.HistogramsNamed("fra_reactor_loop_lag_microseconds")) {
+    bool has_loop_label = false;
+    for (const auto& [key, value] : labels) {
+      if (key == "loop" && !value.empty()) has_loop_label = true;
+    }
+    EXPECT_TRUE(has_loop_label);
+    lag_observations += hist->Count();
+  }
+  EXPECT_GT(lag_observations, 0UL);
+
+  uint64_t wait_observations = 0;
+  for (const auto& [labels, hist] :
+       registry.HistogramsNamed("fra_reactor_epoll_wait_microseconds")) {
+    wait_observations += hist->Count();
+  }
+  EXPECT_GT(wait_observations, 0UL);
+
+  uint64_t depth_observations = 0;
+  for (const auto& [labels, hist] :
+       registry.HistogramsNamed("fra_tcp_pipeline_depth")) {
+    depth_observations += hist->Count();
+  }
+  EXPECT_GT(depth_observations, 0UL);
+
+  // Quiesced client: no unsent bytes may linger in the gauge.
+  EXPECT_EQ(registry
+                .GetGauge("fra_tcp_backpressure_bytes", {{"silo", "3"}})
+                .Value(),
+            0.0);
 }
 
 TEST(TcpNetworkTest, DuplicateRegistrationRejected) {
