@@ -5,10 +5,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_json.h"
+#include "federation/silo.h"
 #include "index/grid_index.h"
 #include "net/message.h"
 #include "net/network.h"
 #include "net/tcp_network.h"
+#include "util/buffer.h"
 #include "util/metrics.h"
 #include "util/random.h"
 #include "util/trace.h"
@@ -21,6 +29,15 @@ class EchoEndpoint : public SiloEndpoint {
   Result<std::vector<uint8_t>> HandleMessage(
       const std::vector<uint8_t>& request) override {
     return request;
+  }
+  // Zero-copy serving path: answer straight from the borrowed view into
+  // a pooled response buffer, the way a real silo does.
+  Result<std::vector<uint8_t>> HandleMessageView(
+      ConstByteSpan request) override {
+    std::vector<uint8_t> response = BufferPool::Default().Acquire(
+        request.size());
+    response.assign(request.begin(), request.end());
+    return response;
   }
 };
 
@@ -178,7 +195,166 @@ void BM_TraceSpanOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceSpanOverhead)->Arg(0)->Arg(1);
 
+// --- Serialization / allocation section (BENCH_micro_net.json) -------------
+//
+// The zero-copy data plane's report card: in-process EXACT aggregate
+// round trips against a real silo, once with BufferPool disabled (the
+// pre-pool allocator behaviour) and once enabled. Reports p50 latency,
+// allocator traffic per query (pool misses = mallocs on the pooled
+// path), pool hit rate, comm bytes per query, and whether the answers
+// are bit-identical across the two modes. FRA_ALLOC_BUDGET (a double)
+// turns the warm-path allocs/query figure into a CI gate.
+
+struct AllocModeReport {
+  double p50_micros = 0;
+  double allocs_per_query = 0;
+  double hit_rate = 0;
+  double comm_bytes_per_query = 0;
+  std::vector<uint8_t> first_response;
+  double exact_answer = 0;
+};
+
+AllocModeReport RunAllocMode(Network* network,
+                             const std::vector<uint8_t>& request,
+                             bool pool_enabled, int warmup, int iters) {
+  BufferPool::SetEnabled(pool_enabled);
+  AllocModeReport report;
+
+  auto round_trip = [&]() {
+    Result<std::vector<uint8_t>> response = network->Call(1, request);
+    FRA_CHECK_OK(response.status());
+    return std::move(response).ValueOrDie();
+  };
+  for (int i = 0; i < warmup; ++i) {
+    BufferPool::Default().Release(round_trip());
+  }
+
+  const BufferPool::Stats pool_before = BufferPool::Default().stats();
+  const uint64_t comm_before = RegistryCommBytes();
+  std::vector<double> micros(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<uint8_t> response = round_trip();
+    const auto stop = std::chrono::steady_clock::now();
+    micros[static_cast<size_t>(i)] =
+        std::chrono::duration<double, std::micro>(stop - start).count();
+    if (i == 0) report.first_response = response;
+    BufferPool::Default().Release(std::move(response));
+  }
+  const BufferPool::Stats pool_after = BufferPool::Default().stats();
+  const uint64_t comm_after = RegistryCommBytes();
+
+  std::sort(micros.begin(), micros.end());
+  report.p50_micros = micros[micros.size() / 2];
+  const double hits =
+      static_cast<double>(pool_after.hits - pool_before.hits);
+  const double misses =
+      static_cast<double>(pool_after.misses - pool_before.misses);
+  report.allocs_per_query = misses / iters;
+  report.hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0.0;
+  report.comm_bytes_per_query =
+      static_cast<double>(comm_after - comm_before) / iters;
+
+  Result<AggregateSummary> summary =
+      DecodeSummaryResponse(report.first_response);
+  if (summary.ok()) {
+    report.exact_answer = static_cast<double>(summary.ValueOrDie().count);
+  }
+  return report;
+}
+
+void WriteAllocModeJson(bench::JsonWriter* json, const char* key,
+                        const AllocModeReport& report) {
+  json->Key(key).BeginObject();
+  json->Key("p50_micros").Number(report.p50_micros);
+  json->Key("allocs_per_query").Number(report.allocs_per_query);
+  json->Key("pool_hit_rate").Number(report.hit_rate);
+  json->Key("comm_bytes_per_query").Number(report.comm_bytes_per_query);
+  json->Key("exact_count").Number(report.exact_answer);
+  json->EndObject();
+}
+
+/// Returns 0, or 1 when FRA_ALLOC_BUDGET is set and the warm pooled path
+/// exceeds it.
+int RunAllocSection() {
+  const Rect domain{{0, 0}, {40, 40}};
+  Rng rng(7);
+  ObjectSet objects;
+  for (int i = 0; i < 20000; ++i) {
+    objects.push_back({{rng.NextDouble(0, 40), rng.NextDouble(0, 40)},
+                       static_cast<double>(rng.NextInt64(0, 4))});
+  }
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = domain;
+  silo_options.grid_spec.cell_length = 2.0;
+  silo_options.build_lsr = false;
+  silo_options.build_histogram = false;
+  auto silo = Silo::Create(1, std::move(objects), silo_options).ValueOrDie();
+  InProcessNetwork network;
+  FRA_CHECK_OK(network.RegisterSilo(1, silo.get()));
+
+  AggregateRequest request;
+  request.range = QueryRange::MakeCircle({20, 20}, 9.0);
+  request.mode = LocalQueryMode::kExact;
+  const std::vector<uint8_t> encoded = request.Encode();
+
+  constexpr int kWarmup = 500;
+  constexpr int kIters = 5000;
+  const AllocModeReport pool_off =
+      RunAllocMode(&network, encoded, false, kWarmup, kIters);
+  const AllocModeReport pool_on =
+      RunAllocMode(&network, encoded, true, kWarmup, kIters);
+  BufferPool::SetEnabled(true);
+
+  const bool bit_identical = pool_off.first_response == pool_on.first_response;
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("micro_net");
+  json.Key("git_sha").String(bench::GitSha());
+  json.Key("queries").Int(kIters);
+  WriteAllocModeJson(&json, "pool_off", pool_off);
+  WriteAllocModeJson(&json, "pool_on", pool_on);
+  json.Key("p50_speedup")
+      .Number(pool_on.p50_micros > 0
+                  ? pool_off.p50_micros / pool_on.p50_micros
+                  : 0.0);
+  json.Key("exact_bit_identical").Bool(bit_identical);
+  json.EndObject();
+  bench::WriteJsonFile("BENCH_micro_net.json", json.str());
+
+  std::printf(
+      "alloc section: p50 %.2fus (pool off) -> %.2fus (pool on), "
+      "allocs/query %.3f -> %.3f, hit rate %.3f, bit-identical %s\n",
+      pool_off.p50_micros, pool_on.p50_micros, pool_off.allocs_per_query,
+      pool_on.allocs_per_query, pool_on.hit_rate,
+      bit_identical ? "yes" : "no");
+
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: EXACT response bytes differ between pool modes\n");
+    return 1;
+  }
+  if (const char* budget_env = std::getenv("FRA_ALLOC_BUDGET")) {
+    const double budget = std::atof(budget_env);
+    if (pool_on.allocs_per_query > budget) {
+      std::fprintf(stderr,
+                   "FAIL: warm pooled path allocates %.3f buffers/query, "
+                   "budget FRA_ALLOC_BUDGET=%.3f\n",
+                   pool_on.allocs_per_query, budget);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace fra
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return fra::RunAllocSection();
+}

@@ -35,6 +35,7 @@
 #include "federation/service_provider.h"
 #include "federation/silo.h"
 #include "net/tcp_network.h"
+#include "util/buffer.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/random.h"
@@ -401,6 +402,72 @@ int main() {
   }
   json.EndArray();
   json.EndObject();  // tcp_coalescing
+
+  // --- Buffer pool A/B over the same TCP federation -----------------------
+  //
+  // Same workload, coalescing on both times; only the data plane's
+  // BufferPool flips. The delta isolates what slab recycling and the
+  // scatter-gather wire path save once batching has already amortised
+  // the syscalls. EXACT answers must not move — recycled buffers change
+  // performance, never bytes.
+  fra::BufferPool::SetEnabled(false);
+  auto pool_off_run = RunTcpSweep(&network, coalesce_workload, on);
+  fra::BufferPool::SetEnabled(true);
+  auto pool_on_run = RunTcpSweep(&network, coalesce_workload, on);
+  if (!pool_off_run.ok() || !pool_on_run.ok()) {
+    std::fprintf(stderr, "buffer-pool sweep failed\n");
+    return 1;
+  }
+
+  bool pool_bit_identical = true;
+  {
+    fra::ServiceProvider::Options exact_options;
+    exact_options.audit_sample_rate = 0.0;
+    auto exact_provider =
+        fra::ServiceProvider::Create(&network, exact_options).ValueOrDie();
+    const size_t probes = std::min<size_t>(coalesce_workload.size(), 16);
+    for (size_t i = 0; i < probes; ++i) {
+      fra::BufferPool::SetEnabled(false);
+      const double off_answer =
+          exact_provider
+              ->Execute(coalesce_workload[i], fra::FraAlgorithm::kExact)
+              .ValueOrDie();
+      fra::BufferPool::SetEnabled(true);
+      const double on_answer =
+          exact_provider
+              ->Execute(coalesce_workload[i], fra::FraAlgorithm::kExact)
+              .ValueOrDie();
+      if (off_answer != on_answer) pool_bit_identical = false;
+    }
+  }
+
+  std::printf("\n=== Buffer pool A/B (coalescing on) ===\n");
+  std::printf("%-12s %12s %12s %12s\n", "pool", "qps", "p50(us)", "p99(us)");
+  std::printf("%-12s %12.1f %12.1f %12.1f\n", "off", pool_off_run->qps,
+              pool_off_run->p50_us, pool_off_run->p99_us);
+  std::printf("%-12s %12.1f %12.1f %12.1f\n", "on", pool_on_run->qps,
+              pool_on_run->p50_us, pool_on_run->p99_us);
+  std::printf("pool p50 delta: %.1fus -> %.1fus, exact bit-identical: %s\n",
+              pool_off_run->p50_us, pool_on_run->p50_us,
+              pool_bit_identical ? "yes" : "no");
+
+  json.Key("buffer_pool").BeginObject();
+  json.Key("off").BeginObject();
+  json.Key("qps").Number(pool_off_run->qps);
+  json.Key("p50_us").Number(pool_off_run->p50_us);
+  json.Key("p99_us").Number(pool_off_run->p99_us);
+  json.EndObject();
+  json.Key("on").BeginObject();
+  json.Key("qps").Number(pool_on_run->qps);
+  json.Key("p50_us").Number(pool_on_run->p50_us);
+  json.Key("p99_us").Number(pool_on_run->p99_us);
+  json.EndObject();
+  json.Key("p50_speedup")
+      .Number(pool_on_run->p50_us > 0
+                  ? pool_off_run->p50_us / pool_on_run->p50_us
+                  : 0.0);
+  json.Key("exact_bit_identical").Bool(pool_bit_identical);
+  json.EndObject();  // buffer_pool
   json.EndObject();  // root
 
   fra::bench::WriteJsonFile("BENCH_throughput.json", json.str());

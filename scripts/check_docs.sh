@@ -95,6 +95,16 @@ while IFS= read -r metric; do
   fi
 done <<<"${registered}"
 
+echo "== docs-check: buffer-pool metric families documented =="
+# The fra_bufpool_* families are the observable surface of the zero-copy
+# data plane; they must stay documented where operators look for them
+# (guard 3 accepts any doc — these are pinned to observability.md).
+for family in fra_bufpool_acquires_total fra_bufpool_releases_total \
+              fra_bufpool_free_bytes fra_bufpool_free_buffers; do
+  grep -q "${family}" docs/observability.md \
+    || fail "buffer-pool family '${family}' missing from docs/observability.md"
+done
+
 if [[ ${failures} -gt 0 ]]; then
   echo "docs-check: ${failures} failure(s)" >&2
   exit 1

@@ -6,9 +6,10 @@
 #   scripts/ci.sh sanitize        # ASan+UBSan, observability-labeled tests
 #   scripts/ci.sh sanitize-thread # TSan, net-labeled tests (reactor/TCP/coalescer)
 #   scripts/ci.sh bench-smoke     # bench harnesses at smoke scale + BENCH_*.json
+#   scripts/ci.sh alloc-smoke     # warm-path allocation budget (buffer pool)
 #   scripts/ci.sh metrics-lint    # boot an AdminServer, scrape + lint /metrics
 #   scripts/ci.sh docs-check      # docs link + metric-drift check (no build)
-#   scripts/ci.sh                 # all seven stages in sequence
+#   scripts/ci.sh                 # all eight stages in sequence
 #
 # Each stage uses its own build tree under build-ci/ so stages cannot
 # poison one another's CMake cache.
@@ -41,6 +42,26 @@ run_stage() {
     echo "=== stage ${stage}: scrape + lint ==="
     "${REPO_ROOT}/scripts/check_metrics_exposition.sh" \
       "${build_dir}/examples/admin_scrape_target"
+    echo "=== stage ${stage}: OK ==="
+    return
+  fi
+
+  # alloc-smoke builds the micro-net bench and runs only its allocation
+  # section: the warm pooled path must stay under the pinned
+  # FRA_ALLOC_BUDGET (allocator calls per query) and the pool-on/off
+  # EXACT answers must be bit-identical. Catches anyone reintroducing a
+  # per-frame copy or malloc on the zero-copy data plane.
+  if [[ "${stage}" == "alloc-smoke" ]]; then
+    local build_dir="${REPO_ROOT}/build-ci/${stage}"
+    echo "=== stage ${stage}: configure ==="
+    cmake -S "${REPO_ROOT}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release \
+      -DFRA_ENABLE_TRACING=ON
+    echo "=== stage ${stage}: build ==="
+    cmake --build "${build_dir}" -j "${JOBS}" --target bench_micro_net
+    echo "=== stage ${stage}: allocation budget ==="
+    (cd "${build_dir}" &&
+     FRA_ALLOC_BUDGET=0.5 \
+       ./bench/bench_micro_net --benchmark_filter='^$')
     echo "=== stage ${stage}: OK ==="
     return
   fi
@@ -91,7 +112,7 @@ run_stage() {
       ;;
     *)
       echo "unknown stage: ${stage}" >&2
-      echo "usage: $0 [tracing-on|tracing-off|sanitize|sanitize-thread|bench-smoke|metrics-lint|docs-check]" >&2
+      echo "usage: $0 [tracing-on|tracing-off|sanitize|sanitize-thread|bench-smoke|alloc-smoke|metrics-lint|docs-check]" >&2
       exit 2
       ;;
   esac
@@ -116,7 +137,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-  for stage in docs-check tracing-on tracing-off sanitize sanitize-thread bench-smoke metrics-lint; do
+  for stage in docs-check tracing-on tracing-off sanitize sanitize-thread bench-smoke alloc-smoke metrics-lint; do
     run_stage "${stage}"
   done
 else

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/build_info.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -198,6 +199,14 @@ HttpResponse Statusz(ServiceProvider* provider) {
   } else {
     out << "null,\n";
   }
+
+  const BufferPool::Stats pool = BufferPool::Default().stats();
+  out << "  \"buffer_pool\": {\"enabled\": " << BufferPool::enabled()
+      << ", \"hits\": " << pool.hits << ", \"misses\": " << pool.misses
+      << ", \"pooled\": " << pool.pooled
+      << ", \"discarded\": " << pool.discarded
+      << ", \"free_bytes\": " << pool.free_bytes
+      << ", \"free_buffers\": " << pool.free_buffers << "},\n";
 
   const CommStats::Snapshot comm = provider->comm();
   out << "  \"comm\": {\"messages\": " << comm.messages

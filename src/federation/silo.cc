@@ -343,6 +343,10 @@ Silo::IndexMemory Silo::MemoryUsage() const {
 
 Result<std::vector<uint8_t>> Silo::HandleMessage(
     const std::vector<uint8_t>& request) {
+  return HandleMessageView(ConstByteSpan(request));
+}
+
+Result<std::vector<uint8_t>> Silo::HandleMessageView(ConstByteSpan request) {
   FRA_TRACE_SPAN("silo.handle_message");
   FRA_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(request));
   if (type == MessageType::kAggregateBatchRequest) {
@@ -370,10 +374,12 @@ ThreadPool* Silo::batch_pool() {
   return batch_pool_.get();
 }
 
-Result<std::vector<uint8_t>> Silo::HandleBatchRequest(
-    const std::vector<uint8_t>& request) {
+Result<std::vector<uint8_t>> Silo::HandleBatchRequest(ConstByteSpan request) {
   FRA_TRACE_SPAN("silo.handle_batch");
-  auto entries = DecodeBatchRequest(request);
+  // The entry table is parsed as borrowed views into the batch frame —
+  // no per-entry copy; the frame bytes stay alive (owned by the
+  // transport) for the whole dispatch.
+  auto entries = DecodeBatchRequestViews(request);
   if (!entries.ok()) return EncodeErrorResponse(entries.status());
 
   // One answer slot per entry; positions are the batch contract. A failed
@@ -388,9 +394,8 @@ Result<std::vector<uint8_t>> Silo::HandleBatchRequest(
   std::vector<std::vector<uint8_t>> responses(entries->size());
   std::mutex spans_mu;
   std::vector<SpanRecord> gathered;
-  auto answer = [this, &spans_mu,
-                 &gathered](std::vector<uint8_t> entry) {
-    const uint64_t entry_trace = StripTraceEnvelope(&entry);
+  auto answer = [this, &spans_mu, &gathered](ConstByteSpan entry) {
+    const uint64_t entry_trace = StripTraceEnvelopeView(&entry);
     ScopedTraceId trace_scope(entry_trace);
     SpanCollector collector;
     auto respond = [&]() -> std::vector<uint8_t> {
@@ -420,11 +425,11 @@ Result<std::vector<uint8_t>> Silo::HandleBatchRequest(
     // saves wire round trips and framing, not silo CPU.
     std::lock_guard<std::mutex> lock(execution_mu_);
     for (size_t i = 0; i < entries->size(); ++i) {
-      responses[i] = answer(std::move((*entries)[i]));
+      responses[i] = answer((*entries)[i]);
     }
   } else {
     ParallelFor(batch_pool(), entries->size(),
-                [&](size_t i) { responses[i] = answer(std::move((*entries)[i])); });
+                [&](size_t i) { responses[i] = answer((*entries)[i]); });
   }
   if (!gathered.empty()) {
     if (SpanCollector* ambient = SpanCollector::Current()) {
@@ -441,8 +446,8 @@ Result<std::vector<uint8_t>> Silo::HandleBatchRequest(
   return EncodeBatchResponse(responses);
 }
 
-Result<std::vector<uint8_t>> Silo::HandleSingleLocked(
-    MessageType type, const std::vector<uint8_t>& request) {
+Result<std::vector<uint8_t>> Silo::HandleSingleLocked(MessageType type,
+                                                      ConstByteSpan request) {
   BinaryReader reader(request);
 
   // Everything leaving the silo passes the DP boundary: scalar answers,
@@ -460,18 +465,26 @@ Result<std::vector<uint8_t>> Silo::HandleSingleLocked(
   switch (type) {
     case MessageType::kBuildGridRequest: {
       FRA_TRACE_SPAN("silo.build_grid");
-      BinaryWriter grid_writer;
+      // Serialize the grid straight into the framed response and
+      // backpatch the length prefix, instead of encoding into a scratch
+      // buffer and copying it through EncodeGridPayloadResponse — the
+      // grid payload is the largest message the silo ever ships.
+      BinaryWriter writer = BinaryWriter::Pooled(1 + sizeof(uint32_t));
+      writer.WriteU8(static_cast<uint8_t>(MessageType::kGridPayloadResponse));
+      writer.WriteU32(0);  // grid_bytes placeholder, patched below
+      const size_t grid_start = writer.size();
       if (dp_->enabled()) {
         GridIndex noisy = grid_;
         for (size_t cell = 0; cell < noisy.num_cells(); ++cell) {
           noisy.SetCell(cell, dp_->Perturb(noisy.cell(cell)));
         }
         noisy.CommitUpdates();
-        noisy.Serialize(&grid_writer);
+        noisy.Serialize(&writer);
       } else {
-        grid_.Serialize(&grid_writer);
+        grid_.Serialize(&writer);
       }
-      return EncodeGridPayloadResponse(grid_writer.buffer());
+      writer.PatchU32(1, static_cast<uint32_t>(writer.size() - grid_start));
+      return writer.Release();
     }
     case MessageType::kAggregateRequest: {
       auto decoded = AggregateRequest::Decode(&reader);

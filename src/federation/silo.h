@@ -154,23 +154,28 @@ class Silo : public SiloEndpoint {
   IndexMemory MemoryUsage() const;
 
   // --- SiloEndpoint ---
+  /// Copying entry point, delegates to HandleMessageView.
   Result<std::vector<uint8_t>> HandleMessage(
       const std::vector<uint8_t>& request) override;
+  /// The real dispatch: decodes the transport's bytes in place (the view
+  /// is only read for the duration of the call) and returns pooled
+  /// response buffers — the zero-copy half of silo-side serving.
+  Result<std::vector<uint8_t>> HandleMessageView(
+      ConstByteSpan request) override;
 
  private:
   Silo() = default;
 
   /// Dispatches one decoded (non-batch) request; callers hold
   /// execution_mu_ when serialize_execution is on.
-  Result<std::vector<uint8_t>> HandleSingleLocked(
-      MessageType type, const std::vector<uint8_t>& request);
+  Result<std::vector<uint8_t>> HandleSingleLocked(MessageType type,
+                                                  ConstByteSpan request);
   /// kAggregateBatchRequest: decodes the entry table and answers every
   /// entry — serially under the execution lock for a single-core silo, in
   /// parallel on the local batch pool otherwise. Per-entry failures are
   /// embedded as error-response entries so the batch itself still
   /// round-trips.
-  Result<std::vector<uint8_t>> HandleBatchRequest(
-      const std::vector<uint8_t>& request);
+  Result<std::vector<uint8_t>> HandleBatchRequest(ConstByteSpan request);
   /// The lazily created batch worker pool.
   ThreadPool* batch_pool();
 

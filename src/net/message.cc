@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 
 namespace fra {
 namespace {
@@ -68,8 +69,8 @@ Status ValidateFramePayloadSize(size_t payload_size) {
 
 std::vector<uint8_t> WrapWithTraceId(uint64_t trace_id,
                                      const std::vector<uint8_t>& payload) {
-  std::vector<uint8_t> wrapped;
-  wrapped.reserve(kTraceEnvelopeBytes + payload.size());
+  std::vector<uint8_t> wrapped =
+      BufferPool::Default().Acquire(kTraceEnvelopeBytes + payload.size());
   wrapped.push_back(kTraceEnvelopeTag);
   for (int shift = 0; shift < 64; shift += 8) {
     wrapped.push_back(static_cast<uint8_t>(trace_id >> shift));
@@ -93,15 +94,29 @@ uint64_t StripTraceEnvelope(std::vector<uint8_t>* payload) {
   return trace_id;
 }
 
+uint64_t StripTraceEnvelopeView(ConstByteSpan* payload) {
+  if (payload->size() < kTraceEnvelopeBytes ||
+      payload->data()[0] != kTraceEnvelopeTag) {
+    return 0;
+  }
+  uint64_t trace_id = 0;
+  for (int i = 0; i < 8; ++i) {
+    trace_id |= static_cast<uint64_t>(payload->data()[1 + i]) << (8 * i);
+  }
+  *payload = payload->Subspan(kTraceEnvelopeBytes,
+                              payload->size() - kTraceEnvelopeBytes);
+  return trace_id;
+}
+
 void AppendSpanSection(const std::vector<SpanRecord>& records,
                        std::vector<uint8_t>* payload) {
   if (records.empty()) return;
-  BinaryWriter writer;
   size_t blob_bytes = sizeof(uint32_t);
   for (const SpanRecord& record : records) {
     blob_bytes += 3 * sizeof(uint64_t) + sizeof(uint32_t) + record.name.size();
   }
-  writer.Reserve(blob_bytes + kSpanSectionFooterBytes);
+  BinaryWriter writer =
+      BinaryWriter::Pooled(blob_bytes + kSpanSectionFooterBytes);
   writer.WriteU32(static_cast<uint32_t>(records.size()));
   for (const SpanRecord& record : records) {
     writer.WriteU64(record.trace_id);
@@ -113,6 +128,7 @@ void AppendSpanSection(const std::vector<SpanRecord>& records,
   writer.WriteU64(kSpanSectionMagic);
   payload->insert(payload->end(), writer.buffer().begin(),
                   writer.buffer().end());
+  BufferPool::Default().Release(writer.Release());
 }
 
 std::vector<SpanRecord> ExtractSpanSection(std::vector<uint8_t>* payload) {
@@ -208,7 +224,7 @@ Status DeserializeRange(BinaryReader* reader, QueryRange* out) {
 }
 
 std::vector<uint8_t> AggregateRequest::Encode() const {
-  BinaryWriter writer;
+  BinaryWriter writer = BinaryWriter::Pooled(64);
   writer.WriteU8(static_cast<uint8_t>(MessageType::kAggregateRequest));
   SerializeRange(range, &writer);
   writer.WriteU8(static_cast<uint8_t>(mode));
@@ -237,7 +253,7 @@ Result<AggregateRequest> AggregateRequest::Decode(BinaryReader* reader) {
 }
 
 std::vector<uint8_t> CellVectorRequest::Encode() const {
-  BinaryWriter writer;
+  BinaryWriter writer = BinaryWriter::Pooled(64);
   writer.WriteU8(static_cast<uint8_t>(MessageType::kCellVectorRequest));
   SerializeRange(range, &writer);
   writer.WriteU8(static_cast<uint8_t>(mode));
@@ -274,8 +290,13 @@ Result<MessageType> PeekMessageType(const std::vector<uint8_t>& payload) {
   return static_cast<MessageType>(payload[0]);
 }
 
+Result<MessageType> PeekMessageType(ConstByteSpan payload) {
+  if (payload.empty()) return Status::InvalidArgument("empty message");
+  return static_cast<MessageType>(payload.data()[0]);
+}
+
 std::vector<uint8_t> EncodeSummaryResponse(const AggregateSummary& summary) {
-  BinaryWriter writer;
+  BinaryWriter writer = BinaryWriter::Pooled(64);
   writer.WriteU8(static_cast<uint8_t>(MessageType::kSummaryResponse));
   summary.Serialize(&writer);
   return writer.Release();
@@ -285,10 +306,9 @@ namespace {
 
 std::vector<uint8_t> EncodeCellList(MessageType type,
                                     const std::vector<CellContribution>& cells) {
-  BinaryWriter writer;
-  writer.Reserve(1 + sizeof(uint32_t) +
-                 cells.size() *
-                     (sizeof(uint32_t) + AggregateSummary::kWireSize));
+  BinaryWriter writer = BinaryWriter::Pooled(
+      1 + sizeof(uint32_t) +
+      cells.size() * (sizeof(uint32_t) + AggregateSummary::kWireSize));
   writer.WriteU8(static_cast<uint8_t>(type));
   writer.WriteU32(static_cast<uint32_t>(cells.size()));
   for (const CellContribution& cell : cells) {
@@ -339,8 +359,8 @@ std::vector<uint8_t> EncodeCellVectorResponse(
 
 std::vector<uint8_t> EncodeGridPayloadResponse(
     const std::vector<uint8_t>& grid_bytes) {
-  BinaryWriter writer;
-  writer.Reserve(1 + sizeof(uint32_t) + grid_bytes.size());
+  BinaryWriter writer =
+      BinaryWriter::Pooled(1 + sizeof(uint32_t) + grid_bytes.size());
   writer.WriteU8(static_cast<uint8_t>(MessageType::kGridPayloadResponse));
   writer.WriteU32(static_cast<uint32_t>(grid_bytes.size()));
   writer.AppendRaw(grid_bytes.data(), grid_bytes.size());
@@ -348,7 +368,8 @@ std::vector<uint8_t> EncodeGridPayloadResponse(
 }
 
 std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
-  BinaryWriter writer;
+  BinaryWriter writer =
+      BinaryWriter::Pooled(2 + sizeof(uint32_t) + status.message().size());
   writer.WriteU8(static_cast<uint8_t>(MessageType::kErrorResponse));
   writer.WriteU8(static_cast<uint8_t>(status.code()));
   writer.WriteString(status.message());
@@ -378,13 +399,14 @@ std::vector<uint8_t> EncodeGridDeltaRequest() {
 
 std::vector<uint8_t> EncodeGridDeltaResponse(
     const std::vector<CellContribution>& cells, uint64_t data_version) {
+  // Append the version in place instead of re-encoding through a second
+  // writer (the cell list is the bulk of the payload).
   std::vector<uint8_t> payload =
       EncodeCellList(MessageType::kGridDeltaResponse, cells);
-  BinaryWriter writer;
-  writer.Reserve(payload.size() + sizeof(uint64_t));
-  writer.AppendRaw(payload.data(), payload.size());
-  writer.WriteU64(data_version);
-  return writer.Release();
+  const size_t offset = payload.size();
+  payload.resize(offset + sizeof(uint64_t));
+  std::memcpy(payload.data() + offset, &data_version, sizeof(uint64_t));
+  return payload;
 }
 
 Result<std::vector<CellContribution>> DecodeGridDeltaResponse(
@@ -423,12 +445,11 @@ namespace {
 
 std::vector<uint8_t> EncodeBatchFrame(
     MessageType type, const std::vector<std::vector<uint8_t>>& entries) {
-  BinaryWriter writer;
   size_t total = 1 + sizeof(uint32_t);
   for (const std::vector<uint8_t>& entry : entries) {
     total += sizeof(uint32_t) + entry.size();
   }
-  writer.Reserve(total);
+  BinaryWriter writer = BinaryWriter::Pooled(total);
   writer.WriteU8(static_cast<uint8_t>(type));
   writer.WriteU32(static_cast<uint32_t>(entries.size()));
   for (const std::vector<uint8_t>& entry : entries) {
@@ -462,6 +483,27 @@ Result<std::vector<std::vector<uint8_t>>> DecodeBatchEntries(
   return entries;
 }
 
+// View counterpart of DecodeBatchEntries: the spans alias the reader's
+// input, so nothing is copied per entry.
+Result<std::vector<ConstByteSpan>> DecodeBatchEntryViews(
+    BinaryReader* reader) {
+  uint32_t n = 0;
+  FRA_RETURN_NOT_OK(reader->ReadU32(&n));
+  if (static_cast<size_t>(n) > reader->Remaining() / sizeof(uint32_t)) {
+    return Status::OutOfRange("batch entry table exceeds payload");
+  }
+  std::vector<ConstByteSpan> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t length = 0;
+    FRA_RETURN_NOT_OK(reader->ReadU32(&length));
+    ConstByteSpan entry;
+    FRA_RETURN_NOT_OK(reader->ReadBytesView(length, &entry));
+    entries.push_back(entry);
+  }
+  return entries;
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeBatchRequest(
@@ -490,6 +532,22 @@ Result<std::vector<std::vector<uint8_t>>> DecodeBatchResponse(
   FRA_RETURN_NOT_OK(
       ConsumeResponseHeader(&reader, MessageType::kAggregateBatchResponse));
   return DecodeBatchEntries(&reader);
+}
+
+Result<std::vector<ConstByteSpan>> DecodeBatchRequestViews(
+    ConstByteSpan payload) {
+  BinaryReader reader(payload);
+  FRA_RETURN_NOT_OK(
+      ExpectType(&reader, MessageType::kAggregateBatchRequest));
+  return DecodeBatchEntryViews(&reader);
+}
+
+Result<std::vector<ConstByteSpan>> DecodeBatchResponseViews(
+    ConstByteSpan payload) {
+  BinaryReader reader(payload);
+  FRA_RETURN_NOT_OK(
+      ConsumeResponseHeader(&reader, MessageType::kAggregateBatchResponse));
+  return DecodeBatchEntryViews(&reader);
 }
 
 }  // namespace fra

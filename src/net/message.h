@@ -7,6 +7,7 @@
 
 #include "agg/aggregate.h"
 #include "geo/range.h"
+#include "util/buffer.h"
 #include "util/result.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -73,6 +74,12 @@ std::vector<uint8_t> WrapWithTraceId(uint64_t trace_id,
 /// and returns 0. Never fails: a truncated envelope (< 9 bytes) is left
 /// in place for the message decoder to reject.
 uint64_t StripTraceEnvelope(std::vector<uint8_t>* payload);
+
+/// Borrowed-view variant: advances `*payload` past the envelope instead
+/// of erasing bytes, so transports can strip the envelope without the
+/// memmove of the bytes behind it. The underlying buffer must outlive
+/// the view.
+uint64_t StripTraceEnvelopeView(ConstByteSpan* payload);
 
 /// Span section: the reverse half of trace propagation. A silo that
 /// recorded spans while serving a traced request ships them back as a
@@ -148,6 +155,7 @@ struct CellContribution {
 
 /// Reads the type tag without consuming the rest of the payload.
 Result<MessageType> PeekMessageType(const std::vector<uint8_t>& payload);
+Result<MessageType> PeekMessageType(ConstByteSpan payload);
 
 /// Encoders for the response kinds.
 std::vector<uint8_t> EncodeSummaryResponse(const AggregateSummary& summary);
@@ -183,6 +191,15 @@ std::vector<uint8_t> EncodeBatchResponse(
     const std::vector<std::vector<uint8_t>>& entries);
 Result<std::vector<std::vector<uint8_t>>> DecodeBatchResponse(
     const std::vector<uint8_t>& payload);
+
+/// Borrowed-view batch decoders: each returned span aliases `payload`'s
+/// entry table in place (no per-entry copy) and is valid only while the
+/// backing payload lives. The silo's batched dispatch and the
+/// coalescer's response scatter both parse entries this way.
+Result<std::vector<ConstByteSpan>> DecodeBatchRequestViews(
+    ConstByteSpan payload);
+Result<std::vector<ConstByteSpan>> DecodeBatchResponseViews(
+    ConstByteSpan payload);
 
 /// Delta sync (streaming ingest): the provider polls a silo for the grid
 /// cells that changed since the last poll; the silo answers with their

@@ -87,6 +87,39 @@ void Network::CallAsyncImpl(int silo_id, const std::vector<uint8_t>& request,
   done(CallImpl(silo_id, request));
 }
 
+void Network::CallAsyncChunks(int silo_id, std::vector<BufferRef> chunks,
+                              CallCallback done) {
+  const auto start = std::chrono::steady_clock::now();
+  CallAsyncChunksImpl(
+      silo_id, std::move(chunks),
+      [this, silo_id, start,
+       done = std::move(done)](Result<std::vector<uint8_t>> response) {
+        const double micros =
+            std::chrono::duration_cast<std::chrono::duration<double,
+                                                             std::micro>>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        if (response.ok()) IngestResponseSpans(silo_id, &*response);
+        RecordOutcome(silo_id, response.status(), micros);
+        done(std::move(response));
+      });
+}
+
+void Network::CallAsyncChunksImpl(int silo_id, std::vector<BufferRef> chunks,
+                                  CallCallback done) {
+  size_t total = 0;
+  for (const BufferRef& chunk : chunks) total += chunk.size();
+  std::vector<uint8_t> request = BufferPool::Default().Acquire(total);
+  for (const BufferRef& chunk : chunks) {
+    request.insert(request.end(), chunk.data(), chunk.data() + chunk.size());
+  }
+  chunks.clear();  // return the per-chunk buffers to the pool now
+  CallAsyncImpl(silo_id, request, std::move(done));
+  // CallAsyncImpl must not retain the reference past return (its callers
+  // pass stack vectors), so the joined buffer can go back to the pool.
+  BufferPool::Default().Release(std::move(request));
+}
+
 Status InProcessNetwork::RegisterSilo(int silo_id, SiloEndpoint* endpoint) {
   if (endpoint == nullptr) {
     return Status::InvalidArgument("null silo endpoint");
@@ -129,7 +162,10 @@ Result<std::vector<uint8_t>> InProcessNetwork::CallImpl(
   // silo=<id> tags, no wire bytes.
   std::optional<SpanCollector> collector;
   if (CurrentTraceId() != 0) collector.emplace();
-  Result<std::vector<uint8_t>> handled = endpoint->HandleMessage(request);
+  // Borrowed-view dispatch: the silo decodes the caller's encoded bytes
+  // in place — the zero-copy half of the in-process transport.
+  Result<std::vector<uint8_t>> handled =
+      endpoint->HandleMessageView(ConstByteSpan(request));
   if (collector.has_value()) {
     std::vector<SpanRecord> records = collector->Take();
     collector.reset();

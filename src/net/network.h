@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/metrics.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -90,6 +91,18 @@ class SiloEndpoint {
   virtual ~SiloEndpoint() = default;
   virtual Result<std::vector<uint8_t>> HandleMessage(
       const std::vector<uint8_t>& request) = 0;
+
+  /// Borrowed-view entry point: the request bytes stay owned by the
+  /// transport and are only valid for the duration of the call. The
+  /// zero-copy transports (in-process, the reactor TCP server) dispatch
+  /// through this; the default bridges to HandleMessage with one copy,
+  /// so existing endpoints keep working unchanged. Implementations that
+  /// decode in place (Silo) override it and make HandleMessage the
+  /// delegating shim instead.
+  virtual Result<std::vector<uint8_t>> HandleMessageView(
+      ConstByteSpan request) {
+    return HandleMessage(request.ToVector());
+  }
 };
 
 /// Observes the outcome of every Network::Call — the hook the
@@ -148,6 +161,15 @@ class Network {
   void CallAsync(int silo_id, const std::vector<uint8_t>& request,
                  CallCallback done);
 
+  /// Scatter-gather variant of CallAsync: the request payload is the
+  /// concatenation of `chunks`, which the transport may ship as an iovec
+  /// list without ever materialising the joined buffer (the reactor TCP
+  /// client queues one frame-writer chunk per ref). Outcome accounting is
+  /// identical to CallAsync. Transports without a scatter path fall back
+  /// to concatenating once and calling their CallAsyncImpl.
+  void CallAsyncChunks(int silo_id, std::vector<BufferRef> chunks,
+                       CallCallback done);
+
   /// The event-loop substrate driving this transport's async calls, or
   /// nullptr for purely synchronous transports. The RequestCoalescer
   /// uses it to flush deadline-triggered batches from the reactor
@@ -184,6 +206,12 @@ class Network {
   /// invoke `done` exactly once and leave outcome recording to CallAsync.
   virtual void CallAsyncImpl(int silo_id, const std::vector<uint8_t>& request,
                              CallCallback done);
+
+  /// The transport-specific scatter-gather exchange; `chunks` concatenated
+  /// in order form the complete request payload. The default joins them
+  /// into one pooled buffer and degrades to CallAsyncImpl.
+  virtual void CallAsyncChunksImpl(int silo_id, std::vector<BufferRef> chunks,
+                                   CallCallback done);
 
   CommStats stats_;
 

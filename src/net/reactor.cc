@@ -5,6 +5,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -400,7 +401,10 @@ Status FrameReader::Drain(int fd, const FrameSink& on_frame) {
       if (length > kMaxFrameBytes) {
         return Status::OutOfRange("frame exceeds limit");
       }
-      payload_.assign(length, 0);
+      // Frame payloads come from the buffer pool: a connection serving a
+      // steady request size recycles the same slab frame after frame.
+      payload_ = BufferPool::Default().Acquire(length);
+      payload_.resize(length);
       payload_filled_ = 0;
       in_payload_ = true;
     }
@@ -426,34 +430,85 @@ Status FrameReader::Drain(int fd, const FrameSink& on_frame) {
   }
 }
 
+void FrameWriter::PushHeader(uint32_t payload_bytes) {
+  Chunk chunk;
+  const uint32_t wire_length = htonl(payload_bytes);
+  std::memcpy(chunk.header, &wire_length, sizeof(wire_length));
+  chunk.header_len = sizeof(wire_length);
+  pending_bytes_ += chunk.header_len;
+  queue_.push_back(std::move(chunk));
+}
+
 void FrameWriter::EnqueueFrame(std::vector<uint8_t> payload) {
-  const uint32_t wire_length = htonl(static_cast<uint32_t>(payload.size()));
-  std::vector<uint8_t> header(sizeof(wire_length));
-  std::memcpy(header.data(), &wire_length, sizeof(wire_length));
-  pending_bytes_ += header.size() + payload.size();
-  queue_.push_back(std::move(header));
-  if (!payload.empty()) queue_.push_back(std::move(payload));
+  PushHeader(static_cast<uint32_t>(payload.size()));
+  // A zero-length payload is just its header; no body chunk is queued,
+  // so pending_bytes_ counts exactly the 4 header bytes for it.
+  if (payload.empty()) return;
+  Chunk chunk;
+  pending_bytes_ += payload.size();
+  chunk.owned = std::move(payload);
+  queue_.push_back(std::move(chunk));
+}
+
+void FrameWriter::EnqueueFrameChunks(const std::vector<BufferRef>& chunks) {
+  size_t total = 0;
+  for (const BufferRef& ref : chunks) total += ref.size();
+  PushHeader(static_cast<uint32_t>(total));
+  for (const BufferRef& ref : chunks) {
+    if (ref.empty()) continue;
+    Chunk chunk;
+    chunk.ref = ref;
+    pending_bytes_ += ref.size();
+    queue_.push_back(std::move(chunk));
+  }
 }
 
 Status FrameWriter::Flush(int fd) {
+  // Upper bound on segments gathered per syscall; well under IOV_MAX and
+  // large enough that a full batch frame (header + n staged entries)
+  // usually leaves in one vectored send.
+  constexpr size_t kMaxIovPerFlush = 64;
   while (!queue_.empty()) {
-    std::vector<uint8_t>& front = queue_.front();
-    if (front.empty()) {
-      queue_.pop_front();
-      continue;
+    struct iovec iov[kMaxIovPerFlush];
+    size_t iov_count = 0;
+    size_t offset = front_offset_;  // applies to the first chunk only
+    for (const Chunk& chunk : queue_) {
+      if (iov_count == kMaxIovPerFlush) break;
+      iov[iov_count].iov_base =
+          const_cast<uint8_t*>(chunk.data() + offset);
+      iov[iov_count].iov_len = chunk.size() - offset;
+      ++iov_count;
+      offset = 0;
     }
-    const ssize_t n = ::send(fd, front.data() + front_offset_,
-                             front.size() - front_offset_, MSG_NOSIGNAL);
+    struct msghdr msg = {};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    // sendmsg rather than writev: the transport relies on MSG_NOSIGNAL
+    // (nothing in the process ignores SIGPIPE).
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
-      return Status::IOError(std::string("send: ") + std::strerror(errno));
+      return Status::IOError(std::string("sendmsg: ") + std::strerror(errno));
     }
-    front_offset_ += static_cast<size_t>(n);
     pending_bytes_ -= static_cast<size_t>(n);
-    if (front_offset_ == front.size()) {
-      queue_.pop_front();
+    size_t written = static_cast<size_t>(n);
+    while (written > 0) {
+      Chunk& front = queue_.front();
+      const size_t remaining = front.size() - front_offset_;
+      if (written < remaining) {
+        front_offset_ += written;
+        break;
+      }
+      written -= remaining;
       front_offset_ = 0;
+      // Fully written: recycle owned buffers; BufferRef storage returns
+      // through its refcount when the last holder (possibly a retry
+      // copy) drops.
+      if (!front.owned.empty()) {
+        BufferPool::Default().Release(std::move(front.owned));
+      }
+      queue_.pop_front();
     }
   }
   return Status::OK();

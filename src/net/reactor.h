@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/metrics.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -233,15 +234,25 @@ class FrameReader {
   size_t payload_filled_ = 0;
 };
 
-/// Buffered frame writer for a non-blocking fd: frames queue as
-/// header+payload buffers and Flush sends until EAGAIN — the "partial
-/// write" half of the connection state machine. The caller owns EPOLLOUT
-/// interest: arm it while has_pending() after a Flush.
+/// Buffered frame writer for a non-blocking fd: frames queue as chunks
+/// (an inline 4-byte length header plus one or more payload segments)
+/// and Flush gathers the queue into an iovec array sent with one
+/// vectored syscall per round instead of one send() per chunk — the
+/// "partial write" half of the connection state machine. The caller owns
+/// EPOLLOUT interest: arm it while has_pending() after a Flush.
+///
+/// Owned payload buffers are recycled to BufferPool::Default() once
+/// fully written; BufferRef chunks release through their refcount.
 class FrameWriter {
  public:
   /// Queues one frame. The payload must already satisfy
   /// ValidateFramePayloadSize (message.h).
   void EnqueueFrame(std::vector<uint8_t> payload);
+
+  /// Scatter-gather enqueue: the frame's payload is the concatenation of
+  /// `chunks`, shipped from their own buffers (no join). The total size
+  /// must already satisfy ValidateFramePayloadSize.
+  void EnqueueFrameChunks(const std::vector<BufferRef>& chunks);
 
   /// Writes until drained or EAGAIN (both return OK); IOError on a
   /// broken socket.
@@ -251,7 +262,27 @@ class FrameWriter {
   size_t pending_bytes() const { return pending_bytes_; }
 
  private:
-  std::deque<std::vector<uint8_t>> queue_;
+  // One contiguous wire segment: either an inline frame header or a
+  // payload buffer (owned vector or shared BufferRef, never both).
+  struct Chunk {
+    uint8_t header[4];
+    uint8_t header_len = 0;
+    std::vector<uint8_t> owned;
+    BufferRef ref;
+
+    const uint8_t* data() const {
+      if (header_len > 0) return header;
+      return ref.empty() ? owned.data() : ref.data();
+    }
+    size_t size() const {
+      if (header_len > 0) return header_len;
+      return ref.empty() ? owned.size() : ref.size();
+    }
+  };
+
+  void PushHeader(uint32_t payload_bytes);
+
+  std::deque<Chunk> queue_;
   size_t front_offset_ = 0;
   size_t pending_bytes_ = 0;
 };

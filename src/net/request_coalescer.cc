@@ -136,8 +136,20 @@ void RequestCoalescer::Stage(int silo_id, const std::vector<uint8_t>& request,
   // thread-local trace id is gone. The silo unwraps each entry and
   // attributes its spans to the right trace (see Silo::HandleBatchRequest).
   const uint64_t trace_id = CurrentTraceId();
-  pending->request =
-      trace_id != 0 ? WrapWithTraceId(trace_id, request) : request;
+  // The batch-frame segment for this entry is encoded once, here, into a
+  // pooled buffer: its u32 length prefix, the optional trace envelope,
+  // then the request bytes. SendBatch ships the staged segments as an
+  // iovec list, so no flush-time concatenation or re-encode happens.
+  const size_t entry_len =
+      request.size() + (trace_id != 0 ? kTraceEnvelopeBytes : 0);
+  BinaryWriter writer = BinaryWriter::Pooled(sizeof(uint32_t) + entry_len);
+  writer.WriteU32(static_cast<uint32_t>(entry_len));
+  if (trace_id != 0) {
+    writer.WriteU8(kTraceEnvelopeTag);
+    writer.WriteU64(trace_id);
+  }
+  writer.AppendRaw(request.data(), request.size());
+  pending->entry = BufferRef::Wrap(writer.Release());
   pending->done = std::move(done);
 
   std::vector<std::unique_ptr<Pending>> to_send;
@@ -290,22 +302,30 @@ void RequestCoalescer::SendBatch(int silo_id,
     flushes_shutdown_->Increment();
   }
 
-  std::vector<std::vector<uint8_t>> entries;
-  entries.reserve(batch.size());
+  // The batch frame is the header (type tag + entry count) followed by
+  // the staged per-entry segments, shipped as a scatter-gather chunk
+  // list: nothing is concatenated here, and on the reactor transport the
+  // chunks reach the socket through one vectored send.
+  BinaryWriter header = BinaryWriter::Pooled(1 + sizeof(uint32_t));
+  header.WriteU8(static_cast<uint8_t>(MessageType::kAggregateBatchRequest));
+  header.WriteU32(static_cast<uint32_t>(batch.size()));
+  std::vector<BufferRef> chunks;
+  chunks.reserve(1 + batch.size());
+  chunks.push_back(BufferRef::Wrap(header.Release()));
   for (std::unique_ptr<Pending>& pending : batch) {
-    entries.push_back(std::move(pending->request));
+    chunks.push_back(std::move(pending->entry));
   }
 
   // The scatter captures only the batch itself — never `this` — so a
   // batch still in flight when the coalescer is destroyed completes
   // safely (the network outlives the coalescer by contract). On a
   // reactor transport it runs on an event-loop thread; on synchronous
-  // transports CallAsync degrades to an inline exchange, preserving the
-  // old blocking behaviour of size- and flusher-triggered sends.
+  // transports CallAsyncChunks degrades to an inline exchange, preserving
+  // the old blocking behaviour of size- and flusher-triggered sends.
   auto shared =
       std::make_shared<std::vector<std::unique_ptr<Pending>>>(std::move(batch));
-  network_->CallAsync(
-      silo_id, EncodeBatchRequest(entries),
+  network_->CallAsyncChunks(
+      silo_id, std::move(chunks),
       [shared](Result<std::vector<uint8_t>> response) {
         const auto fail_all = [&shared](const Status& status) {
           for (std::unique_ptr<Pending>& pending : *shared) {
@@ -334,6 +354,9 @@ void RequestCoalescer::SendBatch(int silo_id,
         for (size_t i = 0; i < shared->size(); ++i) {
           (*shared)[i]->done(std::move((*decoded)[i]));
         }
+        // The batch response buffer (a pooled frame payload on the
+        // reactor path) has been fully scattered; recycle it.
+        BufferPool::Default().Release(std::move(*response));
       });
 }
 

@@ -107,7 +107,12 @@ class RequestCoalescer {
 
  private:
   struct Pending {
-    std::vector<uint8_t> request;
+    /// The staged batch-frame segment, pre-encoded at staging time:
+    /// `u32 entry_len ‖ [trace envelope] ‖ request bytes` in one pooled
+    /// buffer. A flush concatenates nothing — the header chunk plus
+    /// these per-entry chunks go to the transport as a scatter-gather
+    /// list (Network::CallAsyncChunks).
+    BufferRef entry;
     CallCallback done;
   };
   struct SiloQueue {

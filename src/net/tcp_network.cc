@@ -482,13 +482,19 @@ void TcpSiloServer::DispatchRequest(const std::shared_ptr<Conn>& conn,
     // the provider-side ones (0 when the envelope is absent). Spans the
     // handler records under that id are captured by the collector and
     // shipped back as the response's trailing span section.
-    const uint64_t trace_id = StripTraceEnvelope(&request);
+    ConstByteSpan view(request);
+    const uint64_t trace_id = StripTraceEnvelopeView(&view);
     ScopedTraceId trace_scope(trace_id);
     SpanCollector collector;
-    Result<std::vector<uint8_t>> response = endpoint_->HandleMessage(request);
+    // Borrowed-view dispatch: the silo decodes the frame bytes in place
+    // (the view stays valid — `request` is owned by this closure).
+    Result<std::vector<uint8_t>> response = endpoint_->HandleMessageView(view);
     std::vector<uint8_t> frame =
         response.ok() ? std::move(response).ValueOrDie()
                       : EncodeErrorResponse(response.status());
+    // The request frame (a pool-acquired FrameReader payload) is done;
+    // recycle it for the connection's next frame.
+    BufferPool::Default().Release(std::move(request));
     // No trace-id gate: a deadline-flushed batch frame carries no outer
     // envelope, yet its entries may each be traced — the collector holds
     // whatever spans any of them produced (no-op when empty).
@@ -675,11 +681,12 @@ void TcpSiloServer::ServeConnection(int connection_fd) {
         ReadFrame(fd, no_deadline, nullptr);
     if (!request.ok()) break;  // closed or broken: drop the connection
     std::vector<uint8_t> payload = std::move(request).ValueOrDie();
-    const uint64_t trace_id = StripTraceEnvelope(&payload);
+    ConstByteSpan view(payload);
+    const uint64_t trace_id = StripTraceEnvelopeView(&view);
     ScopedTraceId trace_scope(trace_id);
     SpanCollector collector;
-    Result<std::vector<uint8_t>> response =
-        endpoint_->HandleMessage(payload);
+    Result<std::vector<uint8_t>> response = endpoint_->HandleMessageView(view);
+    BufferPool::Default().Release(std::move(payload));
     std::vector<uint8_t> frame =
         response.ok() ? std::move(response).ValueOrDie()
                       : EncodeErrorResponse(response.status());
@@ -707,7 +714,12 @@ void TcpSiloServer::ServeConnection(int connection_fd) {
 /// One in-flight call. Created on the caller's thread, then owned by the
 /// silo's loop: queued, bound to a connection, finished exactly once.
 struct TcpNetwork::Op {
-  std::vector<uint8_t> wire;  // trace-wrapped request bytes
+  /// Trace-wrapped request bytes as a scatter-gather chunk list (the
+  /// concatenation is the frame payload). Refs are shared with the frame
+  /// writer on enqueue and kept here so a transport-error retry can
+  /// re-enqueue the same bytes without copying them back.
+  std::vector<BufferRef> chunks;
+  size_t wire_bytes = 0;  // sum of chunk sizes, for exchange accounting
   CallCallback done;
   uint64_t timer_id = 0;  // request deadline on the loop's wheel
   bool finished = false;
@@ -871,6 +883,29 @@ void TcpNetwork::CallAsyncImpl(int silo_id,
 void TcpNetwork::CallOnReactor(int silo_id,
                                const std::vector<uint8_t>& request,
                                CallCallback done) {
+  // Under an active trace, ship the trace id ahead of the payload so the
+  // silo process records its spans under the same id. The caller's
+  // thread holds the trace context, so the wrap happens here, not on the
+  // loop.
+  const uint64_t trace_id = CurrentTraceId();
+  const bool is_batch =
+      !request.empty() && static_cast<MessageType>(request[0]) ==
+                              MessageType::kAggregateBatchRequest;
+  std::vector<uint8_t> wire;
+  if (trace_id != 0) {
+    wire = WrapWithTraceId(trace_id, request);
+  } else {
+    wire = BufferPool::Default().Acquire(request.size());
+    wire.insert(wire.end(), request.begin(), request.end());
+  }
+  std::vector<BufferRef> chunks;
+  chunks.push_back(BufferRef::Wrap(std::move(wire)));
+  CallChunksOnReactor(silo_id, std::move(chunks), is_batch, std::move(done));
+}
+
+void TcpNetwork::CallChunksOnReactor(int silo_id,
+                                     std::vector<BufferRef> chunks,
+                                     bool is_batch, CallCallback done) {
   SiloState* state = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -883,23 +918,56 @@ void TcpNetwork::CallOnReactor(int silo_id,
     return;
   }
   auto op = std::make_shared<Op>();
-  // Under an active trace, ship the trace id ahead of the payload so the
-  // silo process records its spans under the same id. The caller's
-  // thread holds the trace context, so the wrap happens here, not on the
-  // loop.
-  const uint64_t trace_id = CurrentTraceId();
-  op->wire = trace_id != 0 ? WrapWithTraceId(trace_id, request) : request;
-  const Status frame_size = ValidateFramePayloadSize(op->wire.size());
+  op->chunks = std::move(chunks);
+  for (const BufferRef& chunk : op->chunks) op->wire_bytes += chunk.size();
+  const Status frame_size = ValidateFramePayloadSize(op->wire_bytes);
   if (!frame_size.ok()) {
     done(frame_size);
     return;
   }
-  op->is_batch = !request.empty() && static_cast<MessageType>(request[0]) ==
-                                         MessageType::kAggregateBatchRequest;
+  op->is_batch = is_batch;
   op->done = std::move(done);
   if (!state->loop->Submit([this, state, op] { EnqueueOp(state, op); })) {
     op->done(Status::Unavailable("tcp network is shutting down"));
   }
+}
+
+void TcpNetwork::CallAsyncChunksImpl(int silo_id,
+                                     std::vector<BufferRef> chunks,
+                                     CallCallback done) {
+  if (!options_.use_reactor) {
+    // Legacy blocking mode has no scatter path: join once and degrade.
+    size_t total = 0;
+    for (const BufferRef& chunk : chunks) total += chunk.size();
+    std::vector<uint8_t> request = BufferPool::Default().Acquire(total);
+    for (const BufferRef& chunk : chunks) {
+      request.insert(request.end(), chunk.data(), chunk.data() + chunk.size());
+    }
+    chunks.clear();
+    done(LegacyCall(silo_id, request));
+    BufferPool::Default().Release(std::move(request));
+    return;
+  }
+  // Peek the message type off the leading chunk BEFORE prepending any
+  // envelope — the batch gauge keys off the application frame type.
+  bool is_batch = false;
+  for (const BufferRef& chunk : chunks) {
+    if (chunk.empty()) continue;
+    is_batch = static_cast<MessageType>(chunk.data()[0]) ==
+               MessageType::kAggregateBatchRequest;
+    break;
+  }
+  const uint64_t trace_id = CurrentTraceId();
+  if (trace_id != 0) {
+    std::vector<uint8_t> envelope =
+        BufferPool::Default().Acquire(kTraceEnvelopeBytes);
+    envelope.push_back(kTraceEnvelopeTag);
+    for (int shift = 0; shift < 64; shift += 8) {
+      envelope.push_back(static_cast<uint8_t>(trace_id >> shift));
+    }
+    chunks.insert(chunks.begin(), BufferRef::Wrap(std::move(envelope)));
+  }
+  CallChunksOnReactor(silo_id, std::move(chunks), is_batch, std::move(done));
 }
 
 void TcpNetwork::EnqueueOp(SiloState* state, const std::shared_ptr<Op>& op) {
@@ -954,7 +1022,7 @@ void TcpNetwork::FinishOp(SiloState* state, const std::shared_ptr<Op>& op,
   }
   if (op->is_batch) state->inflight_batches_gauge->Add(-1.0);
   if (outcome.ok()) {
-    stats_.RecordExchange(op->wire.size(), outcome.ValueOrDie().size());
+    stats_.RecordExchange(op->wire_bytes, outcome.ValueOrDie().size());
   }
   op->done(std::move(outcome));
 }
@@ -1025,7 +1093,8 @@ void TcpNetwork::AssignOp(SiloState* state,
   // earlier in-flight ones on its connection.
   state->pipeline_depth_hist->Observe(
       static_cast<double>(conn->inflight.size()));
-  conn->writer.EnqueueFrame(op->wire);  // keep op->wire for a retry
+  // The writer shares the chunk refs; op->chunks keeps them for a retry.
+  conn->writer.EnqueueFrameChunks(op->chunks);
   if (!conn->writer.Flush(conn->fd).ok()) {
     HandleConnFailure(state, conn,
                       Status::IOError("send failed on pooled connection"));

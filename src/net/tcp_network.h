@@ -210,6 +210,11 @@ class TcpNetwork : public Network {
       int silo_id, const std::vector<uint8_t>& request) override;
   void CallAsyncImpl(int silo_id, const std::vector<uint8_t>& request,
                      CallCallback done) override;
+  /// Scatter-gather path: in reactor mode the chunks feed the frame
+  /// writer's iovec queue as-is (one vectored send, no join); legacy mode
+  /// concatenates once and degrades to the blocking exchange.
+  void CallAsyncChunksImpl(int silo_id, std::vector<BufferRef> chunks,
+                           CallCallback done) override;
 
  private:
   // Reactor-mode state machines (tcp_network.cc).
@@ -220,6 +225,8 @@ class TcpNetwork : public Network {
   // Reactor path; everything below Enqueue runs on the silo's loop.
   void CallOnReactor(int silo_id, const std::vector<uint8_t>& request,
                      CallCallback done);
+  void CallChunksOnReactor(int silo_id, std::vector<BufferRef> chunks,
+                           bool is_batch, CallCallback done);
   void EnqueueOp(SiloState* state, const std::shared_ptr<Op>& op);
   void DispatchQueue(SiloState* state);
   void AssignOp(SiloState* state, const std::shared_ptr<ClientConn>& conn,

@@ -1,0 +1,180 @@
+#include "util/buffer.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace fra {
+namespace {
+
+std::atomic<bool> g_pool_enabled{true};
+
+struct PoolInstruments {
+  Counter* acquire_hit;
+  Counter* acquire_miss;
+  Counter* release_pooled;
+  Counter* release_discarded;
+  Gauge* free_bytes;
+  Gauge* free_buffers;
+};
+
+PoolInstruments& Instruments() {
+  static PoolInstruments* instruments = [] {
+    auto& registry = MetricsRegistry::Default();
+    auto* i = new PoolInstruments{
+        &registry.GetCounter("fra_bufpool_acquires_total",
+                             {{"result", "hit"}}),
+        &registry.GetCounter("fra_bufpool_acquires_total",
+                             {{"result", "miss"}}),
+        &registry.GetCounter("fra_bufpool_releases_total",
+                             {{"result", "pooled"}}),
+        &registry.GetCounter("fra_bufpool_releases_total",
+                             {{"result", "discarded"}}),
+        &registry.GetGauge("fra_bufpool_free_bytes"),
+        &registry.GetGauge("fra_bufpool_free_buffers"),
+    };
+    return i;
+  }();
+  return *instruments;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Default() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+void BufferPool::SetEnabled(bool enabled) {
+  g_pool_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool BufferPool::enabled() {
+  return g_pool_enabled.load(std::memory_order_relaxed);
+}
+
+BufferPool::BufferPool() = default;
+
+int BufferPool::ClassForRequest(size_t bytes) {
+  size_t cls_bytes = kMinClassBytes;
+  for (int cls = 0; cls < kNumClasses; ++cls, cls_bytes <<= 1) {
+    if (bytes <= cls_bytes) return cls;
+  }
+  return -1;
+}
+
+int BufferPool::ClassForRelease(size_t capacity) {
+  // Outside the classed range — tiny vectors and giant one-off payloads
+  // (full grid snapshots) — is never parked: pooling the former is
+  // pointless, pooling the latter pins megabytes per slot.
+  if (capacity < kMinClassBytes || capacity > kMaxClassBytes) return -1;
+  size_t cls_bytes = kMinClassBytes;
+  int best = -1;
+  for (int cls = 0; cls < kNumClasses; ++cls, cls_bytes <<= 1) {
+    if (cls_bytes <= capacity) best = cls;
+  }
+  return best;
+}
+
+std::vector<uint8_t> BufferPool::Acquire(size_t min_capacity) {
+  if (enabled()) {
+    const int first_cls = ClassForRequest(min_capacity);
+    if (first_cls >= 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Scan upward from the fitting class: a larger pooled buffer is
+      // still a hit, just with slack capacity.
+      for (int cls = first_cls; cls < kNumClasses; ++cls) {
+        if (free_[cls].empty()) continue;
+        std::vector<uint8_t> buf = std::move(free_[cls].back());
+        free_[cls].pop_back();
+        free_bytes_ -= buf.capacity();
+        --free_buffers_;
+        auto& instruments = Instruments();
+        instruments.free_bytes->Set(static_cast<double>(free_bytes_));
+        instruments.free_buffers->Set(static_cast<double>(free_buffers_));
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        instruments.acquire_hit->Increment();
+        buf.clear();
+        return buf;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Instruments().acquire_miss->Increment();
+  std::vector<uint8_t> fresh;
+  // Round the fresh allocation up to its size class so the buffer is
+  // poolable on Release: reserving the raw request (say 64 bytes) would
+  // yield a capacity below the smallest class and the slab would be
+  // discarded forever — a permanently cold pool for small frames.
+  // (Disabled pool = the pre-pool allocator: reserve exactly what was
+  // asked.)
+  const int cls = enabled() ? ClassForRequest(min_capacity) : -1;
+  fresh.reserve(cls >= 0 ? (kMinClassBytes << cls) : min_capacity);
+  return fresh;
+}
+
+void BufferPool::Release(std::vector<uint8_t>&& buf) {
+  std::vector<uint8_t> victim = std::move(buf);
+  const int cls = enabled() ? ClassForRelease(victim.capacity()) : -1;
+  if (cls >= 0) {
+    // Poison the leading bytes so a use-after-release reads 0xDD instead
+    // of the old frame. size() stays intact while pooled (cleared on
+    // Acquire), which keeps both the poisoning write and any stale read
+    // inside the vector's ASan-annotated region.
+    std::memset(victim.data(), 0xDD, victim.size() < 64 ? victim.size() : 64);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_[cls].size() < kMaxFreePerClass &&
+        free_bytes_ + victim.capacity() <= kMaxTotalFreeBytes) {
+      free_bytes_ += victim.capacity();
+      ++free_buffers_;
+      free_[cls].push_back(std::move(victim));
+      auto& instruments = Instruments();
+      instruments.free_bytes->Set(static_cast<double>(free_bytes_));
+      instruments.free_buffers->Set(static_cast<double>(free_buffers_));
+      pooled_.fetch_add(1, std::memory_order_relaxed);
+      instruments.release_pooled->Increment();
+      return;
+    }
+  }
+  discarded_.fetch_add(1, std::memory_order_relaxed);
+  Instruments().release_discarded->Increment();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.pooled = pooled_.load(std::memory_order_relaxed);
+  s.discarded = discarded_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.free_bytes = free_bytes_;
+  s.free_buffers = free_buffers_;
+  return s;
+}
+
+BufferRef BufferRef::Wrap(std::vector<uint8_t> bytes) {
+  BufferRef ref;
+  auto* owned = new std::vector<uint8_t>(std::move(bytes));
+  ref.owner_ = std::shared_ptr<const std::vector<uint8_t>>(
+      owned, [](const std::vector<uint8_t>* v) {
+        BufferPool::Default().Release(
+            std::move(*const_cast<std::vector<uint8_t>*>(v)));
+        delete v;
+      });
+  ref.data_ = ref.owner_->data();
+  ref.size_ = ref.owner_->size();
+  return ref;
+}
+
+BufferRef BufferRef::Slice(size_t offset, size_t length) const {
+  BufferRef out;
+  out.owner_ = owner_;
+  if (offset > size_) offset = size_;
+  if (length > size_ - offset) length = size_ - offset;
+  out.data_ = data_ + offset;
+  out.size_ = length;
+  return out;
+}
+
+}  // namespace fra

@@ -1,0 +1,156 @@
+#ifndef FRA_UTIL_BUFFER_H_
+#define FRA_UTIL_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace fra {
+
+/// Non-owning read-only view over a contiguous byte range. The bytes
+/// stay owned by whoever produced them (a wire frame, a BufferRef, a
+/// stack vector); a ConstByteSpan is only valid while that owner lives.
+/// Decoders take spans so the silo side of an in-process call can parse
+/// the provider's encoded request without copying it first.
+class ConstByteSpan {
+ public:
+  ConstByteSpan() : data_(nullptr), size_(0) {}
+  ConstByteSpan(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  // Implicit on purpose: every existing call site holds a vector.
+  ConstByteSpan(const std::vector<uint8_t>& bytes)  // NOLINT
+      : data_(bytes.data()), size_(bytes.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const uint8_t* begin() const { return data_; }
+  const uint8_t* end() const { return data_ + size_; }
+
+  /// Sub-view; clamps to the underlying range.
+  ConstByteSpan Subspan(size_t offset, size_t length) const {
+    if (offset > size_) offset = size_;
+    if (length > size_ - offset) length = size_ - offset;
+    return ConstByteSpan(data_ + offset, length);
+  }
+
+  /// Materialises an owning copy (the escape hatch for callers that must
+  /// outlive the producer).
+  std::vector<uint8_t> ToVector() const {
+    return std::vector<uint8_t>(data_, data_ + size_);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+/// Thread-safe pool of reusable byte buffers, size-classed by capacity.
+///
+/// The data plane allocates one growable vector per frame on every hop
+/// (encode, frame queue, decode); at tens of thousands of queries per
+/// second that is the dominant allocator load. The pool keeps returned
+/// vectors on power-of-two freelists so a warm query path recycles the
+/// same slabs instead of round-tripping through malloc.
+///
+/// Returned buffers keep their size() intact while pooled and have their
+/// leading bytes poisoned with 0xDD, so a stale pointer read after
+/// Release() sees garbage (and stays within the vector's annotated size
+/// under ASan container checks). Acquire() clears the vector before
+/// handing it out.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;        // Acquire served from a freelist.
+    uint64_t misses = 0;      // Acquire fell through to a fresh allocation.
+    uint64_t pooled = 0;      // Release kept the buffer.
+    uint64_t discarded = 0;   // Release dropped the buffer (caps/disabled).
+    size_t free_bytes = 0;    // Capacity currently parked on freelists.
+    size_t free_buffers = 0;  // Buffer count currently parked on freelists.
+  };
+
+  /// Process-wide pool used by the wire path (frames, coalescer batches,
+  /// pooled BinaryWriter buffers).
+  static BufferPool& Default();
+
+  /// Process-wide A/B switch. Disabled: Acquire always allocates fresh
+  /// and Release discards, i.e. the pre-pool allocator behaviour —
+  /// benches flip this to measure the pool's contribution.
+  static void SetEnabled(bool enabled);
+  static bool enabled();
+
+  BufferPool();
+
+  /// Returns an empty vector with capacity >= min_capacity, reusing a
+  /// pooled buffer when one of a fitting size class is available.
+  std::vector<uint8_t> Acquire(size_t min_capacity);
+
+  /// Parks `buf`'s storage for reuse. Oversized or over-cap buffers are
+  /// simply dropped (freed). Safe from any thread.
+  void Release(std::vector<uint8_t>&& buf);
+
+  Stats stats() const;
+
+ private:
+  // Size classes: 256 B .. 4 MiB in power-of-two steps.
+  static constexpr size_t kMinClassBytes = 256;
+  static constexpr size_t kMaxClassBytes = 4u << 20;
+  static constexpr int kNumClasses = 15;  // 2^8 .. 2^22
+  // Per-class and total parking caps keep a burst from pinning memory.
+  static constexpr size_t kMaxFreePerClass = 64;
+  static constexpr size_t kMaxTotalFreeBytes = 64u << 20;
+
+  // Smallest class whose buffers can hold `bytes`; -1 if above the
+  // largest class (such buffers are never pooled).
+  static int ClassForRequest(size_t bytes);
+  // Largest class with class-size <= capacity: the freelist this buffer
+  // parks on, so Acquire never hands out a buffer smaller than the
+  // class it came from. -1 if below the smallest class.
+  static int ClassForRelease(size_t capacity);
+
+  mutable std::mutex mu_;
+  std::deque<std::vector<uint8_t>> free_[kNumClasses];
+  size_t free_bytes_ = 0;
+  size_t free_buffers_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> pooled_{0};
+  std::atomic<uint64_t> discarded_{0};
+};
+
+/// Refcounted, immutable view over a pooled buffer. Copies share the
+/// underlying bytes; when the last reference drops the storage returns
+/// to BufferPool::Default(). Slices keep the whole backing buffer alive.
+///
+/// This is the unit the scatter-gather wire path passes around: the
+/// coalescer stages one BufferRef per encoded entry and the frame writer
+/// queues them as iovec chunks without ever concatenating.
+class BufferRef {
+ public:
+  BufferRef() = default;
+
+  /// Takes ownership of `bytes`; the storage is released back to the
+  /// default pool when the last BufferRef referencing it is destroyed.
+  static BufferRef Wrap(std::vector<uint8_t> bytes);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  ConstByteSpan span() const { return ConstByteSpan(data_, size_); }
+
+  /// Sub-view sharing ownership of the backing buffer; clamps to bounds.
+  BufferRef Slice(size_t offset, size_t length) const;
+
+ private:
+  std::shared_ptr<const std::vector<uint8_t>> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace fra
+
+#endif  // FRA_UTIL_BUFFER_H_

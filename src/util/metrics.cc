@@ -114,6 +114,13 @@ const char* BuiltinHelp(const std::string& name) {
       {"fra_batch_size", "Requests per flushed coalescer batch"},
       {"fra_build_info",
        "Constant 1; build metadata (git sha, build type, tracing) as labels"},
+      {"fra_bufpool_acquires_total",
+       "Buffer-pool acquires by result (hit=reused slab, miss=fresh alloc)"},
+      {"fra_bufpool_free_buffers", "Buffers currently parked on pool freelists"},
+      {"fra_bufpool_free_bytes",
+       "Capacity in bytes currently parked on pool freelists"},
+      {"fra_bufpool_releases_total",
+       "Buffer-pool releases by result (pooled=kept, discarded=freed)"},
       {"fra_cache_evictions_total", "Provider cache LRU evictions by layer"},
       {"fra_cache_hits_total", "Provider cache hits by layer"},
       {"fra_cache_invalidations_total",

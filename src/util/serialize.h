@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/status.h"
 
 namespace fra {
@@ -15,9 +17,25 @@ namespace fra {
 /// The federation layer serialises every provider<->silo message through
 /// this writer so that communication cost is measured on real encoded
 /// bytes, mirroring how the paper reports transferred volume.
+///
+/// Writers come in two flavours: the default constructor allocates a
+/// fresh heap buffer; `Pooled()` draws the backing storage from
+/// BufferPool::Default() so hot-path serialisers (grid payloads, batch
+/// frames, span sections) recycle slabs instead of hitting malloc per
+/// frame. Either way Release() hands the caller the vector — pooled
+/// buffers return to the pool once the consumer releases them (e.g. via
+/// BufferRef::Wrap or an explicit BufferPool Release).
 class BinaryWriter {
  public:
   BinaryWriter() = default;
+
+  /// Arena-backed writer: the buffer comes from BufferPool::Default()
+  /// with at least `capacity_hint` bytes of capacity.
+  static BinaryWriter Pooled(size_t capacity_hint = 0) {
+    BinaryWriter w;
+    w.buffer_ = BufferPool::Default().Acquire(capacity_hint);
+    return w;
+  }
 
   /// Size hint: pre-allocates room for `additional_bytes` more bytes on
   /// top of what is already buffered. Serializers that know their encoded
@@ -27,28 +45,69 @@ class BinaryWriter {
     buffer_.reserve(buffer_.size() + additional_bytes);
   }
 
-  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+  void WriteU8(uint8_t v) {
+    if (failed_) return;
+    buffer_.push_back(v);
+  }
   void WriteU32(uint32_t v) { AppendRaw(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { AppendRaw(&v, sizeof(v)); }
   void WriteI64(int64_t v) { AppendRaw(&v, sizeof(v)); }
   void WriteDouble(double v) { AppendRaw(&v, sizeof(v)); }
 
-  /// Length-prefixed (u32) byte string.
-  void WriteString(const std::string& s) {
-    WriteU32(static_cast<uint32_t>(s.size()));
-    AppendRaw(s.data(), s.size());
+  /// True when `element_count` fits the wire format's u32 length prefix.
+  static bool FitsLengthPrefix(size_t element_count) {
+    return element_count <= std::numeric_limits<uint32_t>::max();
   }
 
-  /// Length-prefixed (u32) vector of doubles.
+  /// Length-prefixed (u32) byte string. A string whose size does not fit
+  /// the u32 prefix poisons the writer (see status()) instead of silently
+  /// wrapping the length.
+  void WriteString(const std::string& s) {
+    WriteLengthPrefixed(s.data(), s.size());
+  }
+
+  /// Length-prefixed (u32 element count) vector of doubles.
   void WriteDoubleVector(const std::vector<double>& v) {
+    if (!FitsLengthPrefix(v.size())) {
+      Poison("double vector of " + std::to_string(v.size()) +
+             " elements overflows the u32 length prefix");
+      return;
+    }
     WriteU32(static_cast<uint32_t>(v.size()));
     AppendRaw(v.data(), v.size() * sizeof(double));
   }
 
+  /// u32 length prefix followed by `len` raw bytes. Validates the length
+  /// before touching `data`, so an overflowing encode fails fast with a
+  /// Status instead of wrapping the prefix mod 2^32.
+  void WriteLengthPrefixed(const void* data, size_t len) {
+    if (!FitsLengthPrefix(len)) {
+      Poison("byte string of " + std::to_string(len) +
+             " bytes overflows the u32 length prefix");
+      return;
+    }
+    WriteU32(static_cast<uint32_t>(len));
+    AppendRaw(data, len);
+  }
+
   void AppendRaw(const void* data, size_t len) {
+    if (failed_) return;
     const auto* p = static_cast<const uint8_t*>(data);
     buffer_.insert(buffer_.end(), p, p + len);
   }
+
+  /// Overwrites 4 previously written bytes at `offset` with `v`
+  /// (little-endian). Used to backpatch a length prefix once the framed
+  /// payload has been serialised in place, avoiding an encode-then-copy.
+  void PatchU32(size_t offset, uint32_t v) {
+    if (failed_ || offset + sizeof(v) > buffer_.size()) return;
+    std::memcpy(buffer_.data() + offset, &v, sizeof(v));
+  }
+
+  /// OK until a write overflowed a length prefix; once failed, every
+  /// subsequent write is a no-op so a poisoned buffer never reaches the
+  /// wire half-encoded.
+  const Status& status() const { return status_; }
 
   const std::vector<uint8_t>& buffer() const { return buffer_; }
   size_t size() const { return buffer_.size(); }
@@ -57,17 +116,31 @@ class BinaryWriter {
   std::vector<uint8_t> Release() { return std::move(buffer_); }
 
  private:
+  void Poison(const std::string& message) {
+    if (failed_) return;
+    failed_ = true;
+    status_ = Status::InvalidArgument(message);
+  }
+
   std::vector<uint8_t> buffer_;
+  bool failed_ = false;
+  Status status_ = Status::OK();
 };
 
 /// Reads primitives written by BinaryWriter. Every read is bounds-checked
 /// and returns OutOfRange on truncated input, so malformed messages are
 /// rejected instead of read out of bounds.
+///
+/// A reader never owns its input: constructing one from a ConstByteSpan
+/// (or raw pointer) parses borrowed bytes in place, which is how the
+/// in-process transport decodes a provider request with zero copies.
 class BinaryReader {
  public:
   BinaryReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
   explicit BinaryReader(const std::vector<uint8_t>& buf)
       : BinaryReader(buf.data(), buf.size()) {}
+  explicit BinaryReader(ConstByteSpan span)
+      : BinaryReader(span.data(), span.size()) {}
 
   Status ReadU8(uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
   Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
@@ -92,6 +165,17 @@ class BinaryReader {
       return Status::OutOfRange("truncated byte payload");
     }
     out->assign(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  /// Borrowed-view variant of ReadBytes: `out` aliases the reader's
+  /// input and is only valid while that input lives.
+  Status ReadBytesView(size_t len, ConstByteSpan* out) {
+    if (len > Remaining()) {
+      return Status::OutOfRange("truncated byte payload");
+    }
+    *out = ConstByteSpan(data_ + pos_, len);
     pos_ += len;
     return Status::OK();
   }

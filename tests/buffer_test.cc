@@ -1,0 +1,243 @@
+// The zero-copy data plane's ownership layer: BufferPool recycling
+// (hit/miss accounting, size-class behaviour, parking caps, poisoning),
+// BufferRef refcounted views and slices, ConstByteSpan semantics, and —
+// end to end — that EXACT answers over the borrowed-view in-process
+// transport are bit-identical with the pool on and off.
+
+#include "util/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "federation/service_provider.h"
+#include "federation/silo.h"
+#include "net/network.h"
+#include "tests/test_util.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {40, 40}};
+
+class PoolSwitchGuard {
+ public:
+  PoolSwitchGuard() : was_enabled_(BufferPool::enabled()) {}
+  ~PoolSwitchGuard() { BufferPool::SetEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_;
+};
+
+TEST(ConstByteSpanTest, ViewsAndSubspansClampToBounds) {
+  const std::vector<uint8_t> bytes = {10, 20, 30, 40};
+  ConstByteSpan span(bytes);
+  EXPECT_EQ(span.data(), bytes.data());
+  EXPECT_EQ(span.size(), 4u);
+  EXPECT_FALSE(span.empty());
+
+  ConstByteSpan mid = span.Subspan(1, 2);
+  EXPECT_EQ(mid.data(), bytes.data() + 1);
+  EXPECT_EQ(mid.size(), 2u);
+  // Out-of-range requests clamp instead of reading past the end.
+  EXPECT_EQ(span.Subspan(3, 100).size(), 1u);
+  EXPECT_EQ(span.Subspan(100, 1).size(), 0u);
+  EXPECT_EQ(span.ToVector(), bytes);
+  EXPECT_TRUE(ConstByteSpan().empty());
+}
+
+TEST(BufferPoolTest, AcquireReleaseRoundTripIsAHit) {
+  PoolSwitchGuard guard;
+  BufferPool::SetEnabled(true);
+  BufferPool pool;  // private instance: deterministic stats
+
+  std::vector<uint8_t> buf = pool.Acquire(1000);
+  EXPECT_GE(buf.capacity(), 1000u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+
+  buf.assign(500, 0xAB);
+  pool.Release(std::move(buf));
+  EXPECT_EQ(pool.stats().pooled, 1u);
+  EXPECT_EQ(pool.stats().free_buffers, 1u);
+  EXPECT_GT(pool.stats().free_bytes, 0u);
+
+  // The recycled buffer comes back empty but with its capacity intact —
+  // asking for less than it holds is still a hit (slack capacity).
+  std::vector<uint8_t> again = pool.Acquire(256);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), 1000u);
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+}
+
+TEST(BufferPoolTest, ReleasedBytesArePoisoned) {
+  PoolSwitchGuard guard;
+  BufferPool::SetEnabled(true);
+  BufferPool pool;
+
+  std::vector<uint8_t> buf = pool.Acquire(256);
+  buf.assign(64, 0xAB);
+  const uint8_t* raw = buf.data();
+  pool.Release(std::move(buf));
+  // The storage is parked in the pool (still owned, still addressable):
+  // a stale pointer held across Release() must see poison, not the old
+  // payload, so use-after-release bugs surface as garbage immediately.
+  EXPECT_EQ(raw[0], 0xDD);
+  EXPECT_EQ(raw[63], 0xDD);
+}
+
+TEST(BufferPoolTest, OversizedAndOverCapBuffersAreDiscarded) {
+  PoolSwitchGuard guard;
+  BufferPool::SetEnabled(true);
+  BufferPool pool;
+
+  // Above the largest size class: never pooled.
+  std::vector<uint8_t> huge(5u << 20);
+  pool.Release(std::move(huge));
+  EXPECT_EQ(pool.stats().discarded, 1u);
+  EXPECT_EQ(pool.stats().free_buffers, 0u);
+
+  // Below the smallest class: also dropped.
+  std::vector<uint8_t> tiny(8);
+  tiny.shrink_to_fit();
+  pool.Release(std::move(tiny));
+  EXPECT_EQ(pool.stats().discarded, 2u);
+}
+
+TEST(BufferPoolTest, DisabledPoolAlwaysAllocatesFresh) {
+  PoolSwitchGuard guard;
+  BufferPool::SetEnabled(false);
+  BufferPool pool;
+
+  std::vector<uint8_t> buf = pool.Acquire(512);
+  pool.Release(std::move(buf));
+  std::vector<uint8_t> next = pool.Acquire(512);
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.free_buffers, 0u);
+  EXPECT_EQ(stats.discarded, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+TEST(BufferPoolTest, CrossThreadReleaseIsSafe) {
+  PoolSwitchGuard guard;
+  BufferPool::SetEnabled(true);
+  BufferPool pool;
+
+  // Producer threads acquire, consumers release from different threads —
+  // the handoff pattern of the reactor path (encode on caller thread,
+  // recycle on event-loop thread). TSan (-L net) watches this.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> total{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &total] {
+      for (int i = 0; i < kRounds; ++i) {
+        std::vector<uint8_t> buf = pool.Acquire(1024);
+        buf.assign(128, static_cast<uint8_t>(i));
+        total.fetch_add(buf[0], std::memory_order_relaxed);
+        pool.Release(std::move(buf));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(stats.pooled + stats.discarded,
+            static_cast<uint64_t>(kThreads) * kRounds);
+}
+
+TEST(BufferRefTest, SharesOwnershipAndSlices) {
+  std::vector<uint8_t> bytes = {1, 2, 3, 4, 5, 6};
+  const uint8_t* storage = bytes.data();
+  BufferRef ref = BufferRef::Wrap(std::move(bytes));
+  EXPECT_EQ(ref.data(), storage);
+  EXPECT_EQ(ref.size(), 6u);
+
+  BufferRef slice = ref.Slice(2, 3);
+  EXPECT_EQ(slice.data(), storage + 2);
+  EXPECT_EQ(slice.size(), 3u);
+  // The slice keeps the whole backing buffer alive after the parent
+  // reference drops.
+  ref = BufferRef();
+  EXPECT_EQ(slice.data()[0], 3);
+  EXPECT_EQ(slice.span().ToVector(), (std::vector<uint8_t>{3, 4, 5}));
+  // Clamping.
+  EXPECT_EQ(slice.Slice(2, 100).size(), 1u);
+  EXPECT_TRUE(BufferRef().empty());
+}
+
+TEST(BufferRefTest, LastReferenceReturnsStorageToDefaultPool) {
+  PoolSwitchGuard guard;
+  BufferPool::SetEnabled(true);
+  const BufferPool::Stats before = BufferPool::Default().stats();
+  {
+    std::vector<uint8_t> bytes(2048, 0x5A);
+    BufferRef ref = BufferRef::Wrap(std::move(bytes));
+    BufferRef copy = ref;
+    EXPECT_EQ(copy.data(), ref.data());
+  }
+  const BufferPool::Stats after = BufferPool::Default().stats();
+  EXPECT_EQ(after.pooled + after.discarded,
+            before.pooled + before.discarded + 1);
+}
+
+// The end-to-end guard for the whole zero-copy plane: EXACT answers are
+// deterministic, so running the same queries over the borrowed-view
+// in-process transport with the pool enabled and disabled must agree bit
+// for bit — recycling buffers can change performance, never bytes.
+TEST(BufferPoolTest, ExactAnswersBitIdenticalPoolOnAndOff) {
+  PoolSwitchGuard guard;
+
+  std::vector<std::unique_ptr<Silo>> silos;
+  InProcessNetwork network;
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+  for (int s = 0; s < 3; ++s) {
+    silos.push_back(
+        Silo::Create(s, testing::RandomObjects(2000, kDomain, 90 + s),
+                     silo_options)
+            .ValueOrDie());
+    ASSERT_TRUE(network.RegisterSilo(s, silos.back().get()).ok());
+  }
+  ServiceProvider::Options provider_options;
+  provider_options.track_silo_health = false;
+  provider_options.audit_sample_rate = 0.0;
+  auto provider =
+      ServiceProvider::Create(&network, provider_options).ValueOrDie();
+
+  Rng rng(123);
+  std::vector<QueryRange> ranges;
+  for (int q = 0; q < 8; ++q) {
+    ranges.push_back(testing::RandomRange(kDomain, 9.0, q % 2 == 0, &rng));
+  }
+
+  auto run = [&](bool pool_on) {
+    BufferPool::SetEnabled(pool_on);
+    std::vector<double> answers;
+    for (const QueryRange& range : ranges) {
+      const FraQuery query{range, AggregateKind::kCount};
+      answers.push_back(
+          provider->Execute(query, FraAlgorithm::kExact).ValueOrDie());
+    }
+    return answers;
+  };
+
+  const std::vector<double> with_pool = run(true);
+  const std::vector<double> without_pool = run(false);
+  ASSERT_EQ(with_pool.size(), without_pool.size());
+  for (size_t i = 0; i < with_pool.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with_pool[i], without_pool[i]) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fra

@@ -176,7 +176,9 @@ TEST(MessageTest, TruncatedResponsesRejected) {
 }
 
 TEST(MessageTest, PeekEmptyMessageFails) {
-  EXPECT_TRUE(PeekMessageType({}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      PeekMessageType(std::vector<uint8_t>{}).status().IsInvalidArgument());
+  EXPECT_TRUE(PeekMessageType(ConstByteSpan()).status().IsInvalidArgument());
 }
 
 TEST(MessageTest, BuildGridRequestIsOneTagByte) {

@@ -348,6 +348,93 @@ TEST(FrameMachineTest, SinkFalsePausesDrainWithoutLosingFrames) {
   EXPECT_EQ(seen, std::vector<uint8_t>({1, 2}));
 }
 
+TEST(FrameMachineTest, EmptyPayloadFrameAccountsHeaderOnly) {
+  SocketPair pair;
+  FrameWriter writer;
+  writer.EnqueueFrame({});
+  // A zero-length payload is a legal frame: exactly the 4-byte length
+  // prefix is pending, nothing more.
+  EXPECT_TRUE(writer.has_pending());
+  EXPECT_EQ(writer.pending_bytes(), 4u);
+  ASSERT_TRUE(writer.Flush(pair.a).ok());
+  EXPECT_FALSE(writer.has_pending());
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+
+  FrameReader reader;
+  std::vector<std::vector<uint8_t>> received;
+  ASSERT_TRUE(reader
+                  .Drain(pair.b,
+                         [&received](std::vector<uint8_t> payload) {
+                           received.push_back(std::move(payload));
+                           return true;
+                         })
+                  .ok());
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_TRUE(received[0].empty());
+}
+
+TEST(FrameMachineTest, PendingBytesTracksEnqueueAndFlush) {
+  SocketPair pair;
+  FrameWriter writer;
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+  writer.EnqueueFrame({1, 2, 3});
+  EXPECT_EQ(writer.pending_bytes(), 4u + 3u);
+  writer.EnqueueFrame(std::vector<uint8_t>(100, 7));
+  EXPECT_EQ(writer.pending_bytes(), 4u + 3u + 4u + 100u);
+  ASSERT_TRUE(writer.Flush(pair.a).ok());
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+  EXPECT_FALSE(writer.has_pending());
+}
+
+TEST(FrameMachineTest, ChunkedFrameGathersAcrossSegments) {
+  SocketPair pair;
+  const int small = 4096;
+  ::setsockopt(pair.a, SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+  ::setsockopt(pair.b, SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+
+  // One frame assembled from many scattered segments, interleaved with
+  // contiguous frames — the receiver must see identical bytes either way.
+  std::vector<uint8_t> head = {0xAA, 0xBB};
+  std::vector<uint8_t> mid(64 * 1024);
+  for (size_t i = 0; i < mid.size(); ++i) mid[i] = static_cast<uint8_t>(i * 7);
+  std::vector<uint8_t> tail = {0xCC};
+  std::vector<uint8_t> expected;
+  expected.insert(expected.end(), head.begin(), head.end());
+  expected.insert(expected.end(), mid.begin(), mid.end());
+  expected.insert(expected.end(), tail.begin(), tail.end());
+
+  FrameWriter writer;
+  writer.EnqueueFrame({9, 9});
+  std::vector<BufferRef> chunks;
+  chunks.push_back(BufferRef::Wrap(std::move(head)));
+  chunks.push_back(BufferRef::Wrap(std::move(mid)));
+  chunks.push_back(BufferRef::Wrap({}));  // empty segments are skipped
+  chunks.push_back(BufferRef::Wrap(std::move(tail)));
+  writer.EnqueueFrameChunks(chunks);
+  EXPECT_EQ(writer.pending_bytes(), 4u + 2u + 4u + expected.size());
+
+  FrameReader reader;
+  std::vector<std::vector<uint8_t>> received;
+  bool saw_partial = false;
+  for (int spin = 0; spin < 100000 && received.size() < 2; ++spin) {
+    ASSERT_TRUE(writer.Flush(pair.a).ok());
+    if (writer.has_pending()) saw_partial = true;
+    ASSERT_TRUE(reader
+                    .Drain(pair.b,
+                           [&received](std::vector<uint8_t> payload) {
+                             received.push_back(std::move(payload));
+                             return true;
+                           })
+                    .ok());
+  }
+  EXPECT_TRUE(saw_partial);  // SO_SNDBUF forced at least one partial writev
+  EXPECT_FALSE(writer.has_pending());
+  EXPECT_EQ(writer.pending_bytes(), 0u);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], (std::vector<uint8_t>{9, 9}));
+  EXPECT_EQ(received[1], expected);
+}
+
 TEST(FrameMachineTest, ReaderReportsCleanCloseAsUnavailable) {
   SocketPair pair;
   ::close(pair.a);
