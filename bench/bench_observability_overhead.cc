@@ -24,6 +24,7 @@
 //   FRA_BENCH_SCALE=smoke ./build/bench/bench_observability_overhead
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +38,7 @@
 #include "federation/federation.h"
 #include "net/tcp_network.h"
 #include "obs/admin_server.h"
+#include "obs/profiler.h"
 #include "tests/test_util.h"
 #include "util/timer.h"
 #include "util/trace.h"
@@ -136,6 +138,7 @@ struct TcpScenarioResult {
   double p99_us = 0.0;
   size_t flight_records = 0;
   size_t traces = 0;
+  uint64_t profiler_samples = 0;
 };
 
 enum class TcpStack {
@@ -149,8 +152,11 @@ enum class TcpStack {
 
 // The same IID-est storm over real loopback sockets on the reactor
 // transport, with the diagnostics stack off, on, or capturing all.
+// `profiler_hz` > 0 additionally arms the SIGPROF sampling profiler for
+// the timed portion — the sweep below prices continuous profiling.
 TcpScenarioResult RunReactorScenario(TcpStack stack, size_t num_objects,
-                                     size_t num_queries, int repetitions) {
+                                     size_t num_queries, int repetitions,
+                                     int profiler_hz = 0) {
   const bool diagnostics_on = stack != TcpStack::kOff;
   fra::MetricsRegistry::Default().Reset();
   fra::Tracer::Get().Clear();
@@ -204,6 +210,12 @@ TcpScenarioResult RunReactorScenario(TcpStack stack, size_t num_objects,
   FRA_CHECK_OK(
       provider->ExecuteBatch(queries, fra::FraAlgorithm::kIidEst).status());
 
+  if (profiler_hz > 0) {
+    fra::ContinuousProfiler::Options profiler_options;
+    profiler_options.hz = profiler_hz;
+    FRA_CHECK_OK(fra::ContinuousProfiler::Get().Start(profiler_options));
+  }
+
   // Per-rep timing, best rep kept: on a loaded (or single-core) machine
   // the scheduler can steal a whole rep, and an 8 ms measurement window
   // would report the noise, not the stack. The best of many reps is the
@@ -219,7 +231,15 @@ TcpScenarioResult RunReactorScenario(TcpStack stack, size_t num_objects,
     }
   }
 
+  uint64_t profiler_samples = 0;
+  if (profiler_hz > 0) {
+    fra::ContinuousProfiler::Get().Stop();
+    profiler_samples = fra::ContinuousProfiler::Get().samples();
+    fra::ContinuousProfiler::Get().Clear();
+  }
+
   TcpScenarioResult result;
+  result.profiler_samples = profiler_samples;
   result.qps = static_cast<double>(num_queries) / best_seconds;
   for (const auto& [labels, histogram] :
        fra::MetricsRegistry::Default().HistogramsNamed(
@@ -376,6 +396,55 @@ int main() {
   json.EndObject();
   json.Key("qps_overhead_pct").Number(tcp_overhead);
   json.EndObject();
+
+  // --- Continuous profiler: off vs 19 Hz vs 97 Hz -------------------------
+  // Same reactor workload at the shipped diagnostics defaults, with the
+  // SIGPROF sampler off, at its default rate, and at the aggressive
+  // debug rate. The acceptance bar (profiler-smoke CI stage and
+  // docs/observability.md) is < 5% at the default 19 Hz.
+  std::printf("\ncontinuous profiler (full diagnostics stack, reactor TCP)\n");
+  std::printf("%-26s %12s %10s %10s %10s %10s\n", "scenario", "qps", "p50 us",
+              "p99 us", "samples", "overhead");
+  const int profiler_rates[] = {0, 19, 97};
+  TcpScenarioResult profiled[3];
+  for (int pass = 0; pass < tcp_passes; ++pass) {
+    for (int i = 0; i < 3; ++i) {
+      const TcpScenarioResult run =
+          RunReactorScenario(TcpStack::kFull, num_objects, num_queries,
+                             tcp_repetitions, profiler_rates[i]);
+      if (run.qps > profiled[i].qps) profiled[i] = run;
+    }
+  }
+  json.Key("profiler_sweep").BeginArray();
+  for (int i = 0; i < 3; ++i) {
+    const double overhead =
+        (profiled[0].qps - profiled[i].qps) / profiled[0].qps * 100.0;
+    char name[32];
+    if (profiler_rates[i] == 0) {
+      std::snprintf(name, sizeof(name), "profiler off");
+    } else {
+      std::snprintf(name, sizeof(name), "profiler %d Hz",
+                    profiler_rates[i]);
+    }
+    std::printf("%-26s %12.0f %10.2f %10.2f %10llu ", name, profiled[i].qps,
+                profiled[i].p50_us, profiled[i].p99_us,
+                static_cast<unsigned long long>(profiled[i].profiler_samples));
+    if (i == 0) {
+      std::printf("%10s\n", "-");
+    } else {
+      std::printf("%+9.1f%%\n", overhead);
+    }
+    json.BeginObject();
+    json.Key("hz").Int(profiler_rates[i]);
+    json.Key("qps").Number(profiled[i].qps);
+    json.Key("p50_us").Number(profiled[i].p50_us);
+    json.Key("p99_us").Number(profiled[i].p99_us);
+    json.Key("samples").Int(
+        static_cast<long long>(profiled[i].profiler_samples));
+    json.Key("qps_overhead_pct").Number(i == 0 ? 0.0 : overhead);
+    json.EndObject();
+  }
+  json.EndArray();
 
   json.EndObject();
   fra::bench::WriteJsonFile("BENCH_observability_overhead.json", json.str());

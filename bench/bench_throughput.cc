@@ -35,6 +35,7 @@
 #include "federation/service_provider.h"
 #include "federation/silo.h"
 #include "net/tcp_network.h"
+#include "obs/profiler.h"
 #include "util/buffer.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -189,6 +190,19 @@ fra::Result<CoalescingRun> RunTcpSweep(
 }  // namespace
 
 int main() {
+  // FRA_PROFILE_HZ=<hz> arms the continuous profiler over the whole run
+  // (the `profiler-smoke` CI stage uses this to verify sampling costs
+  // nothing measurable and produces usable stacks under real load).
+  int profile_hz = 0;
+  if (const char* hz_env = std::getenv("FRA_PROFILE_HZ")) {
+    profile_hz = std::atoi(hz_env);
+  }
+  if (profile_hz > 0) {
+    fra::ContinuousProfiler::Options profiler_options;
+    profiler_options.hz = profile_hz;
+    FRA_CHECK_OK(fra::ContinuousProfiler::Get().Start(profiler_options));
+  }
+
   fra::ExperimentConfig config =
       fra::ApplyEnvScale(fra::ExperimentConfig::Defaults());
   fra::ExperimentRunner runner(config);
@@ -468,6 +482,28 @@ int main() {
                   : 0.0);
   json.Key("exact_bit_identical").Bool(pool_bit_identical);
   json.EndObject();  // buffer_pool
+
+  if (profile_hz > 0) {
+    fra::ContinuousProfiler& profiler = fra::ContinuousProfiler::Get();
+    profiler.Stop();
+    const std::string collapsed = profiler.Collapsed();
+    size_t stacks = 0;
+    for (const char c : collapsed) {
+      if (c == '\n') ++stacks;
+    }
+    fra::bench::WriteJsonFile("PROFILE_bench_throughput.folded", collapsed);
+    std::printf("\nprofiler: %llu samples at %d Hz, %zu distinct stacks "
+                "(PROFILE_bench_throughput.folded)\n",
+                static_cast<unsigned long long>(profiler.samples()),
+                profile_hz, stacks);
+    std::printf("PROFILER_SAMPLES=%llu\n",
+                static_cast<unsigned long long>(profiler.samples()));
+    json.Key("profiler").BeginObject();
+    json.Key("hz").Int(profile_hz);
+    json.Key("samples").Int(static_cast<long long>(profiler.samples()));
+    json.Key("distinct_stacks").Int(static_cast<long long>(stacks));
+    json.EndObject();
+  }
   json.EndObject();  // root
 
   fra::bench::WriteJsonFile("BENCH_throughput.json", json.str());

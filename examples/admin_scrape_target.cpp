@@ -19,6 +19,7 @@
 #include "federation/admin.h"
 #include "federation/federation.h"
 #include "obs/admin_server.h"
+#include "util/logging.h"
 #include "util/trace.h"
 
 int main(int argc, char** argv) {
@@ -58,6 +59,9 @@ int main(int argc, char** argv) {
   // Capture everything: the lint script asserts /debug/flightz has
   // records, and CI queries are far faster than the 50 ms default.
   options.provider.flight_recorder.slow_threshold_micros = 0.0;
+  // Run the continuous profiler so the fra_profile_* families (and
+  // /debug/profilez) have real content to lint.
+  options.provider.profiling.enabled = true;
   auto federation_result =
       fra::Federation::Create(std::move(dataset.company_partitions), options);
   if (!federation_result.ok()) {
@@ -87,6 +91,11 @@ int main(int argc, char** argv) {
   }
   auto server = std::move(server_result).ValueOrDie();
   fra::InstallFederationAdminHandlers(server.get(), &provider);
+
+  // One structured record so /debug/logz and fra_log_records_total have
+  // content to lint.
+  FRA_LOG(INFO) << "scrape target serving " << queries.size()
+                << "-query workload results on port " << server->port();
 
   std::printf("ADMIN_PORT=%u\n", static_cast<unsigned>(server->port()));
   std::fflush(stdout);

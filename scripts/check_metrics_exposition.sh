@@ -66,6 +66,23 @@ scrape /healthz "${WORK_DIR}/healthz.txt"
 scrape /tracez "${WORK_DIR}/tracez.json"
 scrape /debug/flightz "${WORK_DIR}/flightz.txt"
 scrape /debug/flightz.json "${WORK_DIR}/flightz.json"
+scrape /debug/logz "${WORK_DIR}/logz.txt"
+scrape /debug/logz.json "${WORK_DIR}/logz.json"
+scrape /debug/profilez "${WORK_DIR}/profilez.txt"
+scrape /debug/profilez.json "${WORK_DIR}/profilez.json"
+
+echo "--- checking response headers"
+curl -fsS --max-time 10 -D "${WORK_DIR}/metrics_headers.txt" \
+  "${BASE}/metrics" -o /dev/null
+if ! grep -qi '^Cache-Control: no-store' "${WORK_DIR}/metrics_headers.txt"; then
+  echo "/metrics response missing Cache-Control: no-store" >&2
+  exit 1
+fi
+if ! grep -qi '^Content-Type:' "${WORK_DIR}/metrics_headers.txt"; then
+  echo "/metrics response missing an explicit Content-Type" >&2
+  exit 1
+fi
+echo "    /metrics: explicit Content-Type + Cache-Control: no-store"
 
 echo "--- linting /metrics exposition"
 python3 - "${WORK_DIR}/metrics.txt" <<'PYEOF'
@@ -189,13 +206,20 @@ def require_family(name, mtype):
         errors.append(f'expected {mtype} family {name!r} in the exposition')
 
 # Families the scrape target is guaranteed to populate: build
-# provenance, the query path, and the reactor loops of the admin
-# server itself.
+# provenance, the query path, the reactor loops of the admin server
+# itself, the cost ledger's per-query-class rollups, the structured-log
+# sink, and the continuous profiler (the target runs it).
 require_family('fra_build_info', 'gauge')
 require_family('fra_queries_total', 'counter')
 require_family('fra_query_latency_microseconds', 'histogram')
 require_family('fra_span_duration_microseconds', 'histogram')
 require_family('fra_reactor_loop_lag_microseconds', 'histogram')
+require_family('fra_query_cost_silo_rpcs_total', 'counter')
+require_family('fra_query_cost_bytes_total', 'counter')
+require_family('fra_query_cost_cpu_microseconds', 'histogram')
+require_family('fra_log_records_total', 'counter')
+require_family('fra_profile_samples_total', 'counter')
+require_family('fra_profile_running_hz', 'gauge')
 
 if samples == 0:
     errors.append('no samples in the exposition')
@@ -208,7 +232,8 @@ print(f'    {families} families, {samples} samples: exposition well-formed')
 PYEOF
 
 echo "--- validating JSON endpoints"
-for json_file in metrics.json statusz.json tracez.json flightz.json; do
+for json_file in metrics.json statusz.json tracez.json flightz.json \
+                 logz.json profilez.json; do
   if ! python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
       "${WORK_DIR}/${json_file}"; then
     echo "${json_file} is not valid JSON" >&2
@@ -229,6 +254,32 @@ if ! grep -q "^flight recorder:" "${WORK_DIR}/flightz.txt"; then
 fi
 if ! grep -q "spans:" "${WORK_DIR}/flightz.txt"; then
   echo "/debug/flightz has no captured spans (threshold 0 should record every query)" >&2
+  exit 1
+fi
+if ! grep -q "cost:" "${WORK_DIR}/flightz.txt"; then
+  echo "/debug/flightz records carry no cost breakdown" >&2
+  exit 1
+fi
+
+echo "--- checking /debug/logz and /statusz content"
+if ! grep -q "scrape target serving" "${WORK_DIR}/logz.txt"; then
+  echo "/debug/logz missing the target's own startup record" >&2
+  exit 1
+fi
+if ! python3 -c "
+import json, sys
+records = json.load(open('$WORK_DIR/logz.json'))['records']
+sys.exit(0 if any('scrape target serving' in r.get('msg', '')
+                  for r in records) else 1)"; then
+  echo "/debug/logz.json missing the startup record" >&2
+  exit 1
+fi
+if ! python3 -c "
+import json, sys
+status = json.load(open('$WORK_DIR/statusz.json'))
+ledger = status.get('cost_ledger')
+sys.exit(0 if isinstance(ledger, list) and len(ledger) > 0 else 1)"; then
+  echo "/statusz cost_ledger section empty (the workload ran queries)" >&2
   exit 1
 fi
 

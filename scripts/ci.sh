@@ -7,9 +7,11 @@
 #   scripts/ci.sh sanitize-thread # TSan, net-labeled tests (reactor/TCP/coalescer)
 #   scripts/ci.sh bench-smoke     # bench harnesses at smoke scale + BENCH_*.json
 #   scripts/ci.sh alloc-smoke     # warm-path allocation budget (buffer pool)
+#   scripts/ci.sh profiler-smoke  # bench_throughput under SIGPROF sampling:
+#                                 # usable stacks, qps tax under 5%
 #   scripts/ci.sh metrics-lint    # boot an AdminServer, scrape + lint /metrics
 #   scripts/ci.sh docs-check      # docs link + metric-drift check (no build)
-#   scripts/ci.sh                 # all eight stages in sequence
+#   scripts/ci.sh                 # all nine stages in sequence
 #
 # Each stage uses its own build tree under build-ci/ so stages cannot
 # poison one another's CMake cache.
@@ -66,6 +68,65 @@ run_stage() {
     return
   fi
 
+  # profiler-smoke runs the throughput bench twice — profiler off, then
+  # sampling at the default 19 Hz — interleaved best-of-two per config so
+  # a noisy CI neighbour doesn't decide the comparison. The profiled run
+  # must produce non-empty collapsed stacks and cost < 5% qps.
+  if [[ "${stage}" == "profiler-smoke" ]]; then
+    local build_dir="${REPO_ROOT}/build-ci/${stage}"
+    echo "=== stage ${stage}: configure ==="
+    cmake -S "${REPO_ROOT}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release \
+      -DFRA_ENABLE_TRACING=ON
+    echo "=== stage ${stage}: build ==="
+    cmake --build "${build_dir}" -j "${JOBS}" --target bench_throughput
+    echo "=== stage ${stage}: off/on qps comparison ==="
+    local qps_off=0 qps_on=0 samples=0
+    local pass qps
+    for pass in 1 2; do
+      (cd "${build_dir}" && FRA_BENCH_SCALE=smoke FRA_PROFILE_HZ=0 \
+         ./bench/bench_throughput > "bench_throughput_off_${pass}.log")
+      qps="$(python3 -c "
+import json
+data = json.load(open('${build_dir}/BENCH_throughput.json'))
+print(max(row['qps'] for row in data['in_process']))")"
+      qps_off="$(python3 -c "print(max(${qps_off}, ${qps}))")"
+      (cd "${build_dir}" && FRA_BENCH_SCALE=smoke FRA_PROFILE_HZ=19 \
+         ./bench/bench_throughput > "bench_throughput_on_${pass}.log")
+      qps="$(python3 -c "
+import json
+data = json.load(open('${build_dir}/BENCH_throughput.json'))
+print(max(row['qps'] for row in data['in_process']))")"
+      qps_on="$(python3 -c "print(max(${qps_on}, ${qps}))")"
+      samples="$(sed -n 's/^PROFILER_SAMPLES=//p' \
+                   "${build_dir}/bench_throughput_on_${pass}.log" | head -1)"
+    done
+    echo "    qps off=${qps_off} on=${qps_on} samples=${samples}"
+    if [[ ! -s "${build_dir}/PROFILE_bench_throughput.folded" ]]; then
+      echo "profiled run wrote no collapsed stacks" >&2
+      exit 1
+    fi
+    if ! grep -q ';' "${build_dir}/PROFILE_bench_throughput.folded"; then
+      echo "collapsed output has no multi-frame stacks" >&2
+      exit 1
+    fi
+    if [[ -z "${samples}" || "${samples}" -lt 1 ]]; then
+      echo "profiled run captured no samples" >&2
+      exit 1
+    fi
+    python3 - "${qps_off}" "${qps_on}" <<'PYEOF'
+import sys
+off, on = float(sys.argv[1]), float(sys.argv[2])
+delta = (off - on) / off * 100.0 if off > 0 else 0.0
+print(f'    profiler qps tax: {delta:+.2f}%')
+if delta >= 5.0:
+    print(f'FAIL: profiler costs {delta:.2f}% qps (bar: < 5%)',
+          file=sys.stderr)
+    sys.exit(1)
+PYEOF
+    echo "=== stage ${stage}: OK ==="
+    return
+  fi
+
   local build_dir="${REPO_ROOT}/build-ci/${stage}"
   local -a cmake_args=(-DCMAKE_BUILD_TYPE=Release)
   local -a ctest_args=(--output-on-failure -j "${JOBS}")
@@ -112,7 +173,7 @@ run_stage() {
       ;;
     *)
       echo "unknown stage: ${stage}" >&2
-      echo "usage: $0 [tracing-on|tracing-off|sanitize|sanitize-thread|bench-smoke|alloc-smoke|metrics-lint|docs-check]" >&2
+      echo "usage: $0 [tracing-on|tracing-off|sanitize|sanitize-thread|bench-smoke|alloc-smoke|profiler-smoke|metrics-lint|docs-check]" >&2
       exit 2
       ;;
   esac
@@ -137,7 +198,7 @@ run_stage() {
 }
 
 if [[ $# -eq 0 ]]; then
-  for stage in docs-check tracing-on tracing-off sanitize sanitize-thread bench-smoke alloc-smoke metrics-lint; do
+  for stage in docs-check tracing-on tracing-off sanitize sanitize-thread bench-smoke alloc-smoke profiler-smoke metrics-lint; do
     run_stage "${stage}"
   done
 else

@@ -167,6 +167,15 @@ HttpResponse Statusz(ServiceProvider* provider) {
     out << "null,\n";
   }
 
+  // Where each query class's resources go: the cost ledger's rollups,
+  // one row per {algorithm, aggregate, cache-outcome}.
+  out << "  \"cost_ledger\": ";
+  if (QueryCostLedger* ledger = provider->cost_ledger()) {
+    out << ledger->RenderJson() << ",\n";
+  } else {
+    out << "null,\n";
+  }
+
   out << "  \"audit\": ";
   if (AccuracyAuditor* auditor = provider->auditor()) {
     const AccuracyAuditor::Snapshot audit = auditor->snapshot();

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "net/message.h"
+#include "obs/profiler.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -96,6 +97,20 @@ std::string DescribeQuery(const FraQuery& query) {
 
 }  // namespace
 
+const char* ServiceProvider::CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kOff:
+      return "off";
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kTile:
+      return "tile";
+    case CacheOutcome::kMiss:
+      return "miss";
+  }
+  return "off";
+}
+
 Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
     Network* network, const Options& options) {
   if (network == nullptr) {
@@ -163,6 +178,22 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
         options.flight_recorder.slow_threshold_micros;
     provider->recorder_ = std::make_unique<FlightRecorder>(recorder_options);
   }
+  if (options.cost_ledger_enabled) {
+    provider->cost_ledger_ = std::make_unique<QueryCostLedger>();
+  }
+  if (options.profiling.enabled) {
+    // The profiler is a process singleton; if another provider (or the
+    // admin /debug/profilez endpoint) already runs it, keep theirs.
+    ContinuousProfiler::Options profiler_options;
+    profiler_options.hz = options.profiling.hz;
+    const Status started = ContinuousProfiler::Get().Start(profiler_options);
+    if (started.ok()) {
+      provider->started_profiler_ = true;
+    } else {
+      FRA_LOG(WARN) << "continuous profiler not started: "
+                    << started.ToString();
+    }
+  }
 
   // Alg. 1: fetch every silo's grid index and merge them into g_0. The
   // fetches (round trip + deserialize) run one per silo on the fan-out
@@ -224,6 +255,7 @@ Result<std::unique_ptr<ServiceProvider>> ServiceProvider::Create(
 }
 
 ServiceProvider::~ServiceProvider() {
+  if (started_profiler_) ContinuousProfiler::Get().Stop();
   // In-flight background audits replay queries through the pools and the
   // caller's network; drain them while every member is still alive (the
   // fan-out pool is destroyed before the batch pool otherwise).
@@ -273,36 +305,56 @@ Result<double> ServiceProvider::Execute(const FraQuery& query,
   ScopedTraceId trace_scope(SampledTraceId());
   const uint64_t trace_id = CurrentTraceId();
   QueryFlightLog flight_log;  // collects per-silo outcomes (CallSilo)
+  // Installed alongside the flight log: CallSilo charges wire bytes and
+  // RPC counts to it, and fan-out legs re-install it on pool threads
+  // (QueryCostScope) so their CPU lands in this query's cost too.
+  QueryCostTracker cost_tracker;
   // Batch this thread's spans (and ingested silo spans) so the whole
   // query takes the tracer's ring lock once at drain time, not once per
   // span — batch workers would otherwise serialize on it.
   std::optional<SpanCollector> span_batch;
   if (trace_id != 0) span_batch.emplace();
   Timer timer;
-  bool from_cache = false;
+  const double cpu_start = ThreadCpuMicros();
+  CacheOutcome outcome = CacheOutcome::kOff;
   Result<double> result = [&]() -> Result<double> {
     FRA_TRACE_SPAN("provider.execute");
     const uint64_t draw = IsSingleSilo(algorithm) ? NextDraw() : 0;
-    return ExecuteCached(query, algorithm, draw, &from_cache);
+    return ExecuteCached(query, algorithm, draw, &outcome);
   }();
   const double seconds = timer.ElapsedSeconds();
+  cost_tracker.AddCpuMicros(ThreadCpuMicros() - cpu_start);
   if (span_batch.has_value()) {
     std::vector<SpanRecord> spans = span_batch->Take();
     span_batch.reset();  // uninstall before Ingest so it reaches the ring
     Tracer::Get().Ingest(std::move(spans), std::string());
   }
-  RecordQueryMetrics(algorithm, result.ok(), seconds);
-  MaybeRecordFlight(query, algorithm, result, from_cache, trace_id,
-                    seconds * 1e6, &flight_log);
-  MaybeAuditAsync(query, algorithm, result, from_cache);
+  FinishQueryAccounting(query, algorithm, result, outcome, trace_id, seconds,
+                        &flight_log, cost_tracker);
   return result;
+}
+
+void ServiceProvider::FinishQueryAccounting(
+    const FraQuery& query, FraAlgorithm algorithm, const Result<double>& result,
+    CacheOutcome outcome, uint64_t trace_id, double seconds,
+    QueryFlightLog* flight_log, const QueryCostTracker& cost_tracker) {
+  RecordQueryMetrics(algorithm, result.ok(), seconds);
+  const QueryCost cost = cost_tracker.Snapshot();
+  if (cost_ledger_ != nullptr) {
+    cost_ledger_->Record(FraAlgorithmToString(algorithm),
+                         AggregateKindToString(query.kind),
+                         CacheOutcomeName(outcome), result.ok(), cost);
+  }
+  MaybeRecordFlight(query, algorithm, result, outcome, trace_id, seconds * 1e6,
+                    flight_log, cost);
+  MaybeAuditAsync(query, algorithm, result, ServedFromCache(outcome));
 }
 
 Result<double> ServiceProvider::ExecuteCached(const FraQuery& query,
                                               FraAlgorithm algorithm,
                                               uint64_t draw,
-                                              bool* served_from_cache) {
-  *served_from_cache = false;
+                                              CacheOutcome* outcome) {
+  *outcome = cache_ == nullptr ? CacheOutcome::kOff : CacheOutcome::kMiss;
   std::string key;
   if (cache_ != nullptr) {
     // The data epoch is part of the key, so entries cached before a
@@ -312,7 +364,7 @@ Result<double> ServiceProvider::ExecuteCached(const FraQuery& query,
                           static_cast<uint8_t>(algorithm), options_.epsilon,
                           options_.delta);
     if (const std::optional<double> hit = cache_->exact().Lookup(key)) {
-      *served_from_cache = true;
+      *outcome = CacheOutcome::kHit;
       return *hit;
     }
   }
@@ -321,7 +373,7 @@ Result<double> ServiceProvider::ExecuteCached(const FraQuery& query,
       IsSingleSilo(algorithm)
           ? ExecuteSampled(query, algorithm, draw, &from_tile)
           : ExecuteWithSilo(query, algorithm, -1);
-  if (from_tile) *served_from_cache = true;
+  if (from_tile) *outcome = CacheOutcome::kTile;
   if (cache_ != nullptr && result.ok()) {
     cache_->exact().Insert(key, *result);
   }
@@ -364,15 +416,18 @@ void ServiceProvider::MaybeAuditAsync(const FraQuery& query,
 void ServiceProvider::MaybeRecordFlight(const FraQuery& query,
                                         FraAlgorithm algorithm,
                                         const Result<double>& result,
-                                        bool from_cache, uint64_t trace_id,
-                                        double micros, QueryFlightLog* log) {
+                                        CacheOutcome outcome,
+                                        uint64_t trace_id, double micros,
+                                        QueryFlightLog* log,
+                                        const QueryCost& cost) {
   if (recorder_ == nullptr) return;
   if (!recorder_->ShouldCapture(!result.ok(), micros)) return;
   FlightRecorder::Record record;
   record.trace_id = trace_id;
   record.query = DescribeQuery(query);
   record.algorithm = FraAlgorithmToString(algorithm);
-  record.cache = cache_ == nullptr ? "off" : (from_cache ? "hit" : "miss");
+  record.cache = CacheOutcomeName(outcome);
+  record.cost = cost;
   record.failed = !result.ok();
   record.status = result.ok() ? "ok" : result.status().ToString();
   record.duration_micros = micros;
@@ -609,7 +664,11 @@ Result<std::vector<uint8_t>> ServiceProvider::CallSilo(
   // Background audits run on pool threads with no log — excluded by
   // construction.
   QueryFlightLog* log = QueryFlightLog::Current();
-  if (log == nullptr) {
+  // The cost tracker rides the same thread-local mechanism: every
+  // data-plane byte and RPC of the query is charged here, whichever
+  // thread the exchange runs on.
+  QueryCostTracker* cost = QueryCostTracker::Current();
+  if (log == nullptr && cost == nullptr) {
     if (coalescer_ != nullptr) return coalescer_->Call(silo_id, request);
     return network_->Call(silo_id, request);
   }
@@ -617,7 +676,12 @@ Result<std::vector<uint8_t>> ServiceProvider::CallSilo(
   Result<std::vector<uint8_t>> response =
       coalescer_ != nullptr ? coalescer_->Call(silo_id, request)
                             : network_->Call(silo_id, request);
-  log->NoteSilo(silo_id, response.status(), timer.ElapsedMicros());
+  if (log != nullptr) {
+    log->NoteSilo(silo_id, response.status(), timer.ElapsedMicros());
+  }
+  if (cost != nullptr) {
+    cost->NoteSiloCall(request.size(), response.ok() ? response->size() : 0);
+  }
   return response;
 }
 
@@ -639,11 +703,18 @@ Result<AggregateSummary> ServiceProvider::RunFanOut(const QueryRange& range,
   const size_t num_silos = silo_ids_.size();
   const uint64_t trace_id = CurrentTraceId();
   QueryFlightLog* flight = QueryFlightLog::Current();
+  QueryCostTracker* cost = QueryCostTracker::Current();
   std::vector<Result<AggregateSummary>> partials(num_silos,
                                                  AggregateSummary());
   const auto call_silo = [&](size_t i) {
     ScopedTraceId trace_scope(trace_id);
     QueryFlightLogScope flight_scope(flight);
+    // Pool legs re-install the query's cost tracker and attribute their
+    // thread-CPU time to it. The caller's own leg is already inside the
+    // CPU window Execute measures on its thread — a second scope there
+    // would double-count it.
+    std::optional<QueryCostScope> cost_scope;
+    if (QueryCostTracker::Current() == nullptr) cost_scope.emplace(cost);
     partials[i] = [&]() -> Result<AggregateSummary> {
       FRA_ASSIGN_OR_RETURN(std::vector<uint8_t> response,
                            CallSilo(silo_ids_[i], encoded));
@@ -835,17 +906,20 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
       ScopedTraceId trace_scope(SampledTraceId());
       const uint64_t trace_id = CurrentTraceId();
       QueryFlightLog flight_log;
+      QueryCostTracker cost_tracker;
       // One ring-lock acquisition per query at drain time (see Execute):
       // without this, every span of every worker contends on the tracer.
       std::optional<SpanCollector> span_batch;
       if (trace_id != 0) span_batch.emplace();
       Timer timer;
-      bool from_cache = false;
+      const double cpu_start = ThreadCpuMicros();
+      CacheOutcome outcome = CacheOutcome::kOff;
       Result<double> result = [&]() -> Result<double> {
         FRA_TRACE_SPAN("provider.execute");
-        return ExecuteCached(queries[i], algorithm, draws[i], &from_cache);
+        return ExecuteCached(queries[i], algorithm, draws[i], &outcome);
       }();
       const double seconds = timer.ElapsedSeconds();
+      cost_tracker.AddCpuMicros(ThreadCpuMicros() - cpu_start);
       if (span_batch.has_value()) {
         std::vector<SpanRecord> spans = span_batch->Take();
         span_batch.reset();
@@ -854,10 +928,8 @@ Result<std::vector<double>> ServiceProvider::ExecuteBatch(
       if (latencies_seconds != nullptr) {
         (*latencies_seconds)[i] = seconds;
       }
-      RecordQueryMetrics(algorithm, result.ok(), seconds);
-      MaybeRecordFlight(queries[i], algorithm, result, from_cache, trace_id,
-                        seconds * 1e6, &flight_log);
-      MaybeAuditAsync(queries[i], algorithm, result, from_cache);
+      FinishQueryAccounting(queries[i], algorithm, result, outcome, trace_id,
+                            seconds, &flight_log, cost_tracker);
       if (result.ok()) {
         results[i] = *result;
       } else {
@@ -973,6 +1045,8 @@ Status ServiceProvider::SyncGrids() {
           std::unique(changed_cells.begin(), changed_cells.end()),
           changed_cells.end());
       cache_->OnDataChanged(changed_cells);
+      FRA_LOG(INFO) << "grid delta sync touched " << changed_cells.size()
+                    << " cells; cache epoch now " << cache_->epoch();
     }
   }
   return Status::OK();

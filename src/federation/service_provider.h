@@ -14,6 +14,7 @@
 #include "net/network.h"
 #include "net/request_coalescer.h"
 #include "obs/accuracy_auditor.h"
+#include "obs/cost_ledger.h"
 #include "obs/flight_recorder.h"
 #include "util/random.h"
 #include "util/result.h"
@@ -152,6 +153,24 @@ class ServiceProvider {
       double slow_threshold_micros = 50'000.0;
     };
     FlightRecorderOptions flight_recorder;
+    /// Continuous profiling (docs/observability.md, "Continuous
+    /// profiling"): with `enabled`, Create() starts the process-wide
+    /// sampling profiler at `hz` and the provider's destructor stops it
+    /// (unless something else had already started it — the profiler is a
+    /// process singleton). /debug/profilez serves the collapsed stacks
+    /// either way.
+    struct ProfilingOptions {
+      bool enabled = false;
+      int hz = 19;
+    };
+    ProfilingOptions profiling;
+    /// Per-query cost ledger (docs/observability.md, "Query cost
+    /// ledger"): attribute each query's thread-CPU time, wire bytes,
+    /// silo RPCs and coalescer queue-wait, rolled up per {algorithm,
+    /// aggregate, cache-outcome} (fra_query_cost_*, /statusz, and every
+    /// flight-recorder entry). Costs one CLOCK_THREAD_CPUTIME_ID read
+    /// pair per thread touching the query, so it stays on by default.
+    bool cost_ledger_enabled = true;
     /// Head-sampling for query traces: with the Tracer enabled, every
     /// n-th Execute/ExecuteBatch query (provider-wide counter, first
     /// query always) starts a fresh trace; the others run untraced, so
@@ -249,6 +268,8 @@ class ServiceProvider {
   ProviderCache* cache() const { return cache_.get(); }
   /// The slow-query flight recorder (null when disabled).
   FlightRecorder* flight_recorder() const { return recorder_.get(); }
+  /// The per-query cost ledger (null when cost_ledger_enabled is false).
+  QueryCostLedger* cost_ledger() const { return cost_ledger_.get(); }
 
   /// Last data version reported by each silo over the delta-sync path
   /// (0 until the first SyncGrids after an ingest).
@@ -283,12 +304,22 @@ class ServiceProvider {
     std::vector<AggregateSummary> boundary_g0;
   };
 
+  /// How the cache shaped one answer. This is the `cache` label of the
+  /// cost ledger and the flight recorder: `off` (no cache configured),
+  /// `hit` (exact-layer), `tile` (assembled from cached tiles), `miss`
+  /// (cache on, normal path taken).
+  enum class CacheOutcome { kOff, kHit, kTile, kMiss };
+  static const char* CacheOutcomeName(CacheOutcome outcome);
+  static bool ServedFromCache(CacheOutcome outcome) {
+    return outcome == CacheOutcome::kHit || outcome == CacheOutcome::kTile;
+  }
+
   /// Cache-aware Execute body: exact-layer lookup, then the normal
   /// execution path (which may itself serve from tiles), then insert.
-  /// `*served_from_cache` reports whether either cache layer shaped the
-  /// answer (audits treat such answers as estimates even for kExact).
+  /// `*outcome` reports which cache layer (if any) shaped the answer
+  /// (audits treat cache-served answers as estimates even for kExact).
   Result<double> ExecuteCached(const FraQuery& query, FraAlgorithm algorithm,
-                               uint64_t draw, bool* served_from_cache);
+                               uint64_t draw, CacheOutcome* outcome);
 
   /// Executes a single-silo algorithm with the silo chosen from `draw`:
   /// candidates are the relevant silos (when enabled), and failures
@@ -324,12 +355,21 @@ class ServiceProvider {
 
   /// Captures `query` into the flight recorder when it was slow or
   /// failed: query text, cache disposition, the silo outcomes collected
-  /// in `log`, and — when `trace_id` is nonzero — the stitched span tree
-  /// pulled from the Tracer at completion time.
+  /// in `log`, the cost breakdown measured by the query's tracker, and —
+  /// when `trace_id` is nonzero — the stitched span tree pulled from the
+  /// Tracer at completion time.
   void MaybeRecordFlight(const FraQuery& query, FraAlgorithm algorithm,
-                         const Result<double>& result, bool from_cache,
-                         uint64_t trace_id, double micros,
-                         QueryFlightLog* log);
+                         const Result<double>& result, CacheOutcome outcome,
+                         uint64_t trace_id, double micros, QueryFlightLog* log,
+                         const QueryCost& cost);
+
+  /// Ledger + flight-recorder + audit tail shared by Execute and the
+  /// ExecuteBatch workers, after the query's timer has been read.
+  void FinishQueryAccounting(const FraQuery& query, FraAlgorithm algorithm,
+                             const Result<double>& result,
+                             CacheOutcome outcome, uint64_t trace_id,
+                             double seconds, QueryFlightLog* flight_log,
+                             const QueryCostTracker& cost_tracker);
 
   Network* network_;
   Options options_;
@@ -349,6 +389,11 @@ class ServiceProvider {
   std::unique_ptr<ProviderCache> cache_;
   // Slow-query flight recorder (null when disabled).
   std::unique_ptr<FlightRecorder> recorder_;
+  // Per-query cost rollups (null when cost_ledger_enabled is false).
+  std::unique_ptr<QueryCostLedger> cost_ledger_;
+  // True when Create() started the process-wide profiler on behalf of
+  // this provider; the destructor stops it then.
+  bool started_profiler_ = false;
   // Head-sampling counter behind Options::trace_sample_every_n.
   std::atomic<uint64_t> trace_sample_counter_{0};
   mutable std::mutex versions_mu_;  // guards silo_data_versions_

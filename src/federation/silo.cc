@@ -6,10 +6,33 @@
 #include <utility>
 
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/query_cost.h"
 #include "util/serialize.h"
 #include "util/trace.h"
 
 namespace fra {
+namespace {
+
+/// Observes the enclosing scope's thread-CPU delta: the cost of the
+/// silo-side work itself, excluding any wait for the execution lock
+/// (construct after the lock is held).
+class ScopedSiloCpu {
+ public:
+  explicit ScopedSiloCpu(Histogram* hist)
+      : hist_(hist), start_(ThreadCpuMicros()) {}
+  ~ScopedSiloCpu() {
+    if (hist_ != nullptr) hist_->Observe(ThreadCpuMicros() - start_);
+  }
+  ScopedSiloCpu(const ScopedSiloCpu&) = delete;
+  ScopedSiloCpu& operator=(const ScopedSiloCpu&) = delete;
+
+ private:
+  Histogram* hist_;
+  double start_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<Silo>> Silo::Create(int id, ObjectSet objects,
                                            const Options& options) {
@@ -446,8 +469,21 @@ Result<std::vector<uint8_t>> Silo::HandleBatchRequest(ConstByteSpan request) {
   return EncodeBatchResponse(responses);
 }
 
+Histogram* Silo::HandleCpuHistogram() {
+  Histogram* hist = handle_cpu_hist_.load(std::memory_order_acquire);
+  if (hist == nullptr) {
+    // Racing resolvers get the same registry-owned instrument.
+    hist = &MetricsRegistry::Default().GetHistogram(
+        "fra_query_cost_silo_cpu_microseconds",
+        {{"silo", std::to_string(id_)}});
+    handle_cpu_hist_.store(hist, std::memory_order_release);
+  }
+  return hist;
+}
+
 Result<std::vector<uint8_t>> Silo::HandleSingleLocked(MessageType type,
                                                       ConstByteSpan request) {
+  ScopedSiloCpu cpu_scope(HandleCpuHistogram());
   BinaryReader reader(request);
 
   // Everything leaving the silo passes the DP boundary: scalar answers,

@@ -1,6 +1,7 @@
 #ifndef FRA_FEDERATION_SILO_H_
 #define FRA_FEDERATION_SILO_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -19,6 +20,8 @@
 #include "util/thread_pool.h"
 
 namespace fra {
+
+class Histogram;
 
 /// A data silo s_i: the autonomous owner of one horizontal partition
 /// P_{s_i} of the federation's spatial objects.
@@ -178,6 +181,8 @@ class Silo : public SiloEndpoint {
   Result<std::vector<uint8_t>> HandleBatchRequest(ConstByteSpan request);
   /// The lazily created batch worker pool.
   ThreadPool* batch_pool();
+  /// This silo's fra_query_cost_silo_cpu_microseconds{silo=id} histogram.
+  Histogram* HandleCpuHistogram();
 
   // Unlocked implementations; public entry points take execution_mu_.
   void IngestLocked(const ObjectSet& batch);
@@ -205,6 +210,11 @@ class Silo : public SiloEndpoint {
   uint64_t data_version_ = 0;
   std::unique_ptr<LaplaceMechanism> dp_;
   mutable std::mutex execution_mu_;
+  // Silo-side CPU attribution (fra_query_cost_silo_cpu_microseconds
+  // {silo=id}): one CLOCK_THREAD_CPUTIME_ID delta per dispatched entry,
+  // measured on whichever thread executed it. Resolved lazily — id_ is
+  // only known after Create().
+  std::atomic<Histogram*> handle_cpu_hist_{nullptr};
   size_t batch_workers_ = 0;
   std::mutex batch_pool_mu_;  // guards lazy batch_pool_ creation
   std::unique_ptr<ThreadPool> batch_pool_;

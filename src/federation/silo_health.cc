@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace fra {
 
 SiloHealthTracker::SiloHealthTracker(const Options& options)
@@ -20,7 +22,21 @@ SiloHealthTracker::SiloRecord& SiloHealthTracker::RecordFor(int silo_id) {
   return record;
 }
 
-void SiloHealthTracker::SetState(SiloRecord& record, State state) {
+void SiloHealthTracker::SetState(int silo_id, SiloRecord& record,
+                                 State state) {
+  if (record.state != state) {
+    // Availability transitions are the health tracker's headline events;
+    // kDown means single-silo sampling is now steering around this silo.
+    if (state == State::kDown) {
+      FRA_LOG(WARN) << "silo " << silo_id << " marked down (was "
+                    << StateToString(record.state) << ", "
+                    << record.consecutive_failures << " consecutive failures)";
+    } else {
+      FRA_LOG(INFO) << "silo " << silo_id << " "
+                    << StateToString(record.state) << " -> "
+                    << StateToString(state);
+    }
+  }
   record.state = state;
   record.state_gauge->Set(static_cast<double>(state));
 }
@@ -50,7 +66,7 @@ void SiloHealthTracker::OnSiloCall(int silo_id, const Status& status,
     ++record.consecutive_failures;
     if (record.state == State::kProbing) {
       // Failed probe: re-open the breaker for another backoff interval.
-      SetState(record, State::kDown);
+      SetState(silo_id, record, State::kDown);
       record.next_probe_at = std::chrono::steady_clock::now() +
                              std::chrono::milliseconds(options_.probe_backoff_ms);
       return;
@@ -58,7 +74,7 @@ void SiloHealthTracker::OnSiloCall(int silo_id, const Status& status,
     if (record.consecutive_failures >=
         options_.down_after_consecutive_failures) {
       if (record.state != State::kDown) {
-        SetState(record, State::kDown);
+        SetState(silo_id, record, State::kDown);
         record.next_probe_at =
             std::chrono::steady_clock::now() +
             std::chrono::milliseconds(options_.probe_backoff_ms);
@@ -68,7 +84,7 @@ void SiloHealthTracker::OnSiloCall(int silo_id, const Status& status,
     if (record.state == State::kUp &&
         record.window.size() >= options_.min_samples &&
         WindowFailureRatio(record) >= options_.degraded_failure_ratio) {
-      SetState(record, State::kDegraded);
+      SetState(silo_id, record, State::kDegraded);
     }
     return;
   }
@@ -87,13 +103,13 @@ void SiloHealthTracker::OnSiloCall(int silo_id, const Status& status,
     // cannot immediately re-degrade the silo.
     record.window.clear();
     record.window.push_back(false);
-    SetState(record, State::kUp);
+    SetState(silo_id, record, State::kUp);
     return;
   }
   if (record.state == State::kDegraded &&
       record.window.size() >= options_.min_samples &&
       WindowFailureRatio(record) < options_.degraded_failure_ratio) {
-    SetState(record, State::kUp);
+    SetState(silo_id, record, State::kUp);
   }
 }
 
@@ -123,7 +139,7 @@ bool SiloHealthTracker::TryBeginProbe(int silo_id) {
   if (now < record.next_probe_at) return false;
   record.next_probe_at =
       now + std::chrono::milliseconds(options_.probe_backoff_ms);
-  SetState(record, State::kProbing);
+  SetState(silo_id, record, State::kProbing);
   return true;
 }
 

@@ -120,7 +120,7 @@ class SiloHealthTracker : public SiloCallObserver {
 
   // Callers hold mu_.
   SiloRecord& RecordFor(int silo_id);
-  void SetState(SiloRecord& record, State state);
+  void SetState(int silo_id, SiloRecord& record, State state);
   double WindowFailureRatio(const SiloRecord& record) const;
 
   const Options options_;

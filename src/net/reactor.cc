@@ -35,6 +35,22 @@ double ToMicros(TimerWheel::Clock::duration d) {
       .count();
 }
 
+// Frame-layer byte accounting (fra_frame_bytes_total{direction}): every
+// byte the reactor transport moves, headers included, counted at the
+// syscall boundary — the wire truth the per-query cost ledger is checked
+// against. One atomic add per recv/sendmsg.
+Counter* FrameBytesIn() {
+  static Counter* counter = &MetricsRegistry::Default().GetCounter(
+      "fra_frame_bytes_total", {{"direction", "in"}});
+  return counter;
+}
+
+Counter* FrameBytesOut() {
+  static Counter* counter = &MetricsRegistry::Default().GetCounter(
+      "fra_frame_bytes_total", {{"direction", "out"}});
+  return counter;
+}
+
 }  // namespace
 
 // --- TimerWheel ------------------------------------------------------------
@@ -393,6 +409,7 @@ Status FrameReader::Drain(int fd, const FrameSink& on_frame) {
                                  std::strerror(errno));
         }
         if (n == 0) return Status::Unavailable("peer closed connection");
+        FrameBytesIn()->Increment(static_cast<uint64_t>(n));
         header_filled_ += static_cast<size_t>(n);
       }
       uint32_t wire_length = 0;
@@ -417,6 +434,7 @@ Status FrameReader::Drain(int fd, const FrameSink& on_frame) {
         return Status::IOError(std::string("recv: ") + std::strerror(errno));
       }
       if (n == 0) return Status::Unavailable("peer closed connection");
+      FrameBytesIn()->Increment(static_cast<uint64_t>(n));
       payload_filled_ += static_cast<size_t>(n);
     }
     // Frame complete; reset before the sink runs so a re-entrant look at
@@ -491,6 +509,7 @@ Status FrameWriter::Flush(int fd) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
       return Status::IOError(std::string("sendmsg: ") + std::strerror(errno));
     }
+    FrameBytesOut()->Increment(static_cast<uint64_t>(n));
     pending_bytes_ -= static_cast<size_t>(n);
     size_t written = static_cast<size_t>(n);
     while (written > 0) {

@@ -151,6 +151,8 @@ void RequestCoalescer::Stage(int silo_id, const std::vector<uint8_t>& request,
   writer.AppendRaw(request.data(), request.size());
   pending->entry = BufferRef::Wrap(writer.Release());
   pending->done = std::move(done);
+  pending->cost = QueryCostTracker::Current();
+  pending->staged_at = std::chrono::steady_clock::now();
 
   std::vector<std::unique_ptr<Pending>> to_send;
   const char* reason = "size";
@@ -306,6 +308,19 @@ void RequestCoalescer::SendBatch(int silo_id,
   // the staged per-entry segments, shipped as a scatter-gather chunk
   // list: nothing is concatenated here, and on the reactor transport the
   // chunks reach the socket through one vectored send.
+  // Queue-wait attribution: each entry's staged time is charged to its
+  // query's cost tracker now, while the staging caller is still waiting
+  // on the exchange (so the tracker is alive by construction).
+  const auto flushed_at = std::chrono::steady_clock::now();
+  for (const std::unique_ptr<Pending>& pending : batch) {
+    if (pending->cost == nullptr) continue;
+    pending->cost->NoteQueueWait(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(flushed_at -
+                                                             pending->staged_at)
+            .count() /
+        1e3);
+  }
+
   BinaryWriter header = BinaryWriter::Pooled(1 + sizeof(uint32_t));
   header.WriteU8(static_cast<uint8_t>(MessageType::kAggregateBatchRequest));
   header.WriteU32(static_cast<uint32_t>(batch.size()));

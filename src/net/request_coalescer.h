@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "util/query_cost.h"
 #include "util/result.h"
 
 namespace fra {
@@ -114,6 +115,13 @@ class RequestCoalescer {
     /// list (Network::CallAsyncChunks).
     BufferRef entry;
     CallCallback done;
+    /// The staging query's cost tracker (or null), captured on the
+    /// staging thread: the flush charges this entry's staged time as
+    /// queue-wait. Valid until `done` fires — the blocking Call holds
+    /// its caller (and the caller's tracker) until then, and CallAsync
+    /// callers keep their tracker alive until completion by contract.
+    QueryCostTracker* cost = nullptr;
+    std::chrono::steady_clock::time_point staged_at;
   };
   struct SiloQueue {
     std::mutex mu;  // guards staged/oldest_at/stopping/timer_*

@@ -384,10 +384,14 @@ void TcpSiloServer::OnAcceptReady() {
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    switch (ClassifyAcceptErrno(errno)) {
+    const int accept_errno = errno;
+    switch (ClassifyAcceptErrno(accept_errno)) {
       case AcceptAction::kRetry:
         continue;
       case AcceptAction::kBackoff:
+        FRA_LOG(WARN) << "silo server accept backoff: "
+                      << std::strerror(accept_errno) << "; parking listener "
+                      << kAcceptBackoffMs << "ms";
         // Level-triggered epoll would spin on the still-pending
         // connection; park the listener and re-arm shortly.
         (void)accept_loop_->UpdateFd(listen_fd_, 0);
@@ -400,6 +404,11 @@ void TcpSiloServer::OnAcceptReady() {
         return;
       case AcceptAction::kFatal:
         // The listening socket itself is gone (normally Stop()).
+        if (!stopping_.load()) {
+          FRA_LOG(ERROR) << "silo server listener lost: "
+                         << std::strerror(accept_errno)
+                         << "; no longer accepting connections";
+        }
         accept_loop_->DeregisterFd(listen_fd_);
         return;
     }
@@ -648,14 +657,21 @@ void TcpSiloServer::AcceptLoop() {
     const int connection_fd = ::accept(listen_fd_, nullptr, nullptr);
     if (connection_fd < 0) {
       if (stopping_.load()) return;
-      switch (ClassifyAcceptErrno(errno)) {
+      const int accept_errno = errno;
+      switch (ClassifyAcceptErrno(accept_errno)) {
         case AcceptAction::kRetry:
           continue;
         case AcceptAction::kBackoff:
+          FRA_LOG(WARN) << "silo server accept backoff: "
+                        << std::strerror(accept_errno) << "; sleeping "
+                        << kAcceptBackoffMs << "ms";
           std::this_thread::sleep_for(
               std::chrono::milliseconds(kAcceptBackoffMs));
           continue;
         case AcceptAction::kFatal:
+          FRA_LOG(ERROR) << "silo server listener lost: "
+                         << std::strerror(accept_errno)
+                         << "; accept loop exiting";
           return;  // the listening socket itself is gone
       }
       continue;
@@ -990,6 +1006,9 @@ void TcpNetwork::EnqueueOp(SiloState* state, const std::shared_ptr<Op>& op) {
         [this, state, op] {
           op->timer_id = 0;
           if (op->finished) return;
+          FRA_LOG(WARN) << "request to silo " << state->silo_id
+                        << " exceeded its " << options_.request_timeout_ms
+                        << "ms deadline; poisoning the carrying connection";
           ClientConn* bound = op->bound;
           FinishOp(state, op,
                    Status::Unavailable(
@@ -1458,6 +1477,9 @@ Result<std::vector<uint8_t>> TcpNetwork::LegacyCall(
     if (!written.ok()) {
       Release(pool, fd, /*reusable=*/false);
       if (timed_out) return written;
+      FRA_LOG(INFO) << "send to silo " << silo_id
+                    << " failed on a pooled connection ("
+                    << written.ToString() << "); reconnecting to retry once";
       last_failure = written;
       FlushIdle(pool);
       continue;  // reconnect and retry

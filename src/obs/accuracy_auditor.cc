@@ -1,5 +1,7 @@
 #include "obs/accuracy_auditor.h"
 
+#include "util/logging.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -42,6 +44,9 @@ void AccuracyAuditor::Record(const std::string& algorithm, double estimate,
         .GetCounter("fra_guarantee_violations_total",
                     {{"algorithm", algorithm}})
         .Increment();
+    FRA_LOG(WARN) << "guarantee violation: " << algorithm
+                  << " answer off by " << error << " (> eps " << epsilon
+                  << "); estimate " << estimate << " vs exact " << exact;
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++snapshot_.audited;

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "net/reactor.h"
+#include "obs/profiler.h"
 #include "util/build_info.h"
 #include "util/logging.h"
 #include "util/trace.h"
@@ -53,6 +54,9 @@ std::string RenderResponse(const HttpResponse& response) {
       << StatusReason(response.status) << "\r\n"
       << "Content-Type: " << response.content_type << "\r\n"
       << "Content-Length: " << response.body.size() << "\r\n"
+      // Admin state is point-in-time: a cached /statusz or /debug/*
+      // body is a lie by the next scrape.
+      << "Cache-Control: no-store\r\n"
       << "Connection: close\r\n";
   if (response.status == 405) out << "Allow: GET\r\n";
   out << "\r\n" << response.body;
@@ -64,6 +68,58 @@ void CloseFd(int* fd) {
     ::close(*fd);
     *fd = -1;
   }
+}
+
+/// "seconds=2&hz=97" -> the value of `key`, or `fallback` when absent or
+/// unparsable.
+double QueryParam(const std::string& query, const std::string& key,
+                  double fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < end &&
+        query.compare(pos, eq - pos, key) == 0) {
+      try {
+        return std::stod(query.substr(eq + 1, end - eq - 1));
+      } catch (...) {
+        return fallback;
+      }
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+/// /debug/profilez[.json]: with ?seconds=N the handler runs a fresh
+/// blocking capture (optionally at ?hz=H); without arguments it returns
+/// whatever the continuous profiler has accumulated so far.
+HttpResponse Profilez(const std::string& query, bool json) {
+  ContinuousProfiler& profiler = ContinuousProfiler::Get();
+  const double seconds = QueryParam(query, "seconds", 0.0);
+  if (seconds > 0.0) {
+    ContinuousProfiler::Options options;
+    options.hz = static_cast<int>(QueryParam(
+        query, "hz", static_cast<double>(options.hz)));
+    const Result<std::string> collapsed =
+        profiler.ProfileFor(seconds, options);
+    if (!collapsed.ok()) {
+      return HttpResponse::Text(collapsed.status().ToString() + "\n", 503);
+    }
+    if (!json) return HttpResponse::Text(*collapsed);
+    return HttpResponse::Json(profiler.RenderJson());
+  }
+  if (json) return HttpResponse::Json(profiler.RenderJson());
+  std::string collapsed = profiler.Collapsed();
+  if (collapsed.empty()) {
+    collapsed =
+        profiler.running()
+            ? "no samples yet\n"
+            : "profiler not running; GET /debug/profilez?seconds=N for a "
+              "one-shot capture\n";
+  }
+  return HttpResponse::Text(std::move(collapsed));
 }
 
 }  // namespace
@@ -161,6 +217,11 @@ void AdminServer::Stop() {
 }
 
 void AdminServer::AddHandler(const std::string& path, Handler handler) {
+  AddHandler(path, QueryHandler([handler = std::move(handler)](
+                       const std::string&) { return handler(); }));
+}
+
+void AdminServer::AddHandler(const std::string& path, QueryHandler handler) {
   FRA_CHECK(!path.empty() && path[0] == '/')
       << "handler path must start with /: " << path;
   std::lock_guard<std::mutex> lock(handlers_mu_);
@@ -183,6 +244,17 @@ void AdminServer::InstallBuiltinHandlers() {
   // Plain liveness; the federation glue overrides this with real
   // readiness (503 while any silo is down).
   AddHandler("/healthz", [] { return HttpResponse::Text("ok\n"); });
+  AddHandler("/debug/logz",
+             [] { return HttpResponse::Text(LogSink::Get().RenderText()); });
+  AddHandler("/debug/logz.json",
+             [] { return HttpResponse::Json(LogSink::Get().RenderJson()); });
+  AddHandler("/debug/profilez", QueryHandler([](const std::string& query) {
+               return Profilez(query, /*json=*/false);
+             }));
+  AddHandler("/debug/profilez.json",
+             QueryHandler([](const std::string& query) {
+               return Profilez(query, /*json=*/true);
+             }));
 }
 
 void AdminServer::OnAcceptReady() {
@@ -232,6 +304,8 @@ void AdminServer::AdoptConnection(int fd, EventLoop* loop) {
       fd, EPOLLIN,
       [this, conn](uint32_t events) { OnConnEvent(conn, events); });
   if (!registered.ok()) {
+    FRA_LOG(WARN) << "admin server dropped an accepted connection: "
+                  << registered.ToString();
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.erase(conn);
     ::close(fd);
@@ -289,9 +363,13 @@ void AdminServer::OnReadable(const std::shared_ptr<HttpConn>& conn) {
   std::istringstream line(conn->head);
   std::string method, target;
   line >> method >> target;
-  const size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
-  const HttpResponse response = Dispatch(method, target);
+  std::string query;
+  const size_t question = target.find('?');
+  if (question != std::string::npos) {
+    query = target.substr(question + 1);
+    target.resize(question);
+  }
+  const HttpResponse response = Dispatch(method, target, query);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   conn->out = RenderResponse(response);
   conn->writing = true;
@@ -337,11 +415,12 @@ void AdminServer::CloseConn(const std::shared_ptr<HttpConn>& conn) {
 }
 
 HttpResponse AdminServer::Dispatch(const std::string& method,
-                                   const std::string& path) {
+                                   const std::string& path,
+                                   const std::string& query) {
   if (method != "GET") {
     return HttpResponse::Text("method not allowed\n", 405);
   }
-  Handler handler;
+  QueryHandler handler;
   {
     std::lock_guard<std::mutex> lock(handlers_mu_);
     const auto it = handlers_.find(path);
@@ -350,7 +429,7 @@ HttpResponse AdminServer::Dispatch(const std::string& method,
   if (!handler) {
     return HttpResponse::Text("not found: " + path + "\n", 404);
   }
-  return handler();
+  return handler(query);
 }
 
 }  // namespace fra

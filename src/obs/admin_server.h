@@ -53,10 +53,20 @@ struct HttpResponse {
 /// scraper holds one idle connection's state, never a thread.
 ///
 /// Built-in routes:
-///   /metrics       Prometheus text exposition of the registry
-///   /metrics.json  the same data as JSON
-///   /tracez        recorded spans as a Chrome trace-event JSON array
-///   /healthz       liveness (overridable via AddHandler for readiness)
+///   /metrics             Prometheus text exposition of the registry
+///   /metrics.json        the same data as JSON
+///   /tracez              recorded spans as a Chrome trace-event JSON array
+///   /healthz             liveness (overridable via AddHandler)
+///   /debug/logz(.json)   the structured-log ring, oldest first
+///   /debug/profilez      collapsed profiler stacks; ?seconds=N[&hz=H]
+///                        runs a fresh capture (blocking the serving
+///                        loop for the window — use short windows, or a
+///                        dedicated AdminServer reactor, in production)
+///   /debug/profilez.json the same plus counters and the alloc profile
+///
+/// Every response carries an explicit Content-Type and Cache-Control:
+/// no-store — scrapers never guess, caches never serve stale debug
+/// state.
 ///
 /// AddHandler registers additional paths (the federation layer installs
 /// /healthz and /statusz via InstallFederationAdminHandlers). Handlers
@@ -66,6 +76,10 @@ struct HttpResponse {
 class AdminServer {
  public:
   using Handler = std::function<HttpResponse()>;
+  /// Handler variant receiving the request target's query string (the
+  /// part after '?', possibly empty) — /debug/profilez?seconds=2 uses
+  /// this to parametrise the capture.
+  using QueryHandler = std::function<HttpResponse(const std::string& query)>;
 
   struct Options {
     /// Port to bind on 127.0.0.1; 0 picks an ephemeral port.
@@ -98,8 +112,10 @@ class AdminServer {
   uint16_t port() const { return port_; }
 
   /// Registers (or replaces) the handler serving GET `path`. The path
-  /// must start with '/'; query strings are stripped before matching.
+  /// must start with '/'; query strings are stripped before matching
+  /// (and handed to QueryHandler registrations).
   void AddHandler(const std::string& path, Handler handler);
+  void AddHandler(const std::string& path, QueryHandler handler);
 
   /// Requests answered so far (any status).
   uint64_t requests_served() const {
@@ -119,7 +135,8 @@ class AdminServer {
   void OnReadable(const std::shared_ptr<HttpConn>& conn);
   void OnWritable(const std::shared_ptr<HttpConn>& conn);
   void CloseConn(const std::shared_ptr<HttpConn>& conn);
-  HttpResponse Dispatch(const std::string& method, const std::string& path);
+  HttpResponse Dispatch(const std::string& method, const std::string& path,
+                        const std::string& query);
   void InstallBuiltinHandlers();
 
   Options options_;
@@ -135,7 +152,7 @@ class AdminServer {
   std::unordered_set<std::shared_ptr<HttpConn>> conns_;
 
   mutable std::mutex handlers_mu_;
-  std::map<std::string, Handler> handlers_;
+  std::map<std::string, QueryHandler> handlers_;
 };
 
 }  // namespace fra

@@ -137,6 +137,11 @@ std::string FlightRecorder::RenderText() const {
         << " duration=" << record.duration_micros << "us status="
         << (record.failed ? record.status : "ok") << "\n";
     out << "  query: " << record.query << "\n";
+    out << "  cost: cpu=" << record.cost.cpu_micros
+        << "us bytes_out=" << record.cost.bytes_to_silos
+        << " bytes_in=" << record.cost.bytes_from_silos
+        << " rpcs=" << record.cost.silo_rpcs
+        << " queue_wait=" << record.cost.queue_wait_micros << "us\n";
     if (!record.silos.empty()) {
       out << "  silos:";
       for (const FlightSiloStatus& silo : record.silos) {
@@ -184,7 +189,8 @@ std::string FlightRecorder::RenderJson() const {
         << EscapeJson(record.cache) << "\", \"failed\": "
         << (record.failed ? "true" : "false") << ", \"status\": \""
         << EscapeJson(record.status) << "\", \"duration_micros\": "
-        << record.duration_micros << ",\n     \"silos\": [";
+        << record.duration_micros << ",\n     \"cost\": "
+        << QueryCostToJson(record.cost) << ",\n     \"silos\": [";
     bool first_silo = true;
     for (const FlightSiloStatus& silo : record.silos) {
       out << (first_silo ? "" : ", ");

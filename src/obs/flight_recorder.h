@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/cost_ledger.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -88,10 +89,14 @@ class FlightRecorder {
     uint64_t trace_id = 0;
     std::string query;      // rendered range + aggregate kind
     std::string algorithm;
-    std::string cache;      // "hit", "miss" or "off"
+    std::string cache;      // "hit", "tile", "miss" or "off"
     bool failed = false;
     std::string status;     // "ok" or the failure Status text
     double duration_micros = 0.0;
+    /// Cost breakdown measured by the query's QueryCostTracker: CPU
+    /// microseconds, wire bytes each way, silo RPCs, coalescer
+    /// queue-wait. Zero-valued when the provider's ledger is disabled.
+    QueryCost cost;
     std::vector<FlightSiloStatus> silos;
     std::vector<SpanRecord> spans;  // sorted by start at render time
   };

@@ -1,0 +1,442 @@
+#include "obs/profiler.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include "util/buffer.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace fra {
+namespace {
+
+constexpr int kMaxFrames = 64;
+// Leading frames of every raw sample are the capture machinery itself
+// (backtrace, the signal handler, the kernel's signal trampoline).
+constexpr int kSkipFrames = 3;
+
+/// Everything the signal handler touches. Allocated once on first Start
+/// and leaked: a signal already in flight when Stop() returns must still
+/// find valid memory.
+struct SignalState {
+  struct RawSample {
+    int depth = 0;
+    void* pcs[kMaxFrames];
+  };
+
+  std::atomic<bool> armed{false};
+  std::atomic<int> in_handler{0};
+  std::atomic<uint64_t> cursor{0};    // samples claimed since Clear
+  std::atomic<uint64_t> overruns{0};  // ring-wrapped (lost) samples
+  size_t ring_slots = 0;
+  RawSample* slots = nullptr;
+};
+
+std::atomic<SignalState*> g_signal_state{nullptr};
+
+void OnProfSignal(int /*signo*/) {
+  const int saved_errno = errno;  // backtrace may clobber it
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  if (state != nullptr) {
+    state->in_handler.fetch_add(1, std::memory_order_acq_rel);
+    if (state->armed.load(std::memory_order_acquire)) {
+      const uint64_t index =
+          state->cursor.fetch_add(1, std::memory_order_relaxed);
+      SignalState::RawSample& slot = state->slots[index % state->ring_slots];
+      slot.depth = backtrace(slot.pcs, kMaxFrames);
+    }
+    state->in_handler.fetch_sub(1, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
+
+/// Disarm, wait for in-flight handlers, run `fn`, re-arm if requested.
+/// Gives the caller a quiescent ring to read without per-slot atomics.
+template <typename Fn>
+void WithHandlersPaused(SignalState* state, bool rearm, Fn fn) {
+  state->armed.store(false, std::memory_order_release);
+  while (state->in_handler.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+  fn();
+  if (rearm) state->armed.store(true, std::memory_order_release);
+}
+
+int SignalFor(ContinuousProfiler::Mode mode) {
+  return mode == ContinuousProfiler::Mode::kCpu ? SIGPROF : SIGALRM;
+}
+
+int TimerFor(ContinuousProfiler::Mode mode) {
+  return mode == ContinuousProfiler::Mode::kCpu ? ITIMER_PROF : ITIMER_REAL;
+}
+
+struct sigaction g_previous_action;
+
+/// Symbol cache: pc -> demangled name (render-time only).
+std::string SymbolFor(void* pc,
+                      std::unordered_map<void*, std::string>* cache) {
+  const auto it = cache->find(pc);
+  if (it != cache->end()) return it->second;
+  std::string name;
+  Dl_info info;
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    name = status == 0 && demangled != nullptr ? demangled : info.dli_sname;
+    std::free(demangled);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%zx", reinterpret_cast<size_t>(pc));
+    name = buf;
+  }
+  // Collapsed-format separators must not appear inside a frame name.
+  std::replace(name.begin(), name.end(), ';', ':');
+  (*cache)[pc] = name;
+  return name;
+}
+
+struct ProfilerInstruments {
+  Counter* samples;
+  Counter* overruns;
+  Gauge* running_hz;
+};
+
+ProfilerInstruments& Instruments() {
+  static ProfilerInstruments* instruments = [] {
+    auto& registry = MetricsRegistry::Default();
+    return new ProfilerInstruments{
+        &registry.GetCounter("fra_profile_samples_total"),
+        &registry.GetCounter("fra_profile_overruns_total"),
+        &registry.GetGauge("fra_profile_running_hz"),
+    };
+  }();
+  return *instruments;
+}
+
+/// Allocation profile: BufferPool miss stacks folded by size class.
+/// Separate from the CPU aggregate — the hook fires on the acquiring
+/// thread in normal (non-signal) context.
+struct AllocProfile {
+  std::mutex mu;
+  // size class -> (stack -> count)
+  std::map<size_t, std::map<std::vector<void*>, uint64_t>> by_class;
+  std::map<size_t, uint64_t> class_counts;
+};
+
+AllocProfile& GetAllocProfile() {
+  static AllocProfile* profile = new AllocProfile();
+  return *profile;
+}
+
+std::atomic<bool> g_alloc_profiling{false};
+std::atomic<uint64_t> g_alloc_sample_every{64};
+std::atomic<uint64_t> g_alloc_miss_ticket{0};
+
+void OnBufferPoolMiss(size_t reserved_bytes) {
+  if (!g_alloc_profiling.load(std::memory_order_acquire)) return;
+  // Misses can be per-query-frequent (cold pool, unpoolable sizes) and a
+  // backtrace per miss is a measurable qps tax, so capture one in every
+  // `alloc_sample_every` — ticket 0 guarantees the first miss is kept.
+  const uint64_t every =
+      g_alloc_sample_every.load(std::memory_order_relaxed);
+  const uint64_t ticket =
+      g_alloc_miss_ticket.fetch_add(1, std::memory_order_relaxed);
+  if (every > 1 && ticket % every != 0) return;
+  void* pcs[kMaxFrames];
+  const int depth = backtrace(pcs, kMaxFrames);
+  // Frame 0 is this hook; keep the caller chain.
+  std::vector<void*> stack;
+  for (int i = 1; i < depth; ++i) stack.push_back(pcs[i]);
+  auto& registry = MetricsRegistry::Default();
+  registry
+      .GetCounter("fra_profile_alloc_samples_total",
+                  {{"class", std::to_string(reserved_bytes)}})
+      .Increment();
+  AllocProfile& profile = GetAllocProfile();
+  std::lock_guard<std::mutex> lock(profile.mu);
+  // Scale sampled captures back up so reported counts estimate true
+  // miss totals.
+  profile.by_class[reserved_bytes][stack] += every;
+  profile.class_counts[reserved_bytes] += every;
+}
+
+void AppendCollapsedLine(const std::vector<void*>& stack, uint64_t count,
+                         std::unordered_map<void*, std::string>* symbols,
+                         std::string* out) {
+  // Raw stacks are leaf-first; collapsed format wants root-first.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it != stack.rbegin()) out->push_back(';');
+    out->append(SymbolFor(*it, symbols));
+  }
+  out->push_back(' ');
+  out->append(std::to_string(count));
+  out->push_back('\n');
+}
+
+}  // namespace
+
+ContinuousProfiler& ContinuousProfiler::Get() {
+  static ContinuousProfiler* profiler = new ContinuousProfiler();
+  return *profiler;
+}
+
+Status ContinuousProfiler::Start(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("profiler already running");
+  }
+  Options effective = options;
+  effective.hz = std::max(1, std::min(1000, effective.hz));
+  effective.ring_slots = std::max<size_t>(64, effective.ring_slots);
+  effective.alloc_sample_every =
+      std::max<uint64_t>(1, effective.alloc_sample_every);
+
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  if (state == nullptr || state->ring_slots < effective.ring_slots) {
+    // First start (or a larger ring requested): allocate fresh and leak
+    // the old state — a late signal may still be touching it.
+    auto* fresh = new SignalState();
+    fresh->ring_slots = effective.ring_slots;
+    fresh->slots = new SignalState::RawSample[effective.ring_slots];
+    g_signal_state.store(fresh, std::memory_order_release);
+    state = fresh;
+  }
+  state->cursor.store(0, std::memory_order_relaxed);
+  state->overruns.store(0, std::memory_order_relaxed);
+  drained_ = 0;
+
+  // backtrace() lazily loads libgcc on first use, which allocates — do
+  // that here, in normal context, never in the handler.
+  void* warm[4];
+  (void)backtrace(warm, 4);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &OnProfSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  if (sigaction(SignalFor(effective.mode), &action, &g_previous_action) != 0) {
+    return Status::IOError(std::string("sigaction: ") + std::strerror(errno));
+  }
+
+  state->armed.store(true, std::memory_order_release);
+
+  itimerval interval{};
+  const long micros = std::max(1000000L / effective.hz, 1L);
+  interval.it_interval.tv_sec = micros / 1000000;
+  interval.it_interval.tv_usec = micros % 1000000;
+  interval.it_value = interval.it_interval;
+  if (setitimer(TimerFor(effective.mode), &interval, nullptr) != 0) {
+    state->armed.store(false, std::memory_order_release);
+    sigaction(SignalFor(effective.mode), &g_previous_action, nullptr);
+    return Status::IOError(std::string("setitimer: ") + std::strerror(errno));
+  }
+
+  options_ = effective;
+  if (effective.profile_allocations && !alloc_hook_installed_) {
+    BufferPool::SetMissSampleHook(&OnBufferPoolMiss);
+    alloc_hook_installed_ = true;
+  }
+  g_alloc_sample_every.store(effective.alloc_sample_every,
+                             std::memory_order_relaxed);
+  g_alloc_miss_ticket.store(0, std::memory_order_relaxed);
+  g_alloc_profiling.store(effective.profile_allocations,
+                          std::memory_order_release);
+  Instruments().running_hz->Set(static_cast<double>(effective.hz));
+  running_.store(true, std::memory_order_release);
+  FRA_LOG(INFO) << "profiler started at " << effective.hz << " Hz ("
+                << (effective.mode == Mode::kCpu ? "cpu" : "wall") << ")";
+  return Status::OK();
+}
+
+void ContinuousProfiler::Stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+
+  itimerval disarm{};
+  setitimer(TimerFor(options_.mode), &disarm, nullptr);
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  WithHandlersPaused(state, /*rearm=*/false, [this] { DrainLocked(); });
+  sigaction(SignalFor(options_.mode), &g_previous_action, nullptr);
+
+  g_alloc_profiling.store(false, std::memory_order_release);
+  Instruments().running_hz->Set(0.0);
+  running_.store(false, std::memory_order_release);
+  FRA_LOG(INFO) << "profiler stopped (" << folded_samples_
+                << " samples folded)";
+}
+
+void ContinuousProfiler::DrainLocked() {
+  // Callers pause the handlers first, so plain reads are race-free.
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  if (state == nullptr) return;
+  const uint64_t cursor = state->cursor.load(std::memory_order_acquire);
+  uint64_t begin = drained_;
+  if (cursor - begin > state->ring_slots) {
+    const uint64_t lost = cursor - begin - state->ring_slots;
+    state->overruns.fetch_add(lost, std::memory_order_relaxed);
+    Instruments().overruns->Increment(lost);
+    begin = cursor - state->ring_slots;
+  }
+  for (uint64_t index = begin; index < cursor; ++index) {
+    const SignalState::RawSample& slot =
+        state->slots[index % state->ring_slots];
+    if (slot.depth <= 0) continue;
+    std::vector<void*> stack;
+    for (int frame = std::min(kSkipFrames, slot.depth - 1);
+         frame < slot.depth; ++frame) {
+      stack.push_back(slot.pcs[frame]);
+    }
+    ++aggregated_[stack];
+    ++folded_samples_;
+  }
+  Instruments().samples->Increment(cursor - drained_ > state->ring_slots
+                                       ? state->ring_slots
+                                       : cursor - drained_);
+  drained_ = cursor;
+}
+
+uint64_t ContinuousProfiler::samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  const uint64_t pending =
+      state != nullptr ? state->cursor.load(std::memory_order_relaxed) : 0;
+  return folded_samples_ + (pending > drained_ ? pending - drained_ : 0);
+}
+
+uint64_t ContinuousProfiler::overruns() const {
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  return state != nullptr ? state->overruns.load(std::memory_order_relaxed)
+                          : 0;
+}
+
+void ContinuousProfiler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  auto reset = [this, state] {
+    if (state != nullptr) {
+      drained_ = state->cursor.load(std::memory_order_relaxed);
+    }
+    aggregated_.clear();
+    folded_samples_ = 0;
+  };
+  if (state != nullptr && running_.load(std::memory_order_acquire)) {
+    WithHandlersPaused(state, /*rearm=*/true, reset);
+  } else {
+    reset();
+  }
+  AllocProfile& alloc = GetAllocProfile();
+  std::lock_guard<std::mutex> alloc_lock(alloc.mu);
+  alloc.by_class.clear();
+  alloc.class_counts.clear();
+}
+
+std::string ContinuousProfiler::Collapsed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  if (state != nullptr && running_.load(std::memory_order_acquire)) {
+    WithHandlersPaused(state, /*rearm=*/true, [this] { DrainLocked(); });
+  } else if (state != nullptr) {
+    DrainLocked();
+  }
+  std::unordered_map<void*, std::string> symbols;
+  std::string out;
+  for (const auto& [stack, count] : aggregated_) {
+    AppendCollapsedLine(stack, count, &symbols, &out);
+  }
+  AllocProfile& alloc = GetAllocProfile();
+  std::lock_guard<std::mutex> alloc_lock(alloc.mu);
+  for (const auto& [cls, stacks] : alloc.by_class) {
+    for (const auto& [stack, count] : stacks) {
+      out.append("bufpool_miss;class_");
+      out.append(std::to_string(cls));
+      if (!stack.empty()) out.push_back(';');
+      std::string line;
+      AppendCollapsedLine(stack, count, &symbols, &line);
+      out.append(line);
+    }
+  }
+  return out;
+}
+
+std::string ContinuousProfiler::RenderJson() {
+  // Collapsed() drains and folds; render the aggregate around it.
+  const std::string collapsed = Collapsed();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{";
+  out.append("\"running\":");
+  out.append(running_.load(std::memory_order_acquire) ? "true" : "false");
+  out.append(",\"hz\":");
+  out.append(std::to_string(options_.hz));
+  out.append(",\"mode\":\"");
+  out.append(options_.mode == Mode::kCpu ? "cpu" : "wall");
+  out.append("\",\"samples_total\":");
+  out.append(std::to_string(folded_samples_));
+  out.append(",\"overruns_total\":");
+  SignalState* state = g_signal_state.load(std::memory_order_acquire);
+  out.append(std::to_string(
+      state != nullptr ? state->overruns.load(std::memory_order_relaxed) : 0));
+  out.append(",\"distinct_stacks\":");
+  out.append(std::to_string(aggregated_.size()));
+  {
+    AllocProfile& alloc = GetAllocProfile();
+    std::lock_guard<std::mutex> alloc_lock(alloc.mu);
+    out.append(",\"alloc_classes\":[");
+    bool first = true;
+    for (const auto& [cls, count] : alloc.class_counts) {
+      if (!first) out.push_back(',');
+      first = false;
+      out.append("{\"bytes\":");
+      out.append(std::to_string(cls));
+      out.append(",\"misses\":");
+      out.append(std::to_string(count));
+      out.push_back('}');
+    }
+    out.push_back(']');
+  }
+  out.append(",\"collapsed\":\"");
+  for (const char c : collapsed) {
+    if (c == '\n') {
+      out.append("\\n");
+    } else if (c == '"') {
+      out.append("\\\"");
+    } else if (c == '\\') {
+      out.append("\\\\");
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.append("\"}");
+  return out;
+}
+
+Result<std::string> ContinuousProfiler::ProfileFor(double seconds,
+                                                   const Options& options) {
+  if (running()) {
+    return Status::AlreadyExists(
+        "profiler already running; GET /debug/profilez without arguments "
+        "for a snapshot");
+  }
+  seconds = std::max(0.1, std::min(60.0, seconds));
+  Clear();
+  FRA_RETURN_NOT_OK(Start(options));
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  Stop();
+  return Collapsed();
+}
+
+}  // namespace fra

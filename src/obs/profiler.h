@@ -1,0 +1,114 @@
+#ifndef FRA_OBS_PROFILER_H_
+#define FRA_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace fra {
+
+/// Signal-based sampling profiler (docs/observability.md, "Continuous
+/// profiling").
+///
+/// Start() arms an interval timer: kCpu mode uses ITIMER_PROF, so SIGPROF
+/// fires on whichever thread is burning CPU and each sample captures that
+/// thread's stack — wall-blocked threads cost nothing and appear nowhere.
+/// kWall mode uses ITIMER_REAL/SIGALRM (samples land on one signal-
+/// receiving thread; useful for single-threaded latency hunts). The
+/// handler claims a ring slot with one atomic fetch_add and records a raw
+/// `backtrace()`; symbolization (dladdr + demangle) happens at render
+/// time, never in the handler.
+///
+/// Output: Collapsed() emits folded stacks ("frame;frame;frame count"
+/// lines — pipe into flamegraph.pl), RenderJson() the same data plus
+/// allocation-profile and counters. Served by /debug/profilez.
+///
+/// Allocation profiling piggybacks on the BufferPool miss hook: one in
+/// every Options::alloc_sample_every Acquires that fall through to malloc
+/// records the requesting stack keyed by size class (counts scaled back
+/// up by the sampling factor), so pool-miss hot spots show up by size
+/// class in the same report (stacks prefixed "bufpool_miss;class_<bytes>").
+///
+/// One profiler per process (it owns the SIGPROF/SIGALRM disposition):
+/// use the Get() singleton. Sampling cost is one signal + backtrace per
+/// tick; at the default 19 Hz the reactor-path qps tax is within noise
+/// (BENCH_observability_overhead.json pins it under 5%).
+class ContinuousProfiler {
+ public:
+  enum class Mode { kCpu, kWall };
+
+  struct Options {
+    /// Samples per second. Primes (19, 97) avoid lockstep with periodic
+    /// work. Clamped to [1, 1000].
+    int hz = 19;
+    Mode mode = Mode::kCpu;
+    /// Raw-sample ring slots between drains; overruns overwrite oldest
+    /// (counted in fra_profile_overruns_total).
+    size_t ring_slots = 8192;
+    /// Record BufferPool miss stacks by size class.
+    bool profile_allocations = true;
+    /// Capture every Nth pool miss (first miss always captured). Misses
+    /// can be per-query-frequent on cold or unpoolable paths, and each
+    /// captured miss pays a backtrace — sampling keeps the hook off the
+    /// hot path. Reported counts are scaled back up by this factor.
+    /// Clamped to >= 1.
+    uint64_t alloc_sample_every = 64;
+  };
+
+  static ContinuousProfiler& Get();
+
+  /// Arms the timer and installs the signal handler. AlreadyExists if
+  /// already running.
+  Status Start(const Options& options);
+  Status Start() { return Start(Options()); }
+
+  /// Disarms, restores the previous signal disposition, folds pending
+  /// samples. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Samples captured since the last Clear() (folded + pending).
+  uint64_t samples() const;
+  /// Samples lost to ring overruns.
+  uint64_t overruns() const;
+
+  /// Folded-stack text, aggregated across everything sampled since the
+  /// last Clear(): one "frame;frame;frame count" line per distinct stack,
+  /// root first. Drains the pending ring (sampling pauses briefly).
+  std::string Collapsed();
+
+  /// Counters, configuration, folded CPU stacks, and the allocation
+  /// profile as one JSON object.
+  std::string RenderJson();
+
+  /// Drops all folded and pending samples (keeps running if started).
+  void Clear();
+
+  /// Blocking convenience behind /debug/profilez?seconds=N: Clear,
+  /// Start(options), sleep, Stop, return Collapsed(). AlreadyExists if
+  /// the profiler is already running. `seconds` clamped to [0.1, 60].
+  Result<std::string> ProfileFor(double seconds, const Options& options);
+
+ private:
+  ContinuousProfiler() = default;
+
+  void DrainLocked();  // fold ring slots into aggregated_
+
+  std::atomic<bool> running_{false};
+  mutable std::mutex mu_;  // guards everything below + drain/start/stop
+  Options options_;
+  // Folded samples: callstack (leaf last) -> count.
+  std::map<std::vector<void*>, uint64_t> aggregated_;
+  uint64_t folded_samples_ = 0;
+  uint64_t drained_ = 0;  // ring cursor already folded
+  bool alloc_hook_installed_ = false;
+};
+
+}  // namespace fra
+
+#endif  // FRA_OBS_PROFILER_H_

@@ -9,6 +9,7 @@ namespace fra {
 namespace {
 
 std::atomic<bool> g_pool_enabled{true};
+std::atomic<BufferPool::MissSampleHook> g_miss_hook{nullptr};
 
 struct PoolInstruments {
   Counter* acquire_hit;
@@ -110,8 +111,16 @@ std::vector<uint8_t> BufferPool::Acquire(size_t min_capacity) {
   // (Disabled pool = the pre-pool allocator: reserve exactly what was
   // asked.)
   const int cls = enabled() ? ClassForRequest(min_capacity) : -1;
-  fresh.reserve(cls >= 0 ? (kMinClassBytes << cls) : min_capacity);
+  const size_t reserved = cls >= 0 ? (kMinClassBytes << cls) : min_capacity;
+  if (MissSampleHook hook = g_miss_hook.load(std::memory_order_acquire)) {
+    hook(reserved);
+  }
+  fresh.reserve(reserved);
   return fresh;
+}
+
+void BufferPool::SetMissSampleHook(MissSampleHook hook) {
+  g_miss_hook.store(hook, std::memory_order_release);
 }
 
 void BufferPool::Release(std::vector<uint8_t>&& buf) {

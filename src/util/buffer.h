@@ -82,6 +82,15 @@ class BufferPool {
   static void SetEnabled(bool enabled);
   static bool enabled();
 
+  /// Observation hook fired on every Acquire that falls through to a
+  /// fresh allocation, with the class-rounded capacity about to be
+  /// reserved. The profiler installs one to attribute pool-miss hot
+  /// spots by size class (obs/profiler.h); null disables. The hook runs
+  /// on the acquiring thread outside the pool lock and must not acquire
+  /// from the pool.
+  using MissSampleHook = void (*)(size_t reserved_bytes);
+  static void SetMissSampleHook(MissSampleHook hook);
+
   BufferPool();
 
   /// Returns an empty vector with capacity >= min_capacity, reusing a

@@ -1,0 +1,330 @@
+#include "util/logging.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace fra {
+namespace {
+
+int64_t RealtimeNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+uint64_t MonotonicNanos() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+// Call-site paths are compile-time literals like ".../src/net/reactor.cc";
+// records carry the basename to keep lines short and build-dir free.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+void AppendJsonEscaped(const std::string& text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+Counter* RecordsCounter(LogLevel level) {
+  static Counter* counters[4] = {
+      &MetricsRegistry::Default().GetCounter("fra_log_records_total",
+                                             {{"level", "INFO"}}),
+      &MetricsRegistry::Default().GetCounter("fra_log_records_total",
+                                             {{"level", "WARN"}}),
+      &MetricsRegistry::Default().GetCounter("fra_log_records_total",
+                                             {{"level", "ERROR"}}),
+      &MetricsRegistry::Default().GetCounter("fra_log_records_total",
+                                             {{"level", "FATAL"}})};
+  return counters[static_cast<int>(level)];
+}
+
+Counter* DroppedCounter(LogLevel level) {
+  static Counter* counters[4] = {
+      &MetricsRegistry::Default().GetCounter("fra_log_records_dropped_total",
+                                             {{"level", "INFO"}}),
+      &MetricsRegistry::Default().GetCounter("fra_log_records_dropped_total",
+                                             {{"level", "WARN"}}),
+      &MetricsRegistry::Default().GetCounter("fra_log_records_dropped_total",
+                                             {{"level", "ERROR"}}),
+      &MetricsRegistry::Default().GetCounter("fra_log_records_dropped_total",
+                                             {{"level", "FATAL"}})};
+  return counters[static_cast<int>(level)];
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "INFO";
+}
+
+std::string LogRecord::ToJson() const {
+  std::string out;
+  out.reserve(message.size() + 128);
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "{\"ts_unix_nanos\":%lld,\"level\":\"%s\",\"src\":\"%s:%d\","
+                "\"trace_id\":\"%016llx\",",
+                static_cast<long long>(unix_nanos), LogLevelName(level), file,
+                line, static_cast<unsigned long long>(trace_id));
+  out.append(head);
+  if (suppressed > 0) {
+    char sup[48];
+    std::snprintf(sup, sizeof(sup), "\"suppressed\":%llu,",
+                  static_cast<unsigned long long>(suppressed));
+    out.append(sup);
+  }
+  out.append("\"msg\":\"");
+  AppendJsonEscaped(message, &out);
+  out.append("\"}");
+  return out;
+}
+
+/// Ring slot: the claim index is handed out wait-free; this latch only
+/// orders the payload copy against a writer that wrapped onto the same
+/// slot and against snapshot readers.
+struct LogSink::Slot {
+  mutable std::mutex mu;
+  uint64_t sequence = 0;  // 0 = never written
+  LogRecord record;
+};
+
+LogSink::LogSink() : slots_(new Slot[kRingSlots]) {}
+
+LogSink& LogSink::Get() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+namespace {
+std::atomic<int> g_stderr_min_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace
+
+void LogSink::set_stderr_min_level(LogLevel level) {
+  g_stderr_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel LogSink::stderr_min_level() const {
+  return static_cast<LogLevel>(
+      g_stderr_min_level.load(std::memory_order_relaxed));
+}
+
+namespace {
+// Reentrancy guard: a FRA_CHECK that fires inside the metrics registry
+// (possibly with its lock held) must not route back through GetCounter.
+thread_local bool t_in_log_sink = false;
+}  // namespace
+
+void LogSink::Log(LogLevel level, const char* file, int line,
+                  uint64_t suppressed, std::string message) {
+  if (t_in_log_sink) {
+    std::fprintf(stderr, "%s %s:%d %s\n", LogLevelName(level), Basename(file),
+                 line, message.c_str());
+    return;
+  }
+  t_in_log_sink = true;
+  LogRecord record;
+  record.unix_nanos = RealtimeNanos();
+  record.level = level;
+  record.file = Basename(file);
+  record.line = line;
+  record.trace_id = CurrentTraceId();
+  record.suppressed = suppressed;
+  record.message = std::move(message);
+
+  RecordsCounter(level)->Increment();
+  if (suppressed > 0) DroppedCounter(level)->Increment(suppressed);
+
+  const uint64_t sequence = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.sequence = sequence;
+
+  if (static_cast<int>(level) >=
+      g_stderr_min_level.load(std::memory_order_relaxed)) {
+    // One write() per record keeps concurrent lines intact.
+    const std::string json = record.ToJson() + "\n";
+    const ssize_t ignored = ::write(STDERR_FILENO, json.data(), json.size());
+    (void)ignored;
+  }
+
+  Slot& slot = slots_[(sequence - 1) % kRingSlots];
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    // A slower writer must not clobber a newer record that already
+    // wrapped onto this slot.
+    if (slot.sequence < sequence) {
+      slot.sequence = sequence;
+      slot.record = std::move(record);
+    }
+  }
+  t_in_log_sink = false;
+}
+
+uint64_t LogSink::records_logged() const {
+  return next_.load(std::memory_order_relaxed);
+}
+
+void LogSink::Clear() {
+  for (size_t i = 0; i < kRingSlots; ++i) {
+    std::lock_guard<std::mutex> lock(slots_[i].mu);
+    slots_[i].sequence = 0;
+    slots_[i].record = LogRecord();
+  }
+}
+
+std::vector<LogRecord> LogSink::Snapshot() const {
+  std::vector<LogRecord> records;
+  records.reserve(kRingSlots);
+  for (size_t i = 0; i < kRingSlots; ++i) {
+    std::lock_guard<std::mutex> lock(slots_[i].mu);
+    if (slots_[i].sequence > 0) records.push_back(slots_[i].record);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.sequence < b.sequence;
+            });
+  return records;
+}
+
+std::string LogSink::RenderText() const {
+  const std::vector<LogRecord> records = Snapshot();
+  std::string out;
+  out.reserve(records.size() * 96 + 64);
+  for (const LogRecord& record : records) {
+    char head[128];
+    const time_t seconds = record.unix_nanos / 1'000'000'000;
+    tm utc{};
+    gmtime_r(&seconds, &utc);
+    char when[32];
+    std::strftime(when, sizeof(when), "%Y-%m-%dT%H:%M:%S", &utc);
+    std::snprintf(head, sizeof(head), "%s.%03lldZ %-5s %s:%d",
+                  when,
+                  static_cast<long long>((record.unix_nanos / 1'000'000) %
+                                         1000),
+                  LogLevelName(record.level), record.file, record.line);
+    out.append(head);
+    if (record.trace_id != 0) {
+      char trace[32];
+      std::snprintf(trace, sizeof(trace), " [trace %016llx]",
+                    static_cast<unsigned long long>(record.trace_id));
+      out.append(trace);
+    }
+    out.push_back(' ');
+    out.append(record.message);
+    if (record.suppressed > 0) {
+      out.append(" (");
+      out.append(std::to_string(record.suppressed));
+      out.append(" similar suppressed)");
+    }
+    out.push_back('\n');
+  }
+  if (records.empty()) out = "no log records\n";
+  return out;
+}
+
+std::string LogSink::RenderJson() const {
+  const std::vector<LogRecord> records = Snapshot();
+  std::string out = "{\"records\":[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(records[i].ToJson());
+  }
+  out.append("]}");
+  return out;
+}
+
+namespace internal {
+
+bool LogCallSite::Admit(uint64_t now_nanos, uint64_t* suppressed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_refill_nanos_ == 0) last_refill_nanos_ = now_nanos;
+  if (now_nanos > last_refill_nanos_) {
+    const double elapsed_seconds =
+        static_cast<double>(now_nanos - last_refill_nanos_) / 1e9;
+    tokens_ = std::min(burst_, tokens_ + elapsed_seconds * per_second_);
+    last_refill_nanos_ = now_nanos;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    *suppressed = suppressed_;
+    suppressed_ = 0;
+    return true;
+  }
+  ++suppressed_;
+  return false;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line,
+                       LogCallSite* site)
+    : level_(level), file_(file), line_(line) {
+  admitted_ = site->Admit(MonotonicNanos(), &suppressed_);
+  if (!admitted_) DroppedCounter(level)->Increment();
+}
+
+LogMessage::~LogMessage() {
+  if (!admitted_) return;
+  LogSink::Get().Log(level_, file_, line_, suppressed_, stream_.str());
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "FRA_CHECK failed at " << Basename(file) << ":" << line << ": "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  // Unconditional (no rate limiting): the process is about to die and the
+  // message must reach both stderr and the ring tail. kFatal is never
+  // below the stderr threshold, so Log() always mirrors it.
+  LogSink::Get().Log(LogLevel::kFatal, file_, line_, 0, stream_.str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace fra

@@ -1,30 +1,169 @@
 #ifndef FRA_UTIL_LOGGING_H_
 #define FRA_UTIL_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
-#include <iostream>
+#include <mutex>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace fra {
+
+/// Structured, trace-correlated logging (docs/observability.md,
+/// "Structured logging").
+///
+/// FRA_LOG(INFO|WARN|ERROR) emits one-line JSON records stamped with the
+/// thread's active trace id, so a log line produced deep inside a silo
+/// exchange joins the same investigation as the query's spans and flight
+/// record. Every record lands in a bounded in-memory ring served at
+/// /debug/logz(.json); records at or above the stderr threshold (WARN by
+/// default) are additionally written to stderr. A token-bucket rate
+/// limiter per call-site keeps a hot error path from melting the sink:
+/// suppressed records are counted (fra_log_records_dropped_total{level})
+/// and the next admitted record from that site carries the suppressed
+/// count.
+///
+/// FRA_CHECK failures flush through the same sink (level FATAL) before
+/// aborting, so the ring's tail shows what the process was doing when an
+/// invariant broke.
+
+enum class LogLevel : int { kInfo = 0, kWarn = 1, kError = 2, kFatal = 3 };
+
+/// "INFO", "WARN", "ERROR", "FATAL".
+const char* LogLevelName(LogLevel level);
+
+/// One emitted log record.
+struct LogRecord {
+  uint64_t sequence = 0;   // assigned by the sink, monotonically increasing
+  int64_t unix_nanos = 0;  // CLOCK_REALTIME at emission
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";   // call-site basename (string literal)
+  int line = 0;
+  uint64_t trace_id = 0;   // CurrentTraceId() at emission; 0 = no trace
+  uint64_t suppressed = 0; // records rate-limited at this site since the
+                           // previous admitted one
+  std::string message;
+
+  /// The record as the one-line JSON object written to stderr and served
+  /// by /debug/logz.json.
+  std::string ToJson() const;
+};
+
+/// Process-wide log sink: a bounded ring of the most recent records.
+/// Writers claim a slot with one atomic fetch_add (wait-free); the slot
+/// payload is guarded by a per-slot latch so concurrent writers that
+/// collide on a wrapped slot, and snapshot readers, stay race-free.
+class LogSink {
+ public:
+  static constexpr size_t kRingSlots = 1024;
+
+  static LogSink& Get();
+
+  /// Appends a record (sequence/time/trace stamped here) and mirrors it
+  /// to stderr when `level` >= stderr_min_level(). Thread safe.
+  void Log(LogLevel level, const char* file, int line, uint64_t suppressed,
+           std::string message);
+
+  /// Records currently in the ring, oldest first.
+  std::vector<LogRecord> Snapshot() const;
+
+  /// /debug/logz: one human-readable line per record.
+  std::string RenderText() const;
+  /// /debug/logz.json: {"records": [...]}.
+  std::string RenderJson() const;
+
+  /// Minimum level mirrored to stderr (the ring always records). Default
+  /// kWarn so chatty INFO diagnostics stay queryable without polluting
+  /// test output.
+  void set_stderr_min_level(LogLevel level);
+  LogLevel stderr_min_level() const;
+
+  /// Total records accepted into the ring since process start.
+  uint64_t records_logged() const;
+
+  size_t capacity() const { return kRingSlots; }
+
+  /// Tests only: empties the ring (sequence numbering continues).
+  void Clear();
+
+ private:
+  LogSink();
+  struct Slot;
+
+  Slot* slots_;  // kRingSlots, leaked with the singleton
+  std::atomic<uint64_t> next_{0};
+};
+
 namespace internal {
 
-/// Accumulates a fatal message; aborts the process when destroyed.
-/// Used by the FRA_CHECK family below — invariant violations are
-/// programming errors, not recoverable conditions.
+/// Per-call-site token bucket: `burst` immediate records, refilling at
+/// `per_second`. Admit() is called with a monotonic clock reading so
+/// tests can drive it deterministically.
+class LogCallSite {
+ public:
+  explicit LogCallSite(double burst = 10.0, double per_second = 1.0)
+      : burst_(burst), per_second_(per_second), tokens_(burst) {}
+
+  /// True if this record may be emitted; on true, *suppressed receives
+  /// the number of records rejected since the previous admission (and
+  /// the internal count resets). Thread safe.
+  bool Admit(uint64_t now_nanos, uint64_t* suppressed);
+
+ private:
+  const double burst_;
+  const double per_second_;
+  std::mutex mu_;
+  double tokens_;
+  uint64_t last_refill_nanos_ = 0;
+  uint64_t suppressed_ = 0;
+};
+
+/// Accumulates one FRA_LOG record; hands it to the sink on destruction.
+/// When the call site's rate limiter rejects the record, streaming is
+/// skipped and only the dropped counter moves.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, LogCallSite* site);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (admitted_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  const LogLevel level_;
+  const char* file_;
+  const int line_;
+  bool admitted_ = false;
+  uint64_t suppressed_ = 0;
+  std::ostringstream stream_;
+};
+
+/// Lowers a streamed message to void (the glog "voidify" idiom), letting
+/// the macros below form a single expression statement.
+struct LogVoidify {
+  void operator&(const LogMessage&) {}
+};
+
+/// Accumulates a fatal message; flushes it through the LogSink (so the
+/// /debug/logz ring's tail records the abort) and aborts the process
+/// when destroyed. Used by the FRA_CHECK family below — invariant
+/// violations are programming errors, not recoverable conditions.
 class FatalLogMessage {
  public:
-  FatalLogMessage(const char* file, int line, const char* condition) {
-    stream_ << "FRA_CHECK failed at " << file << ":" << line << ": "
-            << condition << " ";
-  }
+  FatalLogMessage(const char* file, int line, const char* condition);
 
   FatalLogMessage(const FatalLogMessage&) = delete;
   FatalLogMessage& operator=(const FatalLogMessage&) = delete;
 
-  ~FatalLogMessage() {
-    std::cerr << stream_.str() << std::endl;
-    std::abort();
-  }
+  [[noreturn]] ~FatalLogMessage();
 
   template <typename T>
   FatalLogMessage& operator<<(const T& value) {
@@ -33,19 +172,39 @@ class FatalLogMessage {
   }
 
  private:
+  const char* file_;
+  const int line_;
   std::ostringstream stream_;
 };
 
 /// Lowers a streamed FatalLogMessage to void so it can sit on the false
-/// branch of the ternary in FRA_CHECK (the classic glog "voidify" idiom).
+/// branch of the ternary in FRA_CHECK.
 struct Voidify {
   // const& binds both the bare temporary and the reference returned by
   // operator<< chains.
   void operator&(const FatalLogMessage&) {}
 };
 
+// Severity-token mapping for FRA_LOG(INFO) et al.
+constexpr LogLevel kLogSeverityINFO = LogLevel::kInfo;
+constexpr LogLevel kLogSeverityWARN = LogLevel::kWarn;
+constexpr LogLevel kLogSeverityERROR = LogLevel::kError;
+
 }  // namespace internal
 }  // namespace fra
+
+/// Emits one structured log record: FRA_LOG(WARN) << "silo " << id
+/// << " unreachable";  Severity is INFO, WARN or ERROR (invariant
+/// violations use FRA_CHECK). Each textual call site owns a token-bucket
+/// rate limiter (10-record burst, 1/s refill); records it rejects are
+/// counted, not emitted.
+#define FRA_LOG(severity)                                                  \
+  ::fra::internal::LogVoidify() &                                          \
+      ::fra::internal::LogMessage(                                         \
+          ::fra::internal::kLogSeverity##severity, __FILE__, __LINE__, [] { \
+            static ::fra::internal::LogCallSite fra_log_site;              \
+            return &fra_log_site;                                          \
+          }())
 
 /// Aborts with a message if `condition` is false; extra context can be
 /// streamed in: FRA_CHECK(n > 0) << "n was " << n;

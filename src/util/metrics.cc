@@ -136,13 +136,35 @@ const char* BuiltinHelp(const std::string& name) {
       {"fra_estimate_relative_error",
        "Relative error of audited approximate answers"},
       {"fra_federation_silos", "Silos registered with the provider"},
+      {"fra_frame_bytes_total",
+       "Frame-layer bytes moved by the reactor transport by direction"},
       {"fra_guarantee_violations_total",
        "Audited answers exceeding the (eps, delta) error bound"},
+      {"fra_log_records_dropped_total",
+       "Log records suppressed by per-call-site rate limiting, by level"},
+      {"fra_log_records_total", "Log records accepted into the ring by level"},
+      {"fra_profile_alloc_samples_total",
+       "Buffer-pool miss stacks sampled by the profiler, by size class"},
+      {"fra_profile_overruns_total",
+       "Profiler samples lost to ring overruns between drains"},
+      {"fra_profile_running_hz",
+       "Sampling rate of the continuous profiler (0 while stopped)"},
+      {"fra_profile_samples_total", "Stack samples captured by the profiler"},
       {"fra_provider_data_epoch",
        "Data epoch of the provider cache (bumped by SyncGrids)"},
       {"fra_provider_grid_memory_bytes",
        "Provider-side grid index memory (g_0 plus retained silo grids)"},
       {"fra_queries_total", "FRA queries executed by algorithm and result"},
+      {"fra_query_cost_bytes_total",
+       "Wire payload bytes attributed to queries by class and direction"},
+      {"fra_query_cost_cpu_microseconds",
+       "Thread-CPU time attributed per query by class"},
+      {"fra_query_cost_queue_wait_microseconds",
+       "Coalescer staging wait attributed per query by class"},
+      {"fra_query_cost_silo_cpu_microseconds",
+       "Silo-side CPU time per handled message, by silo"},
+      {"fra_query_cost_silo_rpcs_total",
+       "Data-plane silo exchanges attributed to queries by class"},
       {"fra_query_latency_microseconds",
        "End-to-end FRA query latency by algorithm"},
       {"fra_reactor_dispatch_microseconds",

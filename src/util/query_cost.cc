@@ -1,0 +1,77 @@
+#include "util/query_cost.h"
+
+#include <time.h>
+
+#include <cstdio>
+
+namespace fra {
+
+double ThreadCpuMicros() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) / 1e3;
+}
+
+namespace {
+thread_local QueryCostTracker* t_current_tracker = nullptr;
+}  // namespace
+
+QueryCostTracker::QueryCostTracker() : previous_(t_current_tracker) {
+  t_current_tracker = this;
+}
+
+QueryCostTracker::~QueryCostTracker() { t_current_tracker = previous_; }
+
+QueryCostTracker* QueryCostTracker::Current() { return t_current_tracker; }
+
+void QueryCostTracker::NoteSiloCall(uint64_t bytes_out, uint64_t bytes_in) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cost_.bytes_to_silos += bytes_out;
+  cost_.bytes_from_silos += bytes_in;
+  ++cost_.silo_rpcs;
+}
+
+void QueryCostTracker::NoteQueueWait(double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cost_.queue_wait_micros += micros;
+}
+
+void QueryCostTracker::AddCpuMicros(double micros) {
+  if (micros <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  cost_.cpu_micros += micros;
+}
+
+QueryCost QueryCostTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cost_;
+}
+
+QueryCostScope::QueryCostScope(QueryCostTracker* tracker)
+    : tracker_(tracker), previous_(t_current_tracker) {
+  t_current_tracker = tracker;
+  if (tracker_ != nullptr) cpu_start_ = ThreadCpuMicros();
+}
+
+QueryCostScope::~QueryCostScope() {
+  if (tracker_ != nullptr) {
+    tracker_->AddCpuMicros(ThreadCpuMicros() - cpu_start_);
+  }
+  t_current_tracker = previous_;
+}
+
+std::string QueryCostToJson(const QueryCost& cost) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"cpu_micros\":%.1f,\"bytes_to_silos\":%llu,"
+                "\"bytes_from_silos\":%llu,\"silo_rpcs\":%u,"
+                "\"queue_wait_micros\":%.1f}",
+                cost.cpu_micros,
+                static_cast<unsigned long long>(cost.bytes_to_silos),
+                static_cast<unsigned long long>(cost.bytes_from_silos),
+                cost.silo_rpcs, cost.queue_wait_micros);
+  return buf;
+}
+
+}  // namespace fra

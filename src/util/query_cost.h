@@ -1,0 +1,91 @@
+#ifndef FRA_UTIL_QUERY_COST_H_
+#define FRA_UTIL_QUERY_COST_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace fra {
+
+/// Per-query resource attribution (docs/observability.md, "Query cost
+/// ledger"): where one query's resources actually went, measured at the
+/// points where they are spent.
+///
+///   cpu_micros        CLOCK_THREAD_CPUTIME_ID deltas summed over every
+///                     thread that worked on the query (the Execute
+///                     thread plus each fan-out leg; in-process silo
+///                     handlers run on those same threads, so their CPU
+///                     is attributed too).
+///   bytes_to_silos    encoded request payload bytes shipped to silos.
+///   bytes_from_silos  response payload bytes received back.
+///   silo_rpcs         data-plane exchanges (a coalesced entry counts as
+///                     one RPC — it is one answered request).
+///   queue_wait_micros time the query's requests sat staged in the
+///                     coalescer before their batch flushed.
+struct QueryCost {
+  double cpu_micros = 0.0;
+  uint64_t bytes_to_silos = 0;
+  uint64_t bytes_from_silos = 0;
+  uint32_t silo_rpcs = 0;
+  double queue_wait_micros = 0.0;
+};
+
+/// This thread's consumed CPU time (CLOCK_THREAD_CPUTIME_ID), in
+/// microseconds. Deltas of this clock measure work, not waiting.
+double ThreadCpuMicros();
+
+/// Per-query scratch accumulating one query's cost while it executes,
+/// installed as a thread-local stack exactly like QueryFlightLog
+/// (obs/flight_recorder.h): the provider's Execute constructs one, and
+/// every cost-bearing point on a thread where a tracker is current notes
+/// into it. Note* methods are thread safe (fan-out legs are concurrent,
+/// and a coalescer flush reports queue-wait from its own thread);
+/// install/uninstall follow RAII nesting per thread.
+class QueryCostTracker {
+ public:
+  QueryCostTracker();
+  ~QueryCostTracker();
+
+  QueryCostTracker(const QueryCostTracker&) = delete;
+  QueryCostTracker& operator=(const QueryCostTracker&) = delete;
+
+  /// The innermost tracker installed on this thread, or nullptr.
+  static QueryCostTracker* Current();
+
+  void NoteSiloCall(uint64_t bytes_out, uint64_t bytes_in);
+  void NoteQueueWait(double micros);
+  void AddCpuMicros(double micros);
+
+  QueryCost Snapshot() const;
+
+ private:
+  QueryCostTracker* previous_;
+  mutable std::mutex mu_;
+  QueryCost cost_;
+};
+
+/// Re-installs an existing tracker as this thread's current one (fan-out
+/// legs run on pool threads) and attributes the scope's thread-CPU delta
+/// to it on destruction. A null tracker is fine — the scope then just
+/// masks any outer tracker and measures nothing.
+class QueryCostScope {
+ public:
+  explicit QueryCostScope(QueryCostTracker* tracker);
+  ~QueryCostScope();
+
+  QueryCostScope(const QueryCostScope&) = delete;
+  QueryCostScope& operator=(const QueryCostScope&) = delete;
+
+ private:
+  QueryCostTracker* tracker_;
+  QueryCostTracker* previous_;
+  double cpu_start_ = 0.0;
+};
+
+/// Renders a QueryCost as the compact JSON object embedded in flight
+/// records and statusz.
+std::string QueryCostToJson(const QueryCost& cost);
+
+}  // namespace fra
+
+#endif  // FRA_UTIL_QUERY_COST_H_

@@ -1,0 +1,201 @@
+// Per-query cost attribution: the QueryCostTracker thread-local stack,
+// the ledger's rollup/rendering semantics, and the end-to-end path — a
+// 2-silo federation query whose recorded bytes and RPC counts must match
+// the network layer's own accounting exactly.
+
+#include "obs/cost_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "federation/service_provider.h"
+#include "federation/silo.h"
+#include "net/network.h"
+#include "obs/flight_recorder.h"
+#include "tests/test_util.h"
+#include "util/query_cost.h"
+
+namespace fra {
+namespace {
+
+const Rect kDomain{{0, 0}, {40, 40}};
+
+TEST(QueryCostTrackerTest, InstallsAsAThreadLocalStack) {
+  EXPECT_EQ(QueryCostTracker::Current(), nullptr);
+  {
+    QueryCostTracker outer;
+    EXPECT_EQ(QueryCostTracker::Current(), &outer);
+    {
+      QueryCostTracker inner;
+      EXPECT_EQ(QueryCostTracker::Current(), &inner);
+    }
+    EXPECT_EQ(QueryCostTracker::Current(), &outer);
+
+    // Another thread sees no tracker until a scope re-installs this one.
+    std::thread([&outer] {
+      EXPECT_EQ(QueryCostTracker::Current(), nullptr);
+      QueryCostScope scope(&outer);
+      EXPECT_EQ(QueryCostTracker::Current(), &outer);
+      QueryCostTracker::Current()->NoteSiloCall(100, 200);
+    }).join();
+
+    outer.NoteSiloCall(10, 20);
+    outer.NoteQueueWait(5.5);
+    const QueryCost cost = outer.Snapshot();
+    EXPECT_EQ(cost.silo_rpcs, 2U);
+    EXPECT_EQ(cost.bytes_to_silos, 110UL);
+    EXPECT_EQ(cost.bytes_from_silos, 220UL);
+    EXPECT_DOUBLE_EQ(cost.queue_wait_micros, 5.5);
+  }
+  EXPECT_EQ(QueryCostTracker::Current(), nullptr);
+}
+
+TEST(QueryCostTrackerTest, ScopeAttributesThreadCpu) {
+  QueryCostTracker tracker;
+  std::thread([&tracker] {
+    QueryCostScope scope(&tracker);
+    // Burn a measurable amount of this thread's CPU inside the scope.
+    volatile double sink = 0.0;
+    const double start = ThreadCpuMicros();
+    while (ThreadCpuMicros() - start < 2000.0) {
+      for (int i = 0; i < 10000; ++i) sink += static_cast<double>(i);
+    }
+  }).join();
+  EXPECT_GE(tracker.Snapshot().cpu_micros, 2000.0);
+}
+
+TEST(ThreadCpuMicrosTest, AdvancesWithWorkOnly) {
+  const double start = ThreadCpuMicros();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<double>(i);
+  const double after_work = ThreadCpuMicros();
+  EXPECT_GT(after_work, start);
+}
+
+TEST(QueryCostLedgerTest, RollsUpPerKeyAndRendersJson) {
+  QueryCostLedger ledger;
+  QueryCost cost;
+  cost.cpu_micros = 100.0;
+  cost.bytes_to_silos = 40;
+  cost.bytes_from_silos = 60;
+  cost.silo_rpcs = 2;
+  cost.queue_wait_micros = 7.0;
+  ledger.Record("FRA", "COUNT", "miss", /*ok=*/true, cost);
+  ledger.Record("FRA", "COUNT", "miss", /*ok=*/false, cost);
+  ledger.Record("EXACT", "SUM", "hit", /*ok=*/true, QueryCost{});
+
+  const std::vector<QueryCostLedger::Rollup> rollups = ledger.Snapshot();
+  ASSERT_EQ(rollups.size(), 2UL);
+  // Sorted by (algorithm, aggregate, cache).
+  EXPECT_EQ(rollups[0].algorithm, "EXACT");
+  EXPECT_EQ(rollups[0].cache, "hit");
+  EXPECT_EQ(rollups[0].queries, 1UL);
+  EXPECT_EQ(rollups[1].algorithm, "FRA");
+  EXPECT_EQ(rollups[1].queries, 2UL);
+  EXPECT_EQ(rollups[1].failures, 1UL);
+  EXPECT_DOUBLE_EQ(rollups[1].cpu_micros, 200.0);
+  EXPECT_EQ(rollups[1].bytes_to_silos, 80UL);
+  EXPECT_EQ(rollups[1].bytes_from_silos, 120UL);
+  EXPECT_EQ(rollups[1].silo_rpcs, 4UL);
+  EXPECT_DOUBLE_EQ(rollups[1].queue_wait_micros, 14.0);
+
+  const std::string json = ledger.RenderJson();
+  EXPECT_NE(json.find("\"algorithm\""), std::string::npos);
+  EXPECT_NE(json.find("\"FRA\""), std::string::npos);
+  EXPECT_NE(json.find("\"silo_rpcs\""), std::string::npos);
+}
+
+TEST(QueryCostLedgerTest, FederationQueryCostMatchesWireTruth) {
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+  std::vector<std::unique_ptr<Silo>> silos;
+  InProcessNetwork network;
+  for (int s = 0; s < 2; ++s) {
+    silos.push_back(
+        Silo::Create(s, testing::RandomObjects(1200, kDomain, 17 + s),
+                     silo_options)
+            .ValueOrDie());
+    ASSERT_TRUE(network.RegisterSilo(s, silos.back().get()).ok());
+  }
+  ServiceProvider::Options options;
+  options.audit_sample_rate = 0.0;  // audits would issue extra RPCs
+  auto provider = ServiceProvider::Create(&network, options).ValueOrDie();
+  QueryCostLedger* ledger = provider->cost_ledger();
+  ASSERT_NE(ledger, nullptr);
+  EXPECT_TRUE(ledger->Snapshot().empty());  // setup traffic is not a query
+
+  // Wire truth: the network's own byte/message accounting, delta'd
+  // across exactly one EXACT count query over both silos.
+  const CommStats::Snapshot before = provider->comm();
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 10),
+                       AggregateKind::kCount};
+  ASSERT_TRUE(provider->Execute(query, FraAlgorithm::kExact).ok());
+  const CommStats::Snapshot after = provider->comm();
+  ASSERT_GT(after.messages, before.messages);
+
+  const std::vector<QueryCostLedger::Rollup> rollups = ledger->Snapshot();
+  ASSERT_EQ(rollups.size(), 1UL);
+  const QueryCostLedger::Rollup& rollup = rollups[0];
+  EXPECT_EQ(rollup.algorithm, "EXACT");
+  EXPECT_EQ(rollup.aggregate, "COUNT");
+  EXPECT_EQ(rollup.cache, "off");
+  EXPECT_EQ(rollup.queries, 1UL);
+  EXPECT_EQ(rollup.failures, 0UL);
+  // EXACT fans out to every registered silo exactly once.
+  EXPECT_EQ(rollup.silo_rpcs, after.messages - before.messages);
+  EXPECT_EQ(rollup.silo_rpcs, 2UL);
+  EXPECT_EQ(rollup.bytes_to_silos, after.bytes_to_silos - before.bytes_to_silos);
+  EXPECT_EQ(rollup.bytes_from_silos,
+            after.bytes_to_provider - before.bytes_to_provider);
+  EXPECT_GT(rollup.bytes_to_silos, 0UL);
+  EXPECT_GT(rollup.bytes_from_silos, 0UL);
+  EXPECT_GT(rollup.cpu_micros, 0.0);
+
+  // A second identical query folds into the same rollup row.
+  ASSERT_TRUE(provider->Execute(query, FraAlgorithm::kExact).ok());
+  const std::vector<QueryCostLedger::Rollup> again = ledger->Snapshot();
+  ASSERT_EQ(again.size(), 1UL);
+  EXPECT_EQ(again[0].queries, 2UL);
+  EXPECT_EQ(again[0].silo_rpcs, 4UL);
+}
+
+TEST(QueryCostLedgerTest, FlightRecordCarriesTheQueryCost) {
+  Silo::Options silo_options;
+  silo_options.grid_spec.domain = kDomain;
+  silo_options.grid_spec.cell_length = 2.0;
+  std::vector<std::unique_ptr<Silo>> silos;
+  InProcessNetwork network;
+  for (int s = 0; s < 2; ++s) {
+    silos.push_back(
+        Silo::Create(s, testing::RandomObjects(800, kDomain, 29 + s),
+                     silo_options)
+            .ValueOrDie());
+    ASSERT_TRUE(network.RegisterSilo(s, silos.back().get()).ok());
+  }
+  ServiceProvider::Options options;
+  options.audit_sample_rate = 0.0;
+  options.flight_recorder.slow_threshold_micros = 0.0;  // capture all
+  auto provider = ServiceProvider::Create(&network, options).ValueOrDie();
+  FlightRecorder* recorder = provider->flight_recorder();
+  ASSERT_NE(recorder, nullptr);
+
+  const FraQuery query{QueryRange::MakeCircle({20, 20}, 10),
+                       AggregateKind::kCount};
+  ASSERT_TRUE(provider->Execute(query, FraAlgorithm::kExact).ok());
+  ASSERT_EQ(recorder->size(), 1UL);
+  const FlightRecorder::Record record = recorder->Snapshot()[0];
+  EXPECT_EQ(record.cost.silo_rpcs, 2U);
+  EXPECT_GT(record.cost.bytes_to_silos, 0UL);
+  EXPECT_GT(record.cost.bytes_from_silos, 0UL);
+  EXPECT_GT(record.cost.cpu_micros, 0.0);
+  EXPECT_NE(recorder->RenderJson().find("\"cost\""), std::string::npos);
+  EXPECT_NE(recorder->RenderText().find("cost:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fra

@@ -1,0 +1,164 @@
+// Structured logging: record JSON shape, the bounded ring's capture and
+// wrap semantics, trace-id correlation, the per-call-site token-bucket
+// rate limiter, and the FRA_CHECK fatal path flushing through the sink.
+
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace fra {
+namespace {
+
+// Every test mutates the process-wide sink; serialize them through a
+// fixture that starts from an empty ring and keeps INFO off stderr.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    LogSink::Get().Clear();
+    LogSink::Get().set_stderr_min_level(LogLevel::kError);
+  }
+  void TearDown() override {
+    LogSink::Get().Clear();
+    LogSink::Get().set_stderr_min_level(LogLevel::kWarn);
+  }
+};
+
+TEST_F(LoggingTest, RecordRendersAsOneLineJson) {
+  LogRecord record;
+  record.sequence = 7;
+  record.unix_nanos = 1234500000000;
+  record.level = LogLevel::kWarn;
+  record.file = "somewhere.cc";
+  record.line = 42;
+  record.trace_id = 0xabcd;
+  record.suppressed = 3;
+  record.message = "line1\n\"quoted\"";
+
+  const std::string json = record.ToJson();
+  EXPECT_EQ(json.find('\n'), std::string::npos) << json;
+  EXPECT_NE(json.find("\"level\":\"WARN\""), std::string::npos) << json;
+  EXPECT_NE(json.find("somewhere.cc"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos) << json;
+}
+
+TEST_F(LoggingTest, MacroCapturesSiteAndMessage) {
+  const uint64_t before = LogSink::Get().records_logged();
+  FRA_LOG(INFO) << "hello " << 42 << " world";
+  EXPECT_EQ(LogSink::Get().records_logged(), before + 1);
+
+  const std::vector<LogRecord> records = LogSink::Get().Snapshot();
+  ASSERT_FALSE(records.empty());
+  const LogRecord& record = records.back();
+  EXPECT_EQ(record.level, LogLevel::kInfo);
+  EXPECT_EQ(record.message, "hello 42 world");
+  EXPECT_NE(std::string(record.file).find("logging_test"), std::string::npos);
+  EXPECT_GT(record.line, 0);
+  EXPECT_EQ(record.trace_id, 0UL);  // no active trace here
+}
+
+TEST_F(LoggingTest, RecordsCarryTheActiveTraceId) {
+  const uint64_t trace_id = NewTraceId();
+  {
+    ScopedTraceId scope(trace_id);
+    FRA_LOG(WARN) << "inside the trace";
+  }
+  FRA_LOG(WARN) << "outside the trace";
+
+  const std::vector<LogRecord> records = LogSink::Get().Snapshot();
+  ASSERT_GE(records.size(), 2UL);
+  EXPECT_EQ(records[records.size() - 2].trace_id, trace_id);
+  EXPECT_EQ(records.back().trace_id, 0UL);
+}
+
+TEST_F(LoggingTest, RingKeepsTheMostRecentRecordsOldestFirst) {
+  const size_t capacity = LogSink::Get().capacity();
+  for (size_t i = 0; i < capacity + 50; ++i) {
+    LogSink::Get().Log(LogLevel::kInfo, "wrap.cc", static_cast<int>(i), 0,
+                       "record " + std::to_string(i));
+  }
+  const std::vector<LogRecord> records = LogSink::Get().Snapshot();
+  ASSERT_EQ(records.size(), capacity);
+  // Oldest first, contiguous sequences, ending at the newest record.
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].sequence, records[i - 1].sequence + 1);
+  }
+  EXPECT_EQ(records.back().message,
+            "record " + std::to_string(capacity + 49));
+}
+
+TEST_F(LoggingTest, RenderersEmitEveryRingRecord) {
+  LogSink::Get().Log(LogLevel::kWarn, "render.cc", 1, 0, "first message");
+  LogSink::Get().Log(LogLevel::kError, "render.cc", 2, 0, "second message");
+
+  const std::string text = LogSink::Get().RenderText();
+  EXPECT_NE(text.find("first message"), std::string::npos);
+  EXPECT_NE(text.find("second message"), std::string::npos);
+
+  const std::string json = LogSink::Get().RenderJson();
+  EXPECT_NE(json.find("\"records\""), std::string::npos);
+  EXPECT_NE(json.find("first message"), std::string::npos);
+  EXPECT_NE(json.find("\"level\":\"ERROR\""), std::string::npos);
+}
+
+TEST_F(LoggingTest, CallSiteTokenBucketAdmitsBurstThenRefills) {
+  internal::LogCallSite site(/*burst=*/2.0, /*per_second=*/1.0);
+  const uint64_t second = 1000000000ULL;
+  uint64_t suppressed = 0;
+
+  EXPECT_TRUE(site.Admit(1 * second, &suppressed));
+  EXPECT_EQ(suppressed, 0UL);
+  EXPECT_TRUE(site.Admit(1 * second, &suppressed));
+  EXPECT_EQ(suppressed, 0UL);
+  // Bucket empty: the next three are rejected and counted.
+  EXPECT_FALSE(site.Admit(1 * second, &suppressed));
+  EXPECT_FALSE(site.Admit(1 * second, &suppressed));
+  EXPECT_FALSE(site.Admit(1 * second, &suppressed));
+  // One second later one token has refilled; the admitted record
+  // reports how many were dropped since the last admission.
+  EXPECT_TRUE(site.Admit(2 * second, &suppressed));
+  EXPECT_EQ(suppressed, 3UL);
+  // The refill never exceeds the burst ceiling.
+  EXPECT_TRUE(site.Admit(100 * second, &suppressed));
+  EXPECT_TRUE(site.Admit(100 * second, &suppressed));
+  EXPECT_FALSE(site.Admit(100 * second, &suppressed));
+}
+
+TEST_F(LoggingTest, HotCallSiteIsRateLimitedThroughTheMacro) {
+  // The macro's static site allows a 10-record burst; a tight loop of
+  // 200 must land at most burst + refill records in the ring.
+  const uint64_t before = LogSink::Get().records_logged();
+  for (int i = 0; i < 200; ++i) {
+    FRA_LOG(INFO) << "hot path " << i;
+  }
+  const uint64_t landed = LogSink::Get().records_logged() - before;
+  EXPECT_GE(landed, 1UL);
+  EXPECT_LE(landed, 12UL) << "rate limiter admitted " << landed
+                          << " of 200 records";
+}
+
+TEST_F(LoggingTest, LogCountersTrackLevels) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  Counter& warn_total =
+      registry.GetCounter("fra_log_records_total", {{"level", "WARN"}});
+  const uint64_t before = warn_total.Value();
+  FRA_LOG(WARN) << "counted";
+  EXPECT_EQ(warn_total.Value(), before + 1);
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, CheckFailureFlushesThroughTheSinkAndAborts) {
+  EXPECT_DEATH(
+      { FRA_CHECK(1 == 2) << "invariant context " << 99; },
+      "invariant context 99");
+}
+
+}  // namespace
+}  // namespace fra
